@@ -1,0 +1,199 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Tables 1-4, Figures 7-8, the §5.5 overhead
+   numbers, plus the DESIGN.md ablations), then runs bechamel
+   micro-benchmarks over the performance-critical primitives.
+
+   Budgets scale with EOF_BENCH_SCALE (default 1.0). *)
+
+open Eof_expt
+module Text_table = Eof_util.Text_table
+
+let section title = print_endline (Text_table.section title)
+
+(* --- paper artifacts -------------------------------------------------- *)
+
+let run_artifacts () =
+  let t0 = Unix.gettimeofday () in
+  section "Table 1: supported targets (EOF vs GDBFuzz vs Tardis vs SHIFT)";
+  print_endline (Table1.render ());
+
+  let iterations = Runner.scaled 3000 in
+  Printf.printf "\n[full-system matrix: %d payloads x %d seeds per tool/OS...]\n%!"
+    iterations Runner.repetitions;
+  let cells = Runner.full_system_matrix ~iterations () in
+
+  section "Table 2: previously unknown bugs detected by EOF";
+  print_endline (Table2.render cells);
+
+  section "Table 3: coverage comparison (EOF / EOF-nf / Tardis / Gustave)";
+  print_endline (Table3.render cells);
+
+  section "Figure 7: coverage growth on four embedded OSs (24 virtual hours)";
+  print_endline (Fig7.render ~iterations cells);
+  let csv_out path text =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+    Printf.printf "[series data written to %s]\n" path
+  in
+  csv_out "fig7.csv" (Fig7.to_csv ~iterations cells);
+
+  let app_iterations = Runner.scaled 2000 in
+  Printf.printf "\n[application-level matrix: %d payloads x %d seeds per tool/component...]\n%!"
+    app_iterations Runner.repetitions;
+  let app_cells = App_level.matrix ~iterations:app_iterations () in
+
+  section "Table 4: application-level coverage (EOF / GDBFuzz / SHIFT)";
+  print_endline (Table4.render app_cells);
+
+  section "Figure 8: application-level coverage growth";
+  print_endline (Fig8.render ~iterations:app_iterations app_cells);
+  csv_out "fig8.csv" (Fig8.to_csv ~iterations:app_iterations app_cells);
+
+  section "Section 5.5.1: memory overhead of instrumentation";
+  print_endline (Overhead.render_memory ());
+
+  section "Section 5.5.2: execution overhead of instrumentation";
+  print_endline (Overhead.render_execution ());
+
+  section "Ablation A1: PC-stall liveness watchdog";
+  print_endline (Ablation.render_a1 ());
+
+  section "Ablation A2: dependency-aware generation";
+  print_endline (Ablation.render_a2 ());
+
+  section "Extension E1: interrupt-path fuzzing via peripheral event injection";
+  print_endline (Ablation.render_irq ());
+
+  Printf.printf "\n[artifact regeneration took %.1f s]\n%!" (Unix.gettimeofday () -. t0)
+
+(* --- micro-benchmarks -------------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Eof_hw in
+  (* RSP frame round-trip. *)
+  let rsp_payload = Eof_debug.Rsp.render_command (Eof_debug.Rsp.Read_mem { addr = 0x20000000; len = 64 }) in
+  let rsp_frame = Eof_debug.Rsp.make_frame rsp_payload in
+  let t_rsp =
+    Test.make ~name:"rsp_decode" (Staged.stage (fun () ->
+        let d = Eof_debug.Rsp.Decoder.create () in
+        ignore (Eof_debug.Rsp.Decoder.feed d rsp_frame : Eof_debug.Rsp.Decoder.event list)))
+  in
+  (* CRC over a 4 KiB sector. *)
+  let sector = String.make 4096 '\x5A' in
+  let t_crc =
+    Test.make ~name:"crc32_4k" (Staged.stage (fun () ->
+        ignore (Eof_util.Crc32.digest_string sector : int32)))
+  in
+  (* Wire encode/decode of a mid-size program. *)
+  let prog =
+    List.init 12 (fun i ->
+        { Eof_agent.Wire.api_index = i; args = [ Eof_agent.Wire.W_int 42L; Eof_agent.Wire.W_str "payload" ] })
+  in
+  let encoded =
+    match Eof_agent.Wire.encode ~endianness:Arch.Little prog with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let t_wire_enc =
+    Test.make ~name:"wire_encode" (Staged.stage (fun () ->
+        ignore (Eof_agent.Wire.encode ~endianness:Arch.Little prog : (string, string) result)))
+  in
+  let t_wire_dec =
+    Test.make ~name:"wire_decode" (Staged.stage (fun () ->
+        ignore
+          (Eof_agent.Wire.decode ~endianness:Arch.Little encoded
+            : (Eof_agent.Wire.program, string) result)))
+  in
+  (* Spec parse of the synthesized Zephyr spec. *)
+  let zephyr_build =
+    Eof_os.Osbuild.make ~board_profile:Profiles.stm32f4_disco Eof_os.Zephyr.spec
+  in
+  let spec_text =
+    Eof_spec.Synth.syzlang_of_api (Eof_os.Osbuild.api_signatures zephyr_build)
+  in
+  let t_spec =
+    Test.make ~name:"spec_parse" (Staged.stage (fun () ->
+        ignore (Eof_spec.Parser.parse spec_text : (Eof_spec.Ast.t, string) result)))
+  in
+  (* Program generation. *)
+  let table = Eof_os.Osbuild.api_signatures zephyr_build in
+  let spec = match Eof_spec.Synth.validated_of_api table with Ok s -> s | Error e -> failwith e in
+  let gen = Eof_core.Gen.create ~rng:(Eof_util.Rng.create 1L) ~spec ~table () in
+  let t_gen =
+    Test.make ~name:"prog_generate" (Staged.stage (fun () ->
+        ignore (Eof_core.Gen.generate gen ~max_len:12 : Eof_core.Prog.t)))
+  in
+  (* Heap allocator churn. *)
+  let ram = Memory.create ~base:0x2000_0000 ~size:65536 ~endianness:Arch.Little in
+  let heap =
+    match Eof_rtos.Heap.init ~mem:ram ~base:0x2000_1000 ~size:8192 with
+    | Ok h -> h
+    | Error e -> failwith e
+  in
+  let t_heap =
+    Test.make ~name:"heap_alloc_free" (Staged.stage (fun () ->
+        match Eof_rtos.Heap.alloc heap 64 with
+        | Some a -> ignore (Eof_rtos.Heap.free heap a : (unit, string) result)
+        | None -> ()))
+  in
+  (* JSON parse. *)
+  let json_text = "{\"s\":\"v\",\"n\":-3.5e2,\"b\":true,\"a\":[1,2,3],\"o\":{\"k\":null}}" in
+  let null_instr = Eof_rtos.Instr.null ~count:64 in
+  let t_json =
+    Test.make ~name:"json_parse" (Staged.stage (fun () ->
+        ignore
+          (Eof_exec.Target.run_silent (fun () -> Eof_apps.Json.parse ~instr:null_instr json_text)
+            : (Eof_apps.Json.t, string) result)))
+  in
+  (* Coverage record decode (a full buffer's worth). *)
+  let raw_records = String.init 4096 (fun i -> Char.chr (i land 0xFF)) in
+  let t_cov =
+    Test.make ~name:"cov_decode_1k" (Staged.stage (fun () ->
+        ignore
+          (Eof_cov.Sancov.decode_records ~endianness:Arch.Little ~count:1024 raw_records
+            : int list)))
+  in
+  [ t_rsp; t_crc; t_wire_enc; t_wire_dec; t_spec; t_gen; t_heap; t_json; t_cov ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  section "Micro-benchmarks (bechamel, monotonic clock)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"eof" ~fmt:"%s/%s" (micro_tests ()))
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_endline
+    (Text_table.render
+       ~align:[ Text_table.Left; Text_table.Right ]
+       ~header:[ "operation"; "time/run" ]
+       (List.map
+          (fun (name, ns) ->
+            let time =
+              if Float.is_nan ns then "n/a"
+              else if ns > 1_000_000. then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns > 1_000. then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.1f ns" ns
+            in
+            [ name; time ])
+          rows))
+
+let () =
+  run_artifacts ();
+  run_micro ()

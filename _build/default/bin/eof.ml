@@ -1,0 +1,248 @@
+(* The eof command-line tool: fuzz a target, inspect specifications,
+   list targets, or regenerate a single paper artifact. *)
+
+open Cmdliner
+module Campaign = Eof_core.Campaign
+module Crash = Eof_core.Crash
+module Targets = Eof_expt.Targets
+module Runner = Eof_expt.Runner
+
+let os_arg =
+  let doc = "Target OS: FreeRTOS, RT-Thread, NuttX, Zephyr or PoKOS." in
+  Arg.(value & opt string "Zephyr" & info [ "os" ] ~docv:"OS" ~doc)
+
+let seed_arg =
+  let doc = "Campaign seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let iterations_arg =
+  let doc = "Payload budget (test cases to execute)." in
+  Arg.(value & opt int 1000 & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+
+let target_of os =
+  match Targets.find os with
+  | Some t -> Ok t
+  | None ->
+    Error
+      (Printf.sprintf "unknown OS %S (known: %s)" os
+         (String.concat ", "
+            (List.map (fun (t : Targets.hw_target) -> t.Targets.spec.Eof_os.Osbuild.os_name)
+               Targets.all)))
+
+(* --- eof fuzz ---------------------------------------------------------- *)
+
+let fuzz os seed iterations no_feedback no_dep no_watchdog irq verbose crash_dir
+    save_corpus load_corpus =
+  match target_of os with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok target ->
+    let build = Targets.build_hw target in
+    let profile = Eof_hw.Board.profile (Eof_os.Osbuild.board build) in
+    Printf.printf "Fuzzing %s %s on %s over its %s debug port (%d payloads, seed %d)\n%!"
+      (Eof_os.Osbuild.os_name build) (Eof_os.Osbuild.version build)
+      profile.Eof_hw.Board.name
+      (Eof_hw.Board.debug_port_name profile.Eof_hw.Board.debug_port)
+      iterations seed;
+    let table = Eof_os.Osbuild.api_signatures build in
+    let initial_seeds =
+      match load_corpus with
+      | None -> []
+      | Some path ->
+        (match Eof_spec.Synth.validated_of_api table with
+         | Error _ -> []
+         | Ok spec ->
+           (match Eof_core.Corpus_io.load ~path ~spec ~table with
+            | Ok (progs, skipped) ->
+              Printf.printf "loaded %d corpus seeds from %s (%d stale entries skipped)\n"
+                (List.length progs) path skipped;
+              progs
+            | Error e ->
+              prerr_endline ("could not load corpus: " ^ e);
+              []))
+    in
+    let config =
+      {
+        Campaign.default_config with
+        seed = Int64.of_int seed;
+        iterations;
+        feedback = not no_feedback;
+        dep_aware = not no_dep;
+        stall_watchdog = not no_watchdog;
+        irq_injection = irq;
+        initial_seeds;
+      }
+    in
+    (match Campaign.run config build with
+     | Error e ->
+       prerr_endline ("campaign failed: " ^ e);
+       1
+     | Ok o ->
+       Printf.printf
+         "\ncoverage: %d branches | executed: %d | corpus: %d | resets: %d | reflashes: %d\n"
+         o.Campaign.coverage o.Campaign.executed_programs o.Campaign.corpus_size
+         o.Campaign.resets o.Campaign.reflashes;
+       Printf.printf "crashes: %d distinct (%d events)\n\n"
+         (List.length o.Campaign.crashes)
+         o.Campaign.crash_events;
+       List.iter
+         (fun crash ->
+           print_endline ("  " ^ Crash.summary crash);
+           (match Targets.match_bug crash with
+            | Some bug ->
+              Printf.printf "    -> Table 2 bug #%d (%s)\n" bug.Targets.id
+                bug.Targets.operation
+            | None -> ());
+           if verbose then begin
+             print_endline "    triggering program:";
+             String.split_on_char '\n' crash.Crash.program
+             |> List.iter (fun l -> print_endline ("      " ^ l))
+           end)
+         o.Campaign.crashes;
+       (match crash_dir with
+        | None -> ()
+        | Some dir ->
+          (match Eof_core.Report.save_crashes ~dir o.Campaign.crashes with
+           | Ok paths -> Printf.printf "\nwrote %d crash reports under %s\n" (List.length paths) dir
+           | Error e -> prerr_endline ("could not write crash reports: " ^ e)));
+       (match save_corpus with
+        | None -> ()
+        | Some path ->
+          (match Eof_core.Corpus_io.save ~path o.Campaign.final_corpus with
+           | Ok () ->
+             Printf.printf "saved %d corpus seeds to %s\n"
+               (List.length o.Campaign.final_corpus) path
+           | Error e -> prerr_endline ("could not save corpus: " ^ e)));
+       0)
+
+let fuzz_cmd =
+  let no_feedback =
+    Arg.(value & flag & info [ "no-feedback" ] ~doc:"Disable coverage feedback (EOF-nf).")
+  in
+  let no_dep =
+    Arg.(value & flag & info [ "no-dep" ] ~doc:"Disable dependency-aware generation.")
+  in
+  let no_watchdog =
+    Arg.(value & flag & info [ "no-watchdog" ] ~doc:"Disable the PC-stall watchdog.")
+  in
+  let irq =
+    Arg.(value & flag & info [ "irq" ] ~doc:"Inject GPIO edges (interrupt-path fuzzing).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print triggering programs.")
+  in
+  let crash_dir =
+    Arg.(value & opt (some string) None
+         & info [ "crash-dir" ] ~docv:"DIR" ~doc:"Write one report file per distinct crash.")
+  in
+  let save_corpus =
+    Arg.(value & opt (some string) None
+         & info [ "save-corpus" ] ~docv:"FILE" ~doc:"Save the final corpus.")
+  in
+  let load_corpus =
+    Arg.(value & opt (some string) None
+         & info [ "load-corpus" ] ~docv:"FILE" ~doc:"Seed the corpus from a saved file.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run an EOF campaign against a simulated board")
+    Term.(
+      const fuzz $ os_arg $ seed_arg $ iterations_arg $ no_feedback $ no_dep $ no_watchdog
+      $ irq $ verbose $ crash_dir $ save_corpus $ load_corpus)
+
+(* --- eof spec ----------------------------------------------------------- *)
+
+let spec os =
+  match target_of os with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok target ->
+    let build = Targets.build_hw target in
+    let table = Eof_os.Osbuild.api_signatures build in
+    print_string (Eof_spec.Synth.syzlang_of_api table);
+    (match Eof_spec.Synth.validated_of_api table with
+     | Ok _ ->
+       prerr_endline "# specification parses and validates";
+       0
+     | Error e ->
+       prerr_endline ("# INVALID: " ^ e);
+       1)
+
+let spec_cmd =
+  Cmd.v
+    (Cmd.info "spec" ~doc:"Print the synthesized Syzlang-style API specification")
+    Term.(const spec $ os_arg)
+
+(* --- eof targets ---------------------------------------------------------- *)
+
+let targets () =
+  List.iter
+    (fun (t : Targets.hw_target) ->
+      let os = t.Targets.spec.Eof_os.Osbuild.os_name in
+      let bugs = List.filter (fun (b : Targets.bug) -> b.Targets.os = os) Targets.catalog in
+      Printf.printf "%-10s %-10s on %-18s (%s, %d seeded bugs)\n" os
+        t.Targets.spec.Eof_os.Osbuild.version t.Targets.board.Eof_hw.Board.name
+        (Eof_hw.Arch.family_name t.Targets.board.Eof_hw.Board.arch.Eof_hw.Arch.family)
+        (List.length bugs))
+    Targets.all;
+  0
+
+let targets_cmd =
+  Cmd.v (Cmd.info "targets" ~doc:"List evaluation targets") Term.(const targets $ const ())
+
+(* --- eof artifact ----------------------------------------------------------- *)
+
+let artifact name iterations =
+  match name with
+  | "table1" ->
+    print_endline (Eof_expt.Table1.render ());
+    0
+  | "table2" | "table3" | "fig7" ->
+    let cells = Runner.full_system_matrix ~iterations () in
+    print_endline
+      (match name with
+       | "table2" -> Eof_expt.Table2.render cells
+       | "table3" -> Eof_expt.Table3.render cells
+       | _ -> Eof_expt.Fig7.render ~iterations cells);
+    0
+  | "table4" | "fig8" ->
+    let cells = Eof_expt.App_level.matrix ~iterations () in
+    print_endline
+      (if name = "table4" then Eof_expt.Table4.render cells
+       else Eof_expt.Fig8.render ~iterations cells);
+    0
+  | "overhead" ->
+    print_endline (Eof_expt.Overhead.render_memory ());
+    print_endline (Eof_expt.Overhead.render_execution ());
+    0
+  | "ablation" ->
+    print_endline (Eof_expt.Ablation.render_a1 ());
+    print_endline (Eof_expt.Ablation.render_a2 ());
+    0
+  | other ->
+    prerr_endline
+      (Printf.sprintf
+         "unknown artifact %S (table1 table2 table3 table4 fig7 fig8 overhead ablation)"
+         other);
+    1
+
+let artifact_cmd =
+  let artifact_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARTIFACT"
+          ~doc:"One of: table1 table2 table3 table4 fig7 fig8 overhead ablation")
+  in
+  Cmd.v
+    (Cmd.info "artifact" ~doc:"Regenerate one paper table or figure")
+    Term.(const artifact $ artifact_name $ iterations_arg)
+
+let main_cmd =
+  let doc = "feedback-guided fuzzing of embedded OSs over a (simulated) debug port" in
+  Cmd.group
+    (Cmd.info "eof" ~version:"1.0.0" ~doc)
+    [ fuzz_cmd; spec_cmd; targets_cmd; artifact_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/bug_hunt_rtthread.ml: Arch Board Bytes Eof_agent Eof_debug Eof_hw Eof_os Eof_rtos Int32 List Machine Osbuild Printf Profiles Rtthread String Wire

@@ -1,0 +1,1 @@
+examples/compare_fuzzers.ml: Eof_core Eof_expt List Option Printf String

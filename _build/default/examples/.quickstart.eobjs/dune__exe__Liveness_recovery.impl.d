@@ -1,0 +1,1 @@
+examples/liveness_recovery.ml: Board Eof_agent Eof_core Eof_debug Eof_hw Eof_os Flash Freertos Machine Option Osbuild Partition Printf Profiles

@@ -1,0 +1,1 @@
+examples/minimize_crash.ml: Arch Bytes Eof_agent Eof_core Eof_debug Eof_hw Eof_os Eof_rtos Eof_spec Int32 List Machine Osbuild Printf Profiles String Wire Zephyr

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eof_core Eof_hw Eof_os List Osbuild Printf Zephyr

@@ -1,0 +1,1 @@
+examples/spec_authoring.ml: Eof_core Eof_hw Eof_os Eof_spec Eof_util List Osbuild Printf String Zephyr

@@ -1,0 +1,92 @@
+(* The paper's §5.3.1 case study, reproduced end to end: a perfectly
+   valid socket() call panics RT-Thread because the console serial
+   device is stale, and EOF captures the backtrace over the debug link.
+
+   Run with:  dune exec examples/bug_hunt_rtthread.exe *)
+
+open Eof_hw
+open Eof_os
+open Eof_agent
+module Session = Eof_debug.Session
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("debug session error: " ^ Session.error_to_string e);
+    exit 1
+
+let api_index table name =
+  let rec go i = function
+    | [] -> failwith ("no api " ^ name)
+    | (e : Eof_rtos.Api.entry) :: _ when e.Eof_rtos.Api.name = name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 table.Eof_rtos.Api.entries
+
+let () =
+  let build = Osbuild.make ~board_profile:Profiles.stm32f4_disco Rtthread.spec in
+  let machine =
+    match Machine.create build with Ok m -> m | Error e -> failwith e
+  in
+  let session = Machine.session machine in
+  let syms = Osbuild.syms build in
+  let table = Osbuild.api_signatures build in
+
+  (* Arm the agent binding points plus the exception monitor. *)
+  List.iter
+    (fun a -> ok (Session.set_breakpoint session a))
+    [ syms.Osbuild.sym_executor_main; syms.Osbuild.sym_loop_back;
+      syms.Osbuild.sym_handle_exception ];
+
+  (* The trigger: detach the console serial device, then create a
+     socket. socket() logs its success through the (now stale) console
+     — Figure 6's call chain. *)
+  let prog =
+    [
+      { Wire.api_index = api_index table "rt_serial_ctrl";
+        args = [ Wire.W_int 1L (* detach *) ] };
+      { Wire.api_index = api_index table "syz_create_bind_socket";
+        args = [ Wire.W_int 0xbc78L; Wire.W_int 0x0L; Wire.W_int 0x101L; Wire.W_int 0x0L ] };
+    ]
+  in
+  Printf.printf "Delivering the Figure-6 program to RT-Thread on %s:\n\n"
+    (Board.profile (Osbuild.board build)).Board.name;
+  Printf.printf "  rt_serial_ctrl(RT_DEVICE_CTRL_DETACH)\n";
+  Printf.printf "  syz_create_bind_socket(0xbc78, 0x0, 0x101, 0x0)\n\n";
+
+  (* Drive to executor_main, write the program, continue. *)
+  (match ok (Session.continue_ session) with
+   | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_executor_main -> ()
+   | _ -> failwith "target did not reach executor_main");
+  let endianness = (Board.profile (Osbuild.board build)).Board.arch.Arch.endianness in
+  let payload =
+    match Wire.encode ~endianness prog with Ok s -> s | Error e -> failwith e
+  in
+  let header = Bytes.create 8 in
+  Bytes.set_int32_le header 0 Wire.magic;
+  Bytes.set_int32_le header 4 (Int32.of_int (String.length payload));
+  ok
+    (Session.write_mem session ~addr:(Osbuild.mailbox_base build)
+       (Bytes.to_string header ^ payload));
+
+  (match ok (Session.continue_ session) with
+   | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_handle_exception ->
+     Printf.printf "Exception monitor: breakpoint at the panic handler hit.\n\n"
+   | _ -> failwith "expected the panic-handler breakpoint");
+
+  (* Collect the crash report from the UART, as the log monitor does. *)
+  let log = ok (Session.drain_uart session) in
+  print_string "--- target UART output ------------------------------------\n";
+  print_string log;
+  print_string "------------------------------------------------------------\n\n";
+
+  (* Let the fault unwind, read the fault register, recover. *)
+  (match ok (Session.continue_ session) with
+   | Session.Stopped_fault _ -> ()
+   | _ -> failwith "expected fault");
+  Printf.printf "Fault register: %s\n" (ok (Session.last_fault session));
+  ok (Session.reset_target session);
+  (match ok (Session.continue_ session) with
+   | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_executor_main ->
+     Printf.printf "Target rebooted cleanly; fuzzing could continue.\n"
+   | _ -> failwith "target did not come back")

@@ -1,0 +1,23 @@
+(* A miniature head-to-head: EOF vs its no-feedback ablation vs the
+   Tardis baseline on Zephyr, same payload budget, one seed.
+
+   Run with:  dune exec examples/compare_fuzzers.exe *)
+
+module Campaign = Eof_core.Campaign
+module Runner = Eof_expt.Runner
+module Targets = Eof_expt.Targets
+
+let () =
+  let iterations = 1200 in
+  let target = Option.get (Targets.find "Zephyr") in
+  Printf.printf "Zephyr, %d payloads each, seed 11:\n\n" iterations;
+  List.iter
+    (fun tool ->
+      match Runner.run_tool tool ~seed:11L ~iterations target with
+      | Error e -> Printf.printf "%-8s failed: %s\n" (Runner.tool_name tool) e
+      | Ok o ->
+        let bugs = Targets.found_ids o.Campaign.crashes in
+        Printf.printf "%-8s %4d branches, %d resets, bugs {%s}\n"
+          (Runner.tool_name tool) o.Campaign.coverage o.Campaign.resets
+          (String.concat "," (List.map string_of_int bugs)))
+    [ Runner.EOF; Runner.EOF_nf; Runner.Tardis ]

@@ -1,0 +1,123 @@
+(* Crash triage: take a bloated crashing program (as a fuzzing campaign
+   would save it), re-execute candidates on the live target over the
+   debug link, and minimize it to the smallest reproducer — the kind of
+   program a bug report (like the paper's Figure 6) actually shows.
+
+   Run with:  dune exec examples/minimize_crash.exe *)
+
+open Eof_hw
+open Eof_os
+open Eof_agent
+module Session = Eof_debug.Session
+module Prog = Eof_core.Prog
+module Minimize = Eof_core.Minimize
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline (Session.error_to_string e);
+    exit 1
+
+let () =
+  let build = Osbuild.make ~board_profile:Profiles.stm32f4_disco Zephyr.spec in
+  let machine = match Machine.create build with Ok m -> m | Error e -> failwith e in
+  let session = Machine.session machine in
+  let syms = Osbuild.syms build in
+  let table = Osbuild.api_signatures build in
+  let spec =
+    match Eof_spec.Synth.validated_of_api table with Ok s -> s | Error e -> failwith e
+  in
+  List.iter
+    (fun a -> ok (Session.set_breakpoint session a))
+    [ syms.Osbuild.sym_executor_main; syms.Osbuild.sym_loop_back;
+      syms.Osbuild.sym_handle_exception ];
+
+  let call name args =
+    let rec index i = function
+      | [] -> failwith name
+      | (e : Eof_rtos.Api.entry) :: _ when e.Eof_rtos.Api.name = name -> i
+      | _ :: rest -> index (i + 1) rest
+    in
+    let spec_call =
+      List.find (fun (c : Eof_spec.Ast.call) -> c.Eof_spec.Ast.name = name)
+        spec.Eof_spec.Ast.calls
+    in
+    { Prog.spec = spec_call; api_index = index 0 table.Eof_rtos.Api.entries; args }
+  in
+
+  (* Execute one candidate on the target and classify the outcome by the
+     panic message, which is the minimizer's crash signature. *)
+  let exec prog =
+    let rec to_executor n =
+      if n = 0 then failwith "no executor_main";
+      match ok (Session.continue_ session) with
+      | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_executor_main -> ()
+      | _ -> to_executor (n - 1)
+    in
+    to_executor 10;
+    let payload =
+      match Wire.encode ~endianness:Arch.Little (Prog.to_wire prog) with
+      | Ok s -> s
+      | Error e -> failwith e
+    in
+    let header = Bytes.create 8 in
+    Bytes.set_int32_le header 0 Wire.magic;
+    Bytes.set_int32_le header 4 (Int32.of_int (String.length payload));
+    ok
+      (Session.write_mem session ~addr:(Osbuild.mailbox_base build)
+         (Bytes.to_string header ^ payload));
+    let rec drive n =
+      if n = 0 then Minimize.No_crash
+      else
+        match ok (Session.continue_ session) with
+        | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_loop_back ->
+          ignore (Session.drain_uart session : (string, Session.error) result);
+          Minimize.No_crash
+        | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_handle_exception ->
+          let log = ok (Session.drain_uart session) in
+          ignore (Session.continue_ session : (Session.stop, Session.error) result);
+          ok (Session.reset_target session);
+          let detections = Eof_core.Monitor.scan log in
+          (match Eof_core.Monitor.first_panic detections with
+           | Some (_, message) -> Minimize.Crash message
+           | None -> Minimize.Crash "unclassified panic")
+        | Session.Stopped_fault _ ->
+          ok (Session.reset_target session);
+          Minimize.Crash "hardware fault"
+        | _ -> drive (n - 1)
+    in
+    drive 50
+  in
+
+  (* The bloated reproducer: the real 4-call chain of bug #2 buried in
+     unrelated calls, with an oversized payload argument. *)
+  let bloated =
+    [
+      call "k_sem_init" [ Prog.Int 1L; Prog.Int 5L ];
+      call "k_msgq_create" [ Prog.Int 8L; Prog.Int 32L ];
+      call "printk" [ Prog.Str "starting up" ];
+      call "k_msgq_put" [ Prog.Res 1; Prog.Str (String.make 64 'A') ];
+      call "k_sem_take" [ Prog.Res 0 ];
+      call "k_msgq_purge" [ Prog.Res 1 ];
+      call "k_event_create" [];
+      call "z_impl_k_msgq_get" [ Prog.Res 1 ];
+      call "k_yield" [];
+    ]
+  in
+  print_endline "Bloated crashing program (9 calls):";
+  print_endline (Prog.to_string bloated);
+
+  let signature =
+    match exec bloated with
+    | Minimize.Crash s -> s
+    | Minimize.No_crash -> failwith "expected a crash"
+  in
+  Printf.printf "\ncrash signature: %s\n\n" signature;
+
+  let reduced, execs = Minimize.minimize ~exec ~signature bloated in
+  Printf.printf "Minimized to %d calls after %d candidate executions:\n"
+    (Prog.length reduced) execs;
+  print_endline (Prog.to_string reduced);
+  match exec reduced with
+  | Minimize.Crash s when s = signature -> print_endline "\nreduced program still crashes."
+  | _ -> failwith "reduction lost the crash"

@@ -1,0 +1,45 @@
+(* Quickstart: fuzz one embedded OS on a simulated board for a few
+   hundred iterations and print what EOF found.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Eof_os
+module Campaign = Eof_core.Campaign
+module Crash = Eof_core.Crash
+
+let () =
+  (* 1. Build the target: the Zephyr personality flashed onto a
+     simulated STM32F4 Discovery board, fully instrumented. *)
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  Printf.printf "Target: %s %s on %s (image %d KiB, %d potential edges)\n%!"
+    (Osbuild.os_name build) (Osbuild.version build)
+    (Eof_hw.Board.profile (Osbuild.board build)).Eof_hw.Board.name
+    (Osbuild.image_bytes build / 1024)
+    (Osbuild.edge_capacity build);
+
+  (* 2. Fuzz it. The campaign attaches over the simulated SWD link,
+     deploys breakpoints on the agent's binding points, and runs the
+     feedback-guided loop. *)
+  let config = { Campaign.default_config with iterations = 300; seed = 42L } in
+  match Campaign.run config build with
+  | Error e ->
+    prerr_endline ("campaign failed: " ^ e);
+    exit 1
+  | Ok outcome ->
+    Printf.printf "\nExecuted %d programs in %.2f virtual seconds (%d resets, %d reflashes)\n"
+      outcome.Campaign.executed_programs outcome.Campaign.virtual_s outcome.Campaign.resets
+      outcome.Campaign.reflashes;
+    Printf.printf "Branch coverage: %d distinct edges; corpus holds %d seeds\n"
+      outcome.Campaign.coverage outcome.Campaign.corpus_size;
+    Printf.printf "\nBugs found (%d distinct, %d total crash events):\n"
+      (List.length outcome.Campaign.crashes)
+      outcome.Campaign.crash_events;
+    List.iter
+      (fun crash -> Printf.printf "  %s\n" (Crash.summary crash))
+      outcome.Campaign.crashes;
+    Printf.printf "\nCoverage growth:\n";
+    List.iter
+      (fun s ->
+        Printf.printf "  iter %4d  %6.2fs  %5d edges\n" s.Campaign.iteration
+          s.Campaign.virtual_s s.Campaign.coverage)
+      (List.filteri (fun i _ -> i mod 5 = 0) outcome.Campaign.series)

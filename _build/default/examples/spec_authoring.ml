@@ -1,0 +1,64 @@
+(* Specification tour: synthesize the Syzlang-style API specification
+   for an OS from its API table (the LLM-substitute path), run it through
+   the same parse/type-check gate the paper applies to GPT-4o output,
+   and generate a few API-aware programs from it.
+
+   Run with:  dune exec examples/spec_authoring.exe *)
+
+open Eof_os
+module Ast = Eof_spec.Ast
+module Parser = Eof_spec.Parser
+module Check = Eof_spec.Check
+module Synth = Eof_spec.Synth
+module Gen = Eof_core.Gen
+module Prog = Eof_core.Prog
+
+let () =
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let table = Osbuild.api_signatures build in
+
+  (* 1. Emit the specification text. *)
+  let text = Synth.syzlang_of_api table in
+  print_endline "=== synthesized specification (first 30 lines) ===";
+  String.split_on_char '\n' text
+  |> List.filteri (fun i _ -> i < 30)
+  |> List.iter print_endline;
+  Printf.printf "... (%d lines total)\n\n" (List.length (String.split_on_char '\n' text));
+
+  (* 2. Post-validate: parse + type-check, as the paper gates LLM output. *)
+  let spec =
+    match Parser.parse text with
+    | Error e -> failwith ("parse: " ^ e)
+    | Ok spec ->
+      (match Check.validate spec with
+       | Error errs ->
+         List.iter (fun e -> prerr_endline (Check.error_to_string e)) errs;
+         failwith "validation failed"
+       | Ok spec -> spec)
+  in
+  Printf.printf "validated: %d calls, %d resource kinds, %d pseudo-syscalls\n\n"
+    (List.length spec.Ast.calls)
+    (List.length spec.Ast.resources)
+    (List.length (List.filter Ast.is_pseudo spec.Ast.calls));
+
+  (* 3. A deliberately bad spec is rejected by the same gate. *)
+  let bad = "os Demo\nresource q\n" (* no producer for q *) in
+  (match Parser.parse bad with
+   | Ok parsed ->
+     (match Check.validate parsed with
+      | Error errs ->
+        Printf.printf "bad spec rejected as expected: %s\n\n"
+          (Check.error_to_string (List.hd errs))
+      | Ok _ -> failwith "bad spec accepted!")
+   | Error e -> failwith e);
+
+  (* 4. Generate API-aware programs from the validated spec. *)
+  let rng = Eof_util.Rng.create 2024L in
+  let gen = Gen.create ~rng ~spec ~table () in
+  for i = 1 to 3 do
+    let prog = Gen.generate gen ~max_len:6 in
+    Printf.printf "--- generated program %d ---\n%s\n\n" i (Prog.to_string prog);
+    match Prog.validate prog with
+    | Ok () -> ()
+    | Error e -> failwith ("generated invalid program: " ^ e)
+  done

@@ -1,0 +1,1 @@
+lib/agent/agent.ml: Api Arch Array Board Eof_exec Eof_hw Eof_os Eof_rtos Int32 Int64 Kerr List Memory Osbuild Target Wire

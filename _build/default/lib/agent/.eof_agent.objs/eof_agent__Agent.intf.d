@@ -1,0 +1,1 @@
+lib/agent/agent.mli: Eof_os Osbuild

@@ -1,0 +1,1 @@
+lib/agent/machine.ml: Agent Board Clock Eof_debug Eof_exec Eof_hw Eof_os Osbuild

@@ -1,0 +1,1 @@
+lib/agent/machine.mli: Eof_debug Eof_os Osbuild

@@ -1,0 +1,1 @@
+lib/agent/wire.ml: Arch Buffer Bytes Char Eof_hw Format Int32 Int64 List Memory Printf String

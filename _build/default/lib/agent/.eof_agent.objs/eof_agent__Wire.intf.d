@@ -1,0 +1,1 @@
+lib/agent/wire.mli: Arch Eof_hw Format Memory

@@ -1,0 +1,30 @@
+open Eof_os
+
+(** The cross-platform execution agent (target side).
+
+    The agent is the small program EOF embeds in every OS image. After
+    the boot check it loops: pause at [executor_main] (where the host
+    writes the next test case into the mailbox), deserialize at
+    [read_prog], dispatch the calls at [execute_one] — resolving
+    resource arguments against the local results array and pumping the
+    kernel tick between calls — write a result summary, and pause at
+    [loop_back] (where the host drains coverage and UART). It touches
+    nothing but integers and the mailbox bytes, and is reused unchanged
+    by every personality. *)
+
+val entry : Osbuild.t -> unit -> unit
+(** The target's reset handler: boot-check then the agent loop. If the
+    bootloader integrity check fails, spins at the boot symbol forever —
+    the PC-stall signature the liveness watchdog recognises as a
+    corrupted image. *)
+
+val results_base : Osbuild.t -> int
+(** Where the agent writes its per-program result summary. *)
+
+val max_program_bytes : Osbuild.t -> int
+(** Mailbox space available for an encoded program. *)
+
+val progress_addr : Osbuild.t -> int
+(** RAM word the agent updates with the index of the call currently
+    executing (0xFFFFFFFF between programs). The host reads it to
+    attribute crashes to the in-flight API call. *)

@@ -1,0 +1,37 @@
+open Eof_hw
+open Eof_os
+
+type t = {
+  build : Osbuild.t;
+  engine : Eof_exec.Engine.t;
+  server : Eof_debug.Openocd.t;
+  transport : Eof_debug.Transport.t;
+  session : Eof_debug.Session.t;
+}
+
+let create ?(continue_quantum = 200_000) ?transport build =
+  let board = Osbuild.board build in
+  let syms = Osbuild.syms build in
+  let engine =
+    Eof_exec.Engine.create ~board ~fault_vector:syms.Osbuild.sym_handle_exception
+      ~entry:(Agent.entry build)
+  in
+  let server = Eof_debug.Openocd.create ~continue_quantum ~board ~engine () in
+  let transport =
+    match transport with Some t -> t | None -> Eof_debug.Transport.create ()
+  in
+  match Eof_debug.Session.connect ~transport ~server with
+  | Ok session -> Ok { build; engine; server; transport; session }
+  | Error e -> Error (Eof_debug.Session.error_to_string e)
+
+let build t = t.build
+
+let session t = t.session
+
+let transport t = t.transport
+
+let server t = t.server
+
+let virtual_elapsed_s t =
+  let board = Osbuild.board t.build in
+  Clock.now_s (Board.clock board) +. (Eof_debug.Transport.elapsed_us t.transport /. 1e6)

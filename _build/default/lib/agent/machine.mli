@@ -1,0 +1,29 @@
+open Eof_os
+
+(** One fully-wired target: board + engine running the agent, behind an
+    OpenOCD server and a fault-injectable transport, exposed to the host
+    only as a {!Eof_debug.Session}. This is the "plug the probe in"
+    step. *)
+
+type t
+
+val create :
+  ?continue_quantum:int -> ?transport:Eof_debug.Transport.t -> Osbuild.t ->
+  (t, string) result
+(** Boots nothing yet — the first [continue] starts the agent. Fails if
+    the RSP handshake over the transport fails. *)
+
+val build : t -> Osbuild.t
+
+val session : t -> Eof_debug.Session.t
+
+val transport : t -> Eof_debug.Transport.t
+
+val server : t -> Eof_debug.Openocd.t
+(** Exposed for tests and the emulation-based baselines that read board
+    state directly (Tardis-style shared memory). Hardware-mode fuzzing
+    code must go through {!session} only. *)
+
+val virtual_elapsed_s : t -> float
+(** Virtual wall time: board CPU time plus debug-link latency. This is
+    the clock campaign budgets are measured against. *)

@@ -1,0 +1,1 @@
+lib/apps/http.ml: Buffer Eof_rtos Hashtbl Json List Printf String

@@ -1,0 +1,1 @@
+lib/apps/json.ml: Buffer Char Eof_rtos Eof_util Float List Printf String

@@ -1,0 +1,1 @@
+lib/apps/json.mli: Eof_rtos

@@ -1,0 +1,1 @@
+lib/apps/sal.ml: Eof_rtos Kerr Kobj Printf String

@@ -1,0 +1,1 @@
+lib/apps/sal.mli: Eof_rtos

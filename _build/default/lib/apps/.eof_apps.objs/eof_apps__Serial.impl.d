@@ -1,0 +1,1 @@
+lib/apps/serial.ml: Buffer Eof_exec Eof_rtos Kobj Panic Printf String

@@ -1,0 +1,1 @@
+lib/apps/serial.mli: Eof_rtos

@@ -1,0 +1,71 @@
+open Eof_rtos
+module Instr = Eof_rtos.Instr
+
+type device = {
+  dev_name : string;
+  mutable registered : bool;
+  mutable open_flag : int;
+  mutable tx_bytes : int;
+}
+
+type Kobj.payload += Serial_dev of device
+
+let flag_stream = 0x040
+
+let s_write_entry = 0
+
+let s_write_len = 1
+
+let s_write_stream = 2
+
+let s_write_stale = 3
+
+let site_count = 8
+
+let create ~reg ~name ~open_flag =
+  Kobj.register reg ~kind:"serial" ~name
+    (Serial_dev { dev_name = name; registered = true; open_flag; tx_bytes = 0 })
+
+let unregister device = device.registered <- false
+
+let reregister device = device.registered <- true
+
+let case_study_backtrace =
+  [
+    "components/drivers/serial/serial.c : rt_serial_write : 917";
+    "components/drivers/core/device.c : rt_device_write : 396";
+    "src/kservice.c : _kputs : 298";
+    "src/kservice.c : rt_kprintf : 349";
+  ]
+
+let write ~panic ~instr device data =
+  Instr.edge instr s_write_entry;
+  (* RT_ASSERT(serial != RT_NULL) — the pointer is non-NULL, so the
+     assert passes even when the device carcass is stale. *)
+  Panic.kassert panic true "serial != RT_NULL";
+  if not device.registered then begin
+    Instr.edge instr s_write_stale;
+    Panic.panic panic ~backtrace:case_study_backtrace
+      (Printf.sprintf "bus fault: stale serial device %s ops dereference in _serial_poll_tx"
+         device.dev_name)
+  end;
+  Instr.cmp_i instr s_write_len (String.length data) 0;
+  let out =
+    if device.open_flag land flag_stream <> 0 then begin
+      Instr.edge instr s_write_stream;
+      (* Stream mode: translate LF to CRLF, as _serial_poll_tx does. *)
+      let buf = Buffer.create (String.length data + 8) in
+      String.iter
+        (fun c ->
+          if c = '\n' then Buffer.add_string buf "\r\n" else Buffer.add_char buf c)
+        data;
+      Buffer.contents buf
+    end
+    else data
+  in
+  Eof_exec.Target.uart_tx out;
+  device.tx_bytes <- device.tx_bytes + String.length out;
+  Ok (String.length data)
+
+let of_obj (obj : Kobj.obj) =
+  match obj.Kobj.payload with Serial_dev d -> Some d | _ -> None

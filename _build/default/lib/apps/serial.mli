@@ -1,0 +1,38 @@
+(** Serial device driver layer.
+
+    Mirrors RT-Thread's device framework closely enough to host the
+    paper's §5.3.1 case study: the console serial device can be
+    unregistered (or half-initialized) by a fuzzed API call while kernel
+    logging still holds the stale pointer; the next [rt_serial_write]
+    passes its non-NULL assert and then dereferences corrupted ops,
+    raising a bus fault. *)
+
+type device = private {
+  dev_name : string;
+  mutable registered : bool;
+  mutable open_flag : int;
+  mutable tx_bytes : int;
+}
+
+type Eof_rtos.Kobj.payload += Serial_dev of device
+
+val flag_stream : int
+(** RT_DEVICE_FLAG_STREAM: LF -> CRLF translation on write. *)
+
+val create : reg:Eof_rtos.Kobj.t -> name:string -> open_flag:int -> Eof_rtos.Kobj.obj
+
+val unregister : device -> unit
+(** Mark unregistered WITHOUT invalidating outstanding references. *)
+
+val reregister : device -> unit
+
+val write :
+  panic:Eof_rtos.Panic.ctx -> instr:Eof_rtos.Instr.t -> device -> string ->
+  (int, int64) result
+(** Poll-transmit to the UART. On a stale (unregistered) device the
+    non-NULL assert passes and the ops dereference faults — the paper's
+    bug #12 — with the case-study backtrace. *)
+
+val site_count : int
+
+val of_obj : Eof_rtos.Kobj.obj -> device option

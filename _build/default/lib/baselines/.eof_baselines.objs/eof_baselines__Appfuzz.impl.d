@@ -1,0 +1,1 @@
+lib/baselines/appfuzz.ml: Arch Array Board Bufgen Bytes Eof_agent Eof_core Eof_cov Eof_debug Eof_hw Eof_os Eof_rtos Eof_util Hashtbl Int32 List Osbuild Printf String

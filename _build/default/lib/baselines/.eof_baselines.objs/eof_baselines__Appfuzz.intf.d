@@ -1,0 +1,1 @@
+lib/baselines/appfuzz.mli: Eof_core Eof_os Osbuild

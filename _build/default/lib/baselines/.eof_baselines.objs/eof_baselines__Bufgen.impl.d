@@ -1,0 +1,1 @@
+lib/baselines/bufgen.ml: Bytes Char Eof_util Hashtbl List

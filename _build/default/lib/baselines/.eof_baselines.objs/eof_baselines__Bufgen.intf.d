@@ -1,0 +1,1 @@
+lib/baselines/bufgen.mli: Eof_util

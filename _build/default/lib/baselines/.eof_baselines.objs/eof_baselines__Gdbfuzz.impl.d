@@ -1,0 +1,1 @@
+lib/baselines/gdbfuzz.ml: Appfuzz

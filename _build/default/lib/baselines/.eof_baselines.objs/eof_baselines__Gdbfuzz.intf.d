@@ -1,0 +1,1 @@
+lib/baselines/gdbfuzz.mli: Eof_core Eof_os Osbuild

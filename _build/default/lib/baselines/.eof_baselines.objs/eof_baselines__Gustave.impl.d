@@ -1,0 +1,1 @@
+lib/baselines/gustave.ml: Arch Array Board Bufgen Bytes Char Clock Engine Eof_agent Eof_core Eof_cov Eof_exec Eof_hw Eof_os Eof_rtos Eof_util Hashtbl Int32 Int64 List Memory Osbuild Profiles String

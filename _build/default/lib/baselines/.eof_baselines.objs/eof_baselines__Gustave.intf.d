@@ -1,0 +1,1 @@
+lib/baselines/gustave.mli: Eof_agent Eof_core Eof_os Eof_rtos Osbuild

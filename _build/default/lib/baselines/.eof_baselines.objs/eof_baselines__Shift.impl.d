@@ -1,0 +1,1 @@
+lib/baselines/shift.ml: Appfuzz Eof_os Osbuild Printf

@@ -1,0 +1,1 @@
+lib/baselines/shift.mli: Eof_core Eof_os Osbuild

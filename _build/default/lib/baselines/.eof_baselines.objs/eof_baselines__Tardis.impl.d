@@ -1,0 +1,1 @@
+lib/baselines/tardis.ml: Arch Board Bytes Clock Engine Eof_agent Eof_core Eof_cov Eof_exec Eof_hw Eof_os Eof_spec Eof_util Hashtbl Int32 List Memory Osbuild Profiles

@@ -1,0 +1,1 @@
+lib/baselines/tardis.mli: Eof_core Eof_os Osbuild

@@ -1,0 +1,80 @@
+module Rng = Eof_util.Rng
+
+type t = { rng : Rng.t; max_len : int }
+
+let create ~rng ~max_len =
+  if max_len <= 0 then invalid_arg "Bufgen.create: max_len";
+  { rng; max_len }
+
+let fresh t =
+  (* Geometric-ish length distribution: short buffers dominate, as in
+     AFL's initial queues. *)
+  let len = 1 + Rng.int t.rng (1 + Rng.int t.rng t.max_len) in
+  Bytes.unsafe_to_string (Rng.bytes t.rng len)
+
+let havoc t buf =
+  let b = ref (Bytes.of_string (if buf = "" then "\x00" else buf)) in
+  let edits = 1 + Rng.int t.rng 8 in
+  for _ = 1 to edits do
+    let len = Bytes.length !b in
+    match Rng.int t.rng 6 with
+    | 0 ->
+      (* bit flip *)
+      let i = Rng.int t.rng len in
+      Bytes.set !b i (Char.chr (Char.code (Bytes.get !b i) lxor (1 lsl Rng.int t.rng 8)))
+    | 1 ->
+      (* byte set *)
+      Bytes.set !b (Rng.int t.rng len) (Char.chr (Rng.int t.rng 256))
+    | 2 ->
+      (* arithmetic *)
+      let i = Rng.int t.rng len in
+      let delta = Rng.int_in t.rng (-16) 16 in
+      Bytes.set !b i (Char.chr ((Char.code (Bytes.get !b i) + delta) land 0xFF))
+    | 3 when len > 1 ->
+      (* chunk delete *)
+      let start = Rng.int t.rng len in
+      let n = 1 + Rng.int t.rng (len - start) in
+      let keep = min n (len - 1) in
+      b := Bytes.cat (Bytes.sub !b 0 start) (Bytes.sub !b (start + keep) (len - start - keep))
+    | 4 when len < t.max_len ->
+      (* chunk duplicate *)
+      let start = Rng.int t.rng len in
+      let n = min (1 + Rng.int t.rng 8) (len - start) in
+      let n = min n (t.max_len - len) in
+      if n > 0 then
+        b :=
+          Bytes.cat (Bytes.sub !b 0 (start + n))
+            (Bytes.cat (Bytes.sub !b start n) (Bytes.sub !b (start + n) (len - start - n)))
+    | _ ->
+      (* interesting byte values *)
+      let i = Rng.int t.rng len in
+      Bytes.set !b i (Rng.choose t.rng [| '\x00'; '\xFF'; '\x7F'; '\x80'; ' '; '\n'; '{'; '"' |])
+  done;
+  if Bytes.length !b > t.max_len then Bytes.sub_string !b 0 t.max_len
+  else Bytes.to_string !b
+
+module Corpus = struct
+  type store = {
+    rng : Rng.t;
+    mutable items : string list;
+    hashes : (int, unit) Hashtbl.t;
+  }
+
+  let create ~rng = { rng; items = []; hashes = Hashtbl.create 64 }
+
+  let add store buf =
+    let h = Hashtbl.hash buf in
+    if Hashtbl.mem store.hashes h then false
+    else begin
+      Hashtbl.replace store.hashes h ();
+      store.items <- buf :: store.items;
+      true
+    end
+
+  let pick store =
+    match store.items with
+    | [] -> None
+    | items -> Some (List.nth items (Rng.int store.rng (List.length items)))
+
+  let size store = List.length store.items
+end

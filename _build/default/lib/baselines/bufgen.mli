@@ -1,0 +1,29 @@
+(** AFL-style byte-buffer generation, havoc mutation, and a buffer
+    corpus — the input model shared by the application-level baselines
+    (GDBFuzz, SHIFT) and Gustave's genome interpreter. No API awareness:
+    buffers are opaque. *)
+
+type t
+
+val create : rng:Eof_util.Rng.t -> max_len:int -> t
+
+val fresh : t -> string
+(** Random bytes, length geometric-ish up to [max_len]. *)
+
+val havoc : t -> string -> string
+(** 1-8 stacked AFL havoc-style edits: bit flips, byte sets, chunk
+    deletion/duplication, arithmetic on a byte. *)
+
+(** Seed corpus over raw buffers. *)
+module Corpus : sig
+  type store
+
+  val create : rng:Eof_util.Rng.t -> store
+
+  val add : store -> string -> bool
+  (** [false] on duplicates. *)
+
+  val pick : store -> string option
+
+  val size : store -> int
+end

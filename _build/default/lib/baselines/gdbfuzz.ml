@@ -1,0 +1,12 @@
+let run ~seed ~iterations ~entry_api ~sample_modules ?(snapshot_every = 10) build =
+  Appfuzz.run
+    {
+      Appfuzz.seed;
+      iterations;
+      entry_api;
+      max_buf = 256;
+      guidance = Appfuzz.Bp_sampling 6;
+      sample_modules;
+      snapshot_every;
+    }
+    build

@@ -1,0 +1,12 @@
+open Eof_os
+
+(** GDBFuzz (Eisele et al., ISSTA 2023): fuzzing embedded applications
+    through the debug interface, with coverage feedback approximated by
+    relocating a handful of hardware breakpoints across basic blocks.
+    Application-level only — raw byte buffers into one entry function,
+    no OS API awareness. *)
+
+val run :
+  seed:int64 -> iterations:int -> entry_api:string -> sample_modules:string list ->
+  ?snapshot_every:int -> Osbuild.t -> (Eof_core.Campaign.outcome, string) result
+(** Uses 6 hardware breakpoints, the budget of a Cortex-M FPB unit. *)

@@ -1,0 +1,12 @@
+open Eof_os
+
+(** SHiFT (Mera et al., USENIX Security 2024): semi-hosted fuzzing of
+    embedded applications with true sanitizer/coverage feedback, but
+    application-level random-buffer inputs and FreeRTOS-only support. *)
+
+val run :
+  seed:int64 -> iterations:int -> entry_api:string ->
+  ?snapshot_every:int -> Osbuild.t -> (Eof_core.Campaign.outcome, string) result
+(** Fails on targets other than FreeRTOS, mirroring the tool's support
+    matrix. [iterations] is a wall-clock-equivalent budget: semihosting
+    trap overhead halves the payload count actually executed. *)

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Crash Eof_agent Eof_os Eof_spec Eof_util Osbuild Prog

@@ -1,0 +1,1 @@
+lib/core/corpus.ml: Eof_util Hashtbl List Prog

@@ -1,0 +1,1 @@
+lib/core/corpus.mli: Eof_util Prog

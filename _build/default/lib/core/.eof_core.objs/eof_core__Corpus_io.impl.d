@@ -1,0 +1,1 @@
+lib/core/corpus_io.ml: Ast Buffer Eof_rtos Eof_spec Eof_util Fun Int64 List Printf Prog String

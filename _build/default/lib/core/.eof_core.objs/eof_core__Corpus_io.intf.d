@@ -1,0 +1,1 @@
+lib/core/corpus_io.mli: Ast Eof_rtos Eof_spec Prog

@@ -1,0 +1,1 @@
+lib/core/crash.ml: Printf String

@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Eof_util List

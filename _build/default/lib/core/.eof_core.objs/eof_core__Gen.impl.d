@@ -1,0 +1,1 @@
+lib/core/gen.ml: Array Ast Bytes Char Eof_spec Eof_util Hashtbl Int64 List Prog Seq String Synth

@@ -1,0 +1,1 @@
+lib/core/gen.mli: Ast Eof_rtos Eof_spec Eof_util Prog

@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Board Eof_debug Eof_hw Eof_os Image List Osbuild Partition Printf String

@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Array Int64 List Prog String

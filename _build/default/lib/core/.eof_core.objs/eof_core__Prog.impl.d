@@ -1,0 +1,1 @@
+lib/core/prog.ml: Array Ast Eof_agent Eof_spec Hashtbl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/core/prog.mli: Ast Eof_agent Eof_spec

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Campaign Crash Filename Fun List Printf String Sys

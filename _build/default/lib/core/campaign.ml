@@ -1,0 +1,701 @@
+open Eof_hw
+open Eof_os
+module Rng = Eof_util.Rng
+module Session = Eof_debug.Session
+module Wire = Eof_agent.Wire
+module Agent = Eof_agent.Agent
+module Machine = Eof_agent.Machine
+module Sancov = Eof_cov.Sancov
+
+type config = {
+  seed : int64;
+  iterations : int;
+  feedback : bool;
+  dep_aware : bool;
+  stall_watchdog : bool;
+  max_prog_len : int;
+  mutation_bias : float;
+  snapshot_every : int;
+  api_filter : string list option;
+  irq_injection : bool;
+  initial_seeds : Prog.t list;
+  reboot_every : int;
+}
+
+let default_config =
+  {
+    seed = 1L;
+    iterations = 400;
+    feedback = true;
+    dep_aware = true;
+    stall_watchdog = true;
+    max_prog_len = 12;
+    mutation_bias = 0.8;
+    snapshot_every = 10;
+    api_filter = None;
+    irq_injection = false;
+    initial_seeds = [];
+    reboot_every = 150;
+  }
+
+type sample = { iteration : int; virtual_s : float; coverage : int }
+
+type outcome = {
+  os : string;
+  coverage : int;
+  series : sample list;
+  crashes : Crash.t list;
+  crash_events : int;
+  executed_programs : int;
+  resets : int;
+  reflashes : int;
+  stalls : int;
+  timeouts : int;
+  corpus_size : int;
+  virtual_s : float;
+  iterations_done : int;
+  coverage_bitmap : Eof_util.Bitset.t;
+  final_corpus : Prog.t list;
+}
+
+type state = {
+  config : config;
+  build : Osbuild.t;
+  machine : Machine.t;
+  session : Session.t;
+  syms : Osbuild.syms;
+  endianness : Arch.endianness;
+  gen : Gen.t;
+  rng : Rng.t;
+  fb : Feedback.t;
+  corpus : Corpus.t;
+  crash_table : (string, Crash.t) Hashtbl.t;
+  mutable crash_order : Crash.t list;  (* reverse discovery order *)
+  mutable crash_events : int;
+  mutable executed_programs : int;
+  mutable resets : int;
+  mutable reflashes : int;
+  mutable stalls : int;
+  mutable timeouts : int;
+  mutable iteration : int;
+  mutable series : sample list;
+  mutable current_prog : Prog.t;
+  mutable focus : (Prog.t * int) option;
+      (* AFL-style focused phase: after a new-coverage find, mutate that
+         program for a burst before returning to corpus sampling *)
+  mutable last_cmp_pairs : (int64 * int64) list;
+      (* operand pairs recorded during the most recent execution *)
+  mutable pending : Prog.t list;
+      (* deterministic input-to-state children queued to run next *)
+  pending_hashes : (int, unit) Hashtbl.t;
+  mutable last_was_child : bool;
+      (* the program that just ran was an input-to-state child: such
+         programs must not spawn further children (the patch cascade
+         otherwise monopolizes the budget) *)
+  mutable fresh_yield : float;
+      (* EWMA of "a freshly generated program found new coverage":
+         drives the explore/exploit split (explore while it pays) *)
+  mutable last_was_fresh : bool;
+  liveness : Liveness.t;
+}
+
+(* --- small helpers ---------------------------------------------------- *)
+
+let drain_log st = match Session.drain_uart st.session with Ok s -> s | Error _ -> ""
+
+let drain_cmp_hints st =
+  (* Only feedback-guided campaigns read the ring, and only they learn
+     from it — EOF-nf ignores feedback by definition. *)
+  if st.config.feedback then begin
+    let layout = Osbuild.covbuf_layout st.build in
+    match Session.read_u32 st.session ~addr:(Sancov.Layout.cmp_count_addr layout) with
+    | Error _ -> ()
+    | Ok count ->
+      let count = min (Int32.to_int count) Sancov.Layout.cmp_ring_entries in
+      if count > 0 then begin
+        match
+          Session.read_mem st.session
+            ~addr:(Sancov.Layout.cmp_ring_addr layout)
+            ~len:(8 * count)
+        with
+        | Error _ -> ()
+        | Ok raw ->
+          ignore
+            (Session.write_u32 st.session ~addr:(Sancov.Layout.cmp_count_addr layout) 0l
+              : (unit, Session.error) result);
+          let pairs =
+            List.map
+              (fun (a, b) -> (Int64.of_int32 a, Int64.of_int32 b))
+              (Sancov.decode_cmp_ring ~endianness:st.endianness ~count raw)
+          in
+          st.last_cmp_pairs <- pairs;
+          List.iter
+            (fun (a, b) ->
+              Gen.add_int_hint st.gen a;
+              Gen.add_int_hint st.gen b)
+            pairs
+      end
+  end
+
+let drain_coverage st =
+  let layout = Osbuild.covbuf_layout st.build in
+  match Session.read_u32 st.session ~addr:(Sancov.Layout.write_index_addr layout) with
+  | Error _ -> 0
+  | Ok widx ->
+    let widx = min (Int32.to_int widx) layout.Sancov.Layout.capacity_records in
+    if widx <= 0 then 0
+    else begin
+      match
+        Session.read_mem st.session
+          ~addr:(Sancov.Layout.records_addr layout)
+          ~len:(4 * widx)
+      with
+      | Error _ -> 0
+      | Ok raw ->
+        ignore
+          (Session.write_u32 st.session ~addr:(Sancov.Layout.write_index_addr layout) 0l
+            : (unit, Session.error) result);
+        let edges = Sancov.decode_records ~endianness:st.endianness ~count:widx raw in
+        Feedback.merge st.fb edges
+    end
+
+let operation_of_progress st =
+  match Session.read_u32 st.session ~addr:(Agent.progress_addr st.build) with
+  | Error _ -> None
+  | Ok v ->
+    let idx = Int32.to_int v in
+    if idx < 0 || idx >= List.length st.current_prog then None
+    else Some (List.nth st.current_prog idx).Prog.spec.Eof_spec.Ast.name
+
+let scope_of_backtrace = function
+  | frame :: _ ->
+    (* "path/file.c : function : line" -> the file's stem *)
+    (match String.split_on_char ':' frame with
+     | path :: _ ->
+       let path = String.trim path in
+       let base = Filename.basename path in
+       (try Filename.chop_extension base with Invalid_argument _ -> base)
+     | [] -> "kernel")
+  | [] -> "kernel"
+
+let record_crash st ~kind ~operation ~scope ~message ~backtrace ~monitor =
+  st.crash_events <- st.crash_events + 1;
+  let crash =
+    {
+      Crash.os = Osbuild.os_name st.build;
+      kind;
+      operation;
+      scope;
+      message;
+      backtrace;
+      detected_by = monitor;
+      program = Prog.to_string st.current_prog;
+      iteration = st.iteration;
+    }
+  in
+  let key = Crash.dedup_key crash in
+  if not (Hashtbl.mem st.crash_table key) then begin
+    Hashtbl.replace st.crash_table key crash;
+    st.crash_order <- crash :: st.crash_order
+  end
+
+(* Scan a log chunk for monitor-detectable events (assertions in
+   particular survive without any hardware fault). *)
+let scan_log_for_crashes st log =
+  let detections = Monitor.scan log in
+  (match Monitor.first_assertion detections with
+   | Some (_, message) ->
+     let operation =
+       match Monitor.assert_operation message with
+       | Some op -> op
+       | None -> Option.value ~default:"unknown" (operation_of_progress st)
+     in
+     record_crash st ~kind:Crash.Kernel_assertion ~operation ~scope:"kernel" ~message
+       ~backtrace:[] ~monitor:Crash.Log_monitor
+   | None -> ());
+  detections
+
+(* Deterministic Redqueen step: if the program that just ran compared one
+   of its own arguments against a different constant, queue the patched
+   program to run next. *)
+let queue_i2s_children st =
+  if st.config.feedback && st.current_prog <> [] && not st.last_was_child then
+    List.iter
+      (fun child ->
+        if List.length st.pending < 32 then begin
+          let h = Prog.hash child in
+          if not (Hashtbl.mem st.pending_hashes h) then begin
+            Hashtbl.replace st.pending_hashes h ();
+            st.pending <- child :: st.pending
+          end
+        end)
+      (Gen.substitute_all st.gen st.current_prog ~pairs:st.last_cmp_pairs)
+
+
+(* --- liveness & recovery --------------------------------------------- *)
+
+let reflash st =
+  match Liveness.restore st.session ~build:st.build with
+  | Ok _ ->
+    st.reflashes <- st.reflashes + 1;
+    st.resets <- st.resets + 1;
+    Ok ()
+  | Error e -> Error e
+
+let reboot st =
+  match Liveness.reboot_only st.session with
+  | Ok () ->
+    st.resets <- st.resets + 1;
+    Ok ()
+  | Error e -> Error e
+
+(* One continue plus full interpretation of the stop. *)
+type event =
+  | Ev_ready
+  | Ev_done
+  | Ev_buf_full
+  | Ev_panic_bp
+  | Ev_fault
+  | Ev_quantum of int
+  | Ev_other_bp
+  | Ev_exited
+  | Ev_timeout
+
+let advance st =
+  match Session.continue_ st.session with
+  | Error Session.Timeout -> Ev_timeout
+  | Error _ -> Ev_timeout
+  | Ok (Session.Stopped_breakpoint pc) ->
+    Liveness.reset st.liveness;
+    if pc = st.syms.Osbuild.sym_executor_main then Ev_ready
+    else if pc = st.syms.Osbuild.sym_loop_back then Ev_done
+    else if pc = st.syms.Osbuild.sym_buf_full then Ev_buf_full
+    else if pc = st.syms.Osbuild.sym_handle_exception then Ev_panic_bp
+    else Ev_other_bp
+  | Ok (Session.Stopped_fault _) -> Ev_fault
+  | Ok (Session.Stopped_quantum pc) -> Ev_quantum pc
+  | Ok Session.Target_exited -> Ev_exited
+
+let handle_panic_bp st =
+  let log = drain_log st in
+  let detections = scan_log_for_crashes st log in
+  let backtrace = Monitor.collect_backtrace detections in
+  let message =
+    match Monitor.first_panic detections with
+    | Some (_, m) -> m
+    | None -> (match Session.last_fault st.session with Ok f when f <> "" -> f | _ -> "panic")
+  in
+  let operation =
+    match operation_of_progress st with Some op -> op | None -> "boot"
+  in
+  record_crash st ~kind:Crash.Kernel_panic ~operation
+    ~scope:(scope_of_backtrace backtrace) ~message ~backtrace
+    ~monitor:Crash.Exception_monitor;
+  (* Let the fault unwind (ignore its stop), then reboot. *)
+  ignore (Session.continue_ st.session : (Session.stop, Session.error) result);
+  reboot st
+
+let handle_fault st =
+  (* A hardware fault that did not pass through an instrumented panic
+     handler: classify from the fault register and any log output. *)
+  let log = drain_log st in
+  ignore (scan_log_for_crashes st log : Monitor.detection list);
+  let message =
+    match Session.last_fault st.session with Ok f when f <> "" -> f | _ -> "hardware fault"
+  in
+  let operation =
+    match operation_of_progress st with Some op -> op | None -> "boot"
+  in
+  record_crash st ~kind:Crash.Kernel_panic ~operation ~scope:"kernel" ~message ~backtrace:[]
+    ~monitor:Crash.Exception_monitor;
+  reboot st
+
+let handle_stall st pc =
+  st.stalls <- st.stalls + 1;
+  let log = drain_log st in
+  let detections = Monitor.scan log in
+  (match Monitor.first_assertion detections with
+   | Some (_, message) ->
+     (* A hang preceded by an assertion report: the log monitor names
+        the bug, the watchdog merely unwedged the board. *)
+     let operation =
+       match Monitor.assert_operation message with
+       | Some op -> op
+       | None -> Option.value ~default:"unknown" (operation_of_progress st)
+     in
+     record_crash st ~kind:Crash.Kernel_assertion ~operation ~scope:"kernel" ~message
+       ~backtrace:[] ~monitor:Crash.Log_monitor
+   | None ->
+     let operation =
+       match operation_of_progress st with Some op -> op | None -> "unknown"
+     in
+     record_crash st ~kind:Crash.Hang ~operation ~scope:"kernel"
+       ~message:(Printf.sprintf "execution stalled at 0x%08x" pc)
+       ~backtrace:[] ~monitor:Crash.Liveness_watchdog);
+  reboot st
+
+(* Drive until the agent waits at executor_main. *)
+let rec goto_ready st ~budget =
+  if budget <= 0 then Error "target failed to reach executor_main"
+  else
+    match advance st with
+    | Ev_ready -> Ok ()
+    | Ev_done ->
+      ignore (drain_coverage st : int);
+      ignore (scan_log_for_crashes st (drain_log st) : Monitor.detection list);
+      goto_ready st ~budget:(budget - 1)
+    | Ev_buf_full ->
+      ignore (drain_coverage st : int);
+      goto_ready st ~budget:(budget - 1)
+    | Ev_other_bp -> goto_ready st ~budget:(budget - 1)
+    | Ev_panic_bp ->
+      (match handle_panic_bp st with
+       | Ok () -> goto_ready st ~budget:(budget - 1)
+       | Error e -> Error e)
+    | Ev_fault ->
+      (match handle_fault st with
+       | Ok () -> goto_ready st ~budget:(budget - 1)
+       | Error e -> Error e)
+    | Ev_exited ->
+      (match reboot st with
+       | Ok () -> goto_ready st ~budget:(budget - 1)
+       | Error e -> Error e)
+    | Ev_quantum pc ->
+      if pc = st.syms.Osbuild.sym_boot then begin
+        (* Stuck at the boot vector: the image is damaged; reflash. *)
+        ignore (scan_log_for_crashes st (drain_log st) : Monitor.detection list);
+        record_crash st ~kind:Crash.Boot_failure ~operation:"boot" ~scope:"bootloader"
+          ~message:"image integrity check failed at boot" ~backtrace:[]
+          ~monitor:Crash.Liveness_watchdog;
+        match reflash st with
+        | Ok () -> goto_ready st ~budget:(budget - 1)
+        | Error e -> Error e
+      end
+      else if not st.config.stall_watchdog then
+        (* Ablation A1: no stall watchdog; burn budget continuing. *)
+        goto_ready st ~budget:(budget - 1)
+      else begin
+        match Liveness.check st.liveness st.session with
+        | Liveness.Pc_stalled pc ->
+          Liveness.reset st.liveness;
+          (match handle_stall st pc with
+           | Ok () -> goto_ready st ~budget:(budget - 1)
+           | Error e -> Error e)
+        | Liveness.Connection_lost ->
+          st.timeouts <- st.timeouts + 1;
+          (match reflash st with
+           | Ok () -> goto_ready st ~budget:(budget - 1)
+           | Error e -> Error e)
+        | Liveness.Alive | Liveness.First_observation ->
+          goto_ready st ~budget:(budget - 1)
+      end
+    | Ev_timeout ->
+      st.timeouts <- st.timeouts + 1;
+      (match reflash st with
+       | Ok () -> goto_ready st ~budget:(budget - 1)
+       | Error e -> Error e)
+
+let write_program st prog =
+  let wire = Prog.to_wire prog in
+  match Wire.encode ~endianness:st.endianness wire with
+  | Error e -> Error e
+  | Ok payload ->
+    if String.length payload + 8 > Agent.max_program_bytes st.build then
+      Error "program exceeds mailbox"
+    else begin
+      let header = Bytes.create 8 in
+      (match st.endianness with
+       | Arch.Little ->
+         Bytes.set_int32_le header 0 Wire.magic;
+         Bytes.set_int32_le header 4 (Int32.of_int (String.length payload))
+       | Arch.Big ->
+         Bytes.set_int32_be header 0 Wire.magic;
+         Bytes.set_int32_be header 4 (Int32.of_int (String.length payload)));
+      match
+        Session.write_mem st.session ~addr:(Osbuild.mailbox_base st.build)
+          (Bytes.to_string header ^ payload)
+      with
+      | Ok () -> Ok ()
+      | Error e -> Error (Session.error_to_string e)
+    end
+
+(* Execute the delivered program until loop_back (or a crash resolves). *)
+let rec run_program st ~budget ~crashed =
+  if budget <= 0 then Ok (`Aborted, crashed)
+  else
+    match advance st with
+    | Ev_done ->
+      ignore (drain_coverage st : int);
+      drain_cmp_hints st;
+      ignore (scan_log_for_crashes st (drain_log st) : Monitor.detection list);
+      Ok (`Completed, crashed)
+    | Ev_buf_full ->
+      ignore (drain_coverage st : int);
+      run_program st ~budget:(budget - 1) ~crashed
+    | Ev_other_bp -> run_program st ~budget:(budget - 1) ~crashed
+    | Ev_ready ->
+      (* Came back around without hitting loop_back: the mailbox held
+         garbage (undecodable program) — treat as completed-empty. *)
+      Ok (`Rejected, crashed)
+    | Ev_panic_bp ->
+      (match handle_panic_bp st with
+       | Ok () -> Ok (`Crashed, true)
+       | Error e -> Error e)
+    | Ev_fault ->
+      (match handle_fault st with
+       | Ok () -> Ok (`Crashed, true)
+       | Error e -> Error e)
+    | Ev_exited ->
+      (match reboot st with Ok () -> Ok (`Aborted, crashed) | Error e -> Error e)
+    | Ev_quantum pc ->
+      if not st.config.stall_watchdog then run_program st ~budget:(budget - 1) ~crashed
+      else begin
+        match Liveness.check st.liveness st.session with
+        | Liveness.Pc_stalled pc' ->
+          Liveness.reset st.liveness;
+          (match handle_stall st pc' with
+           | Ok () -> Ok (`Crashed, true)
+           | Error e -> Error e)
+        | Liveness.Connection_lost ->
+          st.timeouts <- st.timeouts + 1;
+          (match reflash st with Ok () -> Ok (`Aborted, crashed) | Error e -> Error e)
+        | Liveness.Alive | Liveness.First_observation ->
+          ignore pc;
+          run_program st ~budget:(budget - 1) ~crashed
+      end
+    | Ev_timeout ->
+      st.timeouts <- st.timeouts + 1;
+      (match reflash st with Ok () -> Ok (`Aborted, crashed) | Error e -> Error e)
+
+let mutate_seed st seed =
+  (* Mutation may grow seeds past the fresh-generation cap: corpus
+     programs accumulate kernel context the generator cannot guess. *)
+  Gen.mutate st.gen seed ~max_len:(2 * st.config.max_prog_len)
+
+let choose_program st =
+  if not st.config.feedback then Gen.generate st.gen ~max_len:st.config.max_prog_len
+  else
+    match st.pending with
+    | child :: rest ->
+      st.pending <- rest;
+      st.last_was_fresh <- false;
+      st.last_was_child <- true;
+      child
+    | [] ->
+      st.last_was_child <- false;
+    match st.focus with
+    | Some (prog, remaining) when remaining > 0 ->
+      st.focus <- Some (prog, remaining - 1);
+      st.last_was_fresh <- false;
+      (* Half the focused budget goes to input-to-state substitution
+         (Redqueen-style), half to havoc mutation. Substitution applies
+         to the most recently executed program — the one the recorded
+         comparison operands belong to — so a discarded mutant whose new
+         call compared against an unmet constant still gets patched. *)
+      if Rng.chance st.rng 0.5 && st.current_prog <> [] then
+        match Gen.substitute st.gen st.current_prog ~pairs:st.last_cmp_pairs with
+        | Some prog' -> prog'
+        | None -> Gen.mutate_focus st.gen prog ~max_len:(2 * st.config.max_prog_len)
+      else Gen.mutate_focus st.gen prog ~max_len:(2 * st.config.max_prog_len)
+    | _ ->
+      st.focus <- None;
+      (* The explore/exploit split follows the observed yield of fresh
+         generation: explore while random programs still find edges,
+         shift budget to corpus mutation as they stop (mutation_bias is
+         the ceiling the split approaches). This self-scales to any
+         iteration budget, unlike a wall-clock ramp. *)
+      let bias = st.config.mutation_bias *. (1. -. st.fresh_yield) in
+      st.last_was_fresh <- false;
+      if (not (Corpus.is_empty st.corpus)) && Rng.chance st.rng bias then
+        match Corpus.pick st.corpus with
+        | Some seed -> mutate_seed st seed
+        | None ->
+          st.last_was_fresh <- true;
+          Gen.generate st.gen ~max_len:st.config.max_prog_len
+      else begin
+        st.last_was_fresh <- true;
+        Gen.generate st.gen ~max_len:st.config.max_prog_len
+      end
+
+let sample st =
+  st.series <-
+    {
+      iteration = st.iteration;
+      virtual_s = Machine.virtual_elapsed_s st.machine;
+      coverage = Feedback.covered st.fb;
+    }
+    :: st.series
+
+let outcome_of_state st =
+  {
+    os = Osbuild.os_name st.build;
+    coverage = Feedback.covered st.fb;
+    series = List.rev st.series;
+    crashes = List.rev st.crash_order;
+    crash_events = st.crash_events;
+    executed_programs = st.executed_programs;
+    resets = st.resets;
+    reflashes = st.reflashes;
+    stalls = st.stalls;
+    timeouts = st.timeouts;
+    corpus_size = Corpus.size st.corpus;
+    virtual_s = Machine.virtual_elapsed_s st.machine;
+    iterations_done = st.iteration;
+    coverage_bitmap = Feedback.snapshot st.fb;
+    final_corpus = Corpus.progs st.corpus;
+  }
+
+(* Restrict a validated spec to an allowlist, dropping resources that
+   lose their producers. *)
+let filter_spec (spec : Eof_spec.Ast.t) allow =
+  let calls = List.filter (fun (c : Eof_spec.Ast.call) -> List.mem c.Eof_spec.Ast.name allow) spec.Eof_spec.Ast.calls in
+  let produced =
+    List.filter_map (fun (c : Eof_spec.Ast.call) -> c.Eof_spec.Ast.ret) calls
+    |> List.sort_uniq compare
+  in
+  let calls =
+    List.filter
+      (fun (c : Eof_spec.Ast.call) ->
+        List.for_all
+          (fun (_, ty) ->
+            match ty with Eof_spec.Ast.Ty_res k -> List.mem k produced | _ -> true)
+          c.Eof_spec.Ast.args)
+      calls
+  in
+  { spec with Eof_spec.Ast.calls; resources = produced }
+
+let run ?machine config build =
+  let table = Osbuild.api_signatures build in
+  match Eof_spec.Synth.validated_of_api table with
+  | Error e -> Error e
+  | Ok spec ->
+    let spec =
+      match config.api_filter with None -> spec | Some allow -> filter_spec spec allow
+    in
+    let machine_result =
+      match machine with Some m -> Ok m | None -> Machine.create build
+    in
+    (match machine_result with
+     | Error e -> Error e
+     | Ok machine ->
+       let rng = Rng.create config.seed in
+       let gen =
+         Gen.create ~dep_aware:config.dep_aware ~rng:(Rng.split rng) ~spec ~table ()
+       in
+       let session = Machine.session machine in
+       let st =
+         {
+           config;
+           build;
+           machine;
+           session;
+           syms = Osbuild.syms build;
+           endianness = (Board.profile (Osbuild.board build)).Board.arch.Arch.endianness;
+           gen;
+           rng;
+           fb = Feedback.create ~edge_capacity:(Osbuild.edge_capacity build);
+           corpus = Corpus.create ~rng:(Rng.split rng) ();
+           crash_table = Hashtbl.create 32;
+           crash_order = [];
+           crash_events = 0;
+           executed_programs = 0;
+           resets = 0;
+           reflashes = 0;
+           stalls = 0;
+           timeouts = 0;
+           iteration = 0;
+           series = [];
+           current_prog = [];
+           focus = None;
+           last_cmp_pairs = [];
+           pending = [];
+           pending_hashes = Hashtbl.create 256;
+           last_was_child = false;
+           fresh_yield = 1.0;
+           last_was_fresh = false;
+           liveness = Liveness.create ();
+         }
+       in
+       let arm addr =
+         match Session.set_breakpoint session addr with
+         | Ok () -> Ok ()
+         | Error e -> Error (Session.error_to_string e)
+       in
+       let ( let* ) = Result.bind in
+       let* () = arm st.syms.Osbuild.sym_executor_main in
+       let* () = arm st.syms.Osbuild.sym_loop_back in
+       let* () = arm st.syms.Osbuild.sym_buf_full in
+       let* () = arm st.syms.Osbuild.sym_handle_exception in
+       (* Replay loaded seeds so they re-enter the corpus with their
+          coverage credited. *)
+       List.iter
+         (fun prog ->
+           if Prog.validate prog = Ok () then
+             ignore (Corpus.add st.corpus ~prog ~new_edges:1 ~crashed:false : bool))
+         config.initial_seeds;
+       let consecutive_failures = ref 0 in
+       (try
+          while st.iteration < config.iterations && !consecutive_failures < 5 do
+            st.iteration <- st.iteration + 1;
+            if config.reboot_every > 0 && st.iteration mod config.reboot_every = 0 then
+              ignore (reboot st : (unit, string) result);
+            (match goto_ready st ~budget:50 with
+             | Error _ -> incr consecutive_failures
+             | Ok () ->
+               let before = Feedback.covered st.fb in
+               let distinct_before = Hashtbl.length st.crash_table in
+               let prog = choose_program st in
+               st.current_prog <- prog;
+               if config.irq_injection && Rng.chance st.rng 0.4 then begin
+                 let pin = Rng.int st.rng 16 in
+                 ignore
+                   (Session.inject_gpio st.session ~pin ~level:(Rng.bool st.rng)
+                     : (unit, Session.error) result)
+               end;
+               (match write_program st prog with
+                | Error _ -> incr consecutive_failures
+                | Ok () ->
+                  (match run_program st ~budget:200 ~crashed:false with
+                   | Error _ -> incr consecutive_failures
+                   | Ok (status, crashed) ->
+                     consecutive_failures := 0;
+                     (match status with
+                      | `Completed | `Crashed ->
+                        st.executed_programs <- st.executed_programs + 1
+                      | `Rejected | `Aborted -> ());
+                     let new_edges = Feedback.covered st.fb - before in
+                     if st.last_was_fresh then
+                       st.fresh_yield <-
+                         (0.95 *. st.fresh_yield)
+                         +. (0.05 *. if new_edges > 0 then 1. else 0.);
+                     (* Crashing inputs are interesting the first time a
+                        bug is seen; re-triggers of a known bug are not. *)
+                     let fresh_crash =
+                       crashed && Hashtbl.length st.crash_table > distinct_before
+                     in
+                     (* Exploitation (input-to-state children, focus
+                        bursts) only pays once cheap exploration has
+                        dried up; before that it just starves the fresh
+                        sampling that is still finding edges. *)
+                     let exploit_worthwhile = st.fresh_yield < 0.3 in
+                     (* Children are globally deduplicated, so each
+                        unique patch runs once; no flooding. *)
+                     if exploit_worthwhile then queue_i2s_children st;
+                     if config.feedback && (new_edges > 0 || fresh_crash) then begin
+                       ignore
+                         (Corpus.add st.corpus ~prog ~new_edges ~crashed:fresh_crash
+                           : bool);
+                       (* Focused exploitation pays on narrow finds —
+                          a fresh comparison bucket worth hill-climbing.
+                          Broad hauls come from fresh exploration, which
+                          a burst would only starve. *)
+                       if new_edges > 0 && new_edges <= 4 && exploit_worthwhile
+                       then st.focus <- Some (prog, 12)
+                     end)));
+            if st.iteration mod config.snapshot_every = 0 then sample st
+          done
+        with e ->
+          (* Defensive: a campaign must never take the harness down. *)
+          ignore e);
+       sample st;
+       Ok (outcome_of_state st))

@@ -1,0 +1,74 @@
+open Eof_os
+
+(** The EOF fuzzing loop.
+
+    One campaign drives one target build over its debug session:
+    generate or mutate an API-aware program, deliver it through the
+    mailbox, pump the agent between its binding-point breakpoints, drain
+    coverage and UART, classify crashes, keep the target alive
+    (Algorithm 1), and feed interesting inputs back into the corpus.
+
+    The configuration knobs double as the paper's ablations:
+    [feedback:false] is EOF-nf, [dep_aware:false] disables
+    resource-dependency-aware generation (ablation A2),
+    [stall_watchdog:false] disables the PC-stall watchdog (A1). *)
+
+type config = {
+  seed : int64;
+  iterations : int;  (** payload budget *)
+  feedback : bool;
+  dep_aware : bool;
+  stall_watchdog : bool;
+  max_prog_len : int;
+  mutation_bias : float;
+      (** ceiling for P(mutate a corpus seed); the actual split tracks
+          how often fresh generation still finds new coverage, shifting
+          budget to mutation as random exploration dries up *)
+  snapshot_every : int;  (** iterations between coverage samples *)
+  api_filter : string list option;
+      (** restrict generation to these calls (the Table-4 setup, where
+          only the HTTP/JSON surface is exercised) *)
+  irq_injection : bool;
+      (** inject random GPIO edges alongside test cases, driving the
+          interrupt paths the paper leaves to future work (default off,
+          matching EOF's published scope) *)
+  initial_seeds : Prog.t list;
+      (** corpus programs to replay before fuzzing starts (resuming a
+          saved corpus) *)
+  reboot_every : int;
+      (** preventive reboot period: without it a long-lived boot slowly
+          exhausts kernel tables and the heap (objects accumulate across
+          test cases), starving every later test case *)
+}
+
+val default_config : config
+(** seed 1, 400 iterations, all features on, programs up to 12 calls. *)
+
+type sample = { iteration : int; virtual_s : float; coverage : int }
+
+type outcome = {
+  os : string;
+  coverage : int;  (** distinct edges at the end *)
+  series : sample list;  (** chronological coverage samples *)
+  crashes : Crash.t list;  (** deduplicated, in discovery order *)
+  crash_events : int;  (** total crash occurrences before dedup *)
+  executed_programs : int;
+  resets : int;
+  reflashes : int;
+  stalls : int;
+  timeouts : int;
+  corpus_size : int;
+  virtual_s : float;
+  iterations_done : int;
+  coverage_bitmap : Eof_util.Bitset.t;
+      (** final edge bitmap (edge index = site index * variants + variant) *)
+  final_corpus : Prog.t list;  (** seeds at campaign end, for persistence *)
+}
+
+val filter_spec : Eof_spec.Ast.t -> string list -> Eof_spec.Ast.t
+(** Restrict a spec to an allowlist of call names, dropping resource
+    kinds that lose all producers (shared with the baseline drivers). *)
+
+val run : ?machine:Eof_agent.Machine.t -> config -> Osbuild.t -> (outcome, string) result
+(** Runs the loop to the iteration budget (or aborts early after
+    repeated unrecoverable link failures, returning what it has). *)

@@ -1,0 +1,60 @@
+type seed = {
+  prog : Prog.t;
+  mutable score : int;  (** selection weight, decays on reuse *)
+  mutable picks : int;
+}
+
+type t = {
+  rng : Eof_util.Rng.t;
+  capacity : int;
+  mutable seeds : seed list;
+  hashes : (int, unit) Hashtbl.t;
+  mutable total_added : int;
+}
+
+let create ?(capacity = 512) ~rng () =
+  { rng; capacity; seeds = []; hashes = Hashtbl.create 256; total_added = 0 }
+
+let size t = List.length t.seeds
+
+let is_empty t = t.seeds = []
+
+let evict_if_full t =
+  if List.length t.seeds > t.capacity then begin
+    (* Drop the lowest-scoring seed. *)
+    let worst =
+      List.fold_left
+        (fun acc s -> match acc with Some w when w.score <= s.score -> acc | _ -> Some s)
+        None t.seeds
+    in
+    match worst with
+    | Some w -> t.seeds <- List.filter (fun s -> s != w) t.seeds
+    | None -> ()
+  end
+
+let add t ~prog ~new_edges ~crashed =
+  let h = Prog.hash prog in
+  if Hashtbl.mem t.hashes h then false
+  else begin
+    Hashtbl.replace t.hashes h ();
+    let score = max 1 ((new_edges * 4) + (if crashed then 20 else 0)) in
+    t.seeds <- { prog; score; picks = 0 } :: t.seeds;
+    t.total_added <- t.total_added + 1;
+    evict_if_full t;
+    true
+  end
+
+let pick t =
+  match t.seeds with
+  | [] -> None
+  | seeds ->
+    let weighted = List.map (fun s -> (s, max 1 s.score)) seeds in
+    let seed = Eof_util.Rng.weighted t.rng weighted in
+    seed.picks <- seed.picks + 1;
+    (* Decay so fresh discoveries get their turn. *)
+    if seed.picks mod 4 = 0 then seed.score <- max 1 (seed.score * 3 / 4);
+    Some seed.prog
+
+let progs t = List.map (fun s -> s.prog) t.seeds
+
+let total_added t = t.total_added

@@ -1,0 +1,26 @@
+(** The seed corpus: interesting programs and their selection weights.
+
+    A program enters the corpus when it triggered new coverage or
+    revealed a fault (the paper's "interesting" rule); selection for
+    mutation favours seeds that recently produced new edges, decaying as
+    they are reused. *)
+
+type t
+
+val create : ?capacity:int -> rng:Eof_util.Rng.t -> unit -> t
+(** Default capacity 512 seeds; the stalest seeds are evicted. *)
+
+val add : t -> prog:Prog.t -> new_edges:int -> crashed:bool -> bool
+(** [false] if the program was a duplicate (by content hash). *)
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val pick : t -> Prog.t option
+(** Weighted selection; [None] when empty. Each pick ages the seed. *)
+
+val progs : t -> Prog.t list
+(** Current seeds, most recent first (for persistence). *)
+
+val total_added : t -> int

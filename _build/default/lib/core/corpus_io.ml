@@ -1,0 +1,121 @@
+open Eof_spec
+
+let arg_to_text = function
+  | Prog.Int v -> Printf.sprintf "int=%Ld" v
+  | Prog.Str s -> Printf.sprintf "str=%s" (Eof_util.Hex.encode s)
+  | Prog.Res k -> Printf.sprintf "res=%d" k
+
+let prog_to_text prog =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "prog\n";
+  List.iter
+    (fun (call : Prog.call) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  call %s%s\n" call.Prog.spec.Ast.name
+           (String.concat ""
+              (List.map (fun a -> " " ^ arg_to_text a) call.Prog.args))))
+    prog;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let parse_arg token =
+  match String.index_opt token '=' with
+  | None -> Error (Printf.sprintf "malformed argument %S" token)
+  | Some i ->
+    let key = String.sub token 0 i in
+    let value = String.sub token (i + 1) (String.length token - i - 1) in
+    (match key with
+     | "int" ->
+       (match Int64.of_string_opt value with
+        | Some v -> Ok (Prog.Int v)
+        | None -> Error (Printf.sprintf "bad int %S" value))
+     | "str" ->
+       (match Eof_util.Hex.decode value with
+        | Ok s -> Ok (Prog.Str s)
+        | Error e -> Error e)
+     | "res" ->
+       (match int_of_string_opt value with
+        | Some k -> Ok (Prog.Res k)
+        | None -> Error (Printf.sprintf "bad res %S" value))
+     | k -> Error (Printf.sprintf "unknown argument kind %S" k))
+
+let prog_of_lines ~spec ~table lines =
+  let indexed = List.mapi (fun i (e : Eof_rtos.Api.entry) -> (e.Eof_rtos.Api.name, i)) table.Eof_rtos.Api.entries in
+  let parse_call line =
+    match String.split_on_char ' ' (String.trim line) with
+    | "call" :: name :: args ->
+      (match (Ast.find_call spec name, List.assoc_opt name indexed) with
+       | Some spec_call, Some api_index ->
+         let rec parse_args acc = function
+           | [] -> Ok (List.rev acc)
+           | "" :: rest -> parse_args acc rest
+           | token :: rest ->
+             (match parse_arg token with
+              | Ok a -> parse_args (a :: acc) rest
+              | Error _ as e -> e)
+         in
+         (match parse_args [] args with
+          | Ok args -> Ok { Prog.spec = spec_call; api_index; args }
+          | Error e -> Error e)
+       | _ -> Error (Printf.sprintf "unknown call %S" name))
+    | _ -> Error (Printf.sprintf "expected 'call ...', got %S" line)
+  in
+  let rec go acc = function
+    | [] ->
+      let prog = List.rev acc in
+      (match Prog.validate prog with Ok () -> Ok prog | Error e -> Error e)
+    | line :: rest ->
+      (match parse_call line with Ok c -> go (c :: acc) rest | Error _ as e -> e)
+  in
+  go [] lines
+
+let save ~path progs =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "# eof corpus v1\n";
+        List.iter (fun p -> output_string oc (prog_to_text p)) progs);
+    Ok ()
+  with Sys_error e -> Error e
+
+let load ~path ~spec ~table =
+  try
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    (* Split into prog..end blocks. *)
+    let progs = ref [] in
+    let skipped = ref 0 in
+    let current = ref None in
+    List.iter
+      (fun line ->
+        let trimmed = String.trim line in
+        if trimmed = "" || String.length trimmed > 0 && trimmed.[0] = '#' then ()
+        else if trimmed = "prog" then current := Some []
+        else if trimmed = "end" then begin
+          (match !current with
+           | None -> incr skipped
+           | Some lines ->
+             (match prog_of_lines ~spec ~table (List.rev lines) with
+              | Ok prog when prog <> [] -> progs := prog :: !progs
+              | Ok _ | Error _ -> incr skipped));
+          current := None
+        end
+        else
+          match !current with
+          | Some lines -> current := Some (trimmed :: lines)
+          | None -> incr skipped)
+      lines;
+    Ok (List.rev !progs, !skipped)
+  with Sys_error e -> Error e

@@ -1,0 +1,32 @@
+open Eof_spec
+
+(** Corpus persistence: a line-oriented text format for programs, so a
+    campaign's seeds survive across runs and can be inspected, diffed and
+    hand-edited.
+
+    {v
+    # eof corpus v1
+    prog
+      call k_msgq_create int=4 int=16
+      call k_msgq_put res=0 str=7061796c6f6164
+    end
+    v}
+
+    String arguments are hex-encoded (they are arbitrary bytes). Loading
+    resolves call names against the current specification; programs
+    whose calls no longer exist or no longer type-check are skipped, not
+    fatal — specs evolve between runs. *)
+
+val prog_to_text : Prog.t -> string
+
+val prog_of_lines :
+  spec:Ast.t -> table:Eof_rtos.Api.table -> string list -> (Prog.t, string) result
+(** Parse the [call ...] lines of one program. *)
+
+val save : path:string -> Prog.t list -> (unit, string) result
+
+val load :
+  path:string -> spec:Ast.t -> table:Eof_rtos.Api.table ->
+  (Prog.t list * int, string) result
+(** Returns the loaded programs and how many entries were skipped as
+    stale/invalid. *)

@@ -1,0 +1,32 @@
+(** Crash records and deduplication. *)
+
+type kind =
+  | Kernel_panic
+  | Kernel_assertion
+  | Hardware_fault  (** raw bus/usage fault that bypassed the panic handler *)
+  | Hang  (** PC stall caught by the liveness watchdog *)
+  | Boot_failure
+
+type monitor = Log_monitor | Exception_monitor | Liveness_watchdog | Timeout_only
+
+type t = {
+  os : string;
+  kind : kind;
+  operation : string;  (** the API call in progress (Table 2's column) *)
+  scope : string;  (** subsystem, from the crash site's module block *)
+  message : string;
+  backtrace : string list;
+  detected_by : monitor;
+  program : string;  (** the triggering program, pretty-printed *)
+  iteration : int;
+}
+
+val dedup_key : t -> string
+(** Crashes with equal keys are the same bug: (kind, operation). *)
+
+val kind_name : kind -> string
+
+val monitor_name : monitor -> string
+
+val summary : t -> string
+(** One line: kind, operation, message head. *)

@@ -1,0 +1,16 @@
+(** Host-side coverage accumulation. *)
+
+type t
+
+val create : edge_capacity:int -> t
+
+val merge : t -> int list -> int
+(** Fold a batch of edge indices in; returns how many were new. Edges
+    outside the capacity are ignored (defensive against a corrupted
+    coverage buffer). *)
+
+val covered : t -> int
+(** Distinct edges seen so far. *)
+
+val snapshot : t -> Eof_util.Bitset.t
+(** A copy of the current bitmap. *)

@@ -1,0 +1,62 @@
+open Eof_spec
+
+(** API-aware test-case generation and mutation.
+
+    Generation builds call sequences from a validated specification,
+    scoring candidates by resource dependencies: a call consuming a
+    resource only becomes eligible once some earlier call produces it,
+    and producers of still-missing kinds are boosted — the paper's
+    "scoring call adjacency by resource dependencies". Argument values
+    mix in-range uniforms with boundary values, special constants, and a
+    dictionary of structure-bearing strings (JSON documents, HTTP
+    requests, long names), because that is what drives deep handlers.
+
+    [dep_aware:false] (ablation A2) drops the dependency logic: resource
+    arguments get arbitrary earlier-call references (still well-typed at
+    the wire level via position, but usually the wrong kind), so most
+    calls bounce off precondition checks — the AFL-style failure mode the
+    paper describes. *)
+
+type t
+
+val create :
+  ?dep_aware:bool -> rng:Eof_util.Rng.t -> spec:Ast.t -> table:Eof_rtos.Api.table ->
+  unit -> t
+
+val dep_aware : t -> bool
+
+val generate : t -> max_len:int -> Prog.t
+(** A fresh program of 1..[max_len] calls. Always {!Prog.validate}-clean
+    when [dep_aware] (otherwise resource refs may be kind-mismatched,
+    deliberately). *)
+
+val mutate : t -> Prog.t -> max_len:int -> Prog.t
+(** One mutation step: tweak an argument, insert, delete, duplicate, or
+    swap calls — with resource references remapped so the program stays
+    structurally valid. *)
+
+val mutate_focus : t -> Prog.t -> max_len:int -> Prog.t
+(** Gradient-phase mutation: integer-argument tweaks/replays and call
+    growth only (see the focused-exploitation phase in the campaign). *)
+
+val add_int_hint : t -> int64 -> unit
+(** Feed a harvested comparison operand (from the target's trace_cmp
+    ring) into the generator's value dictionary — the input-to-state
+    trick the paper's write_comp_data records enable. Deduplicated,
+    bounded. *)
+
+val hint_count : t -> int
+
+val substitute : t -> Prog.t -> pairs:(int64 * int64) list -> Prog.t option
+(** Input-to-state substitution: find an integer argument whose value
+    appeared on one side of a recorded comparison and replace it with
+    the other side (folded into 32 bits, as the ring stores them).
+    [None] when no argument matches any pair. *)
+
+val substitute_all : t -> Prog.t -> pairs:(int64 * int64) list -> Prog.t list
+(** Every distinct input-to-state patch (constant and constant+1 per
+    matching argument/comparison pair), for systematic enumeration. *)
+
+val gen_value : t -> produced:(string -> int list) -> Ast.ty -> Prog.arg
+(** Exposed for tests: generate one argument value. [produced kind]
+    lists earlier positions producing [kind]. *)

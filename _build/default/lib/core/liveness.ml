@@ -1,0 +1,71 @@
+open Eof_hw
+open Eof_os
+module Session = Eof_debug.Session
+
+type verdict = Alive | First_observation | Connection_lost | Pc_stalled of int
+
+type t = { mutable last_pc : int option }
+
+let create () = { last_pc = None }
+
+let reset t = t.last_pc <- None
+
+let check t session =
+  match Session.read_pc session with
+  | Error Session.Timeout -> Connection_lost
+  | Error _ -> Connection_lost
+  | Ok pc ->
+    (match t.last_pc with
+     | None ->
+       t.last_pc <- Some pc;
+       First_observation
+     | Some prev when prev = pc -> Pc_stalled pc
+     | Some _ ->
+       t.last_pc <- Some pc;
+       Alive)
+
+let ( let* ) r f =
+  match r with Ok v -> f v | Error e -> Error (Session.error_to_string e)
+
+let restore session ~build =
+  let image = Osbuild.image build in
+  let flash_base = (Board.profile (Osbuild.board build)).Board.flash_base in
+  let rec reflash count = function
+    | [] -> Ok count
+    | (e : Partition.entry) :: rest ->
+      (match List.assoc_opt e.Partition.name image.Image.blobs with
+       | None -> Error (Printf.sprintf "image has no blob for partition %s" e.Partition.name)
+       | Some blob ->
+         let* () =
+           Session.flash_erase session ~addr:(flash_base + e.Partition.offset)
+             ~len:e.Partition.size
+         in
+         (* Program in bounded chunks, as a probe constrained by its
+            packet size would. *)
+         let chunk = 2048 in
+         let rec program off =
+           if off >= String.length blob then Ok ()
+           else
+             let len = min chunk (String.length blob - off) in
+             let* () =
+               Session.flash_write session
+                 ~addr:(flash_base + e.Partition.offset + off)
+                 (String.sub blob off len)
+             in
+             program (off + len)
+         in
+         (match program 0 with
+          | Error _ as err -> err
+          | Ok () ->
+            let* () = Session.flash_done session in
+            reflash (count + 1) rest))
+  in
+  match reflash 0 image.Image.table with
+  | Error _ as e -> e
+  | Ok count ->
+    let* () = Session.reset_target session in
+    Ok count
+
+let reboot_only session =
+  let* () = Session.reset_target session in
+  Ok ()

@@ -1,0 +1,36 @@
+open Eof_os
+
+(** Liveness watchdogs and state restoration (the paper's Algorithm 1).
+
+    Two host-side checks over the debug link, with no target
+    instrumentation: a connection-timeout watchdog (a dead link means a
+    failed boot or total unresponsiveness) and a PC-stall watchdog (a
+    continue that does not move the program counter means the core
+    cannot execute). Either verdict triggers {!restore}: reflash every
+    partition from the golden image at the offsets recorded in the
+    partition table, then reboot. *)
+
+type verdict =
+  | Alive
+  | First_observation  (** LastPC was unset; now armed (Algorithm 1 lines 6-8) *)
+  | Connection_lost
+  | Pc_stalled of int
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Forget LastPC (call when the target demonstrably made progress). *)
+
+val check : t -> Eof_debug.Session.t -> verdict
+(** One LivenessWatchDog() evaluation. *)
+
+val restore :
+  Eof_debug.Session.t -> build:Osbuild.t -> (int, string) result
+(** StateRestoration(): reflash each partition and reboot; returns the
+    number of partitions written. The post-reboot settling delay is
+    charged to the link. *)
+
+val reboot_only : Eof_debug.Session.t -> (unit, string) result
+(** A plain reset, for degraded states with an intact image. *)

@@ -1,0 +1,103 @@
+type verdict = Crash of string | No_crash
+
+let remove_call prog victim =
+  (* Compute the set of positions to drop: the victim plus transitive
+     consumers of dropped results. *)
+  let n = List.length prog in
+  let arr = Array.of_list prog in
+  let dropped = Array.make n false in
+  dropped.(victim) <- true;
+  for idx = victim + 1 to n - 1 do
+    let depends_on_dropped =
+      List.exists
+        (function Prog.Res k when k >= 0 && k < n -> dropped.(k) | _ -> false)
+        arr.(idx).Prog.args
+    in
+    if depends_on_dropped then dropped.(idx) <- true
+  done;
+  (* Renumber the survivors' references. *)
+  let new_pos = Array.make n (-1) in
+  let next = ref 0 in
+  for idx = 0 to n - 1 do
+    if not dropped.(idx) then begin
+      new_pos.(idx) <- !next;
+      incr next
+    end
+  done;
+  Array.to_list arr
+  |> List.mapi (fun idx call -> (idx, call))
+  |> List.filter_map (fun (idx, (call : Prog.call)) ->
+         if dropped.(idx) then None
+         else
+           Some
+             {
+               call with
+               Prog.args =
+                 List.map
+                   (function
+                     | Prog.Res k when k >= 0 && k < n -> Prog.Res new_pos.(k)
+                     | arg -> arg)
+                   call.Prog.args;
+             })
+
+let simplify_arg = function
+  | Prog.Int v when not (Int64.equal v 0L) -> Some (Prog.Int 0L)
+  | Prog.Str s when String.length s > 0 ->
+    Some (Prog.Str (String.sub s 0 (String.length s / 2)))
+  | Prog.Int _ | Prog.Str _ | Prog.Res _ -> None
+
+let minimize ?(max_execs = 200) ~exec ~signature prog =
+  let execs = ref 0 in
+  let still_crashes candidate =
+    if !execs >= max_execs then false
+    else begin
+      incr execs;
+      match exec candidate with Crash s -> s = signature | No_crash -> false
+    end
+  in
+  (* Phase 1: drop calls, scanning back to front until a fixpoint. *)
+  let current = ref prog in
+  let progress = ref true in
+  while !progress && !execs < max_execs do
+    progress := false;
+    let idx = ref (List.length !current - 1) in
+    while !idx >= 0 && !execs < max_execs do
+      (* A successful removal shrinks [current]; clamp the scan. *)
+      if !idx < List.length !current then begin
+        let candidate = remove_call !current !idx in
+        if candidate <> [] && List.length candidate < List.length !current
+           && still_crashes candidate
+        then begin
+          current := candidate;
+          progress := true
+        end
+      end;
+      decr idx
+    done
+  done;
+  (* Phase 2: simplify arguments in place. *)
+  List.iteri
+    (fun pos (call : Prog.call) ->
+      List.iteri
+        (fun ai arg ->
+          match simplify_arg arg with
+          | None -> ()
+          | Some simpler ->
+            if !execs < max_execs then begin
+              let candidate =
+                List.mapi
+                  (fun p (c : Prog.call) ->
+                    if p <> pos then c
+                    else
+                      {
+                        c with
+                        Prog.args =
+                          List.mapi (fun j a -> if j = ai then simpler else a) c.Prog.args;
+                      })
+                  !current
+              in
+              if still_crashes candidate then current := candidate
+            end)
+        call.Prog.args)
+    !current;
+  (!current, !execs)

@@ -1,0 +1,27 @@
+(** Crash-program minimization.
+
+    Syzkaller-style triage: given a crashing program, repeatedly drop
+    calls (cascading over resource dependencies) and simplify arguments
+    while the target still crashes with the same signature, producing the
+    small reproducers a maintainer actually reads — like the two-call
+    case-study program in the paper's Figure 6. *)
+
+type verdict = Crash of string | No_crash
+(** What one execution of a candidate produced; [Crash sig] carries the
+    crash's dedup signature. *)
+
+val remove_call : Prog.t -> int -> Prog.t
+(** Drop the call at the position plus (cascading) every later call that
+    transitively consumed its result; remaining resource references are
+    renumbered. *)
+
+val minimize :
+  ?max_execs:int ->
+  exec:(Prog.t -> verdict) ->
+  signature:string ->
+  Prog.t ->
+  Prog.t * int
+(** [minimize ~exec ~signature prog] returns the reduced program and the
+    number of candidate executions spent. The result still crashes with
+    [signature] under [exec] (the original is returned unchanged if no
+    reduction holds). Default budget: 200 executions. *)

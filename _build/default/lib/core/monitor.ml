@@ -1,0 +1,50 @@
+type detection =
+  | Panic_banner of { os : string; message : string }
+  | Assertion_failure of { os : string; message : string }
+  | Error_line of { os : string; message : string }
+  | Backtrace_frame of string
+
+(* "[<os>] KERNEL PANIC: <msg>" etc., as Klog emits them. *)
+let re_panic = Re.compile (Re.Pcre.re {|^\[([^\]]+)\] KERNEL PANIC: (.*)$|})
+
+let re_assert = Re.compile (Re.Pcre.re {|^\[([^\]]+)\] ASSERTION FAILED: (.*)$|})
+
+let re_error = Re.compile (Re.Pcre.re {|^\[([^\]]+)\] ERROR: (.*)$|})
+
+let re_frame = Re.compile (Re.Pcre.re {|^\s*Level \d+: (.*)$|})
+
+let scan_line line =
+  match Re.exec_opt re_panic line with
+  | Some g -> Some (Panic_banner { os = Re.Group.get g 1; message = Re.Group.get g 2 })
+  | None ->
+    (match Re.exec_opt re_assert line with
+     | Some g ->
+       Some (Assertion_failure { os = Re.Group.get g 1; message = Re.Group.get g 2 })
+     | None ->
+       (match Re.exec_opt re_frame line with
+        | Some g -> Some (Backtrace_frame (Re.Group.get g 1))
+        | None ->
+          (match Re.exec_opt re_error line with
+           | Some g -> Some (Error_line { os = Re.Group.get g 1; message = Re.Group.get g 2 })
+           | None -> None)))
+
+let scan text =
+  String.split_on_char '\n' text |> List.filter_map scan_line
+
+let assert_operation message =
+  match String.index_opt message ':' with
+  | Some i when i > 0 -> Some (String.trim (String.sub message 0 i))
+  | _ -> None
+
+let collect_backtrace detections =
+  List.filter_map (function Backtrace_frame f -> Some f | _ -> None) detections
+
+let first_panic detections =
+  List.find_map
+    (function Panic_banner { os; message } -> Some (os, message) | _ -> None)
+    detections
+
+let first_assertion detections =
+  List.find_map
+    (function Assertion_failure { os; message } -> Some (os, message) | _ -> None)
+    detections

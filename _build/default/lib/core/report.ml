@@ -1,0 +1,59 @@
+let crash_to_text (c : Crash.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "EOF crash report\n================\n");
+  Buffer.add_string buf (Printf.sprintf "target os   : %s\n" c.Crash.os);
+  Buffer.add_string buf (Printf.sprintf "kind        : %s\n" (Crash.kind_name c.Crash.kind));
+  Buffer.add_string buf (Printf.sprintf "operation   : %s()\n" c.Crash.operation);
+  Buffer.add_string buf (Printf.sprintf "scope       : %s\n" c.Crash.scope);
+  Buffer.add_string buf
+    (Printf.sprintf "detected by : %s monitor\n" (Crash.monitor_name c.Crash.detected_by));
+  Buffer.add_string buf (Printf.sprintf "iteration   : %d\n" c.Crash.iteration);
+  Buffer.add_string buf (Printf.sprintf "\nmessage:\n  %s\n" c.Crash.message);
+  if c.Crash.backtrace <> [] then begin
+    Buffer.add_string buf "\nbacktrace:\n";
+    List.iteri
+      (fun i frame -> Buffer.add_string buf (Printf.sprintf "  Level %d: %s\n" (i + 1) frame))
+      c.Crash.backtrace
+  end;
+  if c.Crash.program <> "" then
+    Buffer.add_string buf (Printf.sprintf "\ntriggering program:\n%s\n" c.Crash.program);
+  Buffer.contents buf
+
+let sanitize name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' then c else '_') name
+
+let save_crashes ~dir crashes =
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let paths =
+      List.mapi
+        (fun i crash ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "crash-%02d-%s.txt" (i + 1) (sanitize crash.Crash.operation))
+          in
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc (crash_to_text crash));
+          path)
+        crashes
+    in
+    Ok paths
+  with Sys_error e -> Error e
+
+let outcome_summary (o : Campaign.outcome) =
+  String.concat "\n"
+    [
+      Printf.sprintf "target          : %s" o.Campaign.os;
+      Printf.sprintf "payloads run    : %d (%d iterations)" o.Campaign.executed_programs
+        o.Campaign.iterations_done;
+      Printf.sprintf "branch coverage : %d distinct edges" o.Campaign.coverage;
+      Printf.sprintf "corpus          : %d seeds" o.Campaign.corpus_size;
+      Printf.sprintf "crashes         : %d distinct (%d events)"
+        (List.length o.Campaign.crashes)
+        o.Campaign.crash_events;
+      Printf.sprintf "liveness        : %d resets, %d reflashes, %d stalls, %d link timeouts"
+        o.Campaign.resets o.Campaign.reflashes o.Campaign.stalls o.Campaign.timeouts;
+      Printf.sprintf "virtual time    : %.2f s" o.Campaign.virtual_s;
+    ]

@@ -1,0 +1,12 @@
+(** Human-readable crash reports and campaign summaries. *)
+
+val crash_to_text : Crash.t -> string
+(** Full report: identity header, detection channel, message, the
+    captured backtrace, and the triggering program. *)
+
+val save_crashes : dir:string -> Crash.t list -> (string list, string) result
+(** Write one report per crash into [dir] (created if missing) as
+    [crash-NN-<operation>.txt]; returns the paths written. *)
+
+val outcome_summary : Campaign.outcome -> string
+(** The multi-line summary the CLI prints after a campaign. *)

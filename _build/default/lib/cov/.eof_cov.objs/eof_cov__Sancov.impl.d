@@ -1,0 +1,1 @@
+lib/cov/sancov.ml: Arch Array Bytes Eof_exec Eof_hw Int32 Int64 List Memory Sitemap String

@@ -1,0 +1,1 @@
+lib/cov/sancov.mli: Eof_hw Sitemap

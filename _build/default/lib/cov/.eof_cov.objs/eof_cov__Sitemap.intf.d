@@ -1,0 +1,1 @@
+lib/cov/sitemap.mli:

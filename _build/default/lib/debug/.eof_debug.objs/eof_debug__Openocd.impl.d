@@ -1,0 +1,1 @@
+lib/debug/openocd.ml: Arch Array Board Buffer Bytes Clock Engine Eof_exec Eof_hw Eof_util Fault Flash Gpio Int32 Int64 List Rsp String Uart

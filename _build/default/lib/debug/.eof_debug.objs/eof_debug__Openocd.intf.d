@@ -1,0 +1,1 @@
+lib/debug/openocd.mli: Board Engine Eof_exec Eof_hw

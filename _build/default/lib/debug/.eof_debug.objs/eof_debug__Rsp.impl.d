@@ -1,0 +1,1 @@
+lib/debug/rsp.ml: Buffer Char Eof_util Hex List Printf Result String

@@ -1,0 +1,1 @@
+lib/debug/rsp.mli:

@@ -1,0 +1,1 @@
+lib/debug/session.ml: Arch Board Bytes Eof_hw Eof_util Int32 Int64 List Openocd Printf Result Rsp String Transport

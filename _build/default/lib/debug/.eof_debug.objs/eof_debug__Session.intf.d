@@ -1,0 +1,1 @@
+lib/debug/session.mli: Openocd Transport

@@ -1,0 +1,1 @@
+lib/debug/transport.ml: Eof_util String

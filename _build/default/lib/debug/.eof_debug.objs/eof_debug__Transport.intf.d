@@ -1,0 +1,1 @@
+lib/debug/transport.mli: Eof_util

@@ -1,0 +1,255 @@
+open Eof_util
+
+let checksum s =
+  let acc = ref 0 in
+  String.iter (fun c -> acc := (!acc + Char.code c) land 0xFF) s;
+  !acc
+
+let make_frame payload = Printf.sprintf "$%s#%02x" payload (checksum payload)
+
+let must_escape c = c = '$' || c = '#' || c = '}' || c = '*'
+
+let escape_binary s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if must_escape c then begin
+        Buffer.add_char buf '}';
+        Buffer.add_char buf (Char.chr (Char.code c lxor 0x20))
+      end
+      else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape_binary s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '}' then
+      if i + 1 >= n then Error "dangling escape at end of payload"
+      else begin
+        Buffer.add_char buf (Char.chr (Char.code s.[i + 1] lxor 0x20));
+        go (i + 2)
+      end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+module Decoder = struct
+  type state = Idle | In_payload | In_check of int option (* first nibble *)
+
+  type t = { mutable state : state; payload : Buffer.t }
+
+  type event = Packet of string | Ack | Nak | Break | Bad_checksum of string
+
+  let create () = { state = Idle; payload = Buffer.create 64 }
+
+  let feed t bytes =
+    let events = ref [] in
+    let emit e = events := e :: !events in
+    String.iter
+      (fun c ->
+        match t.state with
+        | Idle ->
+          (match c with
+           | '$' ->
+             Buffer.clear t.payload;
+             t.state <- In_payload
+           | '+' -> emit Ack
+           | '-' -> emit Nak
+           | '\003' -> emit Break
+           | _ -> (* line noise between frames: ignored like a real stub *) ())
+        | In_payload ->
+          if c = '#' then t.state <- In_check None else Buffer.add_char t.payload c
+        | In_check first ->
+          (match Hex.to_nibble c with
+           | None ->
+             emit (Bad_checksum (Buffer.contents t.payload));
+             t.state <- Idle
+           | Some nib ->
+             (match first with
+              | None -> t.state <- In_check (Some nib)
+              | Some hi ->
+                let declared = (hi lsl 4) lor nib in
+                let payload = Buffer.contents t.payload in
+                if checksum payload = declared then emit (Packet payload)
+                else emit (Bad_checksum payload);
+                t.state <- Idle)))
+      bytes;
+    List.rev !events
+end
+
+type command =
+  | Q_supported of string
+  | Read_mem of { addr : int; len : int }
+  | Write_mem of { addr : int; data : string }
+  | Insert_breakpoint of int
+  | Remove_breakpoint of int
+  | Continue
+  | Step
+  | Read_registers
+  | Halt_reason
+  | Flash_erase of { addr : int; len : int }
+  | Flash_write of { addr : int; data : string }
+  | Flash_done
+  | Monitor of string
+  | Kill
+
+let parse_hex_int s =
+  if s = "" then Error "empty hex number"
+  else
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v when v >= 0 -> Ok v
+    | _ -> Error (Printf.sprintf "bad hex number %S" s)
+
+let split2 sep s =
+  match String.index_opt s sep with
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> None
+
+let ( let* ) = Result.bind
+
+let parse_addr_len s =
+  match split2 ',' s with
+  | None -> Error (Printf.sprintf "expected addr,len in %S" s)
+  | Some (a, l) ->
+    let* addr = parse_hex_int a in
+    let* len = parse_hex_int l in
+    Ok (addr, len)
+
+let parse_breakpoint s =
+  (* payload after Z/z: "0,<addr>,<kind>" *)
+  match String.split_on_char ',' s with
+  | [ "0"; addr; _kind ] -> parse_hex_int addr
+  | _ -> Error (Printf.sprintf "unsupported breakpoint spec %S" s)
+
+let parse_command payload =
+  if payload = "" then Error "empty packet"
+  else
+    let rest = String.sub payload 1 (String.length payload - 1) in
+    match payload.[0] with
+    | 'q' ->
+      if payload = "qSupported" then Ok (Q_supported "")
+      else if String.length payload >= 11 && String.sub payload 0 11 = "qSupported:" then
+        Ok (Q_supported (String.sub payload 11 (String.length payload - 11)))
+      else if String.length payload >= 6 && String.sub payload 0 6 = "qRcmd," then
+        let hex = String.sub payload 6 (String.length payload - 6) in
+        (match Hex.decode hex with
+         | Ok cmd -> Ok (Monitor cmd)
+         | Error e -> Error ("qRcmd: " ^ e))
+      else Error (Printf.sprintf "unsupported query %S" payload)
+    | 'm' ->
+      let* addr, len = parse_addr_len rest in
+      Ok (Read_mem { addr; len })
+    | 'M' ->
+      (match split2 ':' rest with
+       | None -> Error "M: missing data"
+       | Some (range, hexdata) ->
+         let* addr, len = parse_addr_len range in
+         (match Hex.decode hexdata with
+          | Error e -> Error ("M: " ^ e)
+          | Ok data ->
+            if String.length data <> len then Error "M: length mismatch"
+            else Ok (Write_mem { addr; data })))
+    | 'Z' ->
+      let* addr = parse_breakpoint rest in
+      Ok (Insert_breakpoint addr)
+    | 'z' ->
+      let* addr = parse_breakpoint rest in
+      Ok (Remove_breakpoint addr)
+    | 'c' when payload = "c" -> Ok Continue
+    | 's' when payload = "s" -> Ok Step
+    | 'g' when payload = "g" -> Ok Read_registers
+    | '?' when payload = "?" -> Ok Halt_reason
+    | 'k' when payload = "k" -> Ok Kill
+    | 'v' ->
+      if String.length payload >= 12 && String.sub payload 0 12 = "vFlashErase:" then
+        let* addr, len = parse_addr_len (String.sub payload 12 (String.length payload - 12)) in
+        Ok (Flash_erase { addr; len })
+      else if String.length payload >= 12 && String.sub payload 0 12 = "vFlashWrite:" then
+        let body = String.sub payload 12 (String.length payload - 12) in
+        (match split2 ':' body with
+         | None -> Error "vFlashWrite: missing data"
+         | Some (a, escaped) ->
+           let* addr = parse_hex_int a in
+           (match unescape_binary escaped with
+            | Error e -> Error ("vFlashWrite: " ^ e)
+            | Ok data -> Ok (Flash_write { addr; data })))
+      else if payload = "vFlashDone" then Ok Flash_done
+      else Error (Printf.sprintf "unsupported v-packet %S" payload)
+    | _ -> Error (Printf.sprintf "unsupported packet %S" payload)
+
+let render_command = function
+  | Q_supported "" -> "qSupported"
+  | Q_supported features -> "qSupported:" ^ features
+  | Read_mem { addr; len } -> Printf.sprintf "m%x,%x" addr len
+  | Write_mem { addr; data } ->
+    Printf.sprintf "M%x,%x:%s" addr (String.length data) (Hex.encode data)
+  | Insert_breakpoint addr -> Printf.sprintf "Z0,%x,2" addr
+  | Remove_breakpoint addr -> Printf.sprintf "z0,%x,2" addr
+  | Continue -> "c"
+  | Step -> "s"
+  | Read_registers -> "g"
+  | Halt_reason -> "?"
+  | Kill -> "k"
+  | Flash_erase { addr; len } -> Printf.sprintf "vFlashErase:%x,%x" addr len
+  | Flash_write { addr; data } ->
+    Printf.sprintf "vFlashWrite:%x:%s" addr (escape_binary data)
+  | Flash_done -> "vFlashDone"
+  | Monitor cmd -> "qRcmd," ^ Hex.encode cmd
+
+type stop_info = { signal : int; pc : int; detail : string }
+
+type reply =
+  | Ok_reply
+  | Error_reply of int
+  | Hex_data of string
+  | Stop of stop_info
+  | Exited of int
+  | Supported of string
+  | Raw of string
+
+let render_reply ~pc_reg = function
+  | Ok_reply -> "OK"
+  | Error_reply n -> Printf.sprintf "E%02x" (n land 0xFF)
+  | Hex_data raw -> Hex.encode raw
+  | Stop { signal; pc; detail } ->
+    Printf.sprintf "T%02x%02x:%08x;%s;" (signal land 0xFF) pc_reg pc detail
+  | Exited code -> Printf.sprintf "W%02x" (code land 0xFF)
+  | Supported s -> s
+  | Raw s -> s
+
+let parse_stop ~pc_reg s =
+  (* "Txx<reg>:<pc8>;<detail>;" *)
+  let* signal = parse_hex_int (String.sub s 1 2) in
+  let rest = String.sub s 3 (String.length s - 3) in
+  match split2 ':' rest with
+  | None -> Error (Printf.sprintf "stop reply missing register: %S" s)
+  | Some (reg, tail) ->
+    let* reg = parse_hex_int reg in
+    if reg <> pc_reg then Error (Printf.sprintf "stop reply for unexpected register %d" reg)
+    else if String.length tail < 9 then Error "stop reply too short"
+    else
+      let* pc = parse_hex_int (String.sub tail 0 8) in
+      let detail = String.sub tail 9 (String.length tail - 9) in
+      let detail =
+        if String.length detail > 0 && detail.[String.length detail - 1] = ';' then
+          String.sub detail 0 (String.length detail - 1)
+        else detail
+      in
+      Ok (Stop { signal; pc; detail })
+
+let parse_reply ~pc_reg payload =
+  if payload = "OK" then Ok Ok_reply
+  else if String.length payload = 3 && payload.[0] = 'E' then
+    let* n = parse_hex_int (String.sub payload 1 2) in
+    Ok (Error_reply n)
+  else if String.length payload >= 3 && payload.[0] = 'W' then
+    let* code = parse_hex_int (String.sub payload 1 2) in
+    Ok (Exited code)
+  else if String.length payload >= 3 && payload.[0] = 'T' then parse_stop ~pc_reg payload
+  else Ok (Raw payload)

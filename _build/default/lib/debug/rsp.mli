@@ -1,0 +1,85 @@
+(** GDB Remote Serial Protocol: framing, escaping, and the command
+    vocabulary EOF needs.
+
+    All host-target interaction travels as RSP byte streams over the
+    simulated probe link, so the protocol layer is real: packets are
+    framed as [$payload#xx] with a mod-256 checksum, binary payloads use
+    [}]-escaping, and malformed input is rejected the way a picky stub
+    would reject it. *)
+
+val checksum : string -> int
+(** Sum of payload bytes mod 256. *)
+
+val make_frame : string -> string
+(** [$payload#xx]. The payload must already be escaped. *)
+
+val escape_binary : string -> string
+(** Escape [$], [#], [}] and [*] as [}(c lxor 0x20)] for binary payload
+    sections (as used by [vFlashWrite]). *)
+
+val unescape_binary : string -> (string, string) result
+
+(** Incremental frame decoder. Feed raw bytes; collect events. *)
+module Decoder : sig
+  type t
+
+  type event =
+    | Packet of string  (** checksum-validated payload, still escaped *)
+    | Ack
+    | Nak
+    | Break  (** 0x03 interrupt byte *)
+    | Bad_checksum of string
+
+  val create : unit -> t
+
+  val feed : t -> string -> event list
+  (** Events completed by these bytes, in order. Partial frames are
+      buffered. *)
+end
+
+(** Host-to-target commands, parsed from packet payloads. *)
+type command =
+  | Q_supported of string
+  | Read_mem of { addr : int; len : int }
+  | Write_mem of { addr : int; data : string }
+  | Insert_breakpoint of int
+  | Remove_breakpoint of int
+  | Continue
+  | Step
+  | Read_registers
+  | Halt_reason
+  | Flash_erase of { addr : int; len : int }
+  | Flash_write of { addr : int; data : string }  (** data unescaped *)
+  | Flash_done
+  | Monitor of string  (** qRcmd, decoded from hex *)
+  | Kill
+
+val parse_command : string -> (command, string) result
+(** Parse an unescaped packet payload. *)
+
+val render_command : command -> string
+(** Client side: payload text for a command (escaped where needed). *)
+
+(** Target-to-host replies. *)
+type stop_info = {
+  signal : int;  (** 5 = TRAP (breakpoint/fault), 2 = INT (quantum) *)
+  pc : int;
+  detail : string;  (** "swbreak", "fault:<msg>", "quantum" *)
+}
+
+type reply =
+  | Ok_reply
+  | Error_reply of int
+  | Hex_data of string  (** raw bytes, hex-encoded on the wire *)
+  | Stop of stop_info
+  | Exited of int
+  | Supported of string
+  | Raw of string  (** uninterpreted payload (qRcmd output, [g] dump) *)
+
+val render_reply : pc_reg:int -> reply -> string
+(** [pc_reg] is the architecture's PC register number for [T] stop
+    replies. *)
+
+val parse_reply : pc_reg:int -> string -> (reply, string) result
+(** Client side. [Raw] is returned for payloads that match no structured
+    form; callers with context (e.g. after [m]) interpret it. *)

@@ -1,0 +1,178 @@
+open Eof_hw
+
+type error = Timeout | Protocol of string | Remote of int
+
+type stop =
+  | Stopped_breakpoint of int
+  | Stopped_quantum of int
+  | Stopped_fault of int
+  | Target_exited
+
+type t = {
+  transport : Transport.t;
+  server : Openocd.t;
+  decoder : Rsp.Decoder.t;
+  pc_reg : int;
+  endianness : Arch.endianness;
+  mutable requests : int;
+}
+
+let ( let* ) = Result.bind
+
+let error_to_string = function
+  | Timeout -> "debug link timeout"
+  | Protocol msg -> "protocol error: " ^ msg
+  | Remote n -> Printf.sprintf "remote error E%02x" n
+
+let request t payload =
+  t.requests <- t.requests + 1;
+  let tx = Rsp.make_frame payload in
+  match Transport.exchange t.transport ~server:(Openocd.feed t.server) tx with
+  | Error `Timeout -> Error Timeout
+  | Ok rx ->
+    let events = Rsp.Decoder.feed t.decoder rx in
+    let packet =
+      List.find_map
+        (function Rsp.Decoder.Packet p -> Some p | _ -> None)
+        events
+    in
+    (match packet with
+     | None -> Error (Protocol "no reply packet")
+     | Some p ->
+       (match Rsp.parse_reply ~pc_reg:t.pc_reg p with
+        | Ok reply -> Ok reply
+        | Error e -> Error (Protocol e)))
+
+let expect_ok t payload =
+  let* reply = request t payload in
+  match reply with
+  | Rsp.Ok_reply -> Ok ()
+  | Rsp.Error_reply n -> Error (Remote n)
+  | _ -> Error (Protocol "expected OK")
+
+let expect_hex t payload =
+  let* reply = request t payload in
+  match reply with
+  | Rsp.Raw s ->
+    (match Eof_util.Hex.decode s with
+     | Ok data -> Ok data
+     | Error e -> Error (Protocol e))
+  | Rsp.Error_reply n -> Error (Remote n)
+  | _ -> Error (Protocol "expected hex data")
+
+let connect ~transport ~server =
+  let board = Openocd.board server in
+  let arch = (Board.profile board).Board.arch in
+  let t =
+    {
+      transport;
+      server;
+      decoder = Rsp.Decoder.create ();
+      pc_reg = arch.Arch.pc_register;
+      endianness = arch.Arch.endianness;
+      requests = 0;
+    }
+  in
+  let* reply = request t (Rsp.render_command (Rsp.Q_supported "swbreak+")) in
+  match reply with
+  | Rsp.Raw features when features <> "" -> Ok t
+  | Rsp.Raw _ -> Error (Protocol "empty qSupported reply")
+  | _ -> Error (Protocol "unexpected qSupported reply")
+
+let read_mem t ~addr ~len = expect_hex t (Rsp.render_command (Rsp.Read_mem { addr; len }))
+
+let write_mem t ~addr data =
+  expect_ok t (Rsp.render_command (Rsp.Write_mem { addr; data }))
+
+let read_u32 t ~addr =
+  let* raw = read_mem t ~addr ~len:4 in
+  let b = Bytes.unsafe_of_string raw in
+  Ok
+    (match t.endianness with
+     | Arch.Little -> Bytes.get_int32_le b 0
+     | Arch.Big -> Bytes.get_int32_be b 0)
+
+let write_u32 t ~addr v =
+  let b = Bytes.create 4 in
+  (match t.endianness with
+   | Arch.Little -> Bytes.set_int32_le b 0 v
+   | Arch.Big -> Bytes.set_int32_be b 0 v);
+  write_mem t ~addr (Bytes.unsafe_to_string b)
+
+let set_breakpoint t addr = expect_ok t (Rsp.render_command (Rsp.Insert_breakpoint addr))
+
+let remove_breakpoint t addr = expect_ok t (Rsp.render_command (Rsp.Remove_breakpoint addr))
+
+let stop_of_reply = function
+  | Rsp.Stop { signal = _; pc; detail = "swbreak" } -> Ok (Stopped_breakpoint pc)
+  | Rsp.Stop { signal = _; pc; detail = "quantum" } -> Ok (Stopped_quantum pc)
+  | Rsp.Stop { signal = _; pc; detail = "fault" } -> Ok (Stopped_fault pc)
+  | Rsp.Stop { signal = _; pc; detail } ->
+    if detail = "initial" then Ok (Stopped_quantum pc)
+    else Error (Protocol (Printf.sprintf "unknown stop detail %S" detail))
+  | Rsp.Exited _ -> Ok Target_exited
+  | Rsp.Error_reply n -> Error (Remote n)
+  | _ -> Error (Protocol "expected stop reply")
+
+let continue_ t =
+  let* reply = request t (Rsp.render_command Rsp.Continue) in
+  stop_of_reply reply
+
+let step t =
+  let* reply = request t (Rsp.render_command Rsp.Step) in
+  stop_of_reply reply
+
+let read_pc t =
+  let* raw = expect_hex t (Rsp.render_command Rsp.Read_registers) in
+  let need = (t.pc_reg + 1) * 4 in
+  if String.length raw < need then Error (Protocol "register dump too short")
+  else
+    let b = Bytes.unsafe_of_string raw in
+    let v =
+      match t.endianness with
+      | Arch.Little -> Bytes.get_int32_le b (t.pc_reg * 4)
+      | Arch.Big -> Bytes.get_int32_be b (t.pc_reg * 4)
+    in
+    Ok (Int32.to_int (Int32.logand v 0x7FFFFFFFl))
+
+let flash_erase t ~addr ~len = expect_ok t (Rsp.render_command (Rsp.Flash_erase { addr; len }))
+
+let flash_write t ~addr data =
+  expect_ok t (Rsp.render_command (Rsp.Flash_write { addr; data }))
+
+let flash_done t = expect_ok t (Rsp.render_command Rsp.Flash_done)
+
+let monitor t cmd =
+  let* reply = request t (Rsp.render_command (Rsp.Monitor cmd)) in
+  match reply with
+  | Rsp.Ok_reply -> Ok ""
+  | Rsp.Raw s ->
+    (match Eof_util.Hex.decode s with
+     | Ok text -> Ok text
+     | Error e -> Error (Protocol e))
+  | Rsp.Error_reply n -> Error (Remote n)
+  | _ -> Error (Protocol "unexpected qRcmd reply")
+
+let reset_target t =
+  let* _ = monitor t "reset" in
+  Ok ()
+
+let inject_gpio t ~pin ~level =
+  let* _ = monitor t (Printf.sprintf "gpio %d %s" pin (if level then "1" else "0")) in
+  Ok ()
+
+let drain_uart t = monitor t "uart"
+
+let last_fault t = monitor t "fault"
+
+let boot_ok t =
+  let* text = monitor t "bootok" in
+  Ok (text = "1")
+
+let target_cycles t =
+  let* text = monitor t "cycles" in
+  match Int64.of_string_opt text with
+  | Some v -> Ok v
+  | None -> Error (Protocol ("bad cycles reply: " ^ text))
+
+let requests t = t.requests

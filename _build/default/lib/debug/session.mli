@@ -1,0 +1,68 @@
+(** Typed host-side debug session: the fuzzer's only window onto the
+    target.
+
+    Every method round-trips an RSP packet through the transport to the
+    probe server. [Error Timeout] is the signal the connection-timeout
+    liveness watchdog consumes. *)
+
+type error =
+  | Timeout  (** the link dropped the exchange *)
+  | Protocol of string  (** malformed/unexpected reply *)
+  | Remote of int  (** explicit [Enn] from the stub *)
+
+type stop =
+  | Stopped_breakpoint of int  (** PC, parked at a breakpointed site *)
+  | Stopped_quantum of int  (** PC; continue quantum expired, target live *)
+  | Stopped_fault of int  (** PC at the fault vector *)
+  | Target_exited
+
+type t
+
+val connect : transport:Transport.t -> server:Openocd.t -> (t, error) result
+(** Performs the [qSupported] handshake. *)
+
+val read_mem : t -> addr:int -> len:int -> (string, error) result
+
+val write_mem : t -> addr:int -> string -> (unit, error) result
+
+val read_u32 : t -> addr:int -> (int32, error) result
+(** Convenience word read honouring the target's endianness. *)
+
+val write_u32 : t -> addr:int -> int32 -> (unit, error) result
+
+val set_breakpoint : t -> int -> (unit, error) result
+
+val remove_breakpoint : t -> int -> (unit, error) result
+
+val continue_ : t -> (stop, error) result
+
+val step : t -> (stop, error) result
+
+val read_pc : t -> (int, error) result
+(** Extracted from a [g] register dump. *)
+
+val flash_erase : t -> addr:int -> len:int -> (unit, error) result
+
+val flash_write : t -> addr:int -> string -> (unit, error) result
+
+val flash_done : t -> (unit, error) result
+
+val monitor : t -> string -> (string, error) result
+(** [qRcmd]; returns the decoded text reply. *)
+
+val reset_target : t -> (unit, error) result
+
+val inject_gpio : t -> pin:int -> level:bool -> (unit, error) result
+(** Peripheral event injection: flip a GPIO pin on the target board. *)
+
+val drain_uart : t -> (string, error) result
+
+val last_fault : t -> (string, error) result
+
+val boot_ok : t -> (bool, error) result
+
+val target_cycles : t -> (int64, error) result
+
+val requests : t -> int
+
+val error_to_string : error -> string

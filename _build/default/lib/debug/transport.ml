@@ -1,0 +1,48 @@
+type failure_mode = Up | Down | Flaky of float
+
+type t = {
+  rng : Eof_util.Rng.t;
+  byte_latency_us : float;
+  mutable mode : failure_mode;
+  mutable elapsed_us : float;
+  mutable exchanges : int;
+  mutable timeouts : int;
+}
+
+let create ?rng ?(byte_latency_us = 1.0) () =
+  let rng = match rng with Some r -> r | None -> Eof_util.Rng.create 0x7712AB34L in
+  { rng; byte_latency_us; mode = Up; elapsed_us = 0.; exchanges = 0; timeouts = 0 }
+
+let set_failure_mode t mode = t.mode <- mode
+
+let failure_mode t = t.mode
+
+(* A timeout costs the host its full wait budget; generous so that
+   timeouts are visibly expensive, as on real probes. *)
+let timeout_cost_us = 500_000.
+
+let exchange t ~server request =
+  t.exchanges <- t.exchanges + 1;
+  let lost =
+    match t.mode with
+    | Up -> false
+    | Down -> true
+    | Flaky p -> Eof_util.Rng.chance t.rng p
+  in
+  if lost then begin
+    t.timeouts <- t.timeouts + 1;
+    t.elapsed_us <- t.elapsed_us +. timeout_cost_us;
+    Error `Timeout
+  end
+  else begin
+    let response = server request in
+    let bytes = String.length request + String.length response in
+    t.elapsed_us <- t.elapsed_us +. (float_of_int bytes *. t.byte_latency_us);
+    Ok response
+  end
+
+let elapsed_us t = t.elapsed_us
+
+let exchanges t = t.exchanges
+
+let timeouts t = t.timeouts

@@ -1,0 +1,32 @@
+(** The simulated probe link (JTAG/SWD adapter + USB cable).
+
+    Synchronous request/response byte shuttle between the host session
+    and the OpenOCD-like server, with injectable failure modes used to
+    exercise the connection-timeout watchdog:
+
+    - [Up]: requests go through, charged with per-byte latency.
+    - [Down]: the link is dead; every exchange times out.
+    - [Flaky p]: each exchange is independently lost with probability
+      [p] (then times out). *)
+
+type failure_mode = Up | Down | Flaky of float
+
+type t
+
+val create : ?rng:Eof_util.Rng.t -> ?byte_latency_us:float -> unit -> t
+(** Default latency: 1 us/byte (~1 MBaud SWD). *)
+
+val set_failure_mode : t -> failure_mode -> unit
+
+val failure_mode : t -> failure_mode
+
+val exchange : t -> server:(string -> string) -> string -> (string, [ `Timeout ]) result
+(** Push request bytes through the link to [server]; return its response
+    bytes. [Error `Timeout] models a dead/flaky link. *)
+
+val elapsed_us : t -> float
+(** Accumulated link latency (host-side wall model). *)
+
+val exchanges : t -> int
+
+val timeouts : t -> int

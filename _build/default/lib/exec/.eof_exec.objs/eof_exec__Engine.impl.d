@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Board Clock Effect Eof_hw Fault Hashtbl Int64 Target Uart

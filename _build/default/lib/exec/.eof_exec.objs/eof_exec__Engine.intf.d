@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Board Eof_hw Fault

@@ -1,0 +1,30 @@
+type _ Effect.t +=
+  | Site : int -> unit Effect.t
+  | Cycles : int -> unit Effect.t
+  | Uart_tx : string -> unit Effect.t
+  | Read_cycles : int64 Effect.t
+
+let site addr = Effect.perform (Site addr)
+
+let cycles n = Effect.perform (Cycles n)
+
+let uart_tx s = Effect.perform (Uart_tx s)
+
+let current_cycles () = Effect.perform Read_cycles
+
+let run_silent f =
+  let handler : ('a, 'a) Effect.Deep.handler =
+    {
+      Effect.Deep.retc = (fun v -> v);
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Site _ -> Some (fun (k : (b, _) Effect.Deep.continuation) -> Effect.Deep.continue k ())
+          | Cycles _ -> Some (fun k -> Effect.Deep.continue k ())
+          | Uart_tx _ -> Some (fun k -> Effect.Deep.continue k ())
+          | Read_cycles -> Some (fun k -> Effect.Deep.continue k 0L)
+          | _ -> None);
+    }
+  in
+  Effect.Deep.match_with f () handler

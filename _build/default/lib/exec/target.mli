@@ -1,0 +1,38 @@
+(** Effects performed by target-side code.
+
+    Target code — the execution agent, the OS personality, the app
+    modules — is ordinary OCaml run under the {!Engine} handler. Each
+    {!site} call marks the crossing of an instrumentation site and is the
+    engine's instruction boundary: the synthetic program counter moves
+    there, breakpoints are checked, cycles are charged. Code that
+    performs no effects is invisible to the debugger, exactly like
+    straight-line machine code between instrumented branches. *)
+
+val site : int -> unit
+(** Cross the instrumentation site at the given flash address. *)
+
+val cycles : int -> unit
+(** Charge additional CPU cycles (models expensive straight-line code or
+    instrumentation cost). *)
+
+val uart_tx : string -> unit
+(** Transmit bytes on the board's UART. *)
+
+val current_cycles : unit -> int64
+(** The board clock's cycle count, visible to target code (models a
+    cycle-counter register such as ARM's DWT->CYCCNT). *)
+
+val run_silent : (unit -> 'a) -> 'a
+(** Run target code on the host with all target effects swallowed:
+    sites and cycles are dropped, UART output is discarded, the cycle
+    counter reads zero. For host-side uses of target-flavoured code —
+    extracting API signatures at build time, unit tests. *)
+
+(**/**)
+
+(* Effect declarations, exposed for the engine's handler only. *)
+type _ Effect.t +=
+  | Site : int -> unit Effect.t
+  | Cycles : int -> unit Effect.t
+  | Uart_tx : string -> unit Effect.t
+  | Read_cycles : int64 Effect.t

@@ -1,0 +1,1 @@
+lib/expt/ablation.ml: Eof_core Eof_cov Eof_os Eof_util List Printf Runner String Targets

@@ -1,0 +1,1 @@
+lib/expt/app_level.ml: Eof_baselines Eof_core Eof_hw Eof_os Eof_util Freertos Hashtbl List Osbuild Runner

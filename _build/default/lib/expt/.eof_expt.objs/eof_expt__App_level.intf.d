@@ -1,0 +1,1 @@
+lib/expt/app_level.mli: Eof_core

@@ -1,0 +1,1 @@
+lib/expt/fig7.ml: Eof_core Fig_render List Printf Runner String

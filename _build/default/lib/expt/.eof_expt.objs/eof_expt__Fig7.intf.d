@@ -1,0 +1,1 @@
+lib/expt/fig7.mli: Runner

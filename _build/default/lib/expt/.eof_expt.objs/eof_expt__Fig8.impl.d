@@ -1,0 +1,1 @@
+lib/expt/fig8.ml: App_level Eof_core Fig_render List Printf Runner String

@@ -1,0 +1,1 @@
+lib/expt/fig8.mli: App_level

@@ -1,0 +1,1 @@
+lib/expt/fig_render.ml: Array Buffer Eof_util Float List Printf String

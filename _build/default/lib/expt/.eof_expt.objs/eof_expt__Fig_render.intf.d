@@ -1,0 +1,1 @@
+lib/expt/fig_render.mli:

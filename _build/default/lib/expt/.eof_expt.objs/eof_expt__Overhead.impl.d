@@ -1,0 +1,1 @@
+lib/expt/overhead.ml: Eof_core Eof_hw Eof_os Eof_rtos Eof_util List Osbuild Printf Runner Targets

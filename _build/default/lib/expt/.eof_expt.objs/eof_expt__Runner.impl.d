@@ -1,0 +1,1 @@
+lib/expt/runner.ml: Eof_baselines Eof_core Eof_util Hashtbl Int64 List Option Sys Targets

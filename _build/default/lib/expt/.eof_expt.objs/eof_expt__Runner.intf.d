@@ -1,0 +1,1 @@
+lib/expt/runner.mli: Eof_core Targets

@@ -1,0 +1,1 @@
+lib/expt/table1.mli:

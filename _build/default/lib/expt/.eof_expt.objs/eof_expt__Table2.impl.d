@@ -1,0 +1,1 @@
+lib/expt/table2.ml: Eof_core Eof_util List Printf Runner Targets

@@ -1,0 +1,1 @@
+lib/expt/table2.mli: Runner Targets

@@ -1,0 +1,1 @@
+lib/expt/table3.ml: Eof_util List Option Printf Runner String Targets

@@ -1,0 +1,1 @@
+lib/expt/table4.ml: App_level Eof_util List Printf

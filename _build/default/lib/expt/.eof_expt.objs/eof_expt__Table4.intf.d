@@ -1,0 +1,1 @@
+lib/expt/table4.mli: App_level

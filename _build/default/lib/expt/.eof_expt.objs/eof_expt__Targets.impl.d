@@ -1,0 +1,1 @@
+lib/expt/targets.ml: Eof_core Eof_hw Eof_os Freertos List Nuttx Option Osbuild Pokos Rtthread Zephyr

@@ -1,0 +1,1 @@
+lib/expt/targets.mli: Eof_core Eof_hw Eof_os Osbuild

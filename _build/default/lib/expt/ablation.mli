@@ -1,0 +1,20 @@
+(** Ablations of the DESIGN.md-flagged design choices, beyond the
+    paper's own EOF-nf study.
+
+    A1 — PC-stall liveness watchdog: without it a single hang bug wedges
+    the campaign until "manual intervention" (here: the campaign's abort
+    guard), exactly the failure mode the paper attributes to prior
+    hardware fuzzers. RT-Thread hosts a hang bug, so it is the workload.
+
+    A2 — resource-dependency-aware generation: without it, resource
+    arguments reference arbitrary earlier calls, so preconditions fail
+    and deep handlers starve. *)
+
+val render_a1 : ?iterations:int -> unit -> string
+
+val render_a2 : ?iterations:int -> unit -> string
+
+val render_irq : ?iterations:int -> unit -> string
+(** E1 — peripheral event injection (the paper's future-work item,
+    implemented here): coverage with and without GPIO edge injection
+    alongside the test cases. *)

@@ -1,0 +1,39 @@
+module Campaign = Eof_core.Campaign
+
+let series_for cells ~iterations ~tool ~os =
+  List.map
+    (fun (o : Campaign.outcome) -> Runner.hours_of_series ~iterations o.Campaign.series)
+    (Runner.outcomes_of cells ~tool ~os)
+
+let render ~iterations cells =
+  let sub os label =
+    let tool_series tool glyph =
+      {
+        Fig_render.label = Runner.tool_name tool;
+        glyph;
+        runs = series_for cells ~iterations ~tool ~os;
+      }
+    in
+    Fig_render.render
+      ~title:(Printf.sprintf "(%s) %s" label os)
+      [ tool_series Runner.EOF 'E'; tool_series Runner.EOF_nf 'n';
+        (if os = "PoKOS" then tool_series Runner.Gustave 'G'
+         else tool_series Runner.Tardis 'T') ]
+  in
+  String.concat "\n"
+    [ sub "NuttX" "a"; sub "RT-Thread" "b"; sub "Zephyr" "c"; sub "FreeRTOS" "d" ]
+
+let to_csv ~iterations cells =
+  String.concat ""
+    (List.map
+       (fun os ->
+         Fig_render.to_csv ~title:os
+           [
+             { Fig_render.label = "EOF"; glyph = 'E'; runs = series_for cells ~iterations ~tool:Runner.EOF ~os };
+             { Fig_render.label = "EOF-nf"; glyph = 'n'; runs = series_for cells ~iterations ~tool:Runner.EOF_nf ~os };
+             (if os = "PoKOS" then
+                { Fig_render.label = "Gustave"; glyph = 'G'; runs = series_for cells ~iterations ~tool:Runner.Gustave ~os }
+              else
+                { Fig_render.label = "Tardis"; glyph = 'T'; runs = series_for cells ~iterations ~tool:Runner.Tardis ~os });
+           ])
+       [ "NuttX"; "RT-Thread"; "Zephyr"; "FreeRTOS" ])

@@ -1,0 +1,8 @@
+(** Figure 7 — coverage growth over the (virtual) 24-hour campaigns on
+    the four hardware OSs, for EOF, EOF-nf and Tardis, with min/max
+    bands across the repeated runs. *)
+
+val render : iterations:int -> Runner.cell list -> string
+
+val to_csv : iterations:int -> Runner.cell list -> string
+(** CSV of every tool's per-run series across the four OSs. *)

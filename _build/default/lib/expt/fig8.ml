@@ -1,0 +1,41 @@
+module Campaign = Eof_core.Campaign
+
+let render ~iterations cells =
+  let sub component label =
+    let series tool glyph =
+      {
+        Fig_render.label = App_level.tool_name tool;
+        glyph;
+        runs =
+          List.map
+            (fun (o : Campaign.outcome) ->
+              Runner.hours_of_series ~iterations o.Campaign.series)
+            (App_level.outcomes_of cells ~tool ~component);
+      }
+    in
+    Fig_render.render
+      ~title:(Printf.sprintf "(%s) %s" label component)
+      [
+        series App_level.App_EOF 'E';
+        series App_level.App_GDBFuzz 'g';
+        series App_level.App_SHIFT 's';
+      ]
+  in
+  String.concat "\n" [ sub "HTTP Server" "a"; sub "JSON" "b" ]
+
+let to_csv ~iterations cells =
+  let series tool component =
+    List.map
+      (fun (o : Campaign.outcome) -> Runner.hours_of_series ~iterations o.Campaign.series)
+      (App_level.outcomes_of cells ~tool ~component)
+  in
+  String.concat ""
+    (List.map
+       (fun component ->
+         Fig_render.to_csv ~title:component
+           [
+             { Fig_render.label = "EOF"; glyph = 'E'; runs = series App_level.App_EOF component };
+             { Fig_render.label = "GDBFuzz"; glyph = 'g'; runs = series App_level.App_GDBFuzz component };
+             { Fig_render.label = "SHIFT"; glyph = 's'; runs = series App_level.App_SHIFT component };
+           ])
+       [ "HTTP Server"; "JSON" ])

@@ -1,0 +1,6 @@
+(** Figure 8 — coverage growth of EOF, GDBFuzz and SHIFT on the HTTP
+    server and JSON components over the virtual 24 hours. *)
+
+val render : iterations:int -> App_level.app_cell list -> string
+
+val to_csv : iterations:int -> App_level.app_cell list -> string

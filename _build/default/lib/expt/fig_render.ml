@@ -1,0 +1,96 @@
+type tool_series = { label : string; glyph : char; runs : (float * int) list list }
+
+let value_at series hour =
+  let rec go best = function
+    | [] -> best
+    | (h, v) :: rest -> if h <= hour +. 1e-9 then go v rest else best
+  in
+  go 0 series
+
+let hour_marks = [ 0.; 2.; 4.; 6.; 8.; 10.; 12.; 14.; 16.; 18.; 20.; 22.; 24. ]
+
+let band tool hour =
+  match tool.runs with
+  | [] -> (0., 0., 0.)
+  | runs ->
+    let values = List.map (fun run -> float_of_int (value_at run hour)) runs in
+    let mean = Eof_util.Stats.mean values in
+    let lo, hi = Eof_util.Stats.min_max values in
+    (mean, lo, hi)
+
+let plot_width = 61
+
+let plot_height = 14
+
+let render ~title tools =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "%s\n" title);
+  (* Value table: mean [min-max] per tool at two-hour marks. *)
+  let header =
+    "hours" :: List.map (fun t -> Printf.sprintf "%s mean [min-max]" t.label) tools
+  in
+  let body =
+    List.map
+      (fun hour ->
+        Printf.sprintf "%.0f" hour
+        :: List.map
+             (fun tool ->
+               let mean, lo, hi = band tool hour in
+               Printf.sprintf "%.1f [%.0f-%.0f]" mean lo hi)
+             tools)
+      hour_marks
+  in
+  Buffer.add_string buf (Eof_util.Text_table.render ~header body);
+  Buffer.add_char buf '\n';
+  (* Character plot of the mean curves. *)
+  let max_cov =
+    List.fold_left
+      (fun acc tool ->
+        let m, _, _ = band tool 24. in
+        Float.max acc m)
+      1. tools
+  in
+  let grid = Array.make_matrix plot_height plot_width ' ' in
+  List.iter
+    (fun tool ->
+      for col = 0 to plot_width - 1 do
+        let hour = 24. *. float_of_int col /. float_of_int (plot_width - 1) in
+        let mean, _, _ = band tool hour in
+        let row =
+          plot_height - 1
+          - int_of_float (mean /. max_cov *. float_of_int (plot_height - 1))
+        in
+        let row = max 0 (min (plot_height - 1) row) in
+        if grid.(row).(col) = ' ' then grid.(row).(col) <- tool.glyph
+      done)
+    tools;
+  Buffer.add_string buf (Printf.sprintf "  branches (max %.0f)\n" max_cov);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "  |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf ("  +" ^ String.make plot_width '-' ^ "\n");
+  Buffer.add_string buf "   0h                         12h                          24h\n";
+  Buffer.add_string buf
+    ("  legend: "
+    ^ String.concat "  " (List.map (fun t -> Printf.sprintf "%c=%s" t.glyph t.label) tools)
+    ^ "\n");
+  Buffer.contents buf
+
+let to_csv ~title tools =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "figure,tool,run,hours,coverage\n";
+  List.iter
+    (fun tool ->
+      List.iteri
+        (fun run series ->
+          List.iter
+            (fun (hours, coverage) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s,%s,%d,%.3f,%d\n" title tool.label run hours coverage))
+            series)
+        tool.runs)
+    tools;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** ASCII rendering for coverage-growth figures.
+
+    Each tool contributes one series per repeated run, already mapped to
+    the virtual-hour axis; the renderer prints the mean curve with the
+    min/max band (the paper's shaded area) at two-hour marks, plus a
+    character plot of the mean curves. *)
+
+type tool_series = {
+  label : string;
+  glyph : char;  (** plot marker *)
+  runs : (float * int) list list;  (** per-run (hours, coverage) series *)
+}
+
+val value_at : (float * int) list -> float -> int
+(** Last sample at or before the given hour. *)
+
+val render : title:string -> tool_series list -> string
+
+val to_csv : title:string -> tool_series list -> string
+(** Machine-readable series: [figure,tool,run,hours,coverage] rows, one
+    per sample, for external plotting. *)

@@ -1,0 +1,102 @@
+open Eof_os
+module Campaign = Eof_core.Campaign
+module Stats = Eof_util.Stats
+
+let hardware_oses = [ "NuttX"; "RT-Thread"; "Zephyr"; "FreeRTOS" ]
+
+let mib bytes = float_of_int bytes /. 1024. /. 1024.
+
+let render_memory () =
+  let rows, pcts =
+    List.fold_left
+      (fun (rows, pcts) os ->
+        match Targets.find os with
+        | None -> (rows, pcts)
+        | Some target ->
+          let plain = Targets.build_hw ~instrument:Osbuild.Instrument_none target in
+          let instr = Targets.build_hw target in
+          let b0 = Osbuild.image_bytes plain in
+          let b1 = Osbuild.image_bytes instr in
+          let pct = Stats.improvement_pct ~baseline:(float_of_int b0) ~subject:(float_of_int b1) in
+          ( [
+              os;
+              Printf.sprintf "%.3f MB" (mib b0);
+              Printf.sprintf "%.3f MB" (mib b1);
+              Printf.sprintf "%.2f%%" pct;
+            ]
+            :: rows,
+            pct :: pcts ))
+      ([], []) hardware_oses
+  in
+  Eof_util.Text_table.render
+    ~header:[ "Target OSs"; "Uninstrumented"; "Instrumented"; "Increase" ]
+    (List.rev rows)
+  ^ Printf.sprintf "\nAverage memory overhead: %.2f%%\n" (Stats.mean pcts)
+
+(* Crash- and hang-triggering calls distort throughput measurements
+   (every panic costs a reboot, every hang a watchdog cycle), so the
+   steady-state measurement excludes the bug catalog's trigger calls. *)
+let benign_filter (target : Targets.hw_target) =
+  let os = target.Targets.spec.Eof_os.Osbuild.os_name in
+  let poisoned =
+    List.concat_map
+      (fun (b : Targets.bug) -> if b.Targets.os = os then b.Targets.match_ops else [])
+      Targets.catalog
+    @ [ "rt_object_detach"; "rt_serial_ctrl" ]
+  in
+  let build = Targets.build_hw target in
+  let table = Eof_os.Osbuild.api_signatures build in
+  List.filter_map
+    (fun (e : Eof_rtos.Api.entry) ->
+      if List.mem e.Eof_rtos.Api.name poisoned then None else Some e.Eof_rtos.Api.name)
+    table.Eof_rtos.Api.entries
+
+let throughput target ~instrument ~iterations =
+  let build = Targets.build_hw ~instrument target in
+  let config =
+    {
+      Campaign.default_config with
+      seed = 9L;
+      iterations;
+      feedback = false;
+      snapshot_every = max 1 (iterations / 4);
+      api_filter = Some (benign_filter target);
+    }
+  in
+  match Campaign.run config build with
+  | Error _ -> None
+  | Ok outcome ->
+    let cpu_s = Eof_hw.Clock.now_s (Eof_hw.Board.clock (Osbuild.board build)) in
+    if cpu_s <= 0. then None
+    else Some (float_of_int outcome.Campaign.executed_programs /. cpu_s)
+
+let render_execution ?iterations () =
+  let iterations = match iterations with Some i -> i | None -> Runner.scaled 800 in
+  let rows, pcts =
+    List.fold_left
+      (fun (rows, pcts) os ->
+        match Targets.find os with
+        | None -> (rows, pcts)
+        | Some target ->
+          (match
+             ( throughput target ~instrument:Osbuild.Instrument_none ~iterations,
+               throughput target ~instrument:Osbuild.Instrument_full ~iterations )
+           with
+           | Some plain, Some instr ->
+             let pct = (plain -. instr) /. plain *. 100. in
+             ( [
+                 os;
+                 Printf.sprintf "%.3g" plain;
+                 Printf.sprintf "%.3g" instr;
+                 Printf.sprintf "%.2f%%" pct;
+               ]
+               :: rows,
+               pct :: pcts )
+           | _ -> (rows, pcts)))
+      ([], []) hardware_oses
+  in
+  Eof_util.Text_table.render
+    ~header:[ "Target OSs"; "Payloads/s (plain)"; "Payloads/s (instr)"; "Overhead" ]
+    (List.rev rows)
+  ^ Printf.sprintf "\nAverage execution overhead: %.2f%%\n"
+      (match pcts with [] -> 0. | _ -> Stats.mean pcts)

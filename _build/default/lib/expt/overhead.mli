@@ -1,0 +1,14 @@
+(** §5.5 — instrumentation overhead.
+
+    Memory: firmware image size with and without SanCov instrumentation
+    (the paper's 4.32%–9.58%, averaging 6.44%).
+
+    Execution: payloads executed per unit of target CPU time with and
+    without instrumentation, extrapolated to the paper's
+    payloads-per-10-minutes framing (the ~23.39% average slowdown).
+    Campaigns run blind (no feedback) on both builds so only the
+    instrumentation's cycle cost differs. *)
+
+val render_memory : unit -> string
+
+val render_execution : ?iterations:int -> unit -> string

@@ -1,0 +1,29 @@
+(* (target, arch, EOF, GDBFuzz, Tardis, SHIFT) per the tools' support
+   matrices. *)
+let rows =
+  [
+    ("FreeRTOS", "ARM", true, false, true, true);
+    ("FreeRTOS", "RISC-V", true, false, true, true);
+    ("FreeRTOS", "Power PC", false, false, false, true);
+    ("FreeRTOS", "MIPS", false, false, false, true);
+    ("RTThread", "ARM", true, false, true, false);
+    ("Nuttx", "ARM", true, false, true, false);
+    ("Zephyr", "ARM", true, false, true, false);
+    ("Applications", "ARM", true, true, false, true);
+    ("Applications", "RISC-V", true, false, false, true);
+    ("Applications", "Power PC", false, false, false, true);
+    ("Applications", "MIPS", false, false, false, true);
+    ("Applications", "MSP430", false, true, false, false);
+  ]
+
+let mark b = if b then "yes" else "-"
+
+let render () =
+  let header = [ "Target Systems"; "Arch"; "EOF"; "GDBFuzz"; "Tardis"; "SHIFT" ] in
+  let body =
+    List.map
+      (fun (target, arch, eof, gdbfuzz, tardis, shift) ->
+        [ target; arch; mark eof; mark gdbfuzz; mark tardis; mark shift ])
+      rows
+  in
+  Eof_util.Text_table.render ~header body

@@ -1,0 +1,46 @@
+module Crash = Eof_core.Crash
+
+type row = { bug : Targets.bug; found : bool; monitor : string }
+
+let compute cells =
+  let eof_crashes =
+    List.concat_map
+      (fun os ->
+        Runner.union_crashes (Runner.outcomes_of cells ~tool:Runner.EOF ~os))
+      [ "Zephyr"; "RT-Thread"; "NuttX"; "FreeRTOS"; "PoKOS" ]
+  in
+  List.map
+    (fun bug ->
+      let hits =
+        List.filter (fun c -> Targets.match_bug c = Some bug) eof_crashes
+      in
+      match hits with
+      | [] -> { bug; found = false; monitor = "-" }
+      | c :: _ -> { bug; found = true; monitor = Crash.monitor_name c.Crash.detected_by })
+    Targets.catalog
+
+let render cells =
+  let rows = compute cells in
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.bug.Targets.id;
+          r.bug.Targets.os;
+          r.bug.Targets.scope;
+          r.bug.Targets.bug_type;
+          r.bug.Targets.operation;
+          (if r.bug.Targets.confirmed then "confirmed" else "");
+          (if r.found then "FOUND (" ^ r.monitor ^ ")" else "missed");
+        ])
+      rows
+  in
+  let found = List.length (List.filter (fun r -> r.found) rows) in
+  let confirmed_found =
+    List.length (List.filter (fun r -> r.found && r.bug.Targets.confirmed) rows)
+  in
+  Eof_util.Text_table.render
+    ~header:[ "#"; "Target OSs"; "Scope"; "Bug Types"; "Operations"; "Status"; "EOF result" ]
+    body
+  ^ Printf.sprintf "\nEOF detected %d/19 seeded bugs (%d of the 5 confirmed ones).\n" found
+      confirmed_found

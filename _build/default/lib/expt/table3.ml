@@ -1,0 +1,46 @@
+module Stats = Eof_util.Stats
+
+let cell_text cells ~os ~tool ~eof_mean =
+  match Runner.coverage_of cells ~tool ~os with
+  | None -> "-"
+  | Some mean when mean <= 0. -> "-"
+  | Some mean ->
+    Printf.sprintf "%s (%s)" (Stats.fmt1 mean)
+      (Stats.fmt_pct (Stats.improvement_pct ~baseline:mean ~subject:eof_mean))
+
+let render cells =
+  let oses = [ "NuttX"; "RT-Thread"; "Zephyr"; "FreeRTOS"; "PoKOS" ] in
+  let body =
+    List.map
+      (fun os ->
+        let eof_mean =
+          Option.value ~default:0. (Runner.coverage_of cells ~tool:Runner.EOF ~os)
+        in
+        [
+          os;
+          Stats.fmt1 eof_mean;
+          cell_text cells ~os ~tool:Runner.EOF_nf ~eof_mean;
+          cell_text cells ~os ~tool:Runner.Tardis ~eof_mean;
+          cell_text cells ~os ~tool:Runner.Gustave ~eof_mean;
+        ])
+      oses
+  in
+  let table =
+    Eof_util.Text_table.render
+      ~header:[ "Target OSs"; "EOF"; "EOF-nf"; "Tardis"; "Gustave" ]
+      body
+  in
+  (* The bug-detection comparison attached to this experiment. *)
+  let bug_line tool =
+    let crashes =
+      List.concat_map
+        (fun os -> Runner.union_crashes (Runner.outcomes_of cells ~tool ~os))
+        oses
+    in
+    let ids = Targets.found_ids crashes in
+    Printf.sprintf "%-7s detected %2d bugs: {%s}" (Runner.tool_name tool)
+      (List.length ids)
+      (String.concat ", " (List.map (fun i -> "#" ^ string_of_int i) ids))
+  in
+  table ^ "\n\nBug detection under the same payload budget:\n  " ^ bug_line Runner.EOF
+  ^ "\n  " ^ bug_line Runner.EOF_nf ^ "\n  " ^ bug_line Runner.Tardis ^ "\n"

@@ -1,0 +1,7 @@
+(** Table 3 — coverage comparison of EOF, EOF-nf, Tardis and Gustave on
+    the five OSs. Cells are mean branches over the repeated runs, with
+    EOF's improvement over each baseline in parentheses, exactly like
+    the paper's layout. Also reports the bug-detection comparison the
+    paper attaches to this experiment (EOF-nf 11 bugs, Tardis 6). *)
+
+val render : Runner.cell list -> string

@@ -1,0 +1,33 @@
+module Stats = Eof_util.Stats
+
+let render cells =
+  let mean tool component = App_level.mean_coverage cells ~tool ~component in
+  let row tool =
+    let http = mean tool "HTTP Server" in
+    let json = mean tool "JSON" in
+    let avg = (http +. json) /. 2. in
+    (tool, http, json, avg)
+  in
+  let _, eof_http, eof_json, eof_avg = row App_level.App_EOF in
+  let fmt_cell ~eof v =
+    if v <= 0. then "-"
+    else
+      Printf.sprintf "%s (%s)" (Stats.fmt1 v)
+        (Stats.fmt_pct (Stats.improvement_pct ~baseline:v ~subject:eof))
+  in
+  let body =
+    [
+      [ "EOF"; Stats.fmt1 eof_http; Stats.fmt1 eof_json; Stats.fmt1 eof_avg ];
+    ]
+    @ List.map
+        (fun tool ->
+          let _, http, json, avg = row tool in
+          [
+            App_level.tool_name tool;
+            fmt_cell ~eof:eof_http http;
+            fmt_cell ~eof:eof_json json;
+            fmt_cell ~eof:eof_avg avg;
+          ])
+        [ App_level.App_GDBFuzz; App_level.App_SHIFT ]
+  in
+  Eof_util.Text_table.render ~header:[ "Fuzzers"; "HTTP Server"; "JSON"; "Average" ] body

@@ -1,0 +1,5 @@
+(** Table 4 — coverage of EOF vs GDBFuzz vs SHIFT on the HTTP server and
+    JSON components running on hardware, with EOF's average improvement
+    per baseline (the paper's 35.51% / 107.03% row). *)
+
+val render : App_level.app_cell list -> string

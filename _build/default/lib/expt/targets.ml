@@ -1,0 +1,88 @@
+open Eof_os
+
+type hw_target = { spec : Osbuild.spec; board : Eof_hw.Board.profile }
+
+let all =
+  [
+    { spec = Freertos.spec; board = Eof_hw.Profiles.esp32_devkitc };
+    { spec = Rtthread.spec; board = Eof_hw.Profiles.stm32f4_disco };
+    { spec = Nuttx.spec; board = Eof_hw.Profiles.stm32h745_nucleo };
+    { spec = Zephyr.spec; board = Eof_hw.Profiles.stm32f4_disco };
+    { spec = Pokos.spec; board = Eof_hw.Profiles.qemu_pok };
+  ]
+
+let find name = List.find_opt (fun t -> t.spec.Osbuild.os_name = name) all
+
+let build_hw ?instrument t =
+  match instrument with
+  | None -> Osbuild.make ~board_profile:t.board t.spec
+  | Some mode -> Osbuild.make ~instrument:mode ~board_profile:t.board t.spec
+
+type bug = {
+  id : int;
+  os : string;
+  scope : string;
+  bug_type : string;
+  operation : string;
+  match_ops : string list;
+  confirmed : bool;
+}
+
+let catalog =
+  [
+    { id = 1; os = "Zephyr"; scope = "Heap"; bug_type = "Kernel Panic";
+      operation = "sys_heap_stress()"; match_ops = [ "sys_heap_stress" ]; confirmed = false };
+    { id = 2; os = "Zephyr"; scope = "Kernel"; bug_type = "Kernel Panic";
+      operation = "z_impl_k_msgq_get()"; match_ops = [ "z_impl_k_msgq_get" ];
+      confirmed = true };
+    { id = 3; os = "Zephyr"; scope = "JSON"; bug_type = "Kernel Panic";
+      operation = "json_obj_encode()";
+      match_ops = [ "json_obj_encode"; "syz_json_deep_encode" ]; confirmed = true };
+    { id = 4; os = "Zephyr"; scope = "KHeap"; bug_type = "Kernel Panic";
+      operation = "k_heap_init()"; match_ops = [ "k_heap_init"; "k_heap_alloc" ];
+      confirmed = true };
+    { id = 5; os = "RT-Thread"; scope = "Kernel"; bug_type = "Kernel Assertion";
+      operation = "rt_object_get_type()"; match_ops = [ "rt_object_get_type" ];
+      confirmed = false };
+    { id = 6; os = "RT-Thread"; scope = "RTService"; bug_type = "Kernel Panic";
+      operation = "rt_list_isempty()"; match_ops = [ "rt_service_poll" ]; confirmed = false };
+    { id = 7; os = "RT-Thread"; scope = "Memory"; bug_type = "Kernel Panic";
+      operation = "rt_mp_alloc()"; match_ops = [ "rt_mp_alloc" ]; confirmed = false };
+    { id = 8; os = "RT-Thread"; scope = "Kernel"; bug_type = "Kernel Assertion";
+      operation = "rt_object_init()"; match_ops = [ "rt_object_init" ]; confirmed = false };
+    { id = 9; os = "RT-Thread"; scope = "Heap"; bug_type = "Kernel Panic";
+      operation = "_heap_lock()"; match_ops = [ "rt_free"; "rt_malloc" ]; confirmed = false };
+    { id = 10; os = "RT-Thread"; scope = "IPC"; bug_type = "Kernel Panic";
+      operation = "rt_event_send()"; match_ops = [ "rt_event_send" ]; confirmed = false };
+    { id = 11; os = "RT-Thread"; scope = "Memory"; bug_type = "Kernel Panic";
+      operation = "rt_smem_setname()"; match_ops = [ "rt_smem_setname" ]; confirmed = true };
+    { id = 12; os = "RT-Thread"; scope = "Serial"; bug_type = "Kernel Panic";
+      operation = "rt_serial_write()";
+      match_ops = [ "syz_create_bind_socket"; "rt_device_write"; "rt_kprintf" ];
+      confirmed = false };
+    { id = 13; os = "FreeRTOS"; scope = "Kernel"; bug_type = "Kernel Panic";
+      operation = "load_partitions()"; match_ops = [ "load_partitions" ]; confirmed = false };
+    { id = 14; os = "NuttX"; scope = "Kernel"; bug_type = "Kernel Panic";
+      operation = "setenv()"; match_ops = [ "setenv" ]; confirmed = true };
+    { id = 15; os = "NuttX"; scope = "Libc"; bug_type = "Kernel Panic";
+      operation = "gettimeofday()"; match_ops = [ "gettimeofday" ]; confirmed = false };
+    { id = 16; os = "NuttX"; scope = "MQueue"; bug_type = "Kernel Panic";
+      operation = "nxmq_timedsend()"; match_ops = [ "nxmq_timedsend" ]; confirmed = false };
+    { id = 17; os = "NuttX"; scope = "Semaphore"; bug_type = "Kernel Assertion";
+      operation = "nxsem_trywait()"; match_ops = [ "nxsem_trywait" ]; confirmed = false };
+    { id = 18; os = "NuttX"; scope = "Timer"; bug_type = "Kernel Panic";
+      operation = "timer_create()"; match_ops = [ "timer_create" ]; confirmed = false };
+    { id = 19; os = "NuttX"; scope = "Libc"; bug_type = "Kernel Panic";
+      operation = "clock_getres()"; match_ops = [ "clock_getres" ]; confirmed = false };
+  ]
+
+let match_bug (crash : Eof_core.Crash.t) =
+  List.find_opt
+    (fun bug ->
+      bug.os = crash.Eof_core.Crash.os
+      && List.mem crash.Eof_core.Crash.operation bug.match_ops)
+    catalog
+
+let found_ids crashes =
+  List.filter_map (fun c -> Option.map (fun b -> b.id) (match_bug c)) crashes
+  |> List.sort_uniq compare

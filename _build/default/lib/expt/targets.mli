@@ -1,0 +1,34 @@
+open Eof_os
+
+(** Canonical evaluation targets and the Table-2 ground-truth bug
+    catalog. *)
+
+type hw_target = { spec : Osbuild.spec; board : Eof_hw.Board.profile }
+
+val all : hw_target list
+(** The five evaluated OSs on the boards the paper pairs them with:
+    FreeRTOS/ESP32, RT-Thread/STM32F4, NuttX/STM32H745, Zephyr/STM32F4,
+    PoKOS on its reference board. *)
+
+val find : string -> hw_target option
+
+val build_hw : ?instrument:Osbuild.instrument_mode -> hw_target -> Osbuild.t
+
+type bug = {
+  id : int;
+  os : string;
+  scope : string;
+  bug_type : string;  (** "Kernel Panic" / "Kernel Assertion" *)
+  operation : string;  (** the paper's Operations column *)
+  match_ops : string list;  (** crash operations that identify this bug *)
+  confirmed : bool;
+}
+
+val catalog : bug list
+(** All 19 seeded bugs, ids matching the paper's Table 2. *)
+
+val match_bug : Eof_core.Crash.t -> bug option
+(** Identify which catalog bug (if any) a crash is. *)
+
+val found_ids : Eof_core.Crash.t list -> int list
+(** Sorted distinct catalog ids matched by the crash list. *)

@@ -1,0 +1,1 @@
+lib/hw/board.ml: Arch Bytes Clock Fault Flash Gpio Image Int32 List Memory Partition Printf String Uart

@@ -1,0 +1,1 @@
+lib/hw/board.mli: Arch Clock Fault Flash Gpio Image Memory Partition Uart

@@ -1,0 +1,1 @@
+lib/hw/flash.ml: Bytes Char Eof_util Fault Memory String

@@ -1,0 +1,1 @@
+lib/hw/flash.mli: Arch Memory

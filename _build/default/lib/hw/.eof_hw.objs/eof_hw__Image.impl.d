@@ -1,0 +1,1 @@
+lib/hw/image.ml: Bytes Eof_util Flash Int32 List Option Partition Printf String

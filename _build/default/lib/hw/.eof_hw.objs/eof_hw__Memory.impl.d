@@ -1,0 +1,1 @@
+lib/hw/memory.ml: Arch Bytes Char Fault Printf

@@ -1,0 +1,1 @@
+lib/hw/partition.ml: Eof_util List Printf String

@@ -1,0 +1,1 @@
+lib/hw/profiles.ml: Arch Board List

@@ -1,0 +1,1 @@
+lib/hw/profiles.mli: Board

@@ -1,0 +1,1 @@
+lib/hw/uart.ml: Buffer Eof_util List String

@@ -1,0 +1,19 @@
+type t = { mhz : int; mutable cycles : int64 }
+
+let create ~mhz =
+  if mhz <= 0 then invalid_arg "Clock.create: mhz";
+  { mhz; cycles = 0L }
+
+let mhz t = t.mhz
+
+let cycles t = t.cycles
+
+let advance t n =
+  if n < 0 then invalid_arg "Clock.advance: negative";
+  t.cycles <- Int64.add t.cycles (Int64.of_int n)
+
+let now_us t = Int64.to_float t.cycles /. float_of_int t.mhz
+
+let now_s t = now_us t /. 1_000_000.
+
+let reset t = t.cycles <- 0L

@@ -1,0 +1,85 @@
+type t = { table : Partition.t; blobs : (string * string) list }
+
+let build ~table ~blobs =
+  let rec check = function
+    | [] -> Ok ()
+    | (e : Partition.entry) :: rest ->
+      (match List.assoc_opt e.name blobs with
+       | None -> Error (Printf.sprintf "no blob for partition %s" e.name)
+       | Some blob ->
+         if String.length blob > e.size then
+           Error
+             (Printf.sprintf "blob for %s is %d bytes but partition holds %d" e.name
+                (String.length blob) e.size)
+         else check rest)
+  in
+  let names = List.map fst blobs in
+  let table_names = List.map (fun (e : Partition.entry) -> e.name) table in
+  let extras = List.filter (fun n -> not (List.mem n table_names)) names in
+  match extras with
+  | n :: _ -> Error (Printf.sprintf "blob %s has no partition" n)
+  | [] -> (match check table with Ok () -> Ok { table; blobs } | Error e -> Error e)
+
+let build_exn ~table ~blobs =
+  match build ~table ~blobs with Ok t -> t | Error e -> invalid_arg ("Image.build_exn: " ^ e)
+
+let pseudo_blob rng len =
+  Bytes.unsafe_to_string (Eof_util.Rng.bytes rng len)
+
+let synthesize ~table ~seed ?(payloads = []) () =
+  let rng = Eof_util.Rng.create seed in
+  let blobs =
+    List.map
+      (fun (e : Partition.entry) ->
+        match List.assoc_opt e.name payloads with
+        | Some p ->
+          let p =
+            if String.length p >= e.size then String.sub p 0 e.size
+            else p ^ String.make (e.size - String.length p) '\xFF'
+          in
+          (e.name, p)
+        | None -> (e.name, pseudo_blob rng e.size))
+      table
+  in
+  { table; blobs }
+
+(* A partition's manifest CRC covers its full extent: the blob padded to
+   the partition size with erased (0xFF) bytes, matching what a verify
+   pass reads back from flash. *)
+let padded_blob (e : Partition.entry) blob =
+  if String.length blob >= e.size then String.sub blob 0 e.size
+  else blob ^ String.make (e.size - String.length blob) '\xFF'
+
+let manifest t =
+  List.map
+    (fun (e : Partition.entry) ->
+      let blob = List.assoc e.name t.blobs in
+      (e.name, Eof_util.Crc32.digest_string (padded_blob e blob)))
+    t.table
+
+let flash_all t flash =
+  List.iter
+    (fun (e : Partition.entry) ->
+      let blob = List.assoc e.name t.blobs in
+      Flash.write_image flash ~addr:(Flash.base flash + e.offset) (padded_blob e blob))
+    t.table
+
+let flash_one t flash name =
+  match Partition.find t.table name with
+  | None -> Error (Printf.sprintf "no partition %s" name)
+  | Some e ->
+    let blob = List.assoc e.name t.blobs in
+    Flash.write_image flash ~addr:(Flash.base flash + e.offset) (padded_blob e blob);
+    Ok ()
+
+let verify t flash =
+  List.filter_map
+    (fun (name, expected) ->
+      let e = Option.get (Partition.find t.table name) in
+      let actual =
+        Flash.crc_range flash ~addr:(Flash.base flash + e.offset) ~len:e.size
+      in
+      if Int32.equal actual expected then None else Some name)
+    (manifest t)
+
+let total_bytes t = List.fold_left (fun acc (_, b) -> acc + String.length b) 0 t.blobs

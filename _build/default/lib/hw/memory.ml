@@ -1,0 +1,84 @@
+type t = { base : int; data : Bytes.t; endianness : Arch.endianness }
+
+let create ~base ~size ~endianness =
+  if size <= 0 then invalid_arg "Memory.create: size";
+  if base < 0 then invalid_arg "Memory.create: base";
+  { base; data = Bytes.make size '\000'; endianness }
+
+let base t = t.base
+
+let size t = Bytes.length t.data
+
+let endianness t = t.endianness
+
+let in_range t ~addr ~len =
+  len >= 0 && addr >= t.base && addr + len <= t.base + Bytes.length t.data
+
+let check t addr len =
+  if not (in_range t ~addr ~len) then
+    Fault.bus ~address:addr
+      (Printf.sprintf "access of %d byte(s) outside region [0x%08x,0x%08x)" len t.base
+         (t.base + Bytes.length t.data))
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.data (addr - t.base))
+
+let write_u8 t addr v =
+  check t addr 1;
+  Bytes.unsafe_set t.data (addr - t.base) (Char.unsafe_chr (v land 0xFF))
+
+let read_u16 t addr =
+  check t addr 2;
+  let off = addr - t.base in
+  let b0 = Char.code (Bytes.unsafe_get t.data off) in
+  let b1 = Char.code (Bytes.unsafe_get t.data (off + 1)) in
+  match t.endianness with
+  | Arch.Little -> b0 lor (b1 lsl 8)
+  | Arch.Big -> b1 lor (b0 lsl 8)
+
+let write_u16 t addr v =
+  check t addr 2;
+  let off = addr - t.base in
+  let lo = v land 0xFF and hi = (v lsr 8) land 0xFF in
+  match t.endianness with
+  | Arch.Little ->
+    Bytes.unsafe_set t.data off (Char.unsafe_chr lo);
+    Bytes.unsafe_set t.data (off + 1) (Char.unsafe_chr hi)
+  | Arch.Big ->
+    Bytes.unsafe_set t.data off (Char.unsafe_chr hi);
+    Bytes.unsafe_set t.data (off + 1) (Char.unsafe_chr lo)
+
+let read_u32 t addr =
+  check t addr 4;
+  let off = addr - t.base in
+  match t.endianness with
+  | Arch.Little -> Bytes.get_int32_le t.data off
+  | Arch.Big -> Bytes.get_int32_be t.data off
+
+let write_u32 t addr v =
+  check t addr 4;
+  let off = addr - t.base in
+  match t.endianness with
+  | Arch.Little -> Bytes.set_int32_le t.data off v
+  | Arch.Big -> Bytes.set_int32_be t.data off v
+
+let read_bytes t ~addr ~len =
+  check t addr len;
+  Bytes.sub t.data (addr - t.base) len
+
+let write_bytes t ~addr b =
+  check t addr (Bytes.length b);
+  Bytes.blit b 0 t.data (addr - t.base) (Bytes.length b)
+
+let blit_to t ~addr ~dst ~dst_pos ~len =
+  check t addr len;
+  Bytes.blit t.data (addr - t.base) dst dst_pos len
+
+let fill t ~addr ~len c =
+  check t addr len;
+  Bytes.fill t.data (addr - t.base) len c
+
+let clear t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
+
+let unsafe_backing t = t.data

@@ -1,0 +1,48 @@
+(** A contiguous byte-addressable memory region (RAM or a flash backing
+    store) with a base address in the target address space.
+
+    Accesses outside the region raise a {!Fault.Trap} bus fault, matching
+    how a microcontroller bus matrix reacts to unmapped addresses. Wide
+    accesses honour the region's endianness. *)
+
+type t
+
+val create : base:int -> size:int -> endianness:Arch.endianness -> t
+(** Zero-filled region of [size] bytes mapped at [base]. *)
+
+val base : t -> int
+
+val size : t -> int
+
+val endianness : t -> Arch.endianness
+
+val in_range : t -> addr:int -> len:int -> bool
+
+val read_u8 : t -> int -> int
+
+val write_u8 : t -> int -> int -> unit
+(** Value is masked to 8 bits. *)
+
+val read_u16 : t -> int -> int
+
+val write_u16 : t -> int -> int -> unit
+
+val read_u32 : t -> int -> int32
+
+val write_u32 : t -> int -> int32 -> unit
+
+val read_bytes : t -> addr:int -> len:int -> Bytes.t
+
+val write_bytes : t -> addr:int -> Bytes.t -> unit
+
+val blit_to : t -> addr:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
+
+val fill : t -> addr:int -> len:int -> char -> unit
+
+val clear : t -> unit
+(** Zero the whole region (power-on reset of RAM). *)
+
+val unsafe_backing : t -> Bytes.t
+(** Direct access to the backing store for target-side code that would,
+    on real hardware, access memory without going through the debugger.
+    Offsets into the backing store are [addr - base]. *)

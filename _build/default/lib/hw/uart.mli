@@ -1,0 +1,31 @@
+(** UART transmit peripheral.
+
+    Target code writes bytes into a bounded TX FIFO; the host side (the
+    fuzzer's log monitor) drains it. If nothing drains the FIFO — e.g.
+    after a fault freezes the host connection — old bytes are overwritten,
+    modelling the paper's observation that "UART logs may vanish after a
+    fault". *)
+
+type t
+
+val create : ?fifo_bytes:int -> unit -> t
+(** Default FIFO is 8 KiB. *)
+
+val write_char : t -> char -> unit
+
+val write_string : t -> string -> unit
+
+val drain : t -> string
+(** All pending bytes, oldest first; empties the FIFO. *)
+
+val drain_lines : t -> string list
+(** Drain and split into completed lines; a trailing partial line stays
+    buffered for the next call. *)
+
+val overruns : t -> int
+(** Bytes lost to FIFO overruns since creation/reset. *)
+
+val reset : t -> unit
+
+val bytes_written : t -> int
+(** Total bytes the target has transmitted (for overhead accounting). *)

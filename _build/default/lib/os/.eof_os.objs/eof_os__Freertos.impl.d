@@ -1,0 +1,1 @@
+lib/os/freertos.ml: Api Board Bytes Eof_apps Eof_hw Eof_rtos Event Flash Heap Int32 Int64 Kerr Klog Kobj Memory Msgq Osbuild Oscommon Panic Printf Sched Sem Statemach String Swtimer

@@ -1,0 +1,1 @@
+lib/os/nuttx.ml: Api Board Buffer Eof_hw Eof_rtos Fault Hashtbl Heap Int32 Int64 Kerr Klog Kobj List Memory Msgq Osbuild Oscommon Panic Printf Ramfs Sched Sem Statemach String Swtimer

@@ -1,0 +1,1 @@
+lib/os/nuttx.mli: Osbuild

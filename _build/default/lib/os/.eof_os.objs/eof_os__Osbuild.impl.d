@@ -1,0 +1,1 @@
+lib/os/osbuild.ml: Api Arch Board Bytes Eof_cov Eof_exec Eof_hw Eof_rtos Eof_util Format Gpio Hashtbl Heap Image Instr Int64 Klog Kobj List Panic Partition Printf Sancov Sched Sitemap String Swtimer

@@ -1,0 +1,1 @@
+lib/os/osbuild.mli: Api Board Eof_cov Eof_hw Eof_rtos Heap Image Instr Kobj Panic Sancov Sched Sitemap Swtimer

@@ -1,0 +1,1 @@
+lib/os/oscommon.ml: Api Eof_hw Eof_rtos Event Instr Int64 Kerr Klog Kobj Osbuild Printf Sched Sem

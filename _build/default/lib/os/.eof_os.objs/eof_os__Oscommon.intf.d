@@ -1,0 +1,1 @@
+lib/os/oscommon.mli: Api Eof_rtos Instr Kobj Osbuild Sched

@@ -1,0 +1,1 @@
+lib/os/pokos.ml: Api Eof_rtos Int64 Kerr Klog Kobj Msgq Osbuild Oscommon Printf Sched Sem Statemach String

@@ -1,0 +1,1 @@
+lib/os/statemach.ml: Api Eof_rtos Kerr Klog Kobj Osbuild Oscommon Printf

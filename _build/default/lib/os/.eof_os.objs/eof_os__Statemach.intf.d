@@ -1,0 +1,1 @@
+lib/os/statemach.mli: Api Eof_rtos Instr Osbuild

@@ -1,0 +1,1 @@
+lib/os/zephyr.ml: Api Board Eof_apps Eof_exec Eof_hw Eof_rtos Event Hashtbl Heap Int64 Kerr Klog Kobj List Memory Msgq Option Osbuild Oscommon Panic Printf Sched Sem Statemach String Swtimer Workq

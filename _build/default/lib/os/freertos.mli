@@ -1,0 +1,24 @@
+(** The FreeRTOS personality (v5.4-flavoured ESP-IDF build in the paper's
+    evaluation).
+
+    Tick-driven scheduling with optional static stacks: [xTaskCreate],
+    queues, semaphores, software timers, event groups, [pvPortMalloc],
+    plus the demo application components (HTTP server and JSON) used by
+    the Table-4 application-level experiment and the ESP-IDF-style
+    partition loader.
+
+    Seeded bug (Table 2): #13 [load_partitions] — parsing the backup
+    partition table with overlapping entries panics instead of failing
+    gracefully. The poisoned table is spliced into the kernel blob at
+    {!backup_table_blob_offset}. *)
+
+val spec : Osbuild.spec
+
+val backup_table_flash_offset : int
+(** Flash offset (from flash base) of the backup partition table; the
+    only [load_partitions] argument value whose magic check passes. *)
+
+val http_module : string
+(** Instrumentation block names for the Table-4 app-only builds. *)
+
+val json_module : string

@@ -1,0 +1,13 @@
+(** The NuttX personality (commit fc99353 in the paper's evaluation).
+
+    POSIX-flavoured APIs: tasks, the environment ([setenv]/[getenv]),
+    message queues ([mq_open]/[nxmq_timedsend]), semaphores
+    ([nxsem_trywait]), POSIX timers and libc time functions.
+
+    Seeded bugs (Table 2): #14 [setenv] env-arena overflow, #15
+    [gettimeofday] unaligned pointer, #16 [nxmq_timedsend] deadline
+    overflow, #17 [nxsem_trywait] on a destroyed semaphore (assert), #18
+    [timer_create] with an invalid clock id, #19 [clock_getres] null
+    result pointer. *)
+
+val spec : Osbuild.spec

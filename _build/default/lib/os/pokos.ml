@@ -1,0 +1,286 @@
+open Eof_rtos
+open Oscommon
+module Instr = Eof_rtos.Instr
+
+type sampling_port = { sp_max_size : int; mutable sp_value : string option }
+
+type Kobj.payload += Sampling of sampling_port
+
+let install (ctx : Osbuild.ctx) =
+  let reg = ctx.reg in
+  let heap = ctx.heap in
+  let i_thread = ctx.instr "pok/thread" in
+  let i_port = ctx.instr "pok/port" in
+  let i_partition = ctx.instr "pok/partition" in
+  let i_sem = ctx.instr "pok/sem" in
+  let i_time = ctx.instr "pok/time" in
+  let i_error = ctx.instr "pok/error" in
+  let entry name args ret ~weight ~doc handler =
+    { Api.name; args; ret; doc; weight; handler }
+  in
+  let lookup kind h = Kobj.lookup_active reg h ~kind in
+  (* ARINC 653 partition mode: 0 idle, 1 cold start, 2 warm start, 3 normal. *)
+  let partition_mode = ref 1 in
+
+  let pok_thread_create args =
+    let* prio = Api.get_int args 0 in
+    let* flavor = Api.get_int args 1 in
+    Instr.cmp i_thread 0 prio 8L;
+    if !partition_mode = 3 then begin
+      (* ARINC 653 forbids thread creation in NORMAL mode. *)
+      Instr.edge i_thread 1;
+      Api.status Kerr.eperm
+    end
+    else
+      let* obj =
+        spawn_worker ctx ~name:"pok_thread" ~priority:(clamp_int prio land 31)
+          ~stack_size:2048 ~flavor:(clamp_int flavor)
+      in
+      Instr.edge i_thread 2;
+      Api.created ~kind:"task" ~handle:obj.Kobj.handle
+  in
+  let pok_thread_sleep args =
+    let* ticks = Api.get_int args 0 in
+    let ticks = max 0 (min 50 (clamp_int ticks)) in
+    Instr.cmp_i i_thread 3 ticks 10;
+    pump ctx ticks;
+    Api.ok_status
+  in
+  let pok_thread_suspend args =
+    let* h = Api.get_res args 0 in
+    let* obj = lookup "task" h in
+    (match Sched.of_obj obj with
+     | None -> Api.status Kerr.einval
+     | Some tcb ->
+       Instr.edge i_thread 4;
+       Sched.suspend tcb;
+       Api.ok_status)
+  in
+
+  let pok_partition_set_mode args =
+    let* mode = Api.get_int args 0 in
+    let mode = clamp_int mode in
+    Instr.cmp_i i_partition 0 mode !partition_mode;
+    if mode < 0 || mode > 3 then Api.status Kerr.einval
+    else if !partition_mode = 3 && mode < 3 && mode <> 1 then begin
+      (* Only a restart (cold start) leaves NORMAL mode. *)
+      Instr.edge i_partition 1;
+      Api.status Kerr.eperm
+    end
+    else begin
+      Instr.edge i_partition 2;
+      partition_mode := mode;
+      Api.ok_status
+    end
+  in
+  let pok_partition_get_status _args =
+    Instr.cmp_i i_partition 3 !partition_mode 3;
+    Api.status (Int64.of_int !partition_mode)
+  in
+
+  let pok_port_sampling_create args =
+    let* max_size = Api.get_int args 0 in
+    Instr.cmp i_port 0 max_size 64L;
+    let max_size = clamp_int max_size in
+    if max_size <= 0 || max_size > 256 then Api.status Kerr.einval
+    else if !partition_mode = 3 then Api.status Kerr.eperm
+    else begin
+      let obj =
+        Kobj.register reg ~kind:"sampling_port" ~name:"spport"
+          (Sampling { sp_max_size = max_size; sp_value = None })
+      in
+      Instr.edge i_port 1;
+      Api.created ~kind:"sampling_port" ~handle:obj.Kobj.handle
+    end
+  in
+  let with_sampling h f =
+    let* obj = lookup "sampling_port" h in
+    match obj.Kobj.payload with Sampling sp -> f sp | _ -> Api.status Kerr.einval
+  in
+  let pok_port_sampling_write args =
+    let* h = Api.get_res args 0 in
+    let* data = Api.get_buf args 1 in
+    with_sampling h (fun sp ->
+        Instr.cmp_i i_port 2 (String.length data) sp.sp_max_size;
+        if String.length data > sp.sp_max_size then Api.status Kerr.einval
+        else begin
+          sp.sp_value <- Some data;
+          Instr.edge i_port 3;
+          Api.ok_status
+        end)
+  in
+  let pok_port_sampling_read args =
+    let* h = Api.get_res args 0 in
+    with_sampling h (fun sp ->
+        match sp.sp_value with
+        | Some v ->
+          Instr.cmp_i i_port 4 (String.length v) 0;
+          Api.ok_status
+        | None ->
+          Instr.edge i_port 5;
+          Api.status Kerr.eagain)
+  in
+  let pok_port_queueing_create args =
+    let* capacity = Api.get_int args 0 in
+    let* msg_size = Api.get_int args 1 in
+    Instr.cmp i_port 6 capacity 16L;
+    Instr.cmp i_port 11 msg_size 32L;
+    if !partition_mode = 3 then Api.status Kerr.eperm
+    else
+      let* obj =
+        Msgq.create ~reg ~heap ~name:"qport" ~capacity:(clamp_int capacity)
+          ~item_size:(clamp_int msg_size)
+      in
+      Api.created ~kind:"msgq" ~handle:obj.Kobj.handle
+  in
+  let with_qport h f =
+    let* obj = lookup "msgq" h in
+    match Msgq.of_obj obj with None -> Api.status Kerr.einval | Some q -> f q
+  in
+  let pok_port_queueing_send args =
+    let* h = Api.get_res args 0 in
+    let* data = Api.get_buf args 1 in
+    with_qport h (fun q ->
+        match Msgq.send q data with
+        | Ok () ->
+          Instr.edge i_port 7;
+          Api.ok_status
+        | Error e ->
+          Instr.edge i_port 8;
+          Api.status e)
+  in
+  let pok_port_queueing_receive args =
+    let* h = Api.get_res args 0 in
+    with_qport h (fun q ->
+        match Msgq.recv q with
+        | Ok _ ->
+          Instr.edge i_port 9;
+          Api.ok_status
+        | Error e ->
+          Instr.edge i_port 10;
+          Api.status e)
+  in
+
+  let pok_sem_create args =
+    let* initial = Api.get_int args 0 in
+    let* limit = Api.get_int args 1 in
+    Instr.cmp i_sem 0 initial 4L;
+    Instr.cmp i_sem 3 limit 8L;
+    let* obj =
+      Sem.create ~reg ~name:"pok_sem" ~initial:(clamp_int initial)
+        ~max_count:(clamp_int limit)
+    in
+    Api.created ~kind:"sem" ~handle:obj.Kobj.handle
+  in
+  let with_sem h f =
+    let* obj = lookup "sem" h in
+    match Sem.of_obj obj with None -> Api.status Kerr.einval | Some s -> f s
+  in
+  let pok_sem_signal args =
+    let* h = Api.get_res args 0 in
+    with_sem h (fun s ->
+        Instr.edge i_sem 1;
+        to_status (Sem.give s))
+  in
+  let pok_sem_wait args =
+    let* h = Api.get_res args 0 in
+    with_sem h (fun s ->
+        Instr.cmp_i i_sem 2 (Sem.count s) 0;
+        to_status (Sem.take s))
+  in
+
+  let pok_time_get _args =
+    Instr.edge i_time 0;
+    Api.status (Int64.of_int (Sched.ticks ctx.sched))
+  in
+  let pok_error_raise args =
+    let* code = Api.get_int args 0 in
+    Instr.cmp i_error 0 code 0L;
+    Klog.err ~os:ctx.os_name
+      (Printf.sprintf "application error raised: code %Ld" code);
+    Api.ok_status
+  in
+
+    let staged_entries =
+    Statemach.entries ctx ~instr:(ctx.instr "pok/blackboard") ~prefix:"pok_blackboard"
+      ~resource:"blackboard" ~salt:187
+  in
+  let staged_entries =
+    staged_entries
+    @ Statemach.entries ctx ~instr:(ctx.instr "pok/afdx") ~prefix:"pok_afdx"
+        ~resource:"afdx_port" ~salt:209
+  in
+
+  let staged_entries =
+    staged_entries @ install_irq ctx ~instr:(ctx.instr "pok/irq") ~prefix:"pok_gpio"
+  in
+
+  Api.make_table ~os:"PoKOS"
+    ([
+      entry "pok_thread_create"
+        [ ("priority", Api.A_int { min = 0L; max = 15L });
+          ("flavor", Api.A_int { min = 0L; max = 7L }) ]
+        (`Resource "task") ~weight:3 ~doc:"Create an intra-partition thread"
+        pok_thread_create;
+      entry "pok_thread_sleep" [ ("ticks", Api.A_int { min = 0L; max = 50L }) ] `Status
+        ~weight:2 ~doc:"Sleep" pok_thread_sleep;
+      entry "pok_thread_suspend" [ ("thread", Api.A_res "task") ] `Status ~weight:1
+        ~doc:"Suspend a thread" pok_thread_suspend;
+      entry "pok_partition_set_mode" [ ("mode", Api.A_int { min = 0L; max = 4L }) ] `Status
+        ~weight:2 ~doc:"Change the partition operating mode" pok_partition_set_mode;
+      entry "pok_partition_get_status" [] `Status ~weight:1 ~doc:"Query the partition mode"
+        pok_partition_get_status;
+      entry "pok_port_sampling_create" [ ("max_size", Api.A_int { min = 1L; max = 256L }) ]
+        (`Resource "sampling_port") ~weight:3 ~doc:"Create a sampling port"
+        pok_port_sampling_create;
+      entry "pok_port_sampling_write"
+        [ ("port", Api.A_res "sampling_port"); ("data", Api.A_buf { max_len = 256 }) ]
+        `Status ~weight:3 ~doc:"Write a sampling-port value" pok_port_sampling_write;
+      entry "pok_port_sampling_read" [ ("port", Api.A_res "sampling_port") ] `Status
+        ~weight:2 ~doc:"Read the latest sampling-port value" pok_port_sampling_read;
+      entry "pok_port_queueing_create"
+        [ ("capacity", Api.A_int { min = 1L; max = 32L });
+          ("msg_size", Api.A_int { min = 1L; max = 64L }) ]
+        (`Resource "msgq") ~weight:3 ~doc:"Create a queueing port" pok_port_queueing_create;
+      entry "pok_port_queueing_send"
+        [ ("port", Api.A_res "msgq"); ("data", Api.A_buf { max_len = 64 }) ]
+        `Status ~weight:2 ~doc:"Send on a queueing port" pok_port_queueing_send;
+      entry "pok_port_queueing_receive" [ ("port", Api.A_res "msgq") ] `Status ~weight:2
+        ~doc:"Receive from a queueing port" pok_port_queueing_receive;
+      entry "pok_sem_create"
+        [ ("initial", Api.A_int { min = 0L; max = 16L });
+          ("limit", Api.A_int { min = 1L; max = 16L }) ]
+        (`Resource "sem") ~weight:2 ~doc:"Create a semaphore" pok_sem_create;
+      entry "pok_sem_signal" [ ("sem", Api.A_res "sem") ] `Status ~weight:2
+        ~doc:"Signal a semaphore" pok_sem_signal;
+      entry "pok_sem_wait" [ ("sem", Api.A_res "sem") ] `Status ~weight:2
+        ~doc:"Wait on a semaphore (polling)" pok_sem_wait;
+      entry "pok_time_get" [] `Status ~weight:1 ~doc:"Read partition time" pok_time_get;
+      entry "pok_error_raise_application_error"
+        [ ("code", Api.A_int { min = 0L; max = 255L }) ]
+        `Status ~weight:1 ~doc:"Raise an ARINC 653 application error" pok_error_raise;
+    ]
+     @ staged_entries)
+
+
+let spec =
+  {
+    Osbuild.os_name = "PoKOS";
+    version = "b2e1cc3";
+    base_kernel_bytes = 120_000;
+    modules =
+      [
+        ("pok/thread", 24);
+        ("pok/port", 32);
+        ("pok/partition", 16);
+        ("pok/sem", 16);
+        ("pok/time", 8);
+        ("pok/error", 8);
+        ("pok/blackboard", Statemach.site_count);
+        ("pok/afdx", Statemach.site_count);
+        ("pok/irq", Oscommon.irq_site_count);
+      ];
+    banner = "POK kernel b2e1cc3 (ARINC 653 partition scheduler)";
+    kernel_patches = [];
+    install;
+  }

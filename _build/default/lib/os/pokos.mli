@@ -1,0 +1,7 @@
+(** The PoKOS personality (POK, commit b2e1cc3): an ARINC 653-style
+    partitioned OS used for the Gustave comparison. Sampling and queueing
+    ports, partition modes, intra-partition threads and semaphores. No
+    Table-2 bugs are seeded here — the paper reports none for PoKOS — so
+    it exercises the pure coverage-comparison path. *)
+
+val spec : Osbuild.spec

@@ -1,0 +1,17 @@
+(** The RT-Thread personality (commit 2f55990 in the paper's evaluation).
+
+    Threads, the object subsystem ([rt_object_*]), kernel services list,
+    memory pools, the global heap with its non-recursive [_heap_lock],
+    small-memory blocks ([rt_smem_*]), IPC (events, semaphores, mutexes,
+    mail queues), software timers, the serial device framework and the
+    socket abstraction layer (SAL) whose creation path logs through the
+    console — the §5.3.1 case-study chain.
+
+    Seeded bugs (Table 2): #5 [rt_object_get_type] (assert + hang), #6
+    [rt_list_isempty] via the service list, #7 [rt_mp_alloc], #8
+    [rt_object_init] (assert), #9 [_heap_lock] re-entry from timer
+    context, #10 [rt_event_send] on a deleted event, #11
+    [rt_smem_setname] header scribble, #12 [rt_serial_write] on a stale
+    console device. *)
+
+val spec : Osbuild.spec

@@ -1,0 +1,72 @@
+open Eof_rtos
+open Oscommon
+module Instr = Eof_rtos.Instr
+
+let stages = 10
+
+(* Sites: 0 = open, 1 = step entry, 2..11 = per-stage cmp against the
+   expected word, 12..21 = per-stage advance edges, 22 = completion. *)
+let site_count = 24
+
+type dev = { mutable stage : int; mutable completed : int }
+
+type Kobj.payload += Staged of dev
+
+let expected_code ~salt ~stage = (salt + (stage * 37) + 11) land 0xFF
+
+let entries (ctx : Osbuild.ctx) ~instr ~prefix ~resource ~salt =
+  let open_name = prefix ^ "_open" in
+  let step_name = prefix ^ "_step" in
+  let open_handler _args =
+    Instr.edge instr 0;
+    let obj =
+      Kobj.register ctx.reg ~kind:resource ~name:prefix (Staged { stage = 0; completed = 0 })
+    in
+    Api.created ~kind:resource ~handle:obj.Kobj.handle
+  in
+  let step_handler args =
+    let* h = Api.get_res args 0 in
+    let* code = Api.get_int args 1 in
+    let* obj = Kobj.lookup_active ctx.reg h ~kind:resource in
+    match obj.Kobj.payload with
+    | Staged dev ->
+      Instr.edge instr 1;
+      let stage = dev.stage in
+      let expected = expected_code ~salt ~stage in
+      let code = clamp_int code land 0xFF in
+      (* The comparison the hardware-style mode check performs; its
+         trace_cmp record carries the operand distance. *)
+      Instr.cmp_i instr (2 + min (stages - 1) stage) code expected;
+      if code = expected then begin
+        Instr.edge instr (2 + stages + min (stages - 1) stage);
+        dev.stage <- stage + 1;
+        if dev.stage >= stages then begin
+          Instr.edge instr (2 + (2 * stages));
+          dev.completed <- dev.completed + 1;
+          dev.stage <- 0;
+          Klog.info ~os:ctx.os_name (Printf.sprintf "%s: configuration sequence complete" prefix)
+        end;
+        Api.ok_status
+      end
+      else Api.status Kerr.einval
+    | _ -> Api.status Kerr.einval
+  in
+  [
+    {
+      Api.name = open_name;
+      args = [];
+      ret = `Resource resource;
+      doc = "Open the staged device";
+      weight = 2;
+      handler = open_handler;
+    };
+    {
+      Api.name = step_name;
+      args =
+        [ ("dev", Api.A_res resource); ("code", Api.A_int { min = 0L; max = 255L }) ];
+      ret = `Status;
+      doc = "Advance the device configuration sequence";
+      weight = 3;
+      handler = step_handler;
+    };
+  ]

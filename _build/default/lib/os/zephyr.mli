@@ -1,0 +1,11 @@
+(** The Zephyr personality (v143b14b in the paper's evaluation).
+
+    Fully preemptive scheduling with work queues in the real OS; here a
+    cooperative model with the same API shapes: [k_thread_create],
+    [k_msgq_*], [k_heap_*], [k_sem_*], [k_event_*], [k_timer_*], the JSON
+    middleware, and the [sys_heap] stress entry point.
+
+    Seeded bugs (Table 2): #1 [sys_heap_stress], #2 [z_impl_k_msgq_get],
+    #3 [json_obj_encode], #4 [k_heap_init]. *)
+
+val spec : Osbuild.spec

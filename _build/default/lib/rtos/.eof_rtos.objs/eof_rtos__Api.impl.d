@@ -1,0 +1,1 @@
+lib/rtos/api.ml: Kerr List Printf String

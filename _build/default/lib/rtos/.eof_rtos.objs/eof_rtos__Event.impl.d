@@ -1,0 +1,1 @@
+lib/rtos/event.ml: Kerr Kobj

@@ -1,0 +1,1 @@
+lib/rtos/heap.ml: Eof_hw Fault Int32 Memory Printf

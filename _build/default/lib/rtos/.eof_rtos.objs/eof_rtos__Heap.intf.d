@@ -1,0 +1,1 @@
+lib/rtos/heap.mli: Eof_hw

@@ -1,0 +1,1 @@
+lib/rtos/instr.ml: Eof_cov Int64 Printf

@@ -1,0 +1,1 @@
+lib/rtos/instr.mli: Eof_cov

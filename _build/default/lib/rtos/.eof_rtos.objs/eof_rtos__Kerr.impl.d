@@ -1,0 +1,1 @@
+lib/rtos/kerr.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/rtos/klog.ml: Eof_exec Printf

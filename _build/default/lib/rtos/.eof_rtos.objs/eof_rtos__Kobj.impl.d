@@ -1,0 +1,1 @@
+lib/rtos/kobj.ml: Hashtbl Kerr List

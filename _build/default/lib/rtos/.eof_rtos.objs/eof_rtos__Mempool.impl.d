@@ -1,0 +1,1 @@
+lib/rtos/mempool.ml: Eof_hw Heap Kerr Kobj List Printf

@@ -1,0 +1,1 @@
+lib/rtos/mempool.mli: Heap Kobj

@@ -1,0 +1,1 @@
+lib/rtos/msgq.ml: Bytes Eof_hw Heap Kerr Kobj Memory String

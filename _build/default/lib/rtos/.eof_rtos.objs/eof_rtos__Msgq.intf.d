@@ -1,0 +1,1 @@
+lib/rtos/msgq.mli: Eof_hw Heap Kobj

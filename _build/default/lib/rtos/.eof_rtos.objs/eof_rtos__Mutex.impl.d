@@ -1,0 +1,1 @@
+lib/rtos/mutex.ml: Kerr Kobj

@@ -1,0 +1,1 @@
+lib/rtos/mutex.mli: Kobj

@@ -1,0 +1,1 @@
+lib/rtos/panic.ml: Eof_exec Eof_hw Klog List Printf

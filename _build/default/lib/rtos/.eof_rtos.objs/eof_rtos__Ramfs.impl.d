@@ -1,0 +1,1 @@
+lib/rtos/ramfs.ml: Bytes Eof_hw Hashtbl Heap Kerr List Memory Option Stdlib String

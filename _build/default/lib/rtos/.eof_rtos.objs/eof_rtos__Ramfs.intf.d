@@ -1,0 +1,1 @@
+lib/rtos/ramfs.mli: Heap

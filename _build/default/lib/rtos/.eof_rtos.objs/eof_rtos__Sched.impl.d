@@ -1,0 +1,1 @@
+lib/rtos/sched.ml: Kerr Kobj List Swtimer

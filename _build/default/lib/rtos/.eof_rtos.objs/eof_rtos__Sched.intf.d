@@ -1,0 +1,1 @@
+lib/rtos/sched.mli: Kobj Swtimer

@@ -1,0 +1,1 @@
+lib/rtos/sem.mli: Kobj

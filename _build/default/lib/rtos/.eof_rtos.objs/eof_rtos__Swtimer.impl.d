@@ -1,0 +1,1 @@
+lib/rtos/swtimer.ml: Kerr Kobj List

@@ -1,0 +1,37 @@
+type t =
+  | Live of { sancov : Eof_cov.Sancov.t; block : Eof_cov.Sitemap.block }
+  | Null of { count : int }
+
+let of_sancov ~sancov ~block = Live { sancov; block }
+
+let null ~count = Null { count }
+
+let count = function
+  | Live { block; _ } -> block.Eof_cov.Sitemap.count
+  | Null { count } -> count
+
+let check t i =
+  if i < 0 || i >= count t then
+    invalid_arg (Printf.sprintf "Instr: site index %d out of range (count %d)" i (count t))
+
+let site_addr t i =
+  check t i;
+  match t with
+  | Live { block; _ } -> Eof_cov.Sitemap.site_addr block i
+  | Null _ -> i * 4
+
+let cmp t i a b =
+  check t i;
+  match t with
+  | Live { sancov; block } ->
+    Eof_cov.Sancov.cmp sancov ~site:(Eof_cov.Sitemap.site_addr block i) a b
+  | Null _ -> ()
+
+let edge t i =
+  check t i;
+  match t with
+  | Live { sancov; block } ->
+    Eof_cov.Sancov.edge sancov ~site:(Eof_cov.Sitemap.site_addr block i)
+  | Null _ -> ()
+
+let cmp_i t i a b = cmp t i (Int64.of_int a) (Int64.of_int b)

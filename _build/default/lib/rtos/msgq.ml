@@ -1,0 +1,68 @@
+open Eof_hw
+
+type q = {
+  mem : Memory.t;
+  capacity : int;
+  item_size : int;
+  buf_addr : int;
+  mutable head : int;
+  mutable count : int;
+  mutable purged : bool;
+}
+
+type Kobj.payload += Queue of q
+
+let create ~reg ~heap ~name ~capacity ~item_size =
+  if capacity <= 0 || item_size <= 0 || capacity > 1024 || item_size > 4096 then
+    Error Kerr.einval
+  else
+    match Heap.alloc heap (capacity * item_size) with
+    | None -> Error Kerr.enomem
+    | Some buf_addr ->
+      let q =
+        {
+          mem = Heap.memory heap;
+          capacity;
+          item_size;
+          buf_addr;
+          head = 0;
+          count = 0;
+          purged = false;
+        }
+      in
+      Ok (Kobj.register reg ~kind:"msgq" ~name (Queue q))
+
+let slot_addr q i = q.buf_addr + (((q.head + i) mod q.capacity) * q.item_size)
+
+let send q msg =
+  if q.count >= q.capacity then Error Kerr.eagain
+  else begin
+    let fitted =
+      if String.length msg >= q.item_size then String.sub msg 0 q.item_size
+      else msg ^ String.make (q.item_size - String.length msg) '\000'
+    in
+    Memory.write_bytes q.mem ~addr:(slot_addr q q.count) (Bytes.of_string fitted);
+    q.count <- q.count + 1;
+    Ok ()
+  end
+
+let recv q =
+  if q.count <= 0 then Error Kerr.eagain
+  else begin
+    let msg = Memory.read_bytes q.mem ~addr:(slot_addr q 0) ~len:q.item_size in
+    q.head <- (q.head + 1) mod q.capacity;
+    q.count <- q.count - 1;
+    Ok (Bytes.unsafe_to_string msg)
+  end
+
+let purge q =
+  Memory.fill q.mem ~addr:q.buf_addr ~len:(q.capacity * q.item_size) '\xDD';
+  q.head <- 0;
+  q.count <- 0;
+  q.purged <- true
+
+let count q = q.count
+
+let is_full q = q.count >= q.capacity
+
+let of_obj (obj : Kobj.obj) = match obj.Kobj.payload with Queue q -> Some q | _ -> None

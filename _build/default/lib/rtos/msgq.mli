@@ -1,0 +1,41 @@
+(** Fixed-size message queues (ring buffers in kernel RAM).
+
+    Message payloads live in a heap-allocated ring in board RAM, moved
+    with physical memory copies, so queue misuse can corrupt real bytes.
+    [purge] invalidates the ring without freeing it — the dangling-ring
+    state behind the Zephyr [z_impl_k_msgq_get] bug. *)
+
+type q = private {
+  mem : Eof_hw.Memory.t;
+  capacity : int;  (** max messages *)
+  item_size : int;  (** bytes per message *)
+  buf_addr : int;  (** ring storage (heap payload address) *)
+  mutable head : int;  (** index of the oldest message *)
+  mutable count : int;
+  mutable purged : bool;
+}
+
+type Kobj.payload += Queue of q
+
+val create :
+  reg:Kobj.t -> heap:Heap.t -> name:string -> capacity:int -> item_size:int ->
+  (Kobj.obj, int64) result
+(** Allocates the ring from the kernel heap. [Kerr.einval] on
+    non-positive dimensions, [Kerr.enomem] if the ring does not fit. *)
+
+val send : q -> string -> (unit, int64) result
+(** Message is truncated/zero-padded to [item_size]. [Kerr.eagain] when
+    full. *)
+
+val recv : q -> (string, int64) result
+(** [Kerr.eagain] when empty. Note: does NOT check [purged]; that check
+    is the personality's job — or its bug. *)
+
+val purge : q -> unit
+(** Drop all messages and poison the ring storage. *)
+
+val count : q -> int
+
+val is_full : q -> bool
+
+val of_obj : Kobj.obj -> q option

@@ -1,0 +1,18 @@
+type ctx = { os_name : string; panic_site : int; assert_site : int }
+
+let panic ctx ~backtrace msg =
+  Klog.panic_banner ~os:ctx.os_name msg;
+  Klog.line "Stack frames at BUG: unexpected stop:";
+  List.iteri
+    (fun i frame -> Klog.line (Printf.sprintf "  Level %d: %s" (i + 1) frame))
+    backtrace;
+  (* Park at the exception handler so a host breakpoint can observe the
+     crash before the fault unwinds the boot. *)
+  Eof_exec.Target.site ctx.panic_site;
+  Eof_hw.Fault.usage msg
+
+let kassert ctx cond msg =
+  if not cond then begin
+    Klog.assert_failed ~os:ctx.os_name msg;
+    Eof_exec.Target.site ctx.assert_site
+  end

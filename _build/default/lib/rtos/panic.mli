@@ -1,0 +1,26 @@
+(** Kernel panic and assertion machinery.
+
+    Each OS personality names its exception entry points (e.g. FreeRTOS
+    [panic_handler()], RT-Thread [common_exception()]); the host's
+    exception monitor sets breakpoints on them. A panic crosses the
+    panic site — pausing under a breakpoint so the host can capture the
+    backtrace and fault detail — then raises a usage fault that
+    terminates the boot.
+
+    Assertion failures are the softer class the paper's log monitor
+    catches: they print an ASSERTION FAILED line and execution continues
+    (possibly wedged), with no hardware fault. *)
+
+type ctx = {
+  os_name : string;
+  panic_site : int;  (** flash address of the exception-handler symbol *)
+  assert_site : int;  (** flash address of the assert-report symbol *)
+}
+
+val panic : ctx -> backtrace:string list -> string -> 'a
+(** Log the panic banner and a stack-frame dump, cross the panic site,
+    raise the fault. [backtrace] is innermost-first symbolic frames. *)
+
+val kassert : ctx -> bool -> string -> unit
+(** If the condition is false: log the assertion line, cross the assert
+    site, and return (the kernel limps on). *)

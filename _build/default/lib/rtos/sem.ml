@@ -1,0 +1,35 @@
+type s = {
+  max_count : int;
+  mutable count : int;
+  mutable takes : int;
+  mutable gives : int;
+}
+
+type Kobj.payload += Sem of s
+
+let create ~reg ~name ~initial ~max_count =
+  if max_count <= 0 || initial < 0 || initial > max_count then Error Kerr.einval
+  else
+    Ok
+      (Kobj.register reg ~kind:"sem" ~name
+         (Sem { max_count; count = initial; takes = 0; gives = 0 }))
+
+let take s =
+  if s.count <= 0 then Error Kerr.eagain
+  else begin
+    s.count <- s.count - 1;
+    s.takes <- s.takes + 1;
+    Ok ()
+  end
+
+let give s =
+  if s.count >= s.max_count then Error Kerr.enospc
+  else begin
+    s.count <- s.count + 1;
+    s.gives <- s.gives + 1;
+    Ok ()
+  end
+
+let count s = s.count
+
+let of_obj (obj : Kobj.obj) = match obj.Kobj.payload with Sem s -> Some s | _ -> None

@@ -1,0 +1,24 @@
+(** Counting semaphores. *)
+
+type s = private {
+  max_count : int;
+  mutable count : int;
+  mutable takes : int;  (** successful takes (statistics) *)
+  mutable gives : int;
+}
+
+type Kobj.payload += Sem of s
+
+val create : reg:Kobj.t -> name:string -> initial:int -> max_count:int ->
+  (Kobj.obj, int64) result
+(** [Kerr.einval] unless [0 <= initial <= max_count] and [max_count > 0]. *)
+
+val take : s -> (unit, int64) result
+(** [Kerr.eagain] at zero. *)
+
+val give : s -> (unit, int64) result
+(** [Kerr.enospc] at [max_count] (matching Zephyr semantics). *)
+
+val count : s -> int
+
+val of_obj : Kobj.obj -> s option

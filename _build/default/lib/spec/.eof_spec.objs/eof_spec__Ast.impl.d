@@ -1,0 +1,1 @@
+lib/spec/ast.ml: Buffer Format List Printf String

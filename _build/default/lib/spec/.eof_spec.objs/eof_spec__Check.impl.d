@@ -1,0 +1,1 @@
+lib/spec/check.ml: Ast Int64 List Printf

@@ -1,0 +1,1 @@
+lib/spec/lexer.ml: Int64 List Printf String

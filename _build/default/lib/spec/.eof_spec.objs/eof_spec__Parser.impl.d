@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Ast Int64 Lexer List Printf

@@ -1,0 +1,1 @@
+lib/spec/synth.ml: Api Ast Check Eof_rtos List Parser Printf String

@@ -1,0 +1,1 @@
+lib/spec/synth.mli: Api Ast Eof_rtos

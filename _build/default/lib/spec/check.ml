@@ -1,0 +1,67 @@
+type error = { where : string; reason : string }
+
+let error_to_string e = Printf.sprintf "%s: %s" e.where e.reason
+
+let rec find_dup = function
+  | [] -> None
+  | x :: rest -> if List.mem x rest then Some x else find_dup rest
+
+(* The wire format bounds string arguments. *)
+let max_wire_string = 1024
+
+let validate (spec : Ast.t) =
+  let errors = ref [] in
+  let err where reason = errors := { where; reason } :: !errors in
+  if spec.Ast.os = "" then err "header" "missing 'os <name>' declaration";
+  (match find_dup spec.Ast.resources with
+   | Some r -> err "resources" (Printf.sprintf "duplicate resource %S" r)
+   | None -> ());
+  List.iter (fun r -> if r = "" then err "resources" "empty resource name") spec.Ast.resources;
+  (match find_dup (List.map (fun (c : Ast.call) -> c.Ast.name) spec.Ast.calls) with
+   | Some n -> err "calls" (Printf.sprintf "duplicate call %S" n)
+   | None -> ());
+  List.iter
+    (fun (call : Ast.call) ->
+      let where = call.Ast.name in
+      if call.Ast.name = "" then err "calls" "empty call name";
+      if call.Ast.weight < 1 then
+        err where (Printf.sprintf "weight %d is below 1" call.Ast.weight);
+      (match find_dup (List.map fst call.Ast.args) with
+       | Some a -> err where (Printf.sprintf "duplicate argument %S" a)
+       | None -> ());
+      (match call.Ast.ret with
+       | Some kind when not (List.mem kind spec.Ast.resources) ->
+         err where (Printf.sprintf "produces undeclared resource %S" kind)
+       | _ -> ());
+      List.iter
+        (fun (arg_name, ty) ->
+          let awhere = Printf.sprintf "%s.%s" call.Ast.name arg_name in
+          match ty with
+          | Ast.Ty_int { min; max } ->
+            if Int64.compare min max > 0 then
+              err awhere (Printf.sprintf "empty int range [%Ld:%Ld]" min max)
+          | Ast.Ty_flags [] -> err awhere "empty flags list"
+          | Ast.Ty_flags flags ->
+            (match find_dup (List.map fst flags) with
+             | Some f -> err awhere (Printf.sprintf "duplicate flag %S" f)
+             | None -> ())
+          | Ast.Ty_str { max_len } | Ast.Ty_buf { max_len } ->
+            if max_len <= 0 then err awhere "non-positive length bound"
+            else if max_len > max_wire_string then
+              err awhere
+                (Printf.sprintf "length bound %d exceeds the wire limit %d" max_len
+                   max_wire_string)
+          | Ast.Ty_ptr { base; size; null_ok = _ } ->
+            if size <= 0 then err awhere "empty pointer region"
+            else if base < 0 then err awhere "negative pointer base"
+          | Ast.Ty_res kind ->
+            if not (List.mem kind spec.Ast.resources) then
+              err awhere (Printf.sprintf "consumes undeclared resource %S" kind))
+        call.Ast.args)
+    spec.Ast.calls;
+  List.iter
+    (fun kind ->
+      if Ast.producers spec kind = [] then
+        err "resources" (Printf.sprintf "resource %S has no producer" kind))
+    spec.Ast.resources;
+  match !errors with [] -> Ok spec | errs -> Error (List.rev errs)

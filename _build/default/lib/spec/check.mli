@@ -1,0 +1,20 @@
+(** Semantic validation of parsed specifications — the post-validation
+    gate applied before any (LLM- or metadata-derived) specification is
+    admitted to the corpus. *)
+
+type error = { where : string; reason : string }
+
+val validate : Ast.t -> (Ast.t, error list) result
+(** Returns the spec unchanged when every rule passes, otherwise all
+    violations:
+    - an [os] name is present
+    - call names and resource names are unique and non-empty
+    - argument names are unique within a call
+    - int ranges are non-empty ([min <= max])
+    - flags lists are non-empty with unique names
+    - string/buffer bounds are positive and within the wire limit
+    - every consumed or produced resource kind is declared
+    - every declared resource has at least one producer
+    - weights are at least 1 *)
+
+val error_to_string : error -> string

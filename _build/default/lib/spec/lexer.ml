@@ -1,0 +1,155 @@
+type token =
+  | IDENT of string
+  | INT of int64
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | EQUALS
+  | AT
+  | NEWLINE
+  | EOF
+
+type positioned = { token : token; line : int; col : int }
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT v -> Printf.sprintf "integer %Ld" v
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | EQUALS -> "'='"
+  | AT -> "'@'"
+  | NEWLINE -> "newline"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.col <- 1
+   | Some _ -> st.col <- st.col + 1
+   | None -> ());
+  st.pos <- st.pos + 1
+
+let tokenize input =
+  let st = { input; pos = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit token line col = out := { token; line; col } :: !out in
+  let last_was_newline () =
+    match !out with
+    | { token = NEWLINE; _ } :: _ | [] -> true
+    | _ -> false
+  in
+  let error msg = Error (Printf.sprintf "line %d, column %d: %s" st.line st.col msg) in
+  let rec run () =
+    match peek st with
+    | None ->
+      emit EOF st.line st.col;
+      Ok (List.rev !out)
+    | Some c ->
+      let line = st.line and col = st.col in
+      (match c with
+       | ' ' | '\t' | '\r' ->
+         advance st;
+         run ()
+       | '\n' ->
+         advance st;
+         if not (last_was_newline ()) then emit NEWLINE line col;
+         run ()
+       | '#' ->
+         let rec skip () =
+           match peek st with
+           | Some '\n' | None -> ()
+           | Some _ ->
+             advance st;
+             skip ()
+         in
+         skip ();
+         run ()
+       | '(' ->
+         advance st;
+         emit LPAREN line col;
+         run ()
+       | ')' ->
+         advance st;
+         emit RPAREN line col;
+         run ()
+       | '[' ->
+         advance st;
+         emit LBRACKET line col;
+         run ()
+       | ']' ->
+         advance st;
+         emit RBRACKET line col;
+         run ()
+       | ',' ->
+         advance st;
+         emit COMMA line col;
+         run ()
+       | ':' ->
+         advance st;
+         emit COLON line col;
+         run ()
+       | '=' ->
+         advance st;
+         emit EQUALS line col;
+         run ()
+       | '@' ->
+         advance st;
+         emit AT line col;
+         run ()
+       | c when is_ident_start c ->
+         let start = st.pos in
+         while (match peek st with Some c -> is_ident_char c | None -> false) do
+           advance st
+         done;
+         emit (IDENT (String.sub input start (st.pos - start))) line col;
+         run ()
+       | c when is_digit c || c = '-' ->
+         let start = st.pos in
+         advance st;
+         (* allow hex after 0 *)
+         (match (c, peek st) with
+          | '0', Some ('x' | 'X') ->
+            advance st;
+            while
+              (match peek st with
+               | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+               | None -> false)
+            do
+              advance st
+            done
+          | _ ->
+            while (match peek st with Some c -> is_digit c | None -> false) do
+              advance st
+            done);
+         let text = String.sub input start (st.pos - start) in
+         (match Int64.of_string_opt text with
+          | Some v ->
+            emit (INT v) line col;
+            run ()
+          | None -> error (Printf.sprintf "bad integer literal %S" text))
+       | c -> error (Printf.sprintf "unexpected character %C" c))
+  in
+  run ()

@@ -1,0 +1,25 @@
+(** Tokenizer for the specification language. *)
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | EQUALS
+  | AT
+  | NEWLINE
+  | EOF
+
+type positioned = { token : token; line : int; col : int }
+
+val tokenize : string -> (positioned list, string) result
+(** Comments ([#] to end of line) are dropped; consecutive newlines are
+    collapsed. Integers may be decimal, negative, or [0x]-hex.
+    Identifiers may contain [-] after the first character (OS names like
+    [RT-Thread]). *)
+
+val token_to_string : token -> string

@@ -1,0 +1,181 @@
+exception Parse_error of string
+
+type stream = { mutable tokens : Lexer.positioned list }
+
+let fail (p : Lexer.positioned) msg =
+  raise (Parse_error (Printf.sprintf "line %d, column %d: %s" p.Lexer.line p.Lexer.col msg))
+
+let peek st =
+  match st.tokens with
+  | [] -> { Lexer.token = Lexer.EOF; line = 0; col = 0 }
+  | p :: _ -> p
+
+let next st =
+  let p = peek st in
+  (match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest);
+  p
+
+let expect st token =
+  let p = next st in
+  if p.Lexer.token <> token then
+    fail p
+      (Printf.sprintf "expected %s, found %s" (Lexer.token_to_string token)
+         (Lexer.token_to_string p.Lexer.token))
+
+let expect_ident st =
+  let p = next st in
+  match p.Lexer.token with
+  | Lexer.IDENT s -> s
+  | t -> fail p (Printf.sprintf "expected identifier, found %s" (Lexer.token_to_string t))
+
+let expect_int st =
+  let p = next st in
+  match p.Lexer.token with
+  | Lexer.INT v -> v
+  | t -> fail p (Printf.sprintf "expected integer, found %s" (Lexer.token_to_string t))
+
+let skip_newlines st =
+  while (peek st).Lexer.token = Lexer.NEWLINE do
+    ignore (next st : Lexer.positioned)
+  done
+
+let parse_bracketed_int st =
+  expect st Lexer.LBRACKET;
+  let v = expect_int st in
+  expect st Lexer.RBRACKET;
+  v
+
+let parse_flags st =
+  expect st Lexer.LBRACKET;
+  let rec go acc =
+    let name = expect_ident st in
+    expect st Lexer.EQUALS;
+    let v = expect_int st in
+    let acc = (name, v) :: acc in
+    match (peek st).Lexer.token with
+    | Lexer.COMMA ->
+      ignore (next st : Lexer.positioned);
+      go acc
+    | _ ->
+      expect st Lexer.RBRACKET;
+      List.rev acc
+  in
+  go []
+
+let parse_type st =
+  let p = peek st in
+  let name = expect_ident st in
+  match name with
+  | "int" ->
+    expect st Lexer.LBRACKET;
+    let min = expect_int st in
+    expect st Lexer.COLON;
+    let max = expect_int st in
+    expect st Lexer.RBRACKET;
+    Ast.Ty_int { min; max }
+  | "flags" -> Ast.Ty_flags (parse_flags st)
+  | "string" ->
+    let n = Int64.to_int (parse_bracketed_int st) in
+    Ast.Ty_str { max_len = n }
+  | "buffer" ->
+    let n = Int64.to_int (parse_bracketed_int st) in
+    Ast.Ty_buf { max_len = n }
+  | "ptr" ->
+    expect st Lexer.LBRACKET;
+    let base = Int64.to_int (expect_int st) in
+    expect st Lexer.COLON;
+    let limit = Int64.to_int (expect_int st) in
+    let null_ok =
+      match (peek st).Lexer.token with
+      | Lexer.COMMA ->
+        ignore (next st : Lexer.positioned);
+        let word = expect_ident st in
+        if word <> "null" then fail p (Printf.sprintf "unknown ptr attribute %S" word);
+        true
+      | _ -> false
+    in
+    expect st Lexer.RBRACKET;
+    Ast.Ty_ptr { base; size = limit - base; null_ok }
+  | "os" | "resource" -> fail p (Printf.sprintf "reserved word %S used as a type" name)
+  | res -> Ast.Ty_res res
+
+let parse_params st =
+  if (peek st).Lexer.token = Lexer.RPAREN then []
+  else
+    let rec go acc =
+      let name = expect_ident st in
+      let ty = parse_type st in
+      let acc = (name, ty) :: acc in
+      match (peek st).Lexer.token with
+      | Lexer.COMMA ->
+        ignore (next st : Lexer.positioned);
+        go acc
+      | _ -> List.rev acc
+    in
+    go []
+
+let parse_call st name =
+  expect st Lexer.LPAREN;
+  let args = parse_params st in
+  expect st Lexer.RPAREN;
+  let ret =
+    match (peek st).Lexer.token with
+    | Lexer.IDENT r ->
+      ignore (next st : Lexer.positioned);
+      Some r
+    | _ -> None
+  in
+  let weight =
+    match (peek st).Lexer.token with
+    | Lexer.AT ->
+      ignore (next st : Lexer.positioned);
+      let p = peek st in
+      let key = expect_ident st in
+      if key <> "weight" then fail p (Printf.sprintf "unknown attribute %S" key);
+      expect st Lexer.EQUALS;
+      Int64.to_int (expect_int st)
+    | _ -> 1
+  in
+  { Ast.name; args; ret; weight; doc = "" }
+
+let end_of_line st =
+  match (peek st).Lexer.token with
+  | Lexer.NEWLINE -> ignore (next st : Lexer.positioned)
+  | Lexer.EOF -> ()
+  | t -> fail (peek st) (Printf.sprintf "trailing %s" (Lexer.token_to_string t))
+
+let parse text =
+  match Lexer.tokenize text with
+  | Error e -> Error e
+  | Ok tokens ->
+    let st = { tokens } in
+    (try
+       let os = ref "" in
+       let resources = ref [] in
+       let calls = ref [] in
+       let rec loop () =
+         skip_newlines st;
+         match (peek st).Lexer.token with
+         | Lexer.EOF -> ()
+         | Lexer.IDENT "os" ->
+           ignore (next st : Lexer.positioned);
+           os := expect_ident st;
+           end_of_line st;
+           loop ()
+         | Lexer.IDENT "resource" ->
+           ignore (next st : Lexer.positioned);
+           resources := expect_ident st :: !resources;
+           end_of_line st;
+           loop ()
+         | Lexer.IDENT name ->
+           ignore (next st : Lexer.positioned);
+           calls := parse_call st name :: !calls;
+           end_of_line st;
+           loop ()
+         | t ->
+           fail (peek st)
+             (Printf.sprintf "expected a declaration, found %s" (Lexer.token_to_string t))
+       in
+       loop ();
+       Ok { Ast.os = !os; resources = List.rev !resources; calls = List.rev !calls }
+     with Parse_error msg -> Error msg)

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the specification language.
+
+    Grammar (line-oriented):
+
+    {v
+    spec      ::= { line }
+    line      ::= "os" IDENT
+                | "resource" IDENT
+                | call
+    call      ::= IDENT "(" [ params ] ")" [ IDENT ] [ "@" "weight" "=" INT ]
+    params    ::= param { "," param }
+    param     ::= IDENT type
+    type      ::= "int" "[" INT ":" INT "]"
+                | "flags" "[" IDENT "=" INT { "," IDENT "=" INT } "]"
+                | "string" "[" INT "]"
+                | "buffer" "[" INT "]"
+                | "ptr" "[" INT ":" INT [ "," "null" ] "]"
+                | IDENT                  (resource reference)
+    v}
+
+    Parsing performs syntax checks only; semantic validation is
+    {!Check.validate}'s job (the paper's post-validation gate for
+    LLM-generated specifications runs both). *)
+
+val parse : string -> (Ast.t, string) result

@@ -1,0 +1,27 @@
+open Eof_rtos
+
+(** Specification synthesis — the deterministic stand-in for the paper's
+    GPT-4o extraction step.
+
+    The paper prompts an LLM with headers, unit tests and API reference
+    text, then post-validates the output by parsing and type checking.
+    Here the extraction source is the personality's machine-readable API
+    table (our equivalent of the headers), and the identical
+    post-validation gate runs on the emitted text: synthesize ->
+    {!Parser.parse} -> {!Check.validate}. Only validated specifications
+    reach the fuzzer, exactly as in the paper's pipeline. *)
+
+val of_api : Api.table -> Ast.t
+(** Direct structural translation. *)
+
+val syzlang_of_api : Api.table -> string
+(** The emitted specification text. *)
+
+val validated_of_api : Api.table -> (Ast.t, string) result
+(** The full pipeline: emit text, re-parse it, validate it. This is the
+    entry point campaigns use; a personality whose API table cannot
+    round-trip through the language is rejected here. *)
+
+val index_map : Ast.t -> Api.table -> (Ast.call * int) list
+(** Pair each spec call with its API-table index (what the wire format's
+    [api_index] means). Calls missing from the table are dropped. *)

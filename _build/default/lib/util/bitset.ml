@@ -1,0 +1,90 @@
+type t = { bits : Bytes.t; capacity : int; mutable count : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; capacity = n; count = 0 }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask = 0 then begin
+    Bytes.unsafe_set t.bits (i lsr 3) (Char.unsafe_chr (byte lor mask));
+    t.count <- t.count + 1
+  end
+
+let clear t i =
+  check t i;
+  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if byte land mask <> 0 then begin
+    Bytes.unsafe_set t.bits (i lsr 3) (Char.unsafe_chr (byte land lnot mask));
+    t.count <- t.count - 1
+  end
+
+let add t i =
+  let fresh = not (mem t i) in
+  if fresh then set t i;
+  fresh
+
+let count t = t.count
+
+let reset t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.count <- 0
+
+let copy t = { bits = Bytes.copy t.bits; capacity = t.capacity; count = t.count }
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let union_into ~dst ~src =
+  if dst.capacity <> src.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
+  let added = ref 0 in
+  for b = 0 to Bytes.length dst.bits - 1 do
+    let d = Char.code (Bytes.unsafe_get dst.bits b) in
+    let s = Char.code (Bytes.unsafe_get src.bits b) in
+    let merged = d lor s in
+    if merged <> d then begin
+      added := !added + popcount_byte (Char.unsafe_chr (merged lxor d));
+      Bytes.unsafe_set dst.bits b (Char.unsafe_chr merged)
+    end
+  done;
+  dst.count <- dst.count + !added;
+  !added
+
+let iter f t =
+  for b = 0 to Bytes.length t.bits - 1 do
+    let byte = Char.code (Bytes.unsafe_get t.bits b) in
+    if byte <> 0 then
+      for bit = 0 to 7 do
+        if byte land (1 lsl bit) <> 0 then begin
+          let i = (b lsl 3) lor bit in
+          if i < t.capacity then f i
+        end
+      done
+  done
+
+let diff_new ~base ~candidate =
+  if base.capacity <> candidate.capacity then invalid_arg "Bitset.diff_new: capacity mismatch";
+  let acc = ref [] in
+  iter (fun i -> if not (mem base i) then acc := i :: !acc) candidate;
+  List.rev !acc
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,42 @@
+(** Fixed-capacity bit sets backed by [Bytes].
+
+    Used for host-side coverage bitmaps: dense, cheap to clear, cheap to
+    diff. Indices are 0-based; out-of-range indices raise
+    [Invalid_argument]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set with capacity [n] bits. *)
+
+val capacity : t -> int
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val add : t -> int -> bool
+(** [add t i] sets bit [i] and returns [true] iff it was previously
+    unset (i.e. the bit is new). *)
+
+val count : t -> int
+(** Number of set bits. *)
+
+val reset : t -> unit
+(** Clear every bit. *)
+
+val copy : t -> t
+
+val union_into : dst:t -> src:t -> int
+(** [union_into ~dst ~src] ors [src] into [dst]; returns how many bits
+    were newly set in [dst]. Capacities must match. *)
+
+val diff_new : base:t -> candidate:t -> int list
+(** Bits set in [candidate] but not in [base], ascending. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate set bits in ascending order. *)
+
+val to_list : t -> int list

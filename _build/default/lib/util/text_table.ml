@@ -1,0 +1,49 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row
+    else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let align_of i =
+    match List.nth_opt align i with Some a -> a | None -> Left
+  in
+  let hline =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let render_row row =
+    "|"
+    ^ String.concat "|"
+        (List.mapi (fun i cell -> " " ^ pad (align_of i) widths.(i) cell ^ " ") row)
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (hline ^ "\n");
+  Buffer.add_string buf (render_row header ^ "\n");
+  Buffer.add_string buf (hline ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
+  Buffer.add_string buf hline;
+  Buffer.contents buf
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.sprintf "\n%s\n=== %s ===\n%s" bar title bar

@@ -1,0 +1,15 @@
+(** Plain-text table rendering for experiment output.
+
+    Every reproduced paper table is printed through this module so that
+    [bench/main.exe] output lines up and is easy to diff against
+    EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] draws a boxed ASCII table. [align] applies per
+    column (default all [Left]); missing/extra entries default to [Left].
+    Rows shorter than the header are padded with empty cells. *)
+
+val section : string -> string
+(** A prominent section banner used between reproduced artifacts. *)

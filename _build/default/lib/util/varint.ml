@@ -1,0 +1,33 @@
+let write buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = Int64.to_int (Int64.logand !v 0x7FL) in
+    v := Int64.shift_right_logical !v 7;
+    if Int64.equal !v 0L then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let read s ~pos =
+  let n = String.length s in
+  let rec go i shift acc =
+    if i >= n || shift > 63 then None
+    else
+      let byte = Char.code s.[i] in
+      let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (byte land 0x7F)) shift) in
+      if byte land 0x80 = 0 then Some (acc, i + 1) else go (i + 1) (shift + 7) acc
+  in
+  if pos < 0 || pos >= n then None else go pos 0 0L
+
+let zigzag i = Int64.logxor (Int64.shift_left (Int64.of_int i) 1) (Int64.shift_right (Int64.of_int i) 63)
+
+let unzigzag v =
+  Int64.to_int (Int64.logxor (Int64.shift_right_logical v 1) (Int64.neg (Int64.logand v 1L)))
+
+let write_int buf i = write buf (zigzag i)
+
+let read_int s ~pos =
+  match read s ~pos with None -> None | Some (v, next) -> Some (unzigzag v, next)

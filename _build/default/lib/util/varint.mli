@@ -1,0 +1,17 @@
+(** LEB128 variable-length integers.
+
+    Used by the corpus on-disk format (not by the agent wire format, which
+    deliberately sticks to fixed-width fields a bare-metal agent can parse
+    with primitive loads). *)
+
+val write : Buffer.t -> int64 -> unit
+(** Unsigned LEB128 of the two's-complement bit pattern. *)
+
+val read : string -> pos:int -> (int64 * int) option
+(** [read s ~pos] is [Some (value, next_pos)] or [None] on truncation /
+    overlong encoding (> 10 bytes). *)
+
+val write_int : Buffer.t -> int -> unit
+(** Zigzag-encoded signed int. *)
+
+val read_int : string -> pos:int -> (int * int) option

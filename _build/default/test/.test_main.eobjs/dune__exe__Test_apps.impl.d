@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Eof_apps Eof_exec Eof_hw Eof_rtos Http Json List Option Printf QCheck QCheck_alcotest Sal Serial String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bytes Eof_agent Eof_baselines Eof_core Eof_hw Eof_os Eof_rtos Eof_util Freertos List Osbuild Pokos String Zephyr

@@ -1,0 +1,1 @@
+test/test_bugs.ml: Agent Alcotest Arch Board Bytes Eof_agent Eof_debug Eof_hw Eof_os Eof_rtos Freertos Int32 Int64 List Machine Nuttx Osbuild Printf Profiles Rtthread String Wire Zephyr

@@ -1,0 +1,1 @@
+test/test_debug.ml: Alcotest Board Engine Eof_debug Eof_exec Eof_hw Flash List Openocd Printf Profiles QCheck QCheck_alcotest Rsp Session String Target Transport

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Board Clock Engine Eof_exec Eof_hw Fault Fun Profiles Target Uart

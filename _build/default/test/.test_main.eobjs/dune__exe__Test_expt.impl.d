@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Eof_core Eof_expt List String

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Arch Board Bytes Clock Eof_hw Fault Flash Fmt Gen Gpio Image List Memory Partition Printf Profiles QCheck QCheck_alcotest String Uart

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_agent Test_apps Test_baselines Test_bugs Test_core Test_debug Test_exec Test_expt Test_hw Test_rtos Test_spec Test_util

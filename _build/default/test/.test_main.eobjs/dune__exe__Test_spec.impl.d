@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Ast Check Eof_expt Eof_os Eof_rtos Eof_spec Lexer List Option Parser Printf String Synth

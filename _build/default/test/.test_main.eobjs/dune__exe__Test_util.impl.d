@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitset Buffer Bytes Char Crc32 Eof_util Gen Hex Int64 Intervals List QCheck QCheck_alcotest Ring Rng Stats String Text_table Varint

@@ -1,0 +1,121 @@
+open Eof_os
+module Campaign = Eof_core.Campaign
+module Bufgen = Eof_baselines.Bufgen
+
+let test_bufgen_bounds () =
+  let rng = Eof_util.Rng.create 1L in
+  let g = Bufgen.create ~rng ~max_len:64 in
+  for _ = 1 to 200 do
+    let b = Bufgen.fresh g in
+    Alcotest.(check bool) "fresh bounded" true
+      (String.length b >= 1 && String.length b <= 64);
+    let h = Bufgen.havoc g b in
+    Alcotest.(check bool) "havoc bounded" true
+      (String.length h >= 1 && String.length h <= 64)
+  done
+
+let test_bufgen_corpus () =
+  let rng = Eof_util.Rng.create 2L in
+  let store = Bufgen.Corpus.create ~rng in
+  Alcotest.(check bool) "add" true (Bufgen.Corpus.add store "abc");
+  Alcotest.(check bool) "dup" false (Bufgen.Corpus.add store "abc");
+  Alcotest.(check int) "size" 1 (Bufgen.Corpus.size store);
+  Alcotest.(check (option string)) "pick" (Some "abc") (Bufgen.Corpus.pick store)
+
+let test_gustave_genome_decode () =
+  let build = Eof_baselines.Gustave.build_for Pokos.spec in
+  let table = Osbuild.api_signatures build in
+  let n = List.length table.Eof_rtos.Api.entries in
+  (* Empty genome -> empty program; decode is total over random bytes. *)
+  Alcotest.(check int) "empty" 0
+    (List.length (Eof_baselines.Gustave.decode_genome ~table ""));
+  let rng = Eof_util.Rng.create 3L in
+  for _ = 1 to 100 do
+    let genome = Bytes.unsafe_to_string (Eof_util.Rng.bytes rng (Eof_util.Rng.int rng 128)) in
+    let prog = Eof_baselines.Gustave.decode_genome ~table genome in
+    List.iter
+      (fun (c : Eof_agent.Wire.call) ->
+        Alcotest.(check bool) "api in range" true (c.Eof_agent.Wire.api_index < n))
+      prog;
+    (* The decoded program must be wire-encodable (refs are backward). *)
+    match Eof_agent.Wire.encode ~endianness:Eof_hw.Arch.Little prog with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done
+
+let test_tardis_runs_and_is_weaker_monitored () =
+  let build = Eof_baselines.Tardis.build_for Zephyr.spec in
+  Alcotest.(check string) "emulated board" "qemu-mps2-an385"
+    (Eof_hw.Board.profile (Osbuild.board build)).Eof_hw.Board.name;
+  match Eof_baselines.Tardis.run ~seed:3L ~iterations:300 build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "coverage" true (o.Campaign.coverage > 0);
+    Alcotest.(check int) "iterations" 300 o.Campaign.iterations_done;
+    (* Tardis has no exception/log monitor: every crash it records is a
+       timeout-style observation. *)
+    List.iter
+      (fun (c : Eof_core.Crash.t) ->
+        Alcotest.(check string) "timeout-only" "timeout"
+          (Eof_core.Crash.monitor_name c.Eof_core.Crash.detected_by))
+      o.Campaign.crashes
+
+let test_tardis_spec_subset () =
+  List.iter
+    (fun os ->
+      let unsupported = Eof_baselines.Tardis.unsupported_calls os in
+      Alcotest.(check bool) (os ^ " has a reduced spec") true
+        (os = "PoKOS" || unsupported <> []))
+    [ "Zephyr"; "RT-Thread"; "NuttX"; "FreeRTOS"; "PoKOS" ]
+
+let test_shift_freertos_only () =
+  let zephyr = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  (match Eof_baselines.Shift.run ~seed:1L ~iterations:10 ~entry_api:"json_parse" zephyr with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "SHIFT accepted a non-FreeRTOS target");
+  let frt =
+    Osbuild.make
+      ~instrument:(Osbuild.Instrument_only [ Freertos.json_module ])
+      ~board_profile:Eof_hw.Profiles.esp32_devkitc Freertos.spec
+  in
+  match Eof_baselines.Shift.run ~seed:1L ~iterations:150 ~entry_api:"json_parse" frt with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "edge feedback finds coverage" true (o.Campaign.coverage > 0);
+    Alcotest.(check bool) "corpus grows" true (o.Campaign.corpus_size > 0)
+
+let test_gdbfuzz_runs () =
+  let build =
+    Osbuild.make
+      ~instrument:(Osbuild.Instrument_only [ Freertos.http_module ])
+      ~board_profile:Eof_hw.Profiles.esp32_devkitc Freertos.spec
+  in
+  match
+    Eof_baselines.Gdbfuzz.run ~seed:2L ~iterations:150 ~entry_api:"http_request"
+      ~sample_modules:[ Freertos.http_module ] build
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "coverage measured" true (o.Campaign.coverage > 0);
+    Alcotest.(check int) "iterations" 150 o.Campaign.iterations_done
+
+let test_gustave_runs () =
+  let build = Eof_baselines.Gustave.build_for Pokos.spec in
+  match Eof_baselines.Gustave.run ~seed:4L ~iterations:200 build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "coverage" true (o.Campaign.coverage > 0);
+    Alcotest.(check bool) "executed" true (o.Campaign.executed_programs > 0)
+
+let suite =
+  [
+    Alcotest.test_case "bufgen bounds" `Quick test_bufgen_bounds;
+    Alcotest.test_case "bufgen corpus" `Quick test_bufgen_corpus;
+    Alcotest.test_case "gustave genome decode" `Quick test_gustave_genome_decode;
+    Alcotest.test_case "tardis runs (timeout-only monitors)" `Quick
+      test_tardis_runs_and_is_weaker_monitored;
+    Alcotest.test_case "tardis spec subset" `Quick test_tardis_spec_subset;
+    Alcotest.test_case "shift freertos-only" `Quick test_shift_freertos_only;
+    Alcotest.test_case "gdbfuzz runs" `Quick test_gdbfuzz_runs;
+    Alcotest.test_case "gustave runs" `Quick test_gustave_runs;
+  ]

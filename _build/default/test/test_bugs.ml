@@ -1,0 +1,415 @@
+(* Deterministic trigger tests for every Table-2 bug: hand-built
+   programs delivered over the debug link, with the expected crash
+   signature asserted. These are the ground-truth integration tests the
+   fuzzing experiments rest on. *)
+
+open Eof_hw
+open Eof_os
+open Eof_agent
+module Session = Eof_debug.Session
+
+type exec_result =
+  | Done of Wire.Results.t * string  (** results, uart log *)
+  | Panicked of { log : string; fault : string }
+  | Hung of int  (** stalled pc *)
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail (Session.error_to_string e)
+
+let api_index table name =
+  let rec go i = function
+    | [] -> Alcotest.fail ("no api " ^ name)
+    | (e : Eof_rtos.Api.entry) :: _ when e.Eof_rtos.Api.name = name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 table.Eof_rtos.Api.entries
+
+type harness = {
+  machine : Machine.t;
+  session : Session.t;
+  build : Osbuild.t;
+  table : Eof_rtos.Api.table;
+}
+
+let make_harness spec board =
+  let build = Osbuild.make ~board_profile:board spec in
+  let machine = match Machine.create build with Ok m -> m | Error e -> Alcotest.fail e in
+  let session = Machine.session machine in
+  let syms = Osbuild.syms build in
+  List.iter
+    (fun a -> ok (Session.set_breakpoint session a))
+    [ syms.Osbuild.sym_executor_main; syms.Osbuild.sym_loop_back;
+      syms.Osbuild.sym_handle_exception; syms.Osbuild.sym_buf_full ];
+  { machine; session; build; table = Osbuild.api_signatures build }
+
+let call h name args = { Wire.api_index = api_index h.table name; args }
+
+(* Deliver and run one program, interpreting the stop like the campaign
+   does but without any fuzzing machinery. *)
+let exec h prog =
+  let syms = Osbuild.syms h.build in
+  let endianness = (Board.profile (Osbuild.board h.build)).Board.arch.Arch.endianness in
+  let rec to_executor budget =
+    if budget = 0 then Alcotest.fail "never reached executor_main";
+    match ok (Session.continue_ h.session) with
+    | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_executor_main -> ()
+    | _ -> to_executor (budget - 1)
+  in
+  to_executor 10;
+  let payload = match Wire.encode ~endianness prog with Ok s -> s | Error e -> Alcotest.fail e in
+  let header = Bytes.create 8 in
+  (match endianness with
+   | Arch.Little ->
+     Bytes.set_int32_le header 0 Wire.magic;
+     Bytes.set_int32_le header 4 (Int32.of_int (String.length payload))
+   | Arch.Big ->
+     Bytes.set_int32_be header 0 Wire.magic;
+     Bytes.set_int32_be header 4 (Int32.of_int (String.length payload)));
+  ok (Session.write_mem h.session ~addr:(Osbuild.mailbox_base h.build)
+        (Bytes.to_string header ^ payload));
+  let rec drive budget last_pc =
+    if budget = 0 then Alcotest.fail "program did not settle" else
+    match ok (Session.continue_ h.session) with
+    | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_loop_back ->
+      let raw =
+        ok (Session.read_mem h.session ~addr:(Agent.results_base h.build)
+              ~len:(Wire.Results.byte_size (List.length prog)))
+      in
+      let results =
+        match Wire.Results.read ~raw ~endianness with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e
+      in
+      Done (results, ok (Session.drain_uart h.session))
+    | Session.Stopped_breakpoint pc when pc = syms.Osbuild.sym_handle_exception ->
+      let log = ok (Session.drain_uart h.session) in
+      ignore (Session.continue_ h.session : (Session.stop, Session.error) result);
+      let fault = ok (Session.last_fault h.session) in
+      ok (Session.reset_target h.session);
+      Panicked { log; fault }
+    | Session.Stopped_breakpoint _ -> drive (budget - 1) None
+    | Session.Stopped_fault _ ->
+      let log = ok (Session.drain_uart h.session) in
+      let fault = ok (Session.last_fault h.session) in
+      ok (Session.reset_target h.session);
+      Panicked { log; fault }
+    | Session.Stopped_quantum pc ->
+      (match last_pc with
+       | Some prev when prev = pc ->
+         ok (Session.reset_target h.session);
+         Hung pc
+       | _ -> drive (budget - 1) (Some pc))
+    | Session.Target_exited -> Alcotest.fail "target exited"
+  in
+  drive 100 None
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let expect_panic ~bug ~needle result =
+  match result with
+  | Panicked { log; fault } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "bug #%d signature (%s) in log/fault:\n%s\n%s" bug needle log fault)
+      true
+      (contains ~needle log || contains ~needle fault)
+  | Done (_, log) -> Alcotest.fail (Printf.sprintf "bug #%d: no crash; log:\n%s" bug log)
+  | Hung _ -> Alcotest.fail (Printf.sprintf "bug #%d: hung instead of panicking" bug)
+
+let zephyr () = make_harness Zephyr.spec Profiles.stm32f4_disco
+
+let rtthread () = make_harness Rtthread.spec Profiles.stm32f4_disco
+
+let nuttx () = make_harness Nuttx.spec Profiles.stm32h745_nucleo
+
+let freertos () = make_harness Freertos.spec Profiles.esp32_devkitc
+
+let i v = Wire.W_int v
+
+let r k = Wire.W_res k
+
+let s v = Wire.W_str v
+
+(* #1 Zephyr sys_heap_stress: oversized aligned stress shears a header. *)
+let bug_1 () =
+  let h = zephyr () in
+  expect_panic ~bug:1 ~needle:"heap metadata corrupted"
+    (exec h
+       [ call h "k_heap_init" [ i 1024L ];
+         call h "sys_heap_stress" [ r 0; i 131072L; i 1L ] ])
+
+(* #2 Zephyr z_impl_k_msgq_get after purge-with-pending-data. *)
+let bug_2 () =
+  let h = zephyr () in
+  expect_panic ~bug:2 ~needle:"dangling ring buffer"
+    (exec h
+       [ call h "k_msgq_create" [ i 4L; i 16L ];
+         call h "k_msgq_put" [ r 0; s "payload" ];
+         call h "k_msgq_purge" [ r 0 ];
+         call h "z_impl_k_msgq_get" [ r 0 ] ])
+
+(* #3 Zephyr json_obj_encode stack overflow. *)
+let bug_3 () =
+  let h = zephyr () in
+  expect_panic ~bug:3 ~needle:"encoder stack overflow"
+    (exec h [ call h "syz_json_deep_encode" [ i 12L ] ]);
+  (* Also reachable through the plain API with a deep document. *)
+  let h = zephyr () in
+  let deep = String.concat "" (List.init 10 (fun _ -> "[")) ^ "1"
+             ^ String.concat "" (List.init 10 (fun _ -> "]")) in
+  expect_panic ~bug:3 ~needle:"encoder stack overflow"
+    (exec h [ call h "json_obj_encode" [ s deep ] ])
+
+(* #4 Zephyr k_heap_init's unchecked result. *)
+let bug_4 () =
+  let h = zephyr () in
+  expect_panic ~bug:4 ~needle:"k_heap_init result unchecked"
+    (exec h [ call h "k_heap_init" [ i 8L ]; call h "k_heap_alloc" [ r 0; i 16L ] ])
+
+(* #5 RT-Thread rt_object_get_type on a detached object: assert + hang. *)
+let bug_5 () =
+  let h = rtthread () in
+  match
+    exec h
+      [ call h "rt_event_create" [];
+        call h "rt_object_detach" [ r 0 ];
+        call h "rt_object_get_type" [ r 0 ] ]
+  with
+  | Hung _ -> ()
+  | Done _ -> Alcotest.fail "bug #5: completed"
+  | Panicked _ -> Alcotest.fail "bug #5: panicked (expected hang)"
+
+(* #6 RT-Thread service list walk over a dangling node. *)
+let bug_6 () =
+  let h = rtthread () in
+  expect_panic ~bug:6 ~needle:"dangling service-list node"
+    (exec h
+       [ call h "rt_service_register" [];
+         call h "rt_service_unregister" [ r 0 ];
+         call h "rt_service_poll" [] ])
+
+(* #7 RT-Thread zero-stride memory pool. *)
+let bug_7 () =
+  let h = rtthread () in
+  expect_panic ~bug:7 ~needle:"free-list walk diverges"
+    (exec h [ call h "rt_mp_create" [ i 0L; i 4L ]; call h "rt_mp_alloc" [ r 0 ] ])
+
+(* #8 RT-Thread double rt_object_init: assertion, execution continues. *)
+let bug_8 () =
+  let h = rtthread () in
+  match
+    exec h [ call h "rt_object_init" [ i 3L ]; call h "rt_object_init" [ i 3L ] ]
+  with
+  | Done (results, log) ->
+    Alcotest.(check int) "both executed" 2 results.Wire.Results.executed;
+    Alcotest.(check bool) "assertion logged" true
+      (contains ~needle:"ASSERTION FAILED: rt_object_init" log)
+  | Panicked _ -> Alcotest.fail "bug #8: panicked (expected soft assertion)"
+  | Hung _ -> Alcotest.fail "bug #8: hung"
+
+(* #9 RT-Thread _heap_lock re-entry from timer context. *)
+let bug_9 () =
+  let h = rtthread () in
+  expect_panic ~bug:9 ~needle:"_heap_lock re-entered"
+    (exec h
+       [ call h "rt_malloc" [ i 64L ];
+         call h "rt_timer_create" [ i 1L; i 3L (* periodic | allocating *) ];
+         call h "rt_timer_start" [ r 1 ];
+         call h "rt_free" [ r 0 ] ])
+
+(* #10 RT-Thread rt_event_send to a deleted event. *)
+let bug_10 () =
+  let h = rtthread () in
+  expect_panic ~bug:10 ~needle:"waiter-queue corruption"
+    (exec h
+       [ call h "rt_event_create" [];
+         call h "rt_event_delete" [ r 0 ];
+         call h "rt_event_send" [ r 0; i 5L ] ])
+
+(* #11 RT-Thread rt_smem_setname overflowing into the next header. *)
+let bug_11 () =
+  let h = rtthread () in
+  expect_panic ~bug:11 ~needle:"heap metadata corrupted"
+    (exec h
+       [ call h "rt_smem_alloc" [ i 8L ];
+         call h "rt_smem_setname" [ r 0; s "name_that_is_quite_long_indeed" ] ])
+
+(* #12 RT-Thread stale console serial device: the §5.3.1 case study,
+   with the paper's exact Figure-6 arguments. *)
+let bug_12 () =
+  let h = rtthread () in
+  (match
+     exec h
+       [ call h "rt_serial_ctrl" [ i 1L (* detach *) ];
+         call h "syz_create_bind_socket" [ i 0xbc78L; i 0x0L; i 0x101L; i 0x0L ] ]
+   with
+   | Panicked { log; fault } ->
+     Alcotest.(check bool) "stale serial fault" true
+       (contains ~needle:"stale serial device" log || contains ~needle:"stale serial device" fault);
+     Alcotest.(check bool) "case-study backtrace frame" true
+       (contains ~needle:"rt_serial_write" log)
+   | Done _ -> Alcotest.fail "bug #12: no crash"
+   | Hung _ -> Alcotest.fail "bug #12: hung");
+  (* The direct write path dies the same way. *)
+  let h = rtthread () in
+  expect_panic ~bug:12 ~needle:"stale serial device"
+    (exec h
+       [ call h "rt_serial_ctrl" [ i 1L ]; call h "rt_device_write" [ s "hello" ] ])
+
+(* #13 FreeRTOS load_partitions on the poisoned backup table. *)
+let bug_13 () =
+  let h = freertos () in
+  expect_panic ~bug:13 ~needle:"overlapping partition entries"
+    (exec h [ call h "load_partitions" [ i (Int64.of_int Freertos.backup_table_flash_offset) ] ]);
+  (* Other aligned offsets fail gracefully (no magic). *)
+  let h = freertos () in
+  match exec h [ call h "load_partitions" [ i 0x2000L ] ] with
+  | Done (results, _) ->
+    Alcotest.(check (list int32)) "ENOENT" [ -2l ] results.Wire.Results.statuses
+  | _ -> Alcotest.fail "clean offset crashed"
+
+(* #14 NuttX setenv env-arena overflow. *)
+let bug_14 () =
+  let h = nuttx () in
+  let big = String.make 90 'v' in
+  expect_panic ~bug:14 ~needle:"heap metadata corrupted"
+    (exec h
+       (List.init 7 (fun k ->
+            call h "setenv" [ s (Printf.sprintf "VARIABLE_%d" k); s big ])))
+
+(* #15 NuttX gettimeofday with an unaligned pointer. *)
+let bug_15 () =
+  let h = nuttx () in
+  let ram_base = (Board.profile (Osbuild.board h.build)).Board.ram_base in
+  expect_panic ~bug:15 ~needle:"unaligned timeval store"
+    (exec h [ call h "gettimeofday" [ i (Int64.of_int (ram_base + 0x9002)) ] ]);
+  (* An aligned pointer works and writes through. *)
+  let h = nuttx () in
+  let ram_base = (Board.profile (Osbuild.board h.build)).Board.ram_base in
+  match exec h [ call h "gettimeofday" [ i (Int64.of_int (ram_base + 0x9000)) ] ] with
+  | Done (results, _) ->
+    Alcotest.(check (list int32)) "aligned OK" [ 0l ] results.Wire.Results.statuses
+  | _ -> Alcotest.fail "aligned gettimeofday crashed"
+
+(* #16 NuttX nxmq_timedsend deadline overflow on a full queue. *)
+let bug_16 () =
+  let h = nuttx () in
+  expect_panic ~bug:16 ~needle:"deadline overflow"
+    (exec h
+       [ call h "mq_open" [ i 1L; i 8L ];
+         call h "mq_send" [ r 0; s "fill" ];
+         call h "nxmq_timedsend" [ r 0; s "more"; i 21500000L ] ]);
+  (* Outside the wrap window, the call times out gracefully. *)
+  let h = nuttx () in
+  match
+    exec h
+      [ call h "mq_open" [ i 1L; i 8L ];
+        call h "mq_send" [ r 0; s "fill" ];
+        call h "nxmq_timedsend" [ r 0; s "more"; i 4294967295L ] ]
+  with
+  | Done (results, _) ->
+    Alcotest.(check (list int32)) "graceful timeout" [ 0l; 0l; -110l ]
+      results.Wire.Results.statuses
+  | _ -> Alcotest.fail "out-of-window timeout crashed"
+
+(* #17 NuttX nxsem_trywait on a destroyed semaphore: soft assertion. *)
+let bug_17 () =
+  let h = nuttx () in
+  match
+    exec h
+      [ call h "sem_init" [ i 1L ];
+        call h "sem_destroy" [ r 0 ];
+        call h "nxsem_trywait" [ r 0 ] ]
+  with
+  | Done (results, log) ->
+    Alcotest.(check int) "all executed" 3 results.Wire.Results.executed;
+    Alcotest.(check bool) "assertion logged" true
+      (contains ~needle:"ASSERTION FAILED: nxsem_trywait" log)
+  | Panicked _ -> Alcotest.fail "bug #17: panicked (expected soft assertion)"
+  | Hung _ -> Alcotest.fail "bug #17: hung"
+
+(* #18 NuttX timer_create with an invalid clock id but valid sigevent. *)
+let bug_18 () =
+  let h = nuttx () in
+  expect_panic ~bug:18 ~needle:"clock table overrun"
+    (exec h [ call h "timer_create" [ i 16L; i 6L ] ]);
+  (* Invalid clock id with no sigevent is rejected gracefully. *)
+  let h = nuttx () in
+  match exec h [ call h "timer_create" [ i 16L; i 0L ] ] with
+  | Done (results, _) ->
+    Alcotest.(check (list int32)) "EINVAL" [ -22l ] results.Wire.Results.statuses
+  | _ -> Alcotest.fail "graceful path crashed"
+
+(* #19 NuttX clock_getres with a NULL result pointer. *)
+let bug_19 () =
+  let h = nuttx () in
+  expect_panic ~bug:19 ~needle:"NULL res pointer"
+    (exec h [ call h "clock_getres" [ i 16L; i 0L ] ])
+
+(* Not a bug: the filesystem surface works over the wire (open, write,
+   read, close, unlink as one dependent sequence). *)
+let nuttx_fs_functional () =
+  let h = nuttx () in
+  match
+    exec h
+      [ call h "nx_open" [ s "/data/cfg"; i 3L (* creat|wronly *) ];
+        call h "nx_write" [ r 0; s "telemetry" ];
+        call h "nx_open" [ s "/data/cfg"; i 0L ];
+        call h "nx_read" [ r 2; i 64L ];
+        call h "nx_close" [ r 0 ];
+        call h "nx_unlink" [ s "/data/cfg" ] ]
+  with
+  | Done (results, _) ->
+    Alcotest.(check (list int32)) "all succeed" [ 0l; 9l; 0l; 0l; 0l; 0l ]
+      results.Wire.Results.statuses
+  | Panicked { log; fault } -> Alcotest.fail ("fs sequence panicked: " ^ log ^ fault)
+  | Hung _ -> Alcotest.fail "fs sequence hung"
+
+let suite =
+  [
+    Alcotest.test_case "nuttx fs over the wire" `Quick nuttx_fs_functional;
+    Alcotest.test_case "#1 zephyr sys_heap_stress" `Quick bug_1;
+    Alcotest.test_case "#2 zephyr k_msgq_get after purge" `Quick bug_2;
+    Alcotest.test_case "#3 zephyr json_obj_encode" `Quick bug_3;
+    Alcotest.test_case "#4 zephyr k_heap_init" `Quick bug_4;
+    Alcotest.test_case "#5 rt-thread rt_object_get_type hang" `Quick bug_5;
+    Alcotest.test_case "#6 rt-thread rt_list_isempty" `Quick bug_6;
+    Alcotest.test_case "#7 rt-thread rt_mp_alloc" `Quick bug_7;
+    Alcotest.test_case "#8 rt-thread rt_object_init assert" `Quick bug_8;
+    Alcotest.test_case "#9 rt-thread _heap_lock re-entry" `Quick bug_9;
+    Alcotest.test_case "#10 rt-thread rt_event_send" `Quick bug_10;
+    Alcotest.test_case "#11 rt-thread rt_smem_setname" `Quick bug_11;
+    Alcotest.test_case "#12 rt-thread rt_serial_write (case study)" `Quick bug_12;
+    Alcotest.test_case "#13 freertos load_partitions" `Quick bug_13;
+    Alcotest.test_case "#14 nuttx setenv" `Quick bug_14;
+    Alcotest.test_case "#15 nuttx gettimeofday" `Quick bug_15;
+    Alcotest.test_case "#16 nuttx nxmq_timedsend" `Quick bug_16;
+    Alcotest.test_case "#17 nuttx nxsem_trywait assert" `Quick bug_17;
+    Alcotest.test_case "#18 nuttx timer_create" `Quick bug_18;
+    Alcotest.test_case "#19 nuttx clock_getres" `Quick bug_19;
+  ]
+
+(* Functional: Zephyr work items run off the system work queue and post
+   their completion bits. *)
+let zephyr_workqueue_functional () =
+  let h = zephyr () in
+  match
+    exec h
+      [ call h "k_event_create" [];
+        call h "k_work_init" [ i 3L ];
+        call h "k_work_submit" [ r 1 ];
+        call h "k_sleep" [ i 5L ];  (* ticks drain the work queue *)
+        call h "k_event_wait" [ r 0; i 8L (* 1 lsl 3 *); i 0L ] ]
+  with
+  | Done (results, _) ->
+    (match results.Wire.Results.statuses with
+     | [ _; _; submit; _; wait ] ->
+       Alcotest.(check int32) "submit ok" 0l submit;
+       Alcotest.(check int32) "completion bit observed" 8l wait
+     | _ -> Alcotest.fail "wrong arity")
+  | Panicked { log; fault } -> Alcotest.fail ("workq panicked: " ^ log ^ fault)
+  | Hung _ -> Alcotest.fail "workq hung"
+
+let suite =
+  suite @ [ Alcotest.test_case "zephyr work queue functional" `Quick zephyr_workqueue_functional ]

@@ -1,0 +1,707 @@
+open Eof_os
+module Gen = Eof_core.Gen
+module Prog = Eof_core.Prog
+module Corpus = Eof_core.Corpus
+module Feedback = Eof_core.Feedback
+module Monitor = Eof_core.Monitor
+module Crash = Eof_core.Crash
+module Campaign = Eof_core.Campaign
+module Liveness = Eof_core.Liveness
+
+let zephyr_env =
+  lazy
+    (let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+     let table = Osbuild.api_signatures build in
+     let spec =
+       match Eof_spec.Synth.validated_of_api table with
+       | Ok s -> s
+       | Error e -> failwith e
+     in
+     (build, table, spec))
+
+let make_gen ?(dep_aware = true) seed =
+  let _, table, spec = Lazy.force zephyr_env in
+  Gen.create ~dep_aware ~rng:(Eof_util.Rng.create seed) ~spec ~table ()
+
+let test_generate_valid_programs () =
+  let gen = make_gen 1L in
+  for _ = 1 to 200 do
+    let prog = Gen.generate gen ~max_len:10 in
+    Alcotest.(check bool) "non-empty" true (Prog.length prog >= 1);
+    (match Prog.validate prog with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail (e ^ "\n" ^ Prog.to_string prog));
+    (* And the wire encoding must accept it. *)
+    match Eof_agent.Wire.encode ~endianness:Eof_hw.Arch.Little (Prog.to_wire prog) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail ("wire: " ^ e)
+  done
+
+let test_mutate_preserves_validity () =
+  let gen = make_gen 2L in
+  let prog = ref (Gen.generate gen ~max_len:8) in
+  for _ = 1 to 300 do
+    prog := Gen.mutate gen !prog ~max_len:16;
+    Alcotest.(check bool) "non-empty" true (Prog.length !prog >= 1);
+    Alcotest.(check bool) "within cap" true (Prog.length !prog <= 16 + 2);
+    match Prog.validate !prog with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (e ^ "\n" ^ Prog.to_string !prog)
+  done
+
+let test_generation_respects_dependencies () =
+  let gen = make_gen 3L in
+  (* Resource-consuming calls must always reference a matching earlier
+     producer in dep-aware mode; validate already enforces this, so a
+     large sample is enough. *)
+  for _ = 1 to 100 do
+    let prog = Gen.generate gen ~max_len:12 in
+    List.iteri
+      (fun i (call : Prog.call) ->
+        List.iter2
+          (fun arg (_, ty) ->
+            match (arg, ty) with
+            | Prog.Res k, Eof_spec.Ast.Ty_res kind ->
+              let producer = List.nth prog k in
+              Alcotest.(check bool)
+                (Printf.sprintf "call %d ref kind" i)
+                true
+                (producer.Prog.spec.Eof_spec.Ast.ret = Some kind)
+            | _ -> ())
+          call.Prog.args call.Prog.spec.Eof_spec.Ast.args)
+      prog
+  done
+
+let test_substitute () =
+  let gen = make_gen 4L in
+  let _, table, spec = Lazy.force zephyr_env in
+  ignore table;
+  let call_named name =
+    List.find (fun (c : Eof_spec.Ast.call) -> c.Eof_spec.Ast.name = name) spec.Eof_spec.Ast.calls
+  in
+  let sleep = call_named "k_sleep" in
+  let prog = [ { Prog.spec = sleep; api_index = 5; args = [ Prog.Int 40L ] } ] in
+  (* Pair (40, 200): the argument 40 was compared against 200. The
+     patch is the constant or its off-by-one neighbours. *)
+  (match Gen.substitute gen prog ~pairs:[ (40L, 200L) ] with
+   | Some [ { Prog.args = [ Prog.Int v ]; _ } ]
+     when Int64.abs (Int64.sub v 200L) <= 1L -> ()
+   | Some p -> Alcotest.fail ("unexpected substitution\n" ^ Prog.to_string p)
+   | None -> Alcotest.fail "no substitution found");
+  (* substitute_all enumerates the exact constant and constant+1. *)
+  (match Gen.substitute_all gen prog ~pairs:[ (40L, 200L) ] with
+   | [ [ { Prog.args = [ Prog.Int 200L ]; _ } ]; [ { Prog.args = [ Prog.Int 201L ]; _ } ] ] -> ()
+   | children ->
+     Alcotest.fail (Printf.sprintf "substitute_all: %d children" (List.length children)));
+  (* Trivial pairs are ignored. *)
+  (match Gen.substitute gen prog ~pairs:[ (40L, 1L) ] with
+   | None -> ()
+   | Some _ -> Alcotest.fail "noisy pair used");
+  (* No matching argument -> None. *)
+  match Gen.substitute gen prog ~pairs:[ (999L, 200L) ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "phantom match"
+
+let test_int_hints_used () =
+  let gen = make_gen 5L in
+  Gen.add_int_hint gen 12345L;
+  Gen.add_int_hint gen 12345L;
+  Alcotest.(check int) "dedup" 1 (Gen.hint_count gen);
+  (* With a single hint, gen_value over a wide range must eventually
+     produce it. *)
+  let seen = ref false in
+  for _ = 1 to 500 do
+    match Gen.gen_value gen ~produced:(fun _ -> []) (Eof_spec.Ast.Ty_int { min = 0L; max = 100000L }) with
+    | Prog.Int 12345L -> seen := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "hint replayed" true !seen
+
+let test_corpus_dedup_and_pick () =
+  let rng = Eof_util.Rng.create 6L in
+  let corpus = Corpus.create ~rng () in
+  let gen = make_gen 7L in
+  let p1 = Gen.generate gen ~max_len:4 in
+  Alcotest.(check bool) "added" true (Corpus.add corpus ~prog:p1 ~new_edges:3 ~crashed:false);
+  Alcotest.(check bool) "dup rejected" false
+    (Corpus.add corpus ~prog:p1 ~new_edges:3 ~crashed:false);
+  Alcotest.(check int) "size" 1 (Corpus.size corpus);
+  (match Corpus.pick corpus with
+   | Some p -> Alcotest.(check bool) "pick returns seed" true (Prog.hash p = Prog.hash p1)
+   | None -> Alcotest.fail "empty pick");
+  Alcotest.(check int) "total" 1 (Corpus.total_added corpus)
+
+let test_corpus_eviction () =
+  let rng = Eof_util.Rng.create 8L in
+  let corpus = Corpus.create ~capacity:4 ~rng () in
+  let gen = make_gen 9L in
+  for i = 1 to 10 do
+    ignore
+      (Corpus.add corpus ~prog:(Gen.generate gen ~max_len:6) ~new_edges:i ~crashed:false
+        : bool)
+  done;
+  Alcotest.(check bool) "bounded" true (Corpus.size corpus <= 5)
+
+let test_feedback_merge () =
+  let fb = Feedback.create ~edge_capacity:100 in
+  Alcotest.(check int) "first merge" 3 (Feedback.merge fb [ 1; 2; 3 ]);
+  Alcotest.(check int) "repeat merge" 0 (Feedback.merge fb [ 1; 2; 3 ]);
+  Alcotest.(check int) "partial" 1 (Feedback.merge fb [ 3; 4 ]);
+  Alcotest.(check int) "out of range ignored" 0 (Feedback.merge fb [ -1; 100; 40000 ]);
+  Alcotest.(check int) "covered" 4 (Feedback.covered fb)
+
+let test_monitor_patterns () =
+  let log =
+    "[Zephyr] booted\n\
+     [Zephyr] KERNEL PANIC: encoder stack overflow\n\
+     Stack frames at BUG: unexpected stop:\n\
+    \  Level 1: lib/utils/json.c : json_obj_encode : 733\n\
+    \  Level 2: lib/utils/json.c : encode : 684\n\
+     [RT-Thread] ASSERTION FAILED: rt_object_init: slot 3 already initialised\n\
+     [NuttX] ERROR: something else\n"
+  in
+  let detections = Monitor.scan log in
+  (match Monitor.first_panic detections with
+   | Some (os, msg) ->
+     Alcotest.(check string) "panic os" "Zephyr" os;
+     Alcotest.(check string) "panic msg" "encoder stack overflow" msg
+   | None -> Alcotest.fail "panic missed");
+  (match Monitor.first_assertion detections with
+   | Some (os, msg) ->
+     Alcotest.(check string) "assert os" "RT-Thread" os;
+     Alcotest.(check (option string)) "assert op" (Some "rt_object_init")
+       (Monitor.assert_operation msg)
+   | None -> Alcotest.fail "assertion missed");
+  Alcotest.(check int) "backtrace frames" 2
+    (List.length (Monitor.collect_backtrace detections))
+
+let test_crash_dedup_key () =
+  let mk op kind =
+    {
+      Crash.os = "Zephyr";
+      kind;
+      operation = op;
+      scope = "kernel";
+      message = "m";
+      backtrace = [];
+      detected_by = Crash.Exception_monitor;
+      program = "";
+      iteration = 0;
+    }
+  in
+  Alcotest.(check bool) "same bug same key" true
+    (Crash.dedup_key (mk "f" Crash.Kernel_panic) = Crash.dedup_key (mk "f" Crash.Kernel_panic));
+  Alcotest.(check bool) "different op different key" true
+    (Crash.dedup_key (mk "f" Crash.Kernel_panic) <> Crash.dedup_key (mk "g" Crash.Kernel_panic));
+  Alcotest.(check bool) "different kind different key" true
+    (Crash.dedup_key (mk "f" Crash.Kernel_panic)
+    <> Crash.dedup_key (mk "f" Crash.Kernel_assertion))
+
+let test_campaign_smoke () =
+  let build, _, _ = Lazy.force zephyr_env in
+  ignore build;
+  (* A fresh build: campaigns mutate board state. *)
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let config = { Campaign.default_config with iterations = 120; seed = 99L } in
+  match Campaign.run config build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check int) "all iterations ran" 120 o.Campaign.iterations_done;
+    Alcotest.(check bool) "coverage found" true (o.Campaign.coverage > 0);
+    Alcotest.(check bool) "programs executed" true (o.Campaign.executed_programs > 0);
+    Alcotest.(check bool) "series sampled" true (List.length o.Campaign.series > 5);
+    Alcotest.(check bool) "series monotonic" true
+      (let rec mono = function
+         | (a : Campaign.sample) :: (b :: _ as rest) ->
+           a.Campaign.coverage <= b.Campaign.coverage && mono rest
+         | _ -> true
+       in
+       mono o.Campaign.series)
+
+let test_campaign_deterministic () =
+  let run () =
+    let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+    match
+      Campaign.run { Campaign.default_config with iterations = 80; seed = 7L } build
+    with
+    | Ok o -> (o.Campaign.coverage, o.Campaign.crash_events, o.Campaign.executed_programs)
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "same seed, same outcome" true (run () = run ())
+
+let test_campaign_finds_zephyr_bugs () =
+  (* Union over two seeds, as the evaluation protocol does: single-seed
+     bug sets vary. *)
+  let run seed =
+    let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+    let config = { Campaign.default_config with iterations = 2000; seed } in
+    match Campaign.run config build with
+    | Error e -> Alcotest.fail e
+    | Ok o -> Eof_expt.Targets.found_ids o.Campaign.crashes
+  in
+  let ids = List.sort_uniq compare (run 42L @ run 1337L) in
+  Alcotest.(check bool)
+    (Printf.sprintf "found several Zephyr bugs (got {%s})"
+       (String.concat "," (List.map string_of_int ids)))
+    true
+    (List.length ids >= 3)
+
+let test_campaign_api_filter () =
+  let build =
+    Osbuild.make
+      ~instrument:(Osbuild.Instrument_only [ Freertos.json_module ])
+      ~board_profile:Eof_hw.Profiles.esp32_devkitc Freertos.spec
+  in
+  let config =
+    {
+      Campaign.default_config with
+      iterations = 100;
+      seed = 1L;
+      api_filter = Some [ "json_parse" ];
+    }
+  in
+  match Campaign.run config build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "json coverage only" true (o.Campaign.coverage > 0);
+    (* Only the JSON block records edges, so coverage stays well below a
+       full-system run's. *)
+    Alcotest.(check bool) "confined" true (o.Campaign.coverage < 150)
+
+let test_liveness_restore_over_session () =
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let machine =
+    match Eof_agent.Machine.create build with Ok m -> m | Error e -> Alcotest.fail e
+  in
+  let session = Eof_agent.Machine.session machine in
+  let board = Osbuild.board build in
+  (* Damage flash, then restore through the documented procedure. *)
+  Eof_hw.Flash.corrupt (Eof_hw.Board.flash board)
+    ~addr:(Eof_hw.Flash.base (Eof_hw.Board.flash board) + 0x5000)
+    "XX";
+  Alcotest.(check bool) "damaged" false (Eof_hw.Board.boot_ok board);
+  (match Liveness.restore session ~build with
+   | Ok n -> Alcotest.(check int) "three partitions" 3 n
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "boots" true (Eof_hw.Board.boot_ok board)
+
+let test_liveness_watchdog_timeout () =
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let transport = Eof_debug.Transport.create () in
+  let machine =
+    match Eof_agent.Machine.create ~transport build with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let session = Eof_agent.Machine.session machine in
+  let wd = Liveness.create () in
+  (match Liveness.check wd session with
+   | Liveness.First_observation -> ()
+   | _ -> Alcotest.fail "expected first observation");
+  Eof_debug.Transport.set_failure_mode transport Eof_debug.Transport.Down;
+  (match Liveness.check wd session with
+   | Liveness.Connection_lost -> ()
+   | _ -> Alcotest.fail "expected connection-lost verdict");
+  Eof_debug.Transport.set_failure_mode transport Eof_debug.Transport.Up
+
+let prop_mutation_grows_bounded =
+  QCheck.Test.make ~name:"mutation keeps programs bounded and valid" ~count:50
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let gen = make_gen (Int64.of_int (seed + 100)) in
+      let prog = ref (Gen.generate gen ~max_len:6) in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        prog := Gen.mutate gen !prog ~max_len:12;
+        ok := !ok && Prog.validate !prog = Ok () && Prog.length !prog >= 1
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "generate valid programs" `Quick test_generate_valid_programs;
+    Alcotest.test_case "mutate preserves validity" `Quick test_mutate_preserves_validity;
+    Alcotest.test_case "generation respects dependencies" `Quick
+      test_generation_respects_dependencies;
+    Alcotest.test_case "i2s substitution" `Quick test_substitute;
+    Alcotest.test_case "int hints used" `Quick test_int_hints_used;
+    Alcotest.test_case "corpus dedup/pick" `Quick test_corpus_dedup_and_pick;
+    Alcotest.test_case "corpus eviction" `Quick test_corpus_eviction;
+    Alcotest.test_case "feedback merge" `Quick test_feedback_merge;
+    Alcotest.test_case "log monitor patterns" `Quick test_monitor_patterns;
+    Alcotest.test_case "crash dedup key" `Quick test_crash_dedup_key;
+    Alcotest.test_case "campaign smoke" `Quick test_campaign_smoke;
+    Alcotest.test_case "campaign deterministic" `Quick test_campaign_deterministic;
+    Alcotest.test_case "campaign finds zephyr bugs" `Slow test_campaign_finds_zephyr_bugs;
+    Alcotest.test_case "campaign api filter" `Quick test_campaign_api_filter;
+    Alcotest.test_case "liveness restore over session" `Quick
+      test_liveness_restore_over_session;
+    Alcotest.test_case "liveness watchdog timeout" `Quick test_liveness_watchdog_timeout;
+    QCheck_alcotest.to_alcotest prop_mutation_grows_bounded;
+  ]
+
+(* --- minimization ----------------------------------------------------- *)
+
+let mini_call name ret args : Prog.call =
+  {
+    Prog.spec = { Eof_spec.Ast.name; args = []; ret; weight = 1; doc = "" };
+    api_index = 0;
+    args;
+  }
+
+let test_remove_call_cascade () =
+  (* c0 produces q; c1 consumes it; c2 independent; c3 consumes c2. *)
+  let prog =
+    [
+      mini_call "mk_q" (Some "q") [];
+      mini_call "use_q" None [ Prog.Res 0 ];
+      mini_call "mk_s" (Some "s") [];
+      mini_call "use_s" None [ Prog.Res 2 ];
+    ]
+  in
+  (* Dropping c0 cascades to c1, and c3's reference renumbers to c2's
+     new position. *)
+  (match Eof_core.Minimize.remove_call prog 0 with
+   | [ a; b ] ->
+     Alcotest.(check string) "kept producer" "mk_s" a.Prog.spec.Eof_spec.Ast.name;
+     Alcotest.(check string) "kept consumer" "use_s" b.Prog.spec.Eof_spec.Ast.name;
+     Alcotest.(check bool) "renumbered" true (b.Prog.args = [ Prog.Res 0 ])
+   | p -> Alcotest.fail (Printf.sprintf "cascade wrong: %d calls" (List.length p)));
+  (* Dropping a leaf removes only itself. *)
+  Alcotest.(check int) "leaf removal" 3
+    (List.length (Eof_core.Minimize.remove_call prog 3))
+
+let test_minimize_synthetic () =
+  (* The "kernel" crashes iff the program contains use_q fed by mk_q with
+     argument >= 5. *)
+  let exec (prog : Prog.t) =
+    let arr = Array.of_list prog in
+    let crashes =
+      Array.exists
+        (fun (c : Prog.call) ->
+          c.Prog.spec.Eof_spec.Ast.name = "use_q"
+          && (match c.Prog.args with
+              | [ Prog.Res k; Prog.Int v ] ->
+                arr.(k).Prog.spec.Eof_spec.Ast.name = "mk_q" && Int64.compare v 5L >= 0
+              | _ -> false))
+        arr
+    in
+    if crashes then Eof_core.Minimize.Crash "boom" else Eof_core.Minimize.No_crash
+  in
+  let noise name = mini_call name None [ Prog.Int 1L ] in
+  let prog =
+    [
+      noise "a";
+      mini_call "mk_q" (Some "q") [];
+      noise "b";
+      mini_call "use_q" None [ Prog.Res 1; Prog.Int 9L ];
+      noise "c";
+    ]
+  in
+  let reduced, execs = Eof_core.Minimize.minimize ~exec ~signature:"boom" prog in
+  Alcotest.(check int) "two calls survive" 2 (List.length reduced);
+  Alcotest.(check bool) "still crashes" true (exec reduced = Eof_core.Minimize.Crash "boom");
+  Alcotest.(check bool) "bounded effort" true (execs <= 200);
+  (* The argument 9 cannot be simplified to 0 (crash needs >= 5), so it
+     must survive as-is. *)
+  match List.rev reduced with
+  | { Prog.args = [ Prog.Res 0; Prog.Int v ]; _ } :: _ ->
+    Alcotest.(check bool) "arg still triggering" true (Int64.compare v 5L >= 0)
+  | _ -> Alcotest.fail "unexpected reduced shape"
+
+let test_minimize_wrong_signature_keeps_original () =
+  let exec _ = Eof_core.Minimize.Crash "other" in
+  let prog = [ mini_call "a" None []; mini_call "b" None [] ] in
+  let reduced, _ = Eof_core.Minimize.minimize ~exec ~signature:"boom" prog in
+  Alcotest.(check int) "unchanged" 2 (List.length reduced)
+
+let minimize_suite =
+  [
+    Alcotest.test_case "remove_call cascade" `Quick test_remove_call_cascade;
+    Alcotest.test_case "minimize synthetic crash" `Quick test_minimize_synthetic;
+    Alcotest.test_case "minimize keeps original on mismatch" `Quick
+      test_minimize_wrong_signature_keeps_original;
+  ]
+
+let suite = suite @ minimize_suite
+
+(* --- interrupt-path extension ------------------------------------------ *)
+
+let test_irq_injection_covers_isr () =
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let config =
+    { Campaign.default_config with iterations = 200; seed = 2L; irq_injection = true }
+  in
+  match Campaign.run config build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    let block = Option.get (Osbuild.module_block build "zephyr/irq") in
+    let sitemap = Osbuild.sitemap build in
+    let v = Eof_cov.Sancov.variants_per_site in
+    let covered = ref 0 in
+    for i = 0 to block.Eof_cov.Sitemap.count - 1 do
+      let site_idx =
+        Option.get
+          (Eof_cov.Sitemap.index_of_addr sitemap (Eof_cov.Sitemap.site_addr block i))
+      in
+      for var = 0 to v - 1 do
+        if Eof_util.Bitset.mem o.Campaign.coverage_bitmap ((site_idx * v) + var) then
+          incr covered
+      done
+    done;
+    Alcotest.(check bool) "ISR path covered under injection" true (!covered > 0)
+
+let test_no_irq_injection_by_default () =
+  (* The paper scopes interrupts out; the default config must not drive
+     them spontaneously (only fuzzed *_irq_enable calls arm other pins,
+     and nothing injects edges). *)
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let config = { Campaign.default_config with iterations = 150; seed = 2L } in
+  match Campaign.run config build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    let block = Option.get (Osbuild.module_block build "zephyr/irq") in
+    let sitemap = Osbuild.sitemap build in
+    let v = Eof_cov.Sancov.variants_per_site in
+    (* Sites 0-4 are the ISR body; they need an actual edge. *)
+    let isr_covered = ref 0 in
+    for i = 0 to 4 do
+      let site_idx =
+        Option.get
+          (Eof_cov.Sitemap.index_of_addr sitemap (Eof_cov.Sitemap.site_addr block i))
+      in
+      for var = 0 to v - 1 do
+        if Eof_util.Bitset.mem o.Campaign.coverage_bitmap ((site_idx * v) + var) then
+          incr isr_covered
+      done
+    done;
+    Alcotest.(check int) "ISR body unreached without injection" 0 !isr_covered
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "irq injection covers ISR" `Quick test_irq_injection_covers_isr;
+      Alcotest.test_case "no irq coverage by default" `Quick test_no_irq_injection_by_default;
+    ]
+
+(* --- resilience over a lossy probe link -------------------------------- *)
+
+let test_campaign_survives_flaky_link () =
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let transport = Eof_debug.Transport.create ~rng:(Eof_util.Rng.create 77L) () in
+  Eof_debug.Transport.set_failure_mode transport (Eof_debug.Transport.Flaky 0.01);
+  let machine =
+    match Eof_agent.Machine.create ~transport build with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let config = { Campaign.default_config with iterations = 150; seed = 3L } in
+  match Campaign.run ~machine config build with
+  | Error e -> Alcotest.fail ("flaky link killed the campaign: " ^ e)
+  | Ok o ->
+    Alcotest.(check int) "all iterations" 150 o.Campaign.iterations_done;
+    Alcotest.(check bool) "made progress" true (o.Campaign.coverage > 0);
+    Alcotest.(check bool) "losses happened and were recovered" true
+      (o.Campaign.timeouts > 0 && o.Campaign.reflashes > 0)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "campaign survives flaky link" `Quick
+        test_campaign_survives_flaky_link ]
+
+(* --- crash reports ------------------------------------------------------ *)
+
+let test_report_roundtrip () =
+  let crash =
+    {
+      Crash.os = "Zephyr";
+      kind = Crash.Kernel_panic;
+      operation = "k_heap_alloc";
+      scope = "kheap";
+      message = "unaligned free-list head";
+      backtrace = [ "a.c : f : 10"; "b.c : g : 20" ];
+      detected_by = Crash.Exception_monitor;
+      program = "0: k_heap_init(8) -> kheap";
+      iteration = 7;
+    }
+  in
+  let text = Eof_core.Report.crash_to_text crash in
+  let contains needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains needle))
+    [ "Zephyr"; "Kernel Panic"; "k_heap_alloc()"; "unaligned free-list";
+      "Level 2: b.c : g : 20"; "k_heap_init(8)" ];
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "eof-report-test" in
+  (match Eof_core.Report.save_crashes ~dir [ crash; { crash with Crash.operation = "other/op" } ] with
+   | Ok [ p1; p2 ] ->
+     Alcotest.(check bool) "file 1" true (Sys.file_exists p1);
+     Alcotest.(check bool) "file 2 sanitized" true
+       (Filename.basename p2 = "crash-02-other_op.txt")
+   | Ok _ -> Alcotest.fail "wrong path count"
+   | Error e -> Alcotest.fail e)
+
+let suite = suite @ [ Alcotest.test_case "crash report roundtrip" `Quick test_report_roundtrip ]
+
+(* --- cross-architecture / cross-endianness campaigns -------------------- *)
+
+let test_campaign_on_riscv () =
+  (* FreeRTOS on the RISC-V devkit (Table 1's second EOF row). *)
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.hifive1 Freertos.spec in
+  let config = { Campaign.default_config with iterations = 150; seed = 12L } in
+  match Campaign.run config build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "coverage on riscv" true (o.Campaign.coverage > 0);
+    Alcotest.(check int) "iterations" 150 o.Campaign.iterations_done
+
+let test_campaign_on_big_endian_board () =
+  (* A PowerPC-style big-endian board: the whole stack — wire format,
+     coverage records, cmp ring, RSP register dumps — must survive the
+     byte-order flip. *)
+  let profile =
+    {
+      Eof_hw.Board.name = "mpc5554-devkit";
+      arch = Eof_hw.Arch.powerpc;
+      flash_base = 0x0000_0000;
+      flash_size = 2 * 1024 * 1024;
+      sector_size = 16 * 1024;
+      ram_base = 0x4000_0000;
+      ram_size = 192 * 1024;
+      cpu_mhz = 132;
+      debug_port = Eof_hw.Board.Jtag;
+      peripheral_emulation = false;
+    }
+  in
+  let build = Osbuild.make ~board_profile:profile Zephyr.spec in
+  let config = { Campaign.default_config with iterations = 200; seed = 13L } in
+  match Campaign.run config build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check bool) "coverage on big-endian" true (o.Campaign.coverage > 20);
+    Alcotest.(check bool) "programs executed" true (o.Campaign.executed_programs > 150)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "campaign on RISC-V board" `Quick test_campaign_on_riscv;
+      Alcotest.test_case "campaign on big-endian board" `Quick
+        test_campaign_on_big_endian_board;
+    ]
+
+(* --- corpus persistence -------------------------------------------------- *)
+
+let test_corpus_io_roundtrip () =
+  let _, table, spec = Lazy.force zephyr_env in
+  let gen = make_gen 21L in
+  let progs = List.init 20 (fun _ -> Gen.generate gen ~max_len:8) in
+  let path = Filename.temp_file "eof-corpus" ".txt" in
+  (match Eof_core.Corpus_io.save ~path progs with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  match Eof_core.Corpus_io.load ~path ~spec ~table with
+  | Error e -> Alcotest.fail e
+  | Ok (loaded, skipped) ->
+    Alcotest.(check int) "none skipped" 0 skipped;
+    Alcotest.(check int) "all loaded" (List.length progs) (List.length loaded);
+    List.iter2
+      (fun a b -> Alcotest.(check int) "prog identical" (Prog.hash a) (Prog.hash b))
+      progs loaded
+
+let test_corpus_io_skips_stale () =
+  let _, table, spec = Lazy.force zephyr_env in
+  let text =
+    "# eof corpus v1\n\
+     prog\n\
+    \  call k_sem_init int=1 int=5\n\
+     end\n\
+     prog\n\
+    \  call api_that_no_longer_exists int=1\n\
+     end\n\
+     prog\n\
+    \  call k_sem_take res=0\n\
+     end\n"
+    (* the third program's res=0 refers to a call that doesn't produce a sem *)
+  in
+  let path = Filename.temp_file "eof-corpus" ".txt" in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  match Eof_core.Corpus_io.load ~path ~spec ~table with
+  | Error e -> Alcotest.fail e
+  | Ok (loaded, skipped) ->
+    Alcotest.(check int) "one good prog" 1 (List.length loaded);
+    Alcotest.(check int) "two skipped" 2 skipped
+
+let prop_corpus_io_roundtrip =
+  QCheck.Test.make ~name:"corpus io roundtrip (generated programs)" ~count:50
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let _, table, spec = Lazy.force zephyr_env in
+      let gen = make_gen (Int64.of_int (seed + 500)) in
+      let prog = Gen.generate gen ~max_len:10 in
+      match
+        Eof_core.Corpus_io.prog_of_lines ~spec ~table
+          (String.split_on_char '\n' (Eof_core.Corpus_io.prog_to_text prog)
+          |> List.filter (fun l ->
+                 let t = String.trim l in
+                 t <> "" && t <> "prog" && t <> "end"))
+      with
+      | Ok prog' -> Prog.hash prog = Prog.hash prog'
+      | Error _ -> false)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "corpus io roundtrip" `Quick test_corpus_io_roundtrip;
+      Alcotest.test_case "corpus io skips stale" `Quick test_corpus_io_skips_stale;
+      QCheck_alcotest.to_alcotest prop_corpus_io_roundtrip;
+    ]
+
+(* --- staged devices drive the cmp gradient ------------------------------ *)
+
+let test_statemach_solvable_by_eof_only () =
+  (* The staged configuration sequence is the fixture that separates
+     cmp-guided EOF from EOF-nf: with the same modest budget, EOF must
+     climb visibly deeper into the sequence. *)
+  let run feedback =
+    let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+    let config =
+      {
+        Campaign.default_config with
+        iterations = 800;
+        seed = 47L;
+        feedback;
+        api_filter = Some [ "zpipe_open"; "zpipe_step"; "k_yield" ];
+      }
+    in
+    match Campaign.run config build with
+    | Error e -> Alcotest.fail e
+    | Ok o ->
+      (* Count solved stages: the per-stage advance edges. *)
+      let block = Option.get (Osbuild.module_block build "zephyr/pipe") in
+      let sitemap = Osbuild.sitemap build in
+      let v = Eof_cov.Sancov.variants_per_site in
+      let solved = ref 0 in
+      for stage = 0 to 9 do
+        let site = Eof_cov.Sitemap.site_addr block (2 + 10 + stage) in
+        match Eof_cov.Sitemap.index_of_addr sitemap site with
+        | Some idx ->
+          if Eof_util.Bitset.mem o.Campaign.coverage_bitmap (idx * v) then incr solved
+        | None -> ()
+      done;
+      !solved
+  in
+  let eof = run true and nf = run false in
+  Alcotest.(check bool)
+    (Printf.sprintf "EOF climbs deeper (EOF %d stages vs EOF-nf %d)" eof nf)
+    true
+    (eof > nf && eof >= 3)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "staged device needs cmp guidance" `Slow
+        test_statemach_solvable_by_eof_only ]

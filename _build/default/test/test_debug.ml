@@ -1,0 +1,315 @@
+open Eof_hw
+open Eof_exec
+open Eof_debug
+
+let test_checksum_frame () =
+  Alcotest.(check int) "sum" 0x9a (Rsp.checksum "OK");
+  Alcotest.(check string) "frame" "$OK#9a" (Rsp.make_frame "OK")
+
+let test_escape_roundtrip () =
+  let raw = "a$b#c}d*e" in
+  let escaped = Rsp.escape_binary raw in
+  Alcotest.(check bool) "no raw specials" true
+    (not (String.contains escaped '$') && not (String.contains escaped '#'));
+  match Rsp.unescape_binary escaped with
+  | Ok s -> Alcotest.(check string) "roundtrip" raw s
+  | Error e -> Alcotest.fail e
+
+let test_decoder_stream () =
+  let d = Rsp.Decoder.create () in
+  (* Two frames split across feeds plus noise and an ack. *)
+  let ev1 = Rsp.Decoder.feed d "+$O" in
+  let ev2 = Rsp.Decoder.feed d ("K#9a" ^ "noise" ^ Rsp.make_frame "m0,4") in
+  (match ev1 with
+   | [ Rsp.Decoder.Ack ] -> ()
+   | _ -> Alcotest.fail "expected ack");
+  match ev2 with
+  | [ Rsp.Decoder.Packet "OK"; Rsp.Decoder.Packet "m0,4" ] -> ()
+  | _ -> Alcotest.fail "expected two packets"
+
+let test_decoder_bad_checksum () =
+  let d = Rsp.Decoder.create () in
+  match Rsp.Decoder.feed d "$OK#00" with
+  | [ Rsp.Decoder.Bad_checksum "OK" ] -> ()
+  | _ -> Alcotest.fail "expected bad checksum"
+
+let test_command_roundtrip () =
+  let cases =
+    [
+      Rsp.Q_supported "swbreak+";
+      Rsp.Read_mem { addr = 0x20000000; len = 64 };
+      Rsp.Write_mem { addr = 0x100; data = "ab\x00\xFF" };
+      Rsp.Insert_breakpoint 0x08004000;
+      Rsp.Remove_breakpoint 0x08004000;
+      Rsp.Continue;
+      Rsp.Step;
+      Rsp.Read_registers;
+      Rsp.Halt_reason;
+      Rsp.Flash_erase { addr = 0x08000000; len = 0x4000 };
+      Rsp.Flash_write { addr = 0x08000000; data = "}$#*raw\x01" };
+      Rsp.Flash_done;
+      Rsp.Monitor "reset halt";
+      Rsp.Kill;
+    ]
+  in
+  List.iter
+    (fun cmd ->
+      match Rsp.parse_command (Rsp.render_command cmd) with
+      | Ok cmd' -> Alcotest.(check bool) "roundtrip" true (cmd = cmd')
+      | Error e -> Alcotest.fail e)
+    cases
+
+let test_command_rejects () =
+  List.iter
+    (fun payload ->
+      match Rsp.parse_command payload with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" payload))
+    [ ""; "Mdeadbeef"; "Z9,100,2"; "m100"; "vFlashWrite:zz"; "qUnknown" ]
+
+let test_reply_roundtrip () =
+  let pc_reg = 15 in
+  List.iter
+    (fun reply ->
+      match Rsp.parse_reply ~pc_reg (Rsp.render_reply ~pc_reg reply) with
+      | Ok reply' -> Alcotest.(check bool) "roundtrip" true (reply = reply')
+      | Error e -> Alcotest.fail e)
+    [
+      Rsp.Ok_reply;
+      Rsp.Error_reply 14;
+      Rsp.Stop { signal = 5; pc = 0x08001234; detail = "swbreak" };
+      Rsp.Stop { signal = 2; pc = 0x08000000; detail = "quantum" };
+      Rsp.Exited 0;
+    ]
+
+(* A tiny machine for server/session tests: three sites then exit. *)
+let make_machine () =
+  let board = Board.create Profiles.stm32f4_disco in
+  let base = (Board.profile board).Board.flash_base in
+  let engine =
+    Engine.create ~board ~fault_vector:(base + 0xF00) ~entry:(fun () ->
+        Target.site (base + 0x100);
+        Target.uart_tx "hello from target\n";
+        Target.site (base + 0x104);
+        Target.site (base + 0x108))
+  in
+  let server = Openocd.create ~board ~engine () in
+  let transport = Transport.create () in
+  (board, engine, server, transport)
+
+let connect_exn (server, transport) =
+  match Session.connect ~transport ~server with
+  | Ok s -> s
+  | Error e -> Alcotest.fail (Session.error_to_string e)
+
+let test_session_memory () =
+  let board, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  let ram_base = (Board.profile board).Board.ram_base in
+  (match Session.write_mem s ~addr:ram_base "fuzz" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.read_mem s ~addr:ram_base ~len:4 with
+   | Ok data -> Alcotest.(check string) "rw over rsp" "fuzz" data
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.write_u32 s ~addr:(ram_base + 8) 0xCAFEBABEl with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.read_u32 s ~addr:(ram_base + 8) with
+   | Ok v -> Alcotest.(check int32) "u32" 0xCAFEBABEl v
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  match Session.read_mem s ~addr:0x1 ~len:4 with
+  | Error (Session.Remote _) -> ()
+  | _ -> Alcotest.fail "unmapped read must fail remotely"
+
+let test_session_breakpoint_flow () =
+  let board, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  let base = (Board.profile board).Board.flash_base in
+  (match Session.set_breakpoint s (base + 0x104) with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.continue_ s with
+   | Ok (Session.Stopped_breakpoint pc) -> Alcotest.(check int) "bp pc" (base + 0x104) pc
+   | Ok _ -> Alcotest.fail "wrong stop"
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.read_pc s with
+   | Ok pc -> Alcotest.(check int) "g pc" (base + 0x104) pc
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.drain_uart s with
+   | Ok log -> Alcotest.(check string) "uart over monitor" "hello from target\n" log
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  match Session.continue_ s with
+  | Ok Session.Target_exited -> ()
+  | Ok _ -> Alcotest.fail "expected exit"
+  | Error e -> Alcotest.fail (Session.error_to_string e)
+
+let test_session_reset_and_flash () =
+  let board, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  let base = (Board.profile board).Board.flash_base in
+  (match Session.flash_erase s ~addr:base ~len:0x4000 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.flash_write s ~addr:base "IMG}$#data" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.flash_done s with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  Alcotest.(check string) "flash content" "IMG}$#data"
+    (Flash.read (Board.flash board) ~addr:base ~len:10);
+  (match Session.reset_target s with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  Alcotest.(check int) "power cycled" 1 (Board.power_cycles board)
+
+let test_transport_failures () =
+  let _, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  Transport.set_failure_mode transport Transport.Down;
+  (match Session.read_pc s with
+   | Error Session.Timeout -> ()
+   | _ -> Alcotest.fail "expected timeout on dead link");
+  Transport.set_failure_mode transport Transport.Up;
+  (match Session.read_pc s with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  Alcotest.(check bool) "timeouts counted" true (Transport.timeouts transport >= 1);
+  Alcotest.(check bool) "latency accrues" true (Transport.elapsed_us transport > 0.)
+
+let test_quantum_stop_reports_pc () =
+  let board = Board.create Profiles.stm32f4_disco in
+  let base = (Board.profile board).Board.flash_base in
+  let engine =
+    Engine.create ~board ~fault_vector:(base + 0xF00) ~entry:(fun () ->
+        let rec spin () =
+          Target.site (base + 0x200);
+          spin ()
+        in
+        spin ())
+  in
+  let server = Openocd.create ~continue_quantum:500 ~board ~engine () in
+  let transport = Transport.create () in
+  let s = connect_exn (server, transport) in
+  match Session.continue_ s with
+  | Ok (Session.Stopped_quantum pc) -> Alcotest.(check int) "spin pc" (base + 0x200) pc
+  | Ok _ -> Alcotest.fail "expected quantum stop"
+  | Error e -> Alcotest.fail (Session.error_to_string e)
+
+let prop_decoder_frame_any_payload =
+  QCheck.Test.make ~name:"decoder accepts any escaped framed payload" ~count:200
+    QCheck.string (fun raw ->
+      let payload = Rsp.escape_binary raw in
+      let d = Rsp.Decoder.create () in
+      match Rsp.Decoder.feed d (Rsp.make_frame payload) with
+      | [ Rsp.Decoder.Packet p ] -> p = payload
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "checksum/frame" `Quick test_checksum_frame;
+    Alcotest.test_case "escape roundtrip" `Quick test_escape_roundtrip;
+    Alcotest.test_case "decoder stream" `Quick test_decoder_stream;
+    Alcotest.test_case "decoder bad checksum" `Quick test_decoder_bad_checksum;
+    Alcotest.test_case "command roundtrip" `Quick test_command_roundtrip;
+    Alcotest.test_case "command rejects" `Quick test_command_rejects;
+    Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
+    Alcotest.test_case "session memory" `Quick test_session_memory;
+    Alcotest.test_case "session breakpoint flow" `Quick test_session_breakpoint_flow;
+    Alcotest.test_case "session reset/flash" `Quick test_session_reset_and_flash;
+    Alcotest.test_case "transport failures" `Quick test_transport_failures;
+    Alcotest.test_case "quantum stop reports pc" `Quick test_quantum_stop_reports_pc;
+    QCheck_alcotest.to_alcotest prop_decoder_frame_any_payload;
+  ]
+
+let test_gpio_injection_over_monitor () =
+  let board, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  (match Eof_hw.Gpio.configure_irq (Board.gpio board) ~pin:2 Eof_hw.Gpio.Rising with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Session.inject_gpio s ~pin:2 ~level:true with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  Alcotest.(check bool) "level set" true (Eof_hw.Gpio.level (Board.gpio board) ~pin:2);
+  Alcotest.(check int) "irq latched" 1 (Eof_hw.Gpio.pending_count (Board.gpio board));
+  match Session.inject_gpio s ~pin:99 ~level:true with
+  | Error (Session.Remote _) -> ()
+  | _ -> Alcotest.fail "bad pin accepted"
+
+let test_monitor_unknown_command () =
+  let _, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  match Session.monitor s "frobnicate" with
+  | Error (Session.Remote 1) -> ()
+  | _ -> Alcotest.fail "unknown monitor command accepted"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "gpio injection over monitor" `Quick
+        test_gpio_injection_over_monitor;
+      Alcotest.test_case "unknown monitor command" `Quick test_monitor_unknown_command;
+    ]
+
+(* Property: every renderable command round-trips through the parser. *)
+let prop_command_roundtrip =
+  let cmd_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun a l -> Rsp.Read_mem { addr = a land 0xFFFFFFF; len = l land 0xFFFF }) nat nat;
+          map2
+            (fun a (d : string) -> Rsp.Write_mem { addr = a land 0xFFFFFFF; data = d })
+            nat (string_size (0 -- 32));
+          map (fun a -> Rsp.Insert_breakpoint (a land 0xFFFFFFF)) nat;
+          map (fun a -> Rsp.Remove_breakpoint (a land 0xFFFFFFF)) nat;
+          return Rsp.Continue;
+          return Rsp.Step;
+          return Rsp.Read_registers;
+          return Rsp.Halt_reason;
+          map2 (fun a l -> Rsp.Flash_erase { addr = a land 0xFFFFFFF; len = l land 0xFFFFF }) nat nat;
+          map2
+            (fun a (d : string) -> Rsp.Flash_write { addr = a land 0xFFFFFFF; data = d })
+            nat (string_size (0 -- 32));
+          return Rsp.Flash_done;
+          map (fun s -> Rsp.Monitor s) (string_size (1 -- 16));
+          return Rsp.Kill;
+        ])
+  in
+  QCheck.Test.make ~name:"rsp command roundtrip (generated)" ~count:300 (QCheck.make cmd_gen)
+    (fun cmd ->
+      match Rsp.parse_command (Rsp.render_command cmd) with
+      | Ok cmd' -> cmd = cmd'
+      | Error _ -> false)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_command_roundtrip ]
+
+let test_read_pc_across_architectures () =
+  (* The g-packet register dump must encode the PC correctly for every
+     supported architecture's register numbering and endianness. *)
+  List.iter
+    (fun profile ->
+      let board = Board.create profile in
+      let site = profile.Board.flash_base + 0x123 * 4 in
+      let engine =
+        Engine.create ~board ~fault_vector:profile.Board.flash_base ~entry:(fun () ->
+            Target.site site;
+            Target.site (site + 4))
+      in
+      let server = Openocd.create ~board ~engine () in
+      let transport = Transport.create () in
+      let s = connect_exn (server, transport) in
+      (match Session.step s with
+       | Ok _ -> ()
+       | Error e -> Alcotest.fail (Session.error_to_string e));
+      match Session.read_pc s with
+      | Ok pc -> Alcotest.(check int) profile.Board.name site pc
+      | Error e -> Alcotest.fail (profile.Board.name ^ ": " ^ Session.error_to_string e))
+    Profiles.all
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "read_pc across architectures" `Quick
+        test_read_pc_across_architectures ]

@@ -1,0 +1,163 @@
+open Eof_hw
+open Eof_exec
+
+let make_engine entry =
+  let board = Board.create Profiles.stm32f4_disco in
+  (board, Engine.create ~board ~fault_vector:0xDEAD ~entry)
+
+let test_run_to_exit () =
+  let _, e =
+    make_engine (fun () ->
+        Target.site 0x100;
+        Target.site 0x104;
+        Target.site 0x108)
+  in
+  (match Engine.run e ~fuel:100 with
+   | Engine.Exited -> ()
+   | _ -> Alcotest.fail "expected exit");
+  Alcotest.(check int) "final pc" 0x108 (Engine.pc e);
+  Alcotest.(check int64) "sites" 3L (Engine.sites_executed e);
+  Alcotest.(check bool) "terminal" false (Engine.running e);
+  match Engine.run e ~fuel:1 with
+  | Engine.Exited -> ()
+  | _ -> Alcotest.fail "terminal not sticky"
+
+let test_fuel_exhaustion () =
+  let _, e =
+    make_engine (fun () ->
+        for i = 0 to 9 do
+          Target.site (0x100 + (4 * i))
+        done)
+  in
+  (match Engine.run e ~fuel:4 with
+   | Engine.Fuel_exhausted -> ()
+   | _ -> Alcotest.fail "expected fuel stop");
+  Alcotest.(check int) "pc after 4 sites" 0x10C (Engine.pc e);
+  match Engine.run e ~fuel:100 with
+  | Engine.Exited -> ()
+  | _ -> Alcotest.fail "expected exit on resume"
+
+let test_breakpoint () =
+  let _, e =
+    make_engine (fun () ->
+        Target.site 0x100;
+        Target.site 0x104;
+        Target.site 0x108)
+  in
+  Engine.set_breakpoint e 0x104;
+  (match Engine.run e ~fuel:100 with
+   | Engine.Breakpoint_hit pc -> Alcotest.(check int) "bp pc" 0x104 pc
+   | _ -> Alcotest.fail "expected breakpoint");
+  (* Resume steps past the breakpointed site. *)
+  match Engine.run e ~fuel:100 with
+  | Engine.Exited -> ()
+  | _ -> Alcotest.fail "expected exit after bp"
+
+let test_fault () =
+  let _, e =
+    make_engine (fun () ->
+        Target.site 0x100;
+        Fault.usage "bad instruction")
+  in
+  (match Engine.run e ~fuel:100 with
+   | Engine.Faulted f -> Alcotest.(check bool) "usage" true (f.Fault.kind = Fault.Usage_fault)
+   | _ -> Alcotest.fail "expected fault");
+  Alcotest.(check int) "pc at vector" 0xDEAD (Engine.pc e);
+  Alcotest.(check bool) "fault recorded" true (Engine.last_fault e <> None)
+
+let test_uart_and_cycles_effects () =
+  let board, e =
+    make_engine (fun () ->
+        Target.uart_tx "ping\n";
+        Target.cycles 123;
+        Target.site 0x100)
+  in
+  (match Engine.run e ~fuel:10 with Engine.Exited -> () | _ -> Alcotest.fail "exit");
+  Alcotest.(check string) "uart" "ping\n" (Uart.drain (Board.uart board));
+  (* 123 explicit + 2 for the site crossing. *)
+  Alcotest.(check int64) "cycles" 125L (Clock.cycles (Board.clock board))
+
+let test_read_cycles_effect () =
+  let seen = ref (-1L) in
+  let _, e =
+    make_engine (fun () ->
+        Target.cycles 50;
+        seen := Target.current_cycles ();
+        Target.site 0x100)
+  in
+  (match Engine.run e ~fuel:10 with Engine.Exited -> () | _ -> Alcotest.fail "exit");
+  Alcotest.(check int64) "target sees clock" 50L !seen
+
+let test_reset_rearms () =
+  let count = ref 0 in
+  let _, e =
+    make_engine (fun () ->
+        incr count;
+        Target.site 0x100;
+        Target.site 0x104)
+  in
+  (match Engine.run e ~fuel:1 with Engine.Fuel_exhausted -> () | _ -> Alcotest.fail "fuel");
+  Engine.reset e;
+  Alcotest.(check bool) "running again" true (Engine.running e);
+  (match Engine.run e ~fuel:100 with Engine.Exited -> () | _ -> Alcotest.fail "exit");
+  Alcotest.(check int) "entry ran twice" 2 !count
+
+let test_reset_unwinds_parked () =
+  let cleaned = ref false in
+  let _, e =
+    make_engine (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () ->
+            Target.site 0x100;
+            Target.site 0x104))
+  in
+  (match Engine.run e ~fuel:1 with Engine.Fuel_exhausted -> () | _ -> Alcotest.fail "fuel");
+  Alcotest.(check bool) "not yet" false !cleaned;
+  Engine.reset e;
+  Alcotest.(check bool) "finaliser ran on reset" true !cleaned
+
+let test_step_one () =
+  let _, e =
+    make_engine (fun () ->
+        Target.site 0x100;
+        Target.site 0x104)
+  in
+  (match Engine.step_one e with
+   | Engine.Fuel_exhausted -> Alcotest.(check int) "pc" 0x100 (Engine.pc e)
+   | _ -> Alcotest.fail "step");
+  match Engine.step_one e with
+  | Engine.Fuel_exhausted -> Alcotest.(check int) "pc 2" 0x104 (Engine.pc e)
+  | _ -> Alcotest.fail "step 2"
+
+let test_infinite_loop_bounded () =
+  let _, e =
+    make_engine (fun () ->
+        let rec spin () =
+          Target.site 0x200;
+          spin ()
+        in
+        spin ())
+  in
+  (* An infinite target loop must not hang the host: fuel bounds it. *)
+  (match Engine.run e ~fuel:1000 with
+   | Engine.Fuel_exhausted -> ()
+   | _ -> Alcotest.fail "expected fuel stop");
+  Alcotest.(check int) "stuck pc" 0x200 (Engine.pc e);
+  match Engine.run e ~fuel:1000 with
+  | Engine.Fuel_exhausted -> Alcotest.(check int) "still stuck" 0x200 (Engine.pc e)
+  | _ -> Alcotest.fail "expected fuel stop again"
+
+let suite =
+  [
+    Alcotest.test_case "run to exit" `Quick test_run_to_exit;
+    Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "breakpoint" `Quick test_breakpoint;
+    Alcotest.test_case "fault" `Quick test_fault;
+    Alcotest.test_case "uart/cycles effects" `Quick test_uart_and_cycles_effects;
+    Alcotest.test_case "read cycles effect" `Quick test_read_cycles_effect;
+    Alcotest.test_case "reset rearms" `Quick test_reset_rearms;
+    Alcotest.test_case "reset unwinds parked target" `Quick test_reset_unwinds_parked;
+    Alcotest.test_case "single step" `Quick test_step_one;
+    Alcotest.test_case "infinite loop bounded by fuel" `Quick test_infinite_loop_bounded;
+  ]

@@ -1,0 +1,245 @@
+open Eof_hw
+
+let trap = Alcotest.testable (Fmt.of_to_string Fault.to_string) (fun a b -> a.Fault.kind = b.Fault.kind)
+
+let mem_le () = Memory.create ~base:0x2000_0000 ~size:4096 ~endianness:Arch.Little
+
+let test_memory_rw () =
+  let m = mem_le () in
+  Memory.write_u8 m 0x2000_0000 0xAB;
+  Alcotest.(check int) "u8" 0xAB (Memory.read_u8 m 0x2000_0000);
+  Memory.write_u16 m 0x2000_0010 0x1234;
+  Alcotest.(check int) "u16" 0x1234 (Memory.read_u16 m 0x2000_0010);
+  Alcotest.(check int) "u16 lo byte first" 0x34 (Memory.read_u8 m 0x2000_0010);
+  Memory.write_u32 m 0x2000_0020 0xDEADBEEFl;
+  Alcotest.(check int32) "u32" 0xDEADBEEFl (Memory.read_u32 m 0x2000_0020)
+
+let test_memory_big_endian () =
+  let m = Memory.create ~base:0 ~size:64 ~endianness:Arch.Big in
+  Memory.write_u16 m 0 0x1234;
+  Alcotest.(check int) "be hi byte first" 0x12 (Memory.read_u8 m 0);
+  Memory.write_u32 m 4 0x01020304l;
+  Alcotest.(check int) "be msb" 0x01 (Memory.read_u8 m 4)
+
+let test_memory_bus_fault () =
+  let m = mem_le () in
+  (try
+     ignore (Memory.read_u8 m 0x1000_0000 : int);
+     Alcotest.fail "no fault"
+   with Fault.Trap f -> Alcotest.(check bool) "bus" true (f.Fault.kind = Fault.Bus_fault));
+  try
+    Memory.write_u32 m 0x2000_0FFE 0l;
+    Alcotest.fail "straddle accepted"
+  with Fault.Trap _ -> ()
+
+let test_memory_bulk () =
+  let m = mem_le () in
+  Memory.write_bytes m ~addr:0x2000_0100 (Bytes.of_string "hello");
+  Alcotest.(check string) "read back" "hello"
+    (Bytes.to_string (Memory.read_bytes m ~addr:0x2000_0100 ~len:5));
+  Memory.fill m ~addr:0x2000_0100 ~len:5 'x';
+  Alcotest.(check string) "filled" "xxxxx"
+    (Bytes.to_string (Memory.read_bytes m ~addr:0x2000_0100 ~len:5))
+
+let test_flash_program_semantics () =
+  let f = Flash.create ~base:0 ~size:8192 ~sector_size:4096 ~endianness:Arch.Little in
+  Alcotest.(check string) "erased" "\xFF\xFF" (Flash.read f ~addr:0 ~len:2);
+  Flash.program f ~addr:0 "\x0F";
+  Alcotest.(check string) "programmed" "\x0F" (Flash.read f ~addr:0 ~len:1);
+  (* Programming can only clear bits. *)
+  Flash.program f ~addr:0 "\xF0";
+  Alcotest.(check string) "AND semantics" "\x00" (Flash.read f ~addr:0 ~len:1);
+  Flash.erase_sector f ~addr:0;
+  Alcotest.(check string) "re-erased" "\xFF" (Flash.read f ~addr:0 ~len:1);
+  Alcotest.(check int) "erase count" 1 (Flash.erase_count f)
+
+let test_flash_write_image () =
+  let f = Flash.create ~base:0 ~size:8192 ~sector_size:4096 ~endianness:Arch.Little in
+  Flash.program f ~addr:100 "\x00\x00";
+  Flash.write_image f ~addr:0 "fresh image bytes";
+  Alcotest.(check string) "image readable" "fresh image bytes" (Flash.read f ~addr:0 ~len:17);
+  (* write_image must erase first, so previously-cleared bits recover. *)
+  Alcotest.(check string) "tail erased" "\xFF" (Flash.read f ~addr:100 ~len:1)
+
+let test_partition_parse () =
+  let text = "# table\npartition boot offset=0x0 size=0x1000\npartition app offset=0x1000 size=0x2000\n" in
+  match Partition.parse_config ~flash_size:0x4000 text with
+  | Error e -> Alcotest.fail e
+  | Ok table ->
+    Alcotest.(check int) "entries" 2 (List.length table);
+    Alcotest.(check int) "total" 0x3000 (Partition.total_size table);
+    let rendered = Partition.to_config table in
+    (match Partition.parse_config ~flash_size:0x4000 rendered with
+     | Ok table2 -> Alcotest.(check bool) "roundtrip" true (table = table2)
+     | Error e -> Alcotest.fail e)
+
+let test_partition_validation () =
+  let bad overlap =
+    Partition.validate ~flash_size:0x4000
+      [
+        { Partition.name = "a"; offset = 0; size = 0x2000 };
+        { Partition.name = "b"; offset = (if overlap then 0x1000 else 0x2000); size = 0x1000 };
+      ]
+  in
+  (match bad true with Error _ -> () | Ok () -> Alcotest.fail "overlap accepted");
+  (match bad false with Ok () -> () | Error e -> Alcotest.fail e);
+  match
+    Partition.validate ~flash_size:0x1000
+      [ { Partition.name = "x"; offset = 0; size = 0x2000 } ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "oversize accepted"
+
+let test_uart_lines () =
+  let u = Uart.create () in
+  Uart.write_string u "hello\nwor";
+  Alcotest.(check (list string)) "first drain" [ "hello" ] (Uart.drain_lines u);
+  Uart.write_string u "ld\n";
+  Alcotest.(check (list string)) "partial completes" [ "world" ] (Uart.drain_lines u)
+
+let test_uart_overrun () =
+  let u = Uart.create ~fifo_bytes:4 () in
+  Uart.write_string u "abcdef";
+  Alcotest.(check int) "overruns" 2 (Uart.overruns u);
+  Alcotest.(check string) "newest kept" "cdef" (Uart.drain u)
+
+let test_clock () =
+  let c = Clock.create ~mhz:100 in
+  Clock.advance c 1000;
+  Alcotest.(check (float 1e-9)) "us" 10. (Clock.now_us c);
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative") (fun () ->
+      Clock.advance c (-1))
+
+let test_image_and_board () =
+  let profile = Profiles.stm32f4_disco in
+  let board = Board.create profile in
+  let table =
+    [
+      { Partition.name = "bootloader"; offset = 0; size = 0x4000 };
+      { Partition.name = "kernel"; offset = 0x4000; size = 0x8000 };
+    ]
+  in
+  let image = Image.synthesize ~table ~seed:5L () in
+  Board.install board image;
+  Alcotest.(check bool) "boots" true (Board.boot_ok board);
+  (* Corrupt the kernel partition. *)
+  Flash.corrupt (Board.flash board) ~addr:(profile.Board.flash_base + 0x5000) "junk";
+  Alcotest.(check bool) "corrupted" false (Board.boot_ok board);
+  Alcotest.(check (list string)) "which" [ "kernel" ] (Board.corrupted_partitions board);
+  (match Board.reflash_partition board image "kernel" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "recovered" true (Board.boot_ok board)
+
+let test_board_mem_dispatch () =
+  let board = Board.create Profiles.stm32f4_disco in
+  let p = Board.profile board in
+  (match Board.write_ram board ~addr:p.Board.ram_base "hi" with
+   | Ok () -> ()
+   | Error f -> Alcotest.fail (Fault.to_string f));
+  (match Board.read_mem board ~addr:p.Board.ram_base ~len:2 with
+   | Ok s -> Alcotest.(check string) "ram rw" "hi" s
+   | Error f -> Alcotest.fail (Fault.to_string f));
+  (match Board.read_mem board ~addr:p.Board.flash_base ~len:4 with
+   | Ok _ -> ()
+   | Error f -> Alcotest.fail (Fault.to_string f));
+  (match Board.write_ram board ~addr:p.Board.flash_base "no" with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "flash writable via debug write");
+  match Board.read_mem board ~addr:0x1 ~len:4 with
+  | Error f -> Alcotest.check trap "unmapped" { Fault.kind = Fault.Bus_fault; address = None; message = "" } f
+  | Ok _ -> Alcotest.fail "unmapped readable"
+
+let test_board_reset_keeps_clock () =
+  let board = Board.create Profiles.stm32f4_disco in
+  Clock.advance (Board.clock board) 500;
+  Board.reset board;
+  Alcotest.(check int64) "clock survives" 500L (Clock.cycles (Board.clock board));
+  Alcotest.(check int) "power cycles" 1 (Board.power_cycles board)
+
+let prop_image_verify_detects_corruption =
+  QCheck.Test.make ~name:"image verify detects any flash corruption" ~count:50
+    QCheck.(pair small_nat (string_of_size Gen.(1 -- 8)))
+    (fun (off, junk) ->
+      let table = [ { Partition.name = "k"; offset = 0; size = 0x4000 } ] in
+      let image = Image.synthesize ~table ~seed:9L () in
+      let flash = Flash.create ~base:0 ~size:0x4000 ~sector_size:0x1000 ~endianness:Arch.Little in
+      Image.flash_all image flash;
+      let off = off mod (0x4000 - String.length junk) in
+      let before = Flash.read flash ~addr:off ~len:(String.length junk) in
+      Flash.corrupt flash ~addr:off junk;
+      let changed = before <> junk in
+      let detected = Image.verify image flash <> [] in
+      (not changed) || detected)
+
+let suite =
+  [
+    Alcotest.test_case "memory rw" `Quick test_memory_rw;
+    Alcotest.test_case "memory big-endian" `Quick test_memory_big_endian;
+    Alcotest.test_case "memory bus fault" `Quick test_memory_bus_fault;
+    Alcotest.test_case "memory bulk" `Quick test_memory_bulk;
+    Alcotest.test_case "flash program semantics" `Quick test_flash_program_semantics;
+    Alcotest.test_case "flash write_image" `Quick test_flash_write_image;
+    Alcotest.test_case "partition parse" `Quick test_partition_parse;
+    Alcotest.test_case "partition validation" `Quick test_partition_validation;
+    Alcotest.test_case "uart lines" `Quick test_uart_lines;
+    Alcotest.test_case "uart overrun" `Quick test_uart_overrun;
+    Alcotest.test_case "clock" `Quick test_clock;
+    Alcotest.test_case "image install/verify/reflash" `Quick test_image_and_board;
+    Alcotest.test_case "board memory dispatch" `Quick test_board_mem_dispatch;
+    Alcotest.test_case "board reset keeps clock" `Quick test_board_reset_keeps_clock;
+    QCheck_alcotest.to_alcotest prop_image_verify_detects_corruption;
+  ]
+
+let test_gpio_edges () =
+  let g = Gpio.create () in
+  (match Gpio.configure_irq g ~pin:3 Gpio.Rising with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Low -> low: no edge. *)
+  ignore (Gpio.set_level g ~pin:3 ~level:false : (unit, string) result);
+  Alcotest.(check int) "no edge" 0 (Gpio.pending_count g);
+  (* Rising edge latches. *)
+  ignore (Gpio.set_level g ~pin:3 ~level:true : (unit, string) result);
+  Alcotest.(check int) "latched" 1 (Gpio.pending_count g);
+  (* Falling is not armed. *)
+  ignore (Gpio.set_level g ~pin:3 ~level:false : (unit, string) result);
+  Alcotest.(check (list int)) "drain" [ 3 ] (Gpio.drain_pending g);
+  Alcotest.(check int) "cleared" 0 (Gpio.pending_count g);
+  (* Both-edge pin. *)
+  ignore (Gpio.configure_irq g ~pin:5 Gpio.Both : (unit, string) result);
+  ignore (Gpio.set_level g ~pin:5 ~level:true : (unit, string) result);
+  ignore (Gpio.set_level g ~pin:5 ~level:false : (unit, string) result);
+  Alcotest.(check (list int)) "both edges coalesce per pin" [ 5 ] (Gpio.drain_pending g);
+  (* Unarmed pins never latch. *)
+  ignore (Gpio.set_level g ~pin:7 ~level:true : (unit, string) result);
+  Alcotest.(check int) "unarmed" 0 (Gpio.pending_count g);
+  (match Gpio.set_level g ~pin:99 ~level:true with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "bad pin accepted");
+  Gpio.reset g;
+  Alcotest.(check bool) "reset clears level" false (Gpio.level g ~pin:3)
+
+let suite = suite @ [ Alcotest.test_case "gpio edges" `Quick test_gpio_edges ]
+
+(* Property: partition config print/parse round-trips. *)
+let prop_partition_roundtrip =
+  QCheck.Test.make ~name:"partition config roundtrip" ~count:100
+    QCheck.(small_list (pair (int_bound 15) (int_bound 15)))
+    (fun raw ->
+      (* Build a valid non-overlapping table from the raw pairs. *)
+      let entries, _ =
+        List.fold_left
+          (fun (acc, off) (i, sz) ->
+            let size = 0x1000 * (1 + sz) in
+            ( { Partition.name = Printf.sprintf "p%d_%d" (List.length acc) i;
+                offset = off; size }
+              :: acc,
+              off + size ))
+          ([], 0) raw
+      in
+      let table = List.rev entries in
+      let flash_size = Partition.total_size table + 0x1000 in
+      match Partition.parse_config ~flash_size (Partition.to_config table) with
+      | Ok parsed -> parsed = table
+      | Error _ -> table = [])
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_partition_roundtrip ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "eof"
+    [
+      ("util", Test_util.suite);
+      ("hw", Test_hw.suite);
+      ("exec", Test_exec.suite);
+      ("debug", Test_debug.suite);
+      ("rtos", Test_rtos.suite);
+      ("apps", Test_apps.suite);
+      ("spec", Test_spec.suite);
+      ("agent", Test_agent.suite);
+      ("core", Test_core.suite);
+      ("baselines", Test_baselines.suite);
+      ("expt", Test_expt.suite);
+      ("bugs", Test_bugs.suite);
+    ]

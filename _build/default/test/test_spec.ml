@@ -1,0 +1,162 @@
+open Eof_spec
+
+let parse_ok text =
+  match Parser.parse text with Ok s -> s | Error e -> Alcotest.fail e
+
+let test_lexer_basics () =
+  match Lexer.tokenize "foo(bar int[0:5]) # comment\nresource q" with
+  | Error e -> Alcotest.fail e
+  | Ok tokens ->
+    let kinds = List.map (fun (p : Lexer.positioned) -> p.Lexer.token) tokens in
+    Alcotest.(check bool) "shape" true
+      (kinds
+      = [ Lexer.IDENT "foo"; Lexer.LPAREN; Lexer.IDENT "bar"; Lexer.IDENT "int";
+          Lexer.LBRACKET; Lexer.INT 0L; Lexer.COLON; Lexer.INT 5L; Lexer.RBRACKET;
+          Lexer.RPAREN; Lexer.NEWLINE; Lexer.IDENT "resource"; Lexer.IDENT "q";
+          Lexer.EOF ])
+
+let test_lexer_numbers () =
+  match Lexer.tokenize "0x1F -42 007" with
+  | Error e -> Alcotest.fail e
+  | Ok tokens ->
+    let ints = List.filter_map (fun (p : Lexer.positioned) ->
+        match p.Lexer.token with Lexer.INT v -> Some v | _ -> None) tokens in
+    Alcotest.(check bool) "values" true (ints = [ 0x1FL; -42L; 7L ])
+
+let test_lexer_hyphenated_idents () =
+  match Lexer.tokenize "os RT-Thread" with
+  | Error e -> Alcotest.fail e
+  | Ok tokens ->
+    let names = List.filter_map (fun (p : Lexer.positioned) ->
+        match p.Lexer.token with Lexer.IDENT s -> Some s | _ -> None) tokens in
+    Alcotest.(check (list string)) "hyphen kept" [ "os"; "RT-Thread" ] names
+
+let test_lexer_errors () =
+  match Lexer.tokenize "foo ? bar" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad char accepted"
+
+let sample_spec = {|
+# demo spec
+os DemoOS
+
+resource queue
+
+q_create(len int[1:64], item int[1:128]) queue @weight=3
+q_send(q queue, data buffer[64])
+q_flags(mode flags[rd=1, wr=2])
+q_label(name string[32])
+q_probe(ptr ptr[0x20000000:0x20010000, null])
+|}
+
+let test_parse_sample () =
+  let spec = parse_ok sample_spec in
+  Alcotest.(check string) "os" "DemoOS" spec.Ast.os;
+  Alcotest.(check (list string)) "resources" [ "queue" ] spec.Ast.resources;
+  Alcotest.(check int) "calls" 5 (List.length spec.Ast.calls);
+  let create = Option.get (Ast.find_call spec "q_create") in
+  Alcotest.(check int) "weight" 3 create.Ast.weight;
+  Alcotest.(check (option string)) "ret" (Some "queue") create.Ast.ret;
+  (match List.assoc "len" create.Ast.args with
+   | Ast.Ty_int { min; max } ->
+     Alcotest.(check int64) "min" 1L min;
+     Alcotest.(check int64) "max" 64L max
+   | _ -> Alcotest.fail "len type");
+  let probe = Option.get (Ast.find_call spec "q_probe") in
+  (match List.assoc "ptr" probe.Ast.args with
+   | Ast.Ty_ptr { base; size; null_ok } ->
+     Alcotest.(check int) "base" 0x20000000 base;
+     Alcotest.(check int) "size" 0x10000 size;
+     Alcotest.(check bool) "null ok" true null_ok
+   | _ -> Alcotest.fail "ptr type")
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match Parser.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" text))
+    [
+      "q_create(len int[1:64]";  (* unclosed paren *)
+      "q_create(len int[1])";  (* bad int type *)
+      "q_create(len flags[])";  (* empty flags *)
+      "f() @speed=3";  (* unknown attribute *)
+      "f() q extra_tokens_here(";  (* trailing garbage *)
+    ]
+
+let test_roundtrip_through_text () =
+  let spec = parse_ok sample_spec in
+  let text = Ast.to_syzlang spec in
+  let spec2 = parse_ok text in
+  Alcotest.(check bool) "print/parse roundtrip" true (Ast.equal spec spec2)
+
+let test_check_catches () =
+  let cases =
+    [
+      ("resource q\nf() q\n", false, "missing os");
+      ("os X\nresource q\n", false, "resource without producer");
+      ("os X\nf(a int[5:1])\n", false, "empty range");
+      ("os X\nf(a q)\n", false, "undeclared resource");
+      ("os X\nf(a int[0:1], a int[0:1])\n", false, "duplicate arg");
+      ("os X\nf()\nf()\n", false, "duplicate call");
+      ("os X\nf(s string[0])\n", false, "zero-length string");
+      ("os X\nf(s buffer[9999])\n", false, "over wire limit");
+      ("os X\nresource q\nmk() q\nuse(x q)\n", true, "valid spec");
+    ]
+  in
+  List.iter
+    (fun (text, should_pass, label) ->
+      let spec = parse_ok text in
+      match (Check.validate spec, should_pass) with
+      | Ok _, true | Error _, false -> ()
+      | Ok _, false -> Alcotest.fail (label ^ ": invalid spec accepted")
+      | Error errs, true ->
+        Alcotest.fail
+          (label ^ ": " ^ String.concat "; " (List.map Check.error_to_string errs)))
+    cases
+
+let test_synth_roundtrip_all_oses () =
+  (* Every personality's synthesized spec must survive the paper's
+     post-validation gate and describe the same API table. *)
+  List.iter
+    (fun (t : Eof_expt.Targets.hw_target) ->
+      let build = Eof_expt.Targets.build_hw t in
+      let table = Eof_os.Osbuild.api_signatures build in
+      match Synth.validated_of_api table with
+      | Error e -> Alcotest.fail (Eof_os.Osbuild.os_name build ^ ": " ^ e)
+      | Ok spec ->
+        Alcotest.(check int)
+          (Eof_os.Osbuild.os_name build ^ " call count")
+          (List.length table.Eof_rtos.Api.entries)
+          (List.length spec.Ast.calls);
+        Alcotest.(check bool)
+          (Eof_os.Osbuild.os_name build ^ " structural equality")
+          true
+          (Ast.equal spec (Synth.of_api table));
+        (* The index map covers every call. *)
+        Alcotest.(check int)
+          (Eof_os.Osbuild.os_name build ^ " index map")
+          (List.length spec.Ast.calls)
+          (List.length (Synth.index_map spec table)))
+    Eof_expt.Targets.all
+
+let test_pseudo_detection () =
+  let spec = parse_ok "os X\nsyz_do_thing()\nnormal_call()\n" in
+  let pseudo = Option.get (Ast.find_call spec "syz_do_thing") in
+  let normal = Option.get (Ast.find_call spec "normal_call") in
+  Alcotest.(check bool) "pseudo" true (Ast.is_pseudo pseudo);
+  Alcotest.(check bool) "normal" false (Ast.is_pseudo normal)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer numbers" `Quick test_lexer_numbers;
+    Alcotest.test_case "lexer hyphenated idents" `Quick test_lexer_hyphenated_idents;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip_through_text;
+    Alcotest.test_case "checker rules" `Quick test_check_catches;
+    Alcotest.test_case "synth roundtrip for all OSs" `Quick test_synth_roundtrip_all_oses;
+    Alcotest.test_case "pseudo-syscall detection" `Quick test_pseudo_detection;
+  ]
