@@ -154,7 +154,38 @@ let micro_tests () =
           (Eof_cov.Sancov.decode_records ~endianness:Arch.Little ~count:1024 raw_records
             : int list)))
   in
-  [ t_rsp; t_crc; t_wire_enc; t_wire_dec; t_spec; t_gen; t_heap; t_json; t_cov ]
+  (* The same decode through the allocation-free hot path: straight into
+     a reused scratch array, no per-record list cells. *)
+  let scratch = Array.make 1024 0 in
+  let t_cov_into =
+    Test.make ~name:"cov_decode_into_1k" (Staged.stage (fun () ->
+        ignore
+          (Eof_cov.Sancov.decode_records_into ~endianness:Arch.Little ~count:1024
+             raw_records scratch
+            : int)))
+  in
+  (* vBatch codec round-trip for a full fused drain request. *)
+  let batch_ops =
+    [
+      Eof_debug.Rsp.B_continue;
+      Eof_debug.Rsp.B_read_counted
+        { count_addr = 0x2000_0000; data_addr = 0x2000_0004; stride = 4;
+          max_count = 1024; reset = true };
+      Eof_debug.Rsp.B_read_counted
+        { count_addr = 0x2000_2000; data_addr = 0x2000_2004; stride = 8;
+          max_count = 1024; reset = true };
+      Eof_debug.Rsp.B_monitor "uart";
+    ]
+  in
+  let batch_wire = Eof_debug.Rsp.render_batch_ops batch_ops in
+  let t_batch =
+    Test.make ~name:"vbatch_codec" (Staged.stage (fun () ->
+        ignore
+          (Eof_debug.Rsp.parse_batch_ops batch_wire
+            : (Eof_debug.Rsp.batch_op list, string) result)))
+  in
+  [ t_rsp; t_crc; t_wire_enc; t_wire_dec; t_spec; t_gen; t_heap; t_json; t_cov;
+    t_cov_into; t_batch ]
 
 let run_micro () =
   let open Bechamel in
@@ -192,8 +223,120 @@ let run_micro () =
               else Printf.sprintf "%.1f ns" ns
             in
             [ name; time ])
-          rows))
+          rows));
+  rows
+
+(* --- debug-link batching comparison ------------------------------------ *)
+
+type link_stats = {
+  mode : string;
+  exchanges : int;
+  requests : int;
+  elapsed_us : float;
+  coverage : int;
+  crash_events : int;
+}
+
+let run_linked_campaign ~batch_link ~iterations =
+  let build =
+    Eof_os.Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Eof_os.Zephyr.spec
+  in
+  let transport = Eof_debug.Transport.create () in
+  let machine =
+    match Eof_agent.Machine.create ~transport build with
+    | Ok m -> m
+    | Error e -> failwith e
+  in
+  let config = { Eof_core.Campaign.default_config with iterations; seed = 11L; batch_link } in
+  match Eof_core.Campaign.run ~machine config build with
+  | Error e -> failwith e
+  | Ok o ->
+    {
+      mode = (if batch_link then "batched" else "unbatched");
+      exchanges = Eof_debug.Transport.exchanges transport;
+      requests = Eof_debug.Session.requests (Eof_agent.Machine.session machine);
+      elapsed_us = Eof_debug.Transport.elapsed_us transport;
+      coverage = o.Eof_core.Campaign.coverage;
+      crash_events = o.Eof_core.Campaign.crash_events;
+    }
+
+let run_link_comparison () =
+  section "Debug-link batching: vBatch-fused drain vs per-request link";
+  let iterations = Runner.scaled 400 in
+  Printf.printf "[same Zephyr campaign, seed 11, %d payloads per link mode...]\n%!"
+    iterations;
+  let unbatched = run_linked_campaign ~batch_link:false ~iterations in
+  let batched = run_linked_campaign ~batch_link:true ~iterations in
+  let row s =
+    [ s.mode; string_of_int s.exchanges; string_of_int s.requests;
+      Printf.sprintf "%.0f" (s.elapsed_us /. 1000.);
+      string_of_int s.coverage; string_of_int s.crash_events ]
+  in
+  print_endline
+    (Text_table.render
+       ~align:Text_table.[ Left; Right; Right; Right; Right; Right ]
+       ~header:[ "link mode"; "exchanges"; "requests"; "link ms"; "coverage"; "crashes" ]
+       [ row unbatched; row batched ]);
+  Printf.printf
+    "[exchange reduction %.2fx, link-time reduction %.2fx; coverage %s]\n"
+    (float_of_int unbatched.exchanges /. float_of_int batched.exchanges)
+    (unbatched.elapsed_us /. batched.elapsed_us)
+    (if unbatched.coverage = batched.coverage && unbatched.crash_events = batched.crash_events
+     then "and crashes identical"
+     else "DIVERGED (bug!)");
+  (unbatched, batched)
+
+(* --- machine-readable results ------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~micro ~link path =
+  let unbatched, batched = link in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"micro_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+           (if i < List.length micro - 1 then "," else "")))
+    micro;
+  Buffer.add_string b "  },\n  \"debug_link\": {\n";
+  let stats s =
+    Printf.sprintf
+      "{ \"exchanges\": %d, \"requests\": %d, \"elapsed_us\": %.0f, \"coverage\": %d, \"crash_events\": %d }"
+      s.exchanges s.requests s.elapsed_us s.coverage s.crash_events
+  in
+  Buffer.add_string b (Printf.sprintf "    \"unbatched\": %s,\n" (stats unbatched));
+  Buffer.add_string b (Printf.sprintf "    \"batched\": %s,\n" (stats batched));
+  Buffer.add_string b
+    (Printf.sprintf "    \"exchange_reduction\": %.3f,\n"
+       (float_of_int unbatched.exchanges /. float_of_int batched.exchanges));
+  Buffer.add_string b
+    (Printf.sprintf "    \"link_time_reduction\": %.3f,\n"
+       (unbatched.elapsed_us /. batched.elapsed_us));
+  Buffer.add_string b
+    (Printf.sprintf "    \"outcomes_identical\": %b\n"
+       (unbatched.coverage = batched.coverage
+       && unbatched.crash_events = batched.crash_events));
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents b));
+  Printf.printf "[machine-readable results written to %s]\n" path
 
 let () =
   run_artifacts ();
-  run_micro ()
+  let link = run_link_comparison () in
+  let micro = run_micro () in
+  write_bench_json ~micro ~link "BENCH.json"

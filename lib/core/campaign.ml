@@ -2,6 +2,7 @@ open Eof_hw
 open Eof_os
 module Rng = Eof_util.Rng
 module Session = Eof_debug.Session
+module Covlink = Eof_debug.Covlink
 module Wire = Eof_agent.Wire
 module Agent = Eof_agent.Agent
 module Machine = Eof_agent.Machine
@@ -20,6 +21,7 @@ type config = {
   irq_injection : bool;
   initial_seeds : Prog.t list;
   reboot_every : int;
+  batch_link : bool;
 }
 
 let default_config =
@@ -36,6 +38,7 @@ let default_config =
     irq_injection = false;
     initial_seeds = [];
     reboot_every = 150;
+    batch_link = true;
   }
 
 type sample = { iteration : int; virtual_s : float; coverage : int }
@@ -97,75 +100,163 @@ type state = {
          drives the explore/exploit split (explore while it pays) *)
   mutable last_was_fresh : bool;
   liveness : Liveness.t;
+  covlink : Covlink.t option;
+      (* Some = batched debug link: every continue is fused with the
+         coverage/cmp/UART drain into one vBatch exchange, and drained
+         data parks host-side in the pend_* accumulators below until the
+         loop reaches the point where the unbatched path would have
+         read it. None = legacy per-request exchanges. *)
+  mutable pend_rec : int array;  (* drained, uncommitted edge records *)
+  mutable pend_rec_len : int;
+  mutable pend_cmp_a : int64 array;  (* drained, uncommitted operand pairs *)
+  mutable pend_cmp_b : int64 array;
+  mutable pend_cmp_len : int;
+  pend_log : Buffer.t;  (* drained, unconsumed UART output *)
+  mutable pend_write : (int * string) option;
+      (* a staged mailbox image, delivered as a write op inside the next
+         fused vBatch instead of its own exchange *)
+  mutable current_ops : string array;
+      (* call names of current_prog, indexed once at selection so the
+         per-crash progress lookup is O(1) instead of O(n^2) List.nth *)
 }
 
 (* --- small helpers ---------------------------------------------------- *)
 
-let drain_log st = match Session.drain_uart st.session with Ok s -> s | Error _ -> ""
+(* Batched mode: park one stop's drained data in the pending
+   accumulators. Committing happens separately, at exactly the loop
+   points where the unbatched path performs its reads. Because every
+   batched drain resets the target-side counters, the pending data is
+   always exactly what the unbatched host would still find in target
+   RAM — so a board reset, which clears RAM and the UART FIFO, must
+   discard the pending accumulators too (see {!reboot}). Decoding goes
+   straight into the reusable scratch arrays: nothing proportional to
+   the record count is allocated on this path. *)
+let absorb_drained st (d : Covlink.drained) =
+  if d.Covlink.n_records > 0 then begin
+    let need = st.pend_rec_len + d.Covlink.n_records in
+    if Array.length st.pend_rec < need then begin
+      let grown = Array.make (max need (2 * Array.length st.pend_rec)) 0 in
+      Array.blit st.pend_rec 0 grown 0 st.pend_rec_len;
+      st.pend_rec <- grown
+    end;
+    st.pend_rec_len <-
+      st.pend_rec_len
+      + Sancov.decode_records_into ~pos:st.pend_rec_len ~endianness:st.endianness
+          ~count:d.Covlink.n_records d.Covlink.records_raw st.pend_rec
+  end;
+  if d.Covlink.n_cmp > 0 then begin
+    let need = st.pend_cmp_len + d.Covlink.n_cmp in
+    if Array.length st.pend_cmp_a < need then begin
+      let grow a =
+        let g = Array.make (max need (2 * Array.length a)) 0L in
+        Array.blit a 0 g 0 st.pend_cmp_len;
+        g
+      in
+      st.pend_cmp_a <- grow st.pend_cmp_a;
+      st.pend_cmp_b <- grow st.pend_cmp_b
+    end;
+    st.pend_cmp_len <-
+      st.pend_cmp_len
+      + Sancov.decode_cmp_ring_into ~pos:st.pend_cmp_len ~endianness:st.endianness
+          ~count:d.Covlink.n_cmp d.Covlink.cmp_raw ~a:st.pend_cmp_a ~b:st.pend_cmp_b
+  end;
+  if d.Covlink.log <> "" then Buffer.add_string st.pend_log d.Covlink.log
+
+(* UART output as the unbatched path would see it at this point: either
+   drained now over the link, or accumulated stop-by-stop since the last
+   consumption point. *)
+let take_log st =
+  match st.covlink with
+  | None -> (match Session.drain_uart st.session with Ok s -> s | Error _ -> "")
+  | Some _ ->
+    let log = Buffer.contents st.pend_log in
+    Buffer.clear st.pend_log;
+    log
 
 let drain_cmp_hints st =
   (* Only feedback-guided campaigns read the ring, and only they learn
      from it — EOF-nf ignores feedback by definition. *)
   if st.config.feedback then begin
-    let layout = Osbuild.covbuf_layout st.build in
-    match Session.read_u32 st.session ~addr:(Sancov.Layout.cmp_count_addr layout) with
-    | Error _ -> ()
-    | Ok count ->
-      let count = min (Int32.to_int count) Sancov.Layout.cmp_ring_entries in
-      if count > 0 then begin
-        match
-          Session.read_mem st.session
-            ~addr:(Sancov.Layout.cmp_ring_addr layout)
-            ~len:(8 * count)
-        with
-        | Error _ -> ()
-        | Ok raw ->
-          ignore
-            (Session.write_u32 st.session ~addr:(Sancov.Layout.cmp_count_addr layout) 0l
-              : (unit, Session.error) result);
-          let pairs =
-            List.map
-              (fun (a, b) -> (Int64.of_int32 a, Int64.of_int32 b))
-              (Sancov.decode_cmp_ring ~endianness:st.endianness ~count raw)
-          in
-          st.last_cmp_pairs <- pairs;
-          List.iter
-            (fun (a, b) ->
-              Gen.add_int_hint st.gen a;
-              Gen.add_int_hint st.gen b)
-            pairs
+    match st.covlink with
+    | Some _ ->
+      if st.pend_cmp_len > 0 then begin
+        let pairs =
+          List.init st.pend_cmp_len (fun i -> (st.pend_cmp_a.(i), st.pend_cmp_b.(i)))
+        in
+        st.pend_cmp_len <- 0;
+        st.last_cmp_pairs <- pairs;
+        List.iter
+          (fun (a, b) ->
+            Gen.add_int_hint st.gen a;
+            Gen.add_int_hint st.gen b)
+          pairs
       end
+    | None ->
+      let layout = Osbuild.covbuf_layout st.build in
+      (match Session.read_u32 st.session ~addr:(Sancov.Layout.cmp_count_addr layout) with
+       | Error _ -> ()
+       | Ok count ->
+         let count = min (Int32.to_int count) Sancov.Layout.cmp_ring_entries in
+         if count > 0 then begin
+           match
+             Session.read_mem st.session
+               ~addr:(Sancov.Layout.cmp_ring_addr layout)
+               ~len:(8 * count)
+           with
+           | Error _ -> ()
+           | Ok raw ->
+             ignore
+               (Session.write_u32 st.session ~addr:(Sancov.Layout.cmp_count_addr layout) 0l
+                 : (unit, Session.error) result);
+             let pairs =
+               List.map
+                 (fun (a, b) -> (Int64.of_int32 a, Int64.of_int32 b))
+                 (Sancov.decode_cmp_ring ~endianness:st.endianness ~count raw)
+             in
+             st.last_cmp_pairs <- pairs;
+             List.iter
+               (fun (a, b) ->
+                 Gen.add_int_hint st.gen a;
+                 Gen.add_int_hint st.gen b)
+               pairs
+         end)
   end
 
 let drain_coverage st =
-  let layout = Osbuild.covbuf_layout st.build in
-  match Session.read_u32 st.session ~addr:(Sancov.Layout.write_index_addr layout) with
-  | Error _ -> 0
-  | Ok widx ->
-    let widx = min (Int32.to_int widx) layout.Sancov.Layout.capacity_records in
-    if widx <= 0 then 0
-    else begin
-      match
-        Session.read_mem st.session
-          ~addr:(Sancov.Layout.records_addr layout)
-          ~len:(4 * widx)
-      with
-      | Error _ -> 0
-      | Ok raw ->
-        ignore
-          (Session.write_u32 st.session ~addr:(Sancov.Layout.write_index_addr layout) 0l
-            : (unit, Session.error) result);
-        let edges = Sancov.decode_records ~endianness:st.endianness ~count:widx raw in
-        Feedback.merge st.fb edges
-    end
+  match st.covlink with
+  | Some _ ->
+    let merged = Feedback.merge_array st.fb st.pend_rec ~len:st.pend_rec_len in
+    st.pend_rec_len <- 0;
+    merged
+  | None ->
+    let layout = Osbuild.covbuf_layout st.build in
+    (match Session.read_u32 st.session ~addr:(Sancov.Layout.write_index_addr layout) with
+     | Error _ -> 0
+     | Ok widx ->
+       let widx = min (Int32.to_int widx) layout.Sancov.Layout.capacity_records in
+       if widx <= 0 then 0
+       else begin
+         match
+           Session.read_mem st.session
+             ~addr:(Sancov.Layout.records_addr layout)
+             ~len:(4 * widx)
+         with
+         | Error _ -> 0
+         | Ok raw ->
+           ignore
+             (Session.write_u32 st.session ~addr:(Sancov.Layout.write_index_addr layout) 0l
+               : (unit, Session.error) result);
+           let edges = Sancov.decode_records ~endianness:st.endianness ~count:widx raw in
+           Feedback.merge st.fb edges
+       end)
 
 let operation_of_progress st =
   match Session.read_u32 st.session ~addr:(Agent.progress_addr st.build) with
   | Error _ -> None
   | Ok v ->
     let idx = Int32.to_int v in
-    if idx < 0 || idx >= List.length st.current_prog then None
-    else Some (List.nth st.current_prog idx).Prog.spec.Eof_spec.Ast.name
+    if idx < 0 || idx >= Array.length st.current_ops then None
+    else Some st.current_ops.(idx)
 
 let scope_of_backtrace = function
   | frame :: _ ->
@@ -234,11 +325,24 @@ let queue_i2s_children st =
 
 (* --- liveness & recovery --------------------------------------------- *)
 
+(* A board reset clears RAM (coverage buffer, cmp ring) and the UART
+   FIFO: whatever the unbatched host had not yet read is destroyed. The
+   batched host holds that same not-yet-committed data in its pending
+   accumulators, so a reset must destroy those too — otherwise batching
+   would smuggle pre-crash records past the reboot and the two modes
+   would diverge. *)
+let discard_pending st =
+  st.pend_rec_len <- 0;
+  st.pend_cmp_len <- 0;
+  st.pend_write <- None;
+  Buffer.clear st.pend_log
+
 let reflash st =
   match Liveness.restore st.session ~build:st.build with
   | Ok _ ->
     st.reflashes <- st.reflashes + 1;
     st.resets <- st.resets + 1;
+    discard_pending st;
     Ok ()
   | Error e -> Error e
 
@@ -246,6 +350,7 @@ let reboot st =
   match Liveness.reboot_only st.session with
   | Ok () ->
     st.resets <- st.resets + 1;
+    discard_pending st;
     Ok ()
   | Error e -> Error e
 
@@ -261,23 +366,51 @@ type event =
   | Ev_exited
   | Ev_timeout
 
-let advance st =
-  match Session.continue_ st.session with
-  | Error Session.Timeout -> Ev_timeout
-  | Error _ -> Ev_timeout
-  | Ok (Session.Stopped_breakpoint pc) ->
+let classify_stop st = function
+  | Session.Stopped_breakpoint pc ->
     Liveness.reset st.liveness;
     if pc = st.syms.Osbuild.sym_executor_main then Ev_ready
     else if pc = st.syms.Osbuild.sym_loop_back then Ev_done
     else if pc = st.syms.Osbuild.sym_buf_full then Ev_buf_full
     else if pc = st.syms.Osbuild.sym_handle_exception then Ev_panic_bp
     else Ev_other_bp
-  | Ok (Session.Stopped_fault _) -> Ev_fault
-  | Ok (Session.Stopped_quantum pc) -> Ev_quantum pc
-  | Ok Session.Target_exited -> Ev_exited
+  | Session.Stopped_fault _ -> Ev_fault
+  | Session.Stopped_quantum pc -> Ev_quantum pc
+  | Session.Target_exited -> Ev_exited
+
+let advance st =
+  match st.covlink with
+  | None ->
+    (match Session.continue_ st.session with
+     | Error Session.Timeout -> Ev_timeout
+     | Error _ -> Ev_timeout
+     | Ok stop -> classify_stop st stop)
+  | Some cl ->
+    (* The hot-path fusion: the continue, the whole coverage drain and
+       any staged mailbox delivery are one vBatch exchange, so each stop
+       costs one link round trip instead of six-plus. *)
+    let write = st.pend_write in
+    st.pend_write <- None;
+    (match Covlink.continue_and_drain ?write cl ~want_cmp:st.config.feedback with
+     | Error Session.Timeout -> Ev_timeout
+     | Error _ -> Ev_timeout
+     | Ok (stop, d) ->
+       absorb_drained st d;
+       classify_stop st stop)
+
+(* A continue whose stop is deliberately ignored (letting a fault
+   unwind). The batched path still drains, so nothing the unbatched
+   path would later find in RAM is lost. *)
+let blind_continue st =
+  match st.covlink with
+  | None -> ignore (Session.continue_ st.session : (Session.stop, Session.error) result)
+  | Some cl ->
+    (match Covlink.continue_and_drain cl ~want_cmp:st.config.feedback with
+     | Ok (_, d) -> absorb_drained st d
+     | Error _ -> ())
 
 let handle_panic_bp st =
-  let log = drain_log st in
+  let log = take_log st in
   let detections = scan_log_for_crashes st log in
   let backtrace = Monitor.collect_backtrace detections in
   let message =
@@ -292,13 +425,13 @@ let handle_panic_bp st =
     ~scope:(scope_of_backtrace backtrace) ~message ~backtrace
     ~monitor:Crash.Exception_monitor;
   (* Let the fault unwind (ignore its stop), then reboot. *)
-  ignore (Session.continue_ st.session : (Session.stop, Session.error) result);
+  blind_continue st;
   reboot st
 
 let handle_fault st =
   (* A hardware fault that did not pass through an instrumented panic
      handler: classify from the fault register and any log output. *)
-  let log = drain_log st in
+  let log = take_log st in
   ignore (scan_log_for_crashes st log : Monitor.detection list);
   let message =
     match Session.last_fault st.session with Ok f when f <> "" -> f | _ -> "hardware fault"
@@ -312,7 +445,7 @@ let handle_fault st =
 
 let handle_stall st pc =
   st.stalls <- st.stalls + 1;
-  let log = drain_log st in
+  let log = take_log st in
   let detections = Monitor.scan log in
   (match Monitor.first_assertion detections with
    | Some (_, message) ->
@@ -342,7 +475,7 @@ let rec goto_ready st ~budget =
     | Ev_ready -> Ok ()
     | Ev_done ->
       ignore (drain_coverage st : int);
-      ignore (scan_log_for_crashes st (drain_log st) : Monitor.detection list);
+      ignore (scan_log_for_crashes st (take_log st) : Monitor.detection list);
       goto_ready st ~budget:(budget - 1)
     | Ev_buf_full ->
       ignore (drain_coverage st : int);
@@ -363,7 +496,7 @@ let rec goto_ready st ~budget =
     | Ev_quantum pc ->
       if pc = st.syms.Osbuild.sym_boot then begin
         (* Stuck at the boot vector: the image is damaged; reflash. *)
-        ignore (scan_log_for_crashes st (drain_log st) : Monitor.detection list);
+        ignore (scan_log_for_crashes st (take_log st) : Monitor.detection list);
         record_crash st ~kind:Crash.Boot_failure ~operation:"boot" ~scope:"bootloader"
           ~message:"image integrity check failed at boot" ~backtrace:[]
           ~monitor:Crash.Liveness_watchdog;
@@ -411,12 +544,20 @@ let write_program st prog =
        | Arch.Big ->
          Bytes.set_int32_be header 0 Wire.magic;
          Bytes.set_int32_be header 4 (Int32.of_int (String.length payload)));
-      match
-        Session.write_mem st.session ~addr:(Osbuild.mailbox_base st.build)
-          (Bytes.to_string header ^ payload)
-      with
-      | Ok () -> Ok ()
-      | Error e -> Error (Session.error_to_string e)
+      let image = Bytes.to_string header ^ payload in
+      let addr = Osbuild.mailbox_base st.build in
+      (* Batched mode stages the image: it is delivered as a binary
+         write op inside the next fused continue's vBatch, costing zero
+         extra exchanges. The unbatched baseline keeps the hex M packet
+         so its per-request cost model stays what it was. *)
+      match st.covlink with
+      | Some _ ->
+        st.pend_write <- Some (addr, image);
+        Ok ()
+      | None ->
+        (match Session.write_mem st.session ~addr image with
+         | Ok () -> Ok ()
+         | Error e -> Error (Session.error_to_string e))
     end
 
 (* Execute the delivered program until loop_back (or a crash resolves). *)
@@ -427,7 +568,7 @@ let rec run_program st ~budget ~crashed =
     | Ev_done ->
       ignore (drain_coverage st : int);
       drain_cmp_hints st;
-      ignore (scan_log_for_crashes st (drain_log st) : Monitor.detection list);
+      ignore (scan_log_for_crashes st (take_log st) : Monitor.detection list);
       Ok (`Completed, crashed)
     | Ev_buf_full ->
       ignore (drain_coverage st : int);
@@ -583,6 +724,11 @@ let run ?machine config build =
          Gen.create ~dep_aware:config.dep_aware ~rng:(Rng.split rng) ~spec ~table ()
        in
        let session = Machine.session machine in
+       let covlink =
+         if config.batch_link && Session.supports_batch session then
+           Some (Covlink.create ~session ~layout:(Osbuild.covbuf_layout build))
+         else None
+       in
        let st =
          {
            config;
@@ -614,6 +760,15 @@ let run ?machine config build =
            fresh_yield = 1.0;
            last_was_fresh = false;
            liveness = Liveness.create ();
+           covlink;
+           pend_rec = Array.make 256 0;
+           pend_rec_len = 0;
+           pend_cmp_a = Array.make 64 0L;
+           pend_cmp_b = Array.make 64 0L;
+           pend_cmp_len = 0;
+           pend_log = Buffer.create 256;
+           pend_write = None;
+           current_ops = [||];
          }
        in
        let arm addr =
@@ -646,6 +801,9 @@ let run ?machine config build =
                let distinct_before = Hashtbl.length st.crash_table in
                let prog = choose_program st in
                st.current_prog <- prog;
+               st.current_ops <-
+                 Array.of_list
+                   (List.map (fun c -> c.Prog.spec.Eof_spec.Ast.name) prog);
                if config.irq_injection && Rng.chance st.rng 0.4 then begin
                  let pin = Rng.int st.rng 16 in
                  ignore

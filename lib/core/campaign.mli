@@ -39,6 +39,15 @@ type config = {
       (** preventive reboot period: without it a long-lived boot slowly
           exhausts kernel tables and the heap (objects accumulate across
           test cases), starving every later test case *)
+  batch_link : bool;
+      (** use the vectored debug link (default true): every continue is
+          fused with the coverage/cmp/UART drain into a single [vBatch]
+          exchange and program delivery uses binary [X] packets, cutting
+          link round trips per stop from six-plus to one. [false] keeps
+          the legacy one-request-per-read path — the cost model the
+          baseline comparisons are calibrated against. Coverage and
+          crash outcomes are identical either way; only link traffic
+          differs. *)
 }
 
 val default_config : config

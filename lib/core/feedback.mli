@@ -9,6 +9,10 @@ val merge : t -> int list -> int
     outside the capacity are ignored (defensive against a corrupted
     coverage buffer). *)
 
+val merge_array : t -> int array -> len:int -> int
+(** Like {!merge} but over the first [len] entries of a scratch array —
+    the allocation-free path used by the batched coverage drain. *)
+
 val covered : t -> int
 (** Distinct edges seen so far. *)
 

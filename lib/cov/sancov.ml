@@ -152,3 +152,35 @@ let decode_cmp_ring ~endianness ~count raw =
     | Arch.Big -> Bytes.get_int32_be b off
   in
   List.init n (fun i -> (word (8 * i), word ((8 * i) + 4)))
+
+let decode_records_into ?(pos = 0) ~endianness ~count raw dst =
+  if String.length raw < 4 * count then
+    invalid_arg "Sancov.decode_records_into: short buffer";
+  if pos < 0 || Array.length dst - pos < count then
+    invalid_arg "Sancov.decode_records_into: destination too small";
+  let b = Bytes.unsafe_of_string raw in
+  for i = 0 to count - 1 do
+    let v =
+      match endianness with
+      | Arch.Little -> Bytes.get_int32_le b (4 * i)
+      | Arch.Big -> Bytes.get_int32_be b (4 * i)
+    in
+    dst.(pos + i) <- Int32.to_int v
+  done;
+  count
+
+let decode_cmp_ring_into ?(pos = 0) ~endianness ~count raw ~a ~b =
+  let n = min count (String.length raw / 8) in
+  if pos < 0 || Array.length a - pos < n || Array.length b - pos < n then
+    invalid_arg "Sancov.decode_cmp_ring_into: destination too small";
+  let bytes = Bytes.unsafe_of_string raw in
+  let word off =
+    match endianness with
+    | Arch.Little -> Bytes.get_int32_le bytes off
+    | Arch.Big -> Bytes.get_int32_be bytes off
+  in
+  for i = 0 to n - 1 do
+    a.(pos + i) <- Int64.of_int32 (word (8 * i));
+    b.(pos + i) <- Int64.of_int32 (word ((8 * i) + 4))
+  done;
+  n

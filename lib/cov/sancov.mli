@@ -89,3 +89,20 @@ val decode_records :
 val decode_cmp_ring :
   endianness:Eof_hw.Arch.endianness -> count:int -> string -> (int32 * int32) list
 (** Decode up to [count] operand pairs from the raw cmp-ring area. *)
+
+val decode_records_into :
+  ?pos:int -> endianness:Eof_hw.Arch.endianness -> count:int -> string ->
+  int array -> int
+(** Allocation-free variant of {!decode_records}: decode [count] records
+    into the caller's scratch array starting at [pos] (default 0); the
+    array must hold at least [pos + count] entries. Returns [count]. The
+    fuzzing hot path reuses one scratch array per campaign instead of
+    building a list per drain. *)
+
+val decode_cmp_ring_into :
+  ?pos:int -> endianness:Eof_hw.Arch.endianness -> count:int -> string ->
+  a:int64 array -> b:int64 array -> int
+(** Allocation-free variant of {!decode_cmp_ring}: decode up to [count]
+    operand pairs into the caller's [a]/[b] scratch arrays starting at
+    [pos] (sign-extended to [int64], matching what {!variant_of_cmp}
+    consumed on the target side); returns the number of pairs decoded. *)

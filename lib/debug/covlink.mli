@@ -1,0 +1,52 @@
+(** Coalesced coverage drain over the debug link.
+
+    The per-stop host choreography — read the coverage write index, read
+    the present records, reset the index, read the cmp-ring counter, read
+    the operand pairs, reset the counter, drain the UART — is six-plus
+    link round trips on the unbatched path. This module folds the whole
+    drain (optionally fused with the continue that produced the stop)
+    into ONE [vBatch] exchange, the optimisation the paper's host hot
+    path lives on: round trips, not bytes, dominate debug-link time.
+
+    Results come back raw; the campaign decodes them into its per-state
+    scratch arrays with {!Eof_cov.Sancov.decode_records_into} /
+    [decode_cmp_ring_into], so the steady-state drain allocates nothing
+    proportional to the record count. *)
+
+type t
+
+type drained = {
+  n_records : int;  (** decoded record count present in [records_raw] *)
+  records_raw : string;  (** raw little/big-endian u32 records *)
+  n_cmp : int;  (** operand-pair count present in [cmp_raw] *)
+  cmp_raw : string;  (** raw operand pairs, 8 bytes each *)
+  log : string;  (** UART output drained at this stop *)
+}
+
+val empty_drained : drained
+
+val create : session:Session.t -> layout:Eof_cov.Sancov.Layout.t -> t
+(** The session must have negotiated [vBatch+] ({!Session.supports_batch}). *)
+
+val session : t -> Session.t
+
+val drain : t -> want_cmp:bool -> (drained, Session.error) result
+(** One exchange: drain records (+ cmp ring when [want_cmp]) + UART,
+    resetting both target-side counters. A failed sub-operation yields
+    its zero slice (counter untouched server-side), mirroring the
+    unbatched drain's ignore-and-retry behaviour. *)
+
+val continue_and_drain :
+  ?write:int * string ->
+  t ->
+  want_cmp:bool ->
+  (Session.stop * drained, Session.error) result
+(** The fused hot-path exchange: continue to the next stop, then drain —
+    still one round trip. The stop is decoded exactly as
+    {!Session.continue_} would decode it.
+
+    [?write:(addr, image)] prepends a binary memory write, executed
+    server-side before the continue: delivering a test case into the
+    mailbox rides the same exchange as the continue that consumes it. A
+    rejected write aborts the batch result with [Remote _] rather than
+    continuing past it. *)

@@ -85,15 +85,64 @@ let monitor t cmd : Rsp.reply =
      | _ -> Rsp.Error_reply 0x02)
   | _ -> Rsp.Error_reply 0x01
 
+let word_of_le_be t raw =
+  let b = Bytes.unsafe_of_string raw in
+  match (Board.profile t.board).Board.arch.Arch.endianness with
+  | Arch.Little -> Bytes.get_int32_le b 0
+  | Arch.Big -> Bytes.get_int32_be b 0
+
+let execute_batch_op t (op : Rsp.batch_op) : Rsp.batch_reply =
+  match op with
+  | Rsp.B_continue ->
+    let reply = stop_of_reason t (Engine.run t.engine ~fuel:t.continue_quantum) in
+    t.last_stop <- reply;
+    Rsp.Br_stop (Rsp.render_reply ~pc_reg:t.pc_reg reply)
+  | Rsp.B_read { addr; len } ->
+    (match Board.read_mem t.board ~addr ~len with
+     | Ok data -> Rsp.Br_data data
+     | Error _ -> Rsp.Br_error 0x0E)
+  | Rsp.B_write { addr; data } ->
+    (match Board.write_ram t.board ~addr data with
+     | Ok () -> Rsp.Br_ok
+     | Error _ -> Rsp.Br_error 0x0E)
+  | Rsp.B_read_counted { count_addr; data_addr; stride; max_count; reset } ->
+    if stride <= 0 || max_count < 0 then Rsp.Br_error 0x16
+    else
+      (match Board.read_mem t.board ~addr:count_addr ~len:4 with
+       | Error _ -> Rsp.Br_error 0x0E
+       | Ok raw ->
+         let count = Int32.to_int (word_of_le_be t raw) in
+         let n = max 0 (min count max_count) in
+         let data =
+           if n = 0 then Ok ""
+           else Board.read_mem t.board ~addr:data_addr ~len:(n * stride)
+         in
+         (match data with
+          | Error _ -> Rsp.Br_error 0x0E
+          | Ok data ->
+            let resetted =
+              if reset then Board.write_ram t.board ~addr:count_addr (String.make 4 '\x00')
+              else Ok ()
+            in
+            (match resetted with
+             | Ok () -> Rsp.Br_counted { count; data }
+             | Error _ -> Rsp.Br_error 0x0E)))
+  | Rsp.B_monitor cmd ->
+    (match monitor t cmd with
+     | Rsp.Ok_reply -> Rsp.Br_ok
+     | Rsp.Hex_data text -> Rsp.Br_data text
+     | Rsp.Error_reply n -> Rsp.Br_error n
+     | _ -> Rsp.Br_error 0x01)
+
 let execute t (cmd : Rsp.command) : Rsp.reply =
   match cmd with
   | Rsp.Q_supported _ ->
-    Rsp.Supported "PacketSize=4000;swbreak+;vFlashErase+;qRcmd+"
+    Rsp.Supported "PacketSize=4000;swbreak+;vFlashErase+;qRcmd+;vBatch+;X+"
   | Rsp.Read_mem { addr; len } ->
     (match Board.read_mem t.board ~addr ~len with
      | Ok data -> Rsp.Hex_data data
      | Error _ -> Rsp.Error_reply 0x0E)
-  | Rsp.Write_mem { addr; data } ->
+  | Rsp.Write_mem { addr; data } | Rsp.Write_mem_bin { addr; data } ->
     (match Board.write_ram t.board ~addr data with
      | Ok () -> Rsp.Ok_reply
      | Error _ -> Rsp.Error_reply 0x0E)
@@ -125,6 +174,11 @@ let execute t (cmd : Rsp.command) : Rsp.reply =
      with Fault.Trap _ -> Rsp.Error_reply 0x0E)
   | Rsp.Flash_done -> Rsp.Ok_reply
   | Rsp.Monitor cmd -> monitor t cmd
+  | Rsp.Batch ops ->
+    (* Sub-operations run in order; a failing one yields its error slot
+       and execution continues, so the client always gets positionally
+       matched sub-replies. *)
+    Rsp.Raw ("b" ^ Rsp.render_batch_replies (List.map (execute_batch_op t) ops))
   | Rsp.Kill ->
     do_reset t;
     Rsp.Ok_reply

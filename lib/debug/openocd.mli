@@ -23,7 +23,10 @@ val engine : t -> Engine.t
 
 val feed : t -> string -> string
 (** Process raw bytes from the host; return the raw bytes to send back
-    (acks plus reply frames). *)
+    (acks plus reply frames). [vBatch] packets execute their
+    sub-operations in order server-side and return one combined reply
+    frame; [X] packets are binary-escaped memory writes. Both are
+    advertised in the [qSupported] reply ([vBatch+;X+]). *)
 
 val packets_served : t -> int
 

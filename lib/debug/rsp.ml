@@ -83,10 +83,55 @@ module Decoder = struct
     List.rev !events
 end
 
+(* Scan [rawlen] logical (unescaped) bytes of }-escaped data starting at
+   [i]; return the decoded bytes and the index just past the segment.
+   Length-prefixed segments are what make the batch wire format
+   self-delimiting: raw separator bytes inside binary data are harmless
+   because the parser consumes by count, not by delimiter. *)
+let scan_escaped s i rawlen =
+  let n = String.length s in
+  let buf = Buffer.create rawlen in
+  let rec go i k =
+    if k = 0 then Ok (Buffer.contents buf, i)
+    else if i >= n then Error "truncated binary segment"
+    else if s.[i] = '}' then
+      if i + 1 >= n then Error "dangling escape in binary segment"
+      else begin
+        Buffer.add_char buf (Char.chr (Char.code s.[i + 1] lxor 0x20));
+        go (i + 2) (k - 1)
+      end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1) (k - 1)
+    end
+  in
+  go i rawlen
+
+type batch_op =
+  | B_continue
+  | B_read of { addr : int; len : int }
+  | B_write of { addr : int; data : string }
+  | B_read_counted of {
+      count_addr : int;
+      data_addr : int;
+      stride : int;
+      max_count : int;
+      reset : bool;
+    }
+  | B_monitor of string
+
+type batch_reply =
+  | Br_ok
+  | Br_data of string
+  | Br_counted of { count : int; data : string }
+  | Br_stop of string
+  | Br_error of int
+
 type command =
   | Q_supported of string
   | Read_mem of { addr : int; len : int }
   | Write_mem of { addr : int; data : string }
+  | Write_mem_bin of { addr : int; data : string }
   | Insert_breakpoint of int
   | Remove_breakpoint of int
   | Continue
@@ -98,6 +143,7 @@ type command =
   | Flash_done
   | Monitor of string
   | Kill
+  | Batch of batch_op list
 
 let parse_hex_int s =
   if s = "" then Error "empty hex number"
@@ -127,6 +173,160 @@ let parse_breakpoint s =
   | [ "0"; addr; _kind ] -> parse_hex_int addr
   | _ -> Error (Printf.sprintf "unsupported breakpoint spec %S" s)
 
+(* --- batch (vBatch) wire format ---------------------------------------
+
+   Request payload after "vBatch:": sub-operations separated by ';'.
+     c                                   continue (run one quantum)
+     r<addr>,<len>                       read memory
+     w<addr>,<len>:<escaped bytes>       write memory (len = raw length)
+     k<cnt>,<data>,<stride>,<max>,<r|n>  counted read: read u32 at <cnt>,
+                                         clamp to [0,<max>], return that
+                                         many <stride>-byte entries from
+                                         <data>; 'r' resets the counter
+     m<len>:<escaped cmd>                monitor (qRcmd) command
+
+   Reply payload after the leading 'b': one sub-reply per sub-op, in
+   order, separated by ';'.
+     K                        OK
+     E<nn>                    error
+     d<len>:<escaped bytes>   data
+     k<count>,<len>:<escaped> counted data (count = raw counter value)
+     s<len>:<escaped payload> a stop reply (continue result)
+
+   Binary segments are length-prefixed with their *raw* length and use
+   standard }-escaping, so one framed exchange can carry arbitrary
+   binary both ways. *)
+
+let parse_hex_at s i =
+  let n = String.length s in
+  let rec go i acc any =
+    if i < n then
+      match Hex.to_nibble s.[i] with
+      | Some v -> go (i + 1) ((acc lsl 4) lor v) true
+      | None -> if any then Ok (acc, i) else Error "expected hex number"
+    else if any then Ok (acc, i)
+    else Error "expected hex number"
+  in
+  go i 0 false
+
+let expect_char s i c =
+  if i < String.length s && s.[i] = c then Ok (i + 1)
+  else Error (Printf.sprintf "expected '%c' at offset %d" c i)
+
+let render_batch_op = function
+  | B_continue -> "c"
+  | B_read { addr; len } -> Printf.sprintf "r%x,%x" addr len
+  | B_write { addr; data } ->
+    Printf.sprintf "w%x,%x:%s" addr (String.length data) (escape_binary data)
+  | B_read_counted { count_addr; data_addr; stride; max_count; reset } ->
+    Printf.sprintf "k%x,%x,%x,%x,%c" count_addr data_addr stride max_count
+      (if reset then 'r' else 'n')
+  | B_monitor cmd ->
+    Printf.sprintf "m%x:%s" (String.length cmd) (escape_binary cmd)
+
+let render_batch_ops ops = String.concat ";" (List.map render_batch_op ops)
+
+let parse_batch_ops s =
+  let n = String.length s in
+  let rec items i acc =
+    if i >= n then Error "empty batch item"
+    else
+      let* op, i =
+        match s.[i] with
+        | 'c' -> Ok (B_continue, i + 1)
+        | 'r' ->
+          let* addr, i = parse_hex_at s (i + 1) in
+          let* i = expect_char s i ',' in
+          let* len, i = parse_hex_at s i in
+          Ok (B_read { addr; len }, i)
+        | 'w' ->
+          let* addr, i = parse_hex_at s (i + 1) in
+          let* i = expect_char s i ',' in
+          let* len, i = parse_hex_at s i in
+          let* i = expect_char s i ':' in
+          let* data, i = scan_escaped s i len in
+          Ok (B_write { addr; data }, i)
+        | 'k' ->
+          let* count_addr, i = parse_hex_at s (i + 1) in
+          let* i = expect_char s i ',' in
+          let* data_addr, i = parse_hex_at s i in
+          let* i = expect_char s i ',' in
+          let* stride, i = parse_hex_at s i in
+          let* i = expect_char s i ',' in
+          let* max_count, i = parse_hex_at s i in
+          let* i = expect_char s i ',' in
+          let* reset =
+            if i < n && s.[i] = 'r' then Ok true
+            else if i < n && s.[i] = 'n' then Ok false
+            else Error "counted read: expected 'r' or 'n'"
+          in
+          Ok (B_read_counted { count_addr; data_addr; stride; max_count; reset }, i + 1)
+        | 'm' ->
+          let* len, i = parse_hex_at s (i + 1) in
+          let* i = expect_char s i ':' in
+          let* cmd, i = scan_escaped s i len in
+          Ok (B_monitor cmd, i)
+        | c -> Error (Printf.sprintf "unknown batch op '%c'" c)
+      in
+      if i = n then Ok (List.rev (op :: acc))
+      else
+        let* i = expect_char s i ';' in
+        items i (op :: acc)
+  in
+  if n = 0 then Error "empty batch" else items 0 []
+
+let render_batch_reply = function
+  | Br_ok -> "K"
+  | Br_error n -> Printf.sprintf "E%02x" (n land 0xFF)
+  | Br_data data ->
+    Printf.sprintf "d%x:%s" (String.length data) (escape_binary data)
+  | Br_counted { count; data } ->
+    Printf.sprintf "k%x,%x:%s" count (String.length data) (escape_binary data)
+  | Br_stop payload ->
+    Printf.sprintf "s%x:%s" (String.length payload) (escape_binary payload)
+
+let render_batch_replies replies =
+  String.concat ";" (List.map render_batch_reply replies)
+
+let parse_batch_replies s =
+  let n = String.length s in
+  let rec items i acc =
+    if i >= n then Error "empty batch reply item"
+    else
+      let* reply, i =
+        match s.[i] with
+        | 'K' -> Ok (Br_ok, i + 1)
+        | 'E' ->
+          if i + 3 <= n then
+            let* code = parse_hex_int (String.sub s (i + 1) 2) in
+            Ok (Br_error code, i + 3)
+          else Error "truncated error reply"
+        | 'd' ->
+          let* len, i = parse_hex_at s (i + 1) in
+          let* i = expect_char s i ':' in
+          let* data, i = scan_escaped s i len in
+          Ok (Br_data data, i)
+        | 'k' ->
+          let* count, i = parse_hex_at s (i + 1) in
+          let* i = expect_char s i ',' in
+          let* len, i = parse_hex_at s i in
+          let* i = expect_char s i ':' in
+          let* data, i = scan_escaped s i len in
+          Ok (Br_counted { count; data }, i)
+        | 's' ->
+          let* len, i = parse_hex_at s (i + 1) in
+          let* i = expect_char s i ':' in
+          let* payload, i = scan_escaped s i len in
+          Ok (Br_stop payload, i)
+        | c -> Error (Printf.sprintf "unknown batch reply '%c'" c)
+      in
+      if i = n then Ok (List.rev (reply :: acc))
+      else
+        let* i = expect_char s i ';' in
+        items i (reply :: acc)
+  in
+  if n = 0 then Error "empty batch reply" else items 0 []
+
 let parse_command payload =
   if payload = "" then Error "empty packet"
   else
@@ -155,6 +355,16 @@ let parse_command payload =
           | Ok data ->
             if String.length data <> len then Error "M: length mismatch"
             else Ok (Write_mem { addr; data })))
+    | 'X' ->
+      (match split2 ':' rest with
+       | None -> Error "X: missing data"
+       | Some (range, escaped) ->
+         let* addr, len = parse_addr_len range in
+         (match unescape_binary escaped with
+          | Error e -> Error ("X: " ^ e)
+          | Ok data ->
+            if String.length data <> len then Error "X: length mismatch"
+            else Ok (Write_mem_bin { addr; data })))
     | 'Z' ->
       let* addr = parse_breakpoint rest in
       Ok (Insert_breakpoint addr)
@@ -180,6 +390,9 @@ let parse_command payload =
             | Error e -> Error ("vFlashWrite: " ^ e)
             | Ok data -> Ok (Flash_write { addr; data })))
       else if payload = "vFlashDone" then Ok Flash_done
+      else if String.length payload >= 7 && String.sub payload 0 7 = "vBatch:" then
+        let* ops = parse_batch_ops (String.sub payload 7 (String.length payload - 7)) in
+        Ok (Batch ops)
       else Error (Printf.sprintf "unsupported v-packet %S" payload)
     | _ -> Error (Printf.sprintf "unsupported packet %S" payload)
 
@@ -189,6 +402,8 @@ let render_command = function
   | Read_mem { addr; len } -> Printf.sprintf "m%x,%x" addr len
   | Write_mem { addr; data } ->
     Printf.sprintf "M%x,%x:%s" addr (String.length data) (Hex.encode data)
+  | Write_mem_bin { addr; data } ->
+    Printf.sprintf "X%x,%x:%s" addr (String.length data) (escape_binary data)
   | Insert_breakpoint addr -> Printf.sprintf "Z0,%x,2" addr
   | Remove_breakpoint addr -> Printf.sprintf "z0,%x,2" addr
   | Continue -> "c"
@@ -201,6 +416,7 @@ let render_command = function
     Printf.sprintf "vFlashWrite:%x:%s" addr (escape_binary data)
   | Flash_done -> "vFlashDone"
   | Monitor cmd -> "qRcmd," ^ Hex.encode cmd
+  | Batch ops -> "vBatch:" ^ render_batch_ops ops
 
 type stop_info = { signal : int; pc : int; detail : string }
 

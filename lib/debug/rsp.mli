@@ -37,11 +37,53 @@ module Decoder : sig
       buffered. *)
 end
 
+(** One sub-operation of a [vBatch] exchange. A batch carries several
+    read/write/monitor/continue operations in a single framed packet so
+    a whole coverage drain costs one link round trip instead of six. *)
+type batch_op =
+  | B_continue  (** run one continue quantum; sub-reply is the stop *)
+  | B_read of { addr : int; len : int }
+  | B_write of { addr : int; data : string }  (** data raw (unescaped) *)
+  | B_read_counted of {
+      count_addr : int;  (** address of a u32 element counter *)
+      data_addr : int;  (** base of the counted data area *)
+      stride : int;  (** bytes per element *)
+      max_count : int;  (** clamp for the counter *)
+      reset : bool;  (** write 0 back to the counter after reading *)
+    }
+      (** Server-side indirect read: fetch the counter, return
+          [min counter max_count] elements in one reply, optionally
+          resetting the counter — the whole
+          read-index/read-data/reset-index dance of a coverage drain as
+          one sub-operation. *)
+  | B_monitor of string  (** qRcmd text, raw *)
+
+(** One sub-reply, positionally matching the batch's sub-operations. *)
+type batch_reply =
+  | Br_ok
+  | Br_data of string  (** raw bytes (read result or monitor text) *)
+  | Br_counted of { count : int; data : string }
+      (** raw (unclamped) counter value plus the clamped data span *)
+  | Br_stop of string  (** an unparsed stop-reply payload *)
+  | Br_error of int
+
+val render_batch_ops : batch_op list -> string
+(** The [vBatch:] payload body (escaped, self-delimiting). *)
+
+val parse_batch_ops : string -> (batch_op list, string) result
+
+val render_batch_replies : batch_reply list -> string
+
+val parse_batch_replies : string -> (batch_reply list, string) result
+
 (** Host-to-target commands, parsed from packet payloads. *)
 type command =
   | Q_supported of string
   | Read_mem of { addr : int; len : int }
   | Write_mem of { addr : int; data : string }
+  | Write_mem_bin of { addr : int; data : string }
+      (** [X]-packet: binary-escaped payload — half the bytes of the
+          hex [M] packet for the same write *)
   | Insert_breakpoint of int
   | Remove_breakpoint of int
   | Continue
@@ -53,6 +95,7 @@ type command =
   | Flash_done
   | Monitor of string  (** qRcmd, decoded from hex *)
   | Kill
+  | Batch of batch_op list  (** [vBatch:] multi-operation exchange *)
 
 val parse_command : string -> (command, string) result
 (** Parse an unescaped packet payload. *)

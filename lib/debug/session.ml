@@ -15,6 +15,7 @@ type t = {
   pc_reg : int;
   endianness : Arch.endianness;
   mutable requests : int;
+  mutable features : string;  (* the stub's qSupported reply *)
 }
 
 let ( let* ) = Result.bind
@@ -71,18 +72,43 @@ let connect ~transport ~server =
       pc_reg = arch.Arch.pc_register;
       endianness = arch.Arch.endianness;
       requests = 0;
+      features = "";
     }
   in
-  let* reply = request t (Rsp.render_command (Rsp.Q_supported "swbreak+")) in
+  let* reply = request t (Rsp.render_command (Rsp.Q_supported "swbreak+;vBatch+;X+")) in
   match reply with
-  | Rsp.Raw features when features <> "" -> Ok t
+  | Rsp.Raw features when features <> "" ->
+    t.features <- features;
+    Ok t
   | Rsp.Raw _ -> Error (Protocol "empty qSupported reply")
   | _ -> Error (Protocol "unexpected qSupported reply")
+
+let has_feature t name =
+  List.exists (fun f -> String.trim f = name) (String.split_on_char ';' t.features)
+
+let supports_batch t = has_feature t "vBatch+"
 
 let read_mem t ~addr ~len = expect_hex t (Rsp.render_command (Rsp.Read_mem { addr; len }))
 
 let write_mem t ~addr data =
   expect_ok t (Rsp.render_command (Rsp.Write_mem { addr; data }))
+
+let write_mem_bin t ~addr data =
+  expect_ok t (Rsp.render_command (Rsp.Write_mem_bin { addr; data }))
+
+let batch t ops =
+  let* reply = request t (Rsp.render_command (Rsp.Batch ops)) in
+  match reply with
+  | Rsp.Raw s when String.length s >= 1 && s.[0] = 'b' ->
+    (match Rsp.parse_batch_replies (String.sub s 1 (String.length s - 1)) with
+     | Error e -> Error (Protocol ("batch: " ^ e))
+     | Ok replies ->
+       if List.length replies <> List.length ops then
+         Error (Protocol "batch reply count mismatch")
+       else Ok replies)
+  | Rsp.Error_reply n -> Error (Remote n)
+  | Rsp.Raw "" -> Error (Protocol "stub does not support vBatch")
+  | _ -> Error (Protocol "expected batch reply")
 
 let read_u32 t ~addr =
   let* raw = read_mem t ~addr ~len:4 in
@@ -113,6 +139,11 @@ let stop_of_reply = function
   | Rsp.Exited _ -> Ok Target_exited
   | Rsp.Error_reply n -> Error (Remote n)
   | _ -> Error (Protocol "expected stop reply")
+
+let decode_stop t payload =
+  match Rsp.parse_reply ~pc_reg:t.pc_reg payload with
+  | Error e -> Error (Protocol e)
+  | Ok reply -> stop_of_reply reply
 
 let continue_ t =
   let* reply = request t (Rsp.render_command Rsp.Continue) in

@@ -24,6 +24,26 @@ val connect : transport:Transport.t -> server:Openocd.t -> (t, error) result
 val read_mem : t -> addr:int -> len:int -> (string, error) result
 
 val write_mem : t -> addr:int -> string -> (unit, error) result
+(** Hex [M] packet (2 payload bytes per data byte). *)
+
+val write_mem_bin : t -> addr:int -> string -> (unit, error) result
+(** Binary [X] packet (~1 payload byte per data byte): preferred for
+    bulk delivery (program mailbox writes) on stubs that advertise
+    [X+]. *)
+
+val batch : t -> Rsp.batch_op list -> (Rsp.batch_reply list, error) result
+(** One [vBatch] exchange: all sub-operations execute server-side in
+    order, and the sub-replies come back positionally matched in a
+    single framed response. Counts as one request and one transport
+    exchange regardless of how many sub-operations it carries. *)
+
+val supports_batch : t -> bool
+(** Whether the connected stub advertised [vBatch+] — callers fall back
+    to per-request exchanges when false. *)
+
+val decode_stop : t -> string -> (stop, error) result
+(** Interpret a stop-reply payload (e.g. from [Rsp.Br_stop]) exactly as
+    [continue_] would. *)
 
 val read_u32 : t -> addr:int -> (int32, error) result
 (** Convenience word read honouring the target's endianness. *)

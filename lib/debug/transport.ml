@@ -3,15 +3,17 @@ type failure_mode = Up | Down | Flaky of float
 type t = {
   rng : Eof_util.Rng.t;
   byte_latency_us : float;
+  exchange_overhead_us : float;
   mutable mode : failure_mode;
   mutable elapsed_us : float;
   mutable exchanges : int;
   mutable timeouts : int;
 }
 
-let create ?rng ?(byte_latency_us = 1.0) () =
+let create ?rng ?(byte_latency_us = 1.0) ?(exchange_overhead_us = 40.0) () =
   let rng = match rng with Some r -> r | None -> Eof_util.Rng.create 0x7712AB34L in
-  { rng; byte_latency_us; mode = Up; elapsed_us = 0.; exchanges = 0; timeouts = 0 }
+  { rng; byte_latency_us; exchange_overhead_us; mode = Up; elapsed_us = 0.;
+    exchanges = 0; timeouts = 0 }
 
 let set_failure_mode t mode = t.mode <- mode
 
@@ -37,7 +39,9 @@ let exchange t ~server request =
   else begin
     let response = server request in
     let bytes = String.length request + String.length response in
-    t.elapsed_us <- t.elapsed_us +. (float_of_int bytes *. t.byte_latency_us);
+    t.elapsed_us <-
+      t.elapsed_us +. t.exchange_overhead_us
+      +. (float_of_int bytes *. t.byte_latency_us);
     Ok response
   end
 

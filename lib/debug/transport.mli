@@ -13,8 +13,12 @@ type failure_mode = Up | Down | Flaky of float
 
 type t
 
-val create : ?rng:Eof_util.Rng.t -> ?byte_latency_us:float -> unit -> t
-(** Default latency: 1 us/byte (~1 MBaud SWD). *)
+val create :
+  ?rng:Eof_util.Rng.t -> ?byte_latency_us:float -> ?exchange_overhead_us:float ->
+  unit -> t
+(** Default latency: 1 us/byte (~1 MBaud SWD) plus a fixed 40 us per
+    exchange (probe/USB turnaround) — the round-trip cost that makes
+    batched exchanges pay, charged identically to every client. *)
 
 val set_failure_mode : t -> failure_mode -> unit
 

@@ -705,3 +705,102 @@ let suite =
   suite
   @ [ Alcotest.test_case "staged device needs cmp guidance" `Slow
         test_statemach_solvable_by_eof_only ]
+
+(* --- batched vs unbatched debug link --------------------------------- *)
+
+module Dsession = Eof_debug.Session
+module Transport = Eof_debug.Transport
+
+let run_linked ~batch_link ~iterations ~seed =
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let transport = Transport.create () in
+  let machine =
+    match Eof_agent.Machine.create ~transport build with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let config = { Campaign.default_config with iterations; seed; batch_link } in
+  match Campaign.run ~machine config build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    ( o,
+      Transport.exchanges transport,
+      Dsession.requests (Eof_agent.Machine.session machine),
+      Transport.elapsed_us transport )
+
+let test_batched_equals_unbatched () =
+  (* The tentpole invariant: batching changes link traffic, not fuzzing
+     behaviour. Same seed, bit-identical coverage and crashes. *)
+  let ob, exb, rqb, elb = run_linked ~batch_link:true ~iterations:120 ~seed:11L in
+  let ou, exu, rqu, elu = run_linked ~batch_link:false ~iterations:120 ~seed:11L in
+  Alcotest.(check int) "same coverage" ou.Campaign.coverage ob.Campaign.coverage;
+  Alcotest.(check bool) "same coverage bitmap" true
+    (Eof_util.Bitset.to_list ou.Campaign.coverage_bitmap
+    = Eof_util.Bitset.to_list ob.Campaign.coverage_bitmap);
+  Alcotest.(check int) "same executed programs" ou.Campaign.executed_programs
+    ob.Campaign.executed_programs;
+  Alcotest.(check int) "same crash events" ou.Campaign.crash_events ob.Campaign.crash_events;
+  Alcotest.(check bool) "same deduplicated crashes" true
+    (ou.Campaign.crashes = ob.Campaign.crashes);
+  Alcotest.(check int) "same iterations" ou.Campaign.iterations_done ob.Campaign.iterations_done;
+  (* And the link got dramatically quieter: the acceptance bar is >= 3x
+     fewer exchanges and requests for the same campaign. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "exchanges drop >=3x (%d -> %d)" exu exb)
+    true
+    (exu >= 3 * exb);
+  Alcotest.(check bool)
+    (Printf.sprintf "requests drop >=3x (%d -> %d)" rqu rqb)
+    true
+    (rqu >= 3 * rqb);
+  Alcotest.(check bool)
+    (Printf.sprintf "link time drops (%.0fus -> %.0fus)" elu elb)
+    true
+    (elb < elu)
+
+let test_batched_flaky_deterministic () =
+  (* Cross-mode equality is impossible under a flaky link (the two modes
+     make different numbers of exchanges, so the loss pattern differs),
+     but a batched campaign over a lossy link must still be deterministic
+     and must survive to the end of its budget. *)
+  let run () =
+    let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+    let transport = Transport.create ~rng:(Eof_util.Rng.create 0xF1AA7L) () in
+    let machine =
+      match Eof_agent.Machine.create ~transport build with
+      | Ok m -> m
+      | Error e -> Alcotest.fail e
+    in
+    (* Same loss rate as the tier-1 survival test above: a board
+       re-flash is dozens of exchanges, so loss rates much past 1%
+       compound into unrecoverable restore failures in either link
+       mode — that regime is out of scope here. *)
+    Transport.set_failure_mode transport (Transport.Flaky 0.01);
+    let config =
+      { Campaign.default_config with iterations = 100; seed = 5L; batch_link = true }
+    in
+    match Campaign.run ~machine config build with
+    | Error e -> Alcotest.fail e
+    | Ok o ->
+      ( o.Campaign.coverage,
+        o.Campaign.crash_events,
+        o.Campaign.executed_programs,
+        o.Campaign.timeouts,
+        o.Campaign.iterations_done,
+        Eof_util.Bitset.to_list o.Campaign.coverage_bitmap )
+  in
+  let (c1, ce1, ex1, to1, it1, bm1) = run () in
+  let (c2, ce2, ex2, to2, it2, bm2) = run () in
+  Alcotest.(check bool) "flaky batched run is deterministic" true
+    ((c1, ce1, ex1, to1, it1) = (c2, ce2, ex2, to2, it2) && bm1 = bm2);
+  Alcotest.(check int) "ran to budget" 100 it1;
+  Alcotest.(check bool) "losses actually happened" true (to1 > 0);
+  Alcotest.(check bool) "still found coverage" true (c1 > 0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "batched equals unbatched" `Quick test_batched_equals_unbatched;
+      Alcotest.test_case "batched flaky deterministic" `Quick
+        test_batched_flaky_deterministic;
+    ]

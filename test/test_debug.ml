@@ -313,3 +313,260 @@ let suite =
   suite
   @ [ Alcotest.test_case "read_pc across architectures" `Quick
         test_read_pc_across_architectures ]
+
+(* --- batched debug link: X packets, vBatch, Covlink ------------------ *)
+
+let test_x_packet_roundtrip () =
+  List.iter
+    (fun data ->
+      let cmd = Rsp.Write_mem_bin { addr = 0x20000100; data } in
+      match Rsp.parse_command (Rsp.render_command cmd) with
+      | Ok cmd' -> Alcotest.(check bool) "roundtrip" true (cmd = cmd')
+      | Error e -> Alcotest.fail e)
+    [ ""; "}$#*"; "\x00\x01\xFF}}x"; String.init 256 Char.chr ]
+
+let test_x_packet_writes_memory () =
+  let board, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  let ram_base = (Board.profile board).Board.ram_base in
+  let payload = "}$#*\x00\xFFbin" in
+  (match Session.write_mem_bin s ~addr:ram_base payload with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.read_mem s ~addr:ram_base ~len:(String.length payload) with
+   | Ok data -> Alcotest.(check string) "binary write landed" payload data
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (* An X write never costs more wire bytes than the hex M write of the
+     same data: that is the point of the packet. *)
+  Alcotest.(check bool) "x shorter than m" true
+    (String.length (Rsp.render_command (Rsp.Write_mem_bin { addr = ram_base; data = payload }))
+     < String.length (Rsp.render_command (Rsp.Write_mem { addr = ram_base; data = payload })))
+
+let test_batch_codec_samples () =
+  (* Binary data containing the wire separators ';' ':' ',' and the RSP
+     specials must survive: segments are length-prefixed, not delimited. *)
+  let ops =
+    [
+      Rsp.B_continue;
+      Rsp.B_read { addr = 0x20000000; len = 0x40 };
+      Rsp.B_write { addr = 0x20000100; data = ";:,}$#*\x00\xFF" };
+      Rsp.B_read_counted
+        { count_addr = 0x20000200; data_addr = 0x20000204; stride = 4;
+          max_count = 2048; reset = true };
+      Rsp.B_read_counted
+        { count_addr = 0x20002204; data_addr = 0x20002208; stride = 8;
+          max_count = 1024; reset = false };
+      Rsp.B_monitor "uart";
+    ]
+  in
+  (match Rsp.parse_batch_ops (Rsp.render_batch_ops ops) with
+   | Ok ops' -> Alcotest.(check bool) "ops roundtrip" true (ops = ops')
+   | Error e -> Alcotest.fail e);
+  let replies =
+    [
+      Rsp.Br_ok;
+      Rsp.Br_error 0x0E;
+      Rsp.Br_data ";:}$#*\x01";
+      Rsp.Br_counted { count = 4096; data = String.make 16 ';' };
+      Rsp.Br_stop "T05f:00400608;swbreak:;";
+    ]
+  in
+  (match Rsp.parse_batch_replies (Rsp.render_batch_replies replies) with
+   | Ok r' -> Alcotest.(check bool) "replies roundtrip" true (replies = r')
+   | Error e -> Alcotest.fail e);
+  (* The whole command survives the command layer too. *)
+  match Rsp.parse_command (Rsp.render_command (Rsp.Batch ops)) with
+  | Ok (Rsp.Batch ops') -> Alcotest.(check bool) "command roundtrip" true (ops = ops')
+  | Ok _ -> Alcotest.fail "parsed as wrong command"
+  | Error e -> Alcotest.fail e
+
+let prop_batch_ops_roundtrip =
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return Rsp.B_continue;
+          map2
+            (fun a l -> Rsp.B_read { addr = a land 0xFFFFFFF; len = l land 0xFFFF })
+            nat nat;
+          map2
+            (fun a (d : string) -> Rsp.B_write { addr = a land 0xFFFFFFF; data = d })
+            nat (string_size (0 -- 24));
+          map
+            (fun (ca, da, st, mx, r) ->
+              Rsp.B_read_counted
+                { count_addr = ca land 0xFFFFFFF; data_addr = da land 0xFFFFFFF;
+                  stride = 1 + (st land 7); max_count = mx land 0xFFFF; reset = r })
+            (tup5 nat nat nat nat bool);
+          map (fun s -> Rsp.B_monitor s) (string_size (0 -- 16));
+        ])
+  in
+  QCheck.Test.make ~name:"vBatch ops roundtrip (generated)" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (1 -- 6) op_gen))
+    (fun ops ->
+      match Rsp.parse_batch_ops (Rsp.render_batch_ops ops) with
+      | Ok ops' -> ops = ops'
+      | Error _ -> false)
+
+let prop_batch_replies_roundtrip =
+  let reply_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return Rsp.Br_ok;
+          map (fun n -> Rsp.Br_error (n land 0xFF)) nat;
+          map (fun s -> Rsp.Br_data s) (string_size (0 -- 24));
+          map2
+            (fun c (d : string) -> Rsp.Br_counted { count = c land 0xFFFFF; data = d })
+            nat (string_size (0 -- 24));
+          map (fun s -> Rsp.Br_stop s) (string_size (0 -- 24));
+        ])
+  in
+  QCheck.Test.make ~name:"vBatch replies roundtrip (generated)" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (1 -- 6) reply_gen))
+    (fun replies ->
+      match Rsp.parse_batch_replies (Rsp.render_batch_replies replies) with
+      | Ok r' -> replies = r'
+      | Error _ -> false)
+
+let test_vbatch_over_server () =
+  let board, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  Alcotest.(check bool) "stub advertises vBatch" true (Session.supports_batch s);
+  let ram_base = (Board.profile board).Board.ram_base in
+  let count_addr = ram_base + 0x100 in
+  let data_addr = ram_base + 0x104 in
+  (* Seed a counter of 3 and 5 stride-4 elements; the counted read must
+     clamp to the counter, not the max. *)
+  (match Session.write_u32 s ~addr:count_addr 3l with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.write_mem s ~addr:data_addr "AAAABBBBCCCCDDDDEEEE" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  let before = Transport.exchanges transport in
+  let ops =
+    [
+      Rsp.B_write { addr = ram_base; data = ";bin}$#" };
+      Rsp.B_read { addr = ram_base; len = 7 };
+      Rsp.B_read_counted
+        { count_addr; data_addr; stride = 4; max_count = 16; reset = true };
+      Rsp.B_monitor "cycles";
+      Rsp.B_read { addr = 0x1; len = 4 };  (* unmapped: an error slot *)
+    ]
+  in
+  (match Session.batch s ops with
+   | Error e -> Alcotest.fail (Session.error_to_string e)
+   | Ok [ w; r; k; m; bad ] ->
+     Alcotest.(check bool) "write ok" true (w = Rsp.Br_ok);
+     Alcotest.(check bool) "read echoes" true (r = Rsp.Br_data ";bin}$#");
+     (match k with
+      | Rsp.Br_counted { count; data } ->
+        Alcotest.(check int) "raw counter" 3 count;
+        Alcotest.(check string) "clamped data" "AAAABBBBCCCC" data
+      | _ -> Alcotest.fail "expected counted reply");
+     (match m with
+      | Rsp.Br_data text ->
+        Alcotest.(check bool) "cycles decimal" true (int_of_string_opt text <> None)
+      | _ -> Alcotest.fail "expected monitor text");
+     (match bad with
+      | Rsp.Br_error _ -> ()
+      | _ -> Alcotest.fail "unmapped read must yield an error slot")
+   | Ok _ -> Alcotest.fail "wrong reply arity");
+  Alcotest.(check int) "five ops, one exchange" 1 (Transport.exchanges transport - before);
+  (* reset=true must have zeroed the counter server-side. *)
+  match Session.read_u32 s ~addr:count_addr with
+  | Ok v -> Alcotest.(check int32) "counter reset" 0l v
+  | Error e -> Alcotest.fail (Session.error_to_string e)
+
+let test_counted_read_big_endian () =
+  (* All stock profiles are little-endian; a counted read must decode the
+     counter with the target's byte order, so exercise a big-endian one. *)
+  let profile = { Profiles.stm32f4_disco with Board.name = "be-test"; arch = Arch.powerpc } in
+  let board = Board.create profile in
+  let engine =
+    Engine.create ~board ~fault_vector:(profile.Board.flash_base + 0xF00)
+      ~entry:(fun () -> Target.site (profile.Board.flash_base + 0x100))
+  in
+  let server = Openocd.create ~board ~engine () in
+  let transport = Transport.create () in
+  let s = connect_exn (server, transport) in
+  let count_addr = profile.Board.ram_base + 0x40 in
+  let data_addr = profile.Board.ram_base + 0x44 in
+  (match Session.write_u32 s ~addr:count_addr 2l with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  (match Session.write_mem s ~addr:data_addr "12345678" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Session.error_to_string e));
+  match
+    Session.batch s
+      [ Rsp.B_read_counted { count_addr; data_addr; stride = 4; max_count = 8; reset = false } ]
+  with
+  | Ok [ Rsp.Br_counted { count; data } ] ->
+    Alcotest.(check int) "be counter" 2 count;
+    Alcotest.(check string) "be data" "12345678" data
+  | Ok _ -> Alcotest.fail "expected one counted reply"
+  | Error e -> Alcotest.fail (Session.error_to_string e)
+
+let test_covlink_continue_and_drain () =
+  let board, _, server, transport = make_machine () in
+  let s = connect_exn (server, transport) in
+  let profile = Board.profile board in
+  let ram_base = profile.Board.ram_base in
+  let layout = { Eof_cov.Sancov.Layout.base = ram_base + 0x800; capacity_records = 8 } in
+  let module L = Eof_cov.Sancov.Layout in
+  (* Pre-populate the coverage area the way target-side hooks would. *)
+  let le32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Bytes.to_string b
+  in
+  let ok = function Ok x -> x | Error e -> Alcotest.fail (Session.error_to_string e) in
+  ok (Session.write_mem s ~addr:(L.write_index_addr layout) (le32 3));
+  ok (Session.write_mem s ~addr:(L.records_addr layout) (le32 10 ^ le32 20 ^ le32 30));
+  ok (Session.write_mem s ~addr:(L.cmp_count_addr layout) (le32 2));
+  ok (Session.write_mem s ~addr:(L.cmp_ring_addr layout)
+        (le32 5 ^ le32 9 ^ le32 700 ^ le32 7));
+  let cl = Covlink.create ~session:s ~layout in
+  ok (Session.set_breakpoint s (profile.Board.flash_base + 0x104));
+  let before = Transport.exchanges transport in
+  (match Covlink.continue_and_drain cl ~want_cmp:true with
+   | Error e -> Alcotest.fail (Session.error_to_string e)
+   | Ok (stop, d) ->
+     (match stop with
+      | Session.Stopped_breakpoint pc ->
+        Alcotest.(check int) "stop pc" (profile.Board.flash_base + 0x104) pc
+      | _ -> Alcotest.fail "expected breakpoint stop");
+     Alcotest.(check int) "records drained" 3 d.Covlink.n_records;
+     Alcotest.(check bool) "records decode" true
+       (Eof_cov.Sancov.decode_records ~endianness:Arch.Little ~count:3
+          d.Covlink.records_raw
+        = [ 10; 20; 30 ]);
+     Alcotest.(check int) "cmp pairs drained" 2 d.Covlink.n_cmp;
+     Alcotest.(check bool) "cmp decode" true
+       (Eof_cov.Sancov.decode_cmp_ring ~endianness:Arch.Little ~count:2 d.Covlink.cmp_raw
+        = [ (5l, 9l); (700l, 7l) ]);
+     Alcotest.(check string) "uart fused into drain" "hello from target\n" d.Covlink.log);
+  Alcotest.(check int) "continue+full drain = one exchange" 1
+    (Transport.exchanges transport - before);
+  (* Both counters were reset; a second drain comes back empty. *)
+  match Covlink.drain cl ~want_cmp:true with
+  | Error e -> Alcotest.fail (Session.error_to_string e)
+  | Ok d ->
+    Alcotest.(check int) "no records left" 0 d.Covlink.n_records;
+    Alcotest.(check int) "no cmp left" 0 d.Covlink.n_cmp;
+    Alcotest.(check string) "no log left" "" d.Covlink.log
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "x packet roundtrip" `Quick test_x_packet_roundtrip;
+      Alcotest.test_case "x packet writes memory" `Quick test_x_packet_writes_memory;
+      Alcotest.test_case "batch codec samples" `Quick test_batch_codec_samples;
+      QCheck_alcotest.to_alcotest prop_batch_ops_roundtrip;
+      QCheck_alcotest.to_alcotest prop_batch_replies_roundtrip;
+      Alcotest.test_case "vbatch over server" `Quick test_vbatch_over_server;
+      Alcotest.test_case "counted read big-endian" `Quick test_counted_read_big_endian;
+      Alcotest.test_case "covlink continue+drain" `Quick test_covlink_continue_and_drain;
+    ]
