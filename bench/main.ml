@@ -286,6 +286,27 @@ let run_link_comparison () =
      else "DIVERGED (bug!)");
   (unbatched, batched)
 
+(* --- board-farm scaling ------------------------------------------------- *)
+
+let run_scaling () =
+  section "Board-farm scaling: one campaign budget across 1/2/4/8 boards";
+  let iterations = Runner.scaled 1200 in
+  Printf.printf
+    "[Zephyr campaign, seed 11, %d payloads total per point, Domain backend...]\n%!"
+    iterations;
+  let points = Scaling.run ~iterations () in
+  if points = [] then failwith "scaling experiment produced no points";
+  print_endline (Scaling.render points);
+  (match
+     List.find_opt (fun (p : Scaling.point) -> p.Scaling.boards = 4) points
+   with
+   | Some p ->
+     Printf.printf "[throughput at 4 boards: %.2fx of 1 board%s]\n"
+       p.Scaling.speedup
+       (if p.Scaling.speedup >= 2.5 then "" else " — BELOW the 2.5x target")
+   | None -> ());
+  (iterations, points)
+
 (* --- machine-readable results ------------------------------------------ *)
 
 let json_escape s =
@@ -301,42 +322,86 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~micro ~link path =
-  let unbatched, batched = link in
+(* Every section is optional: a failed stage becomes a JSON null, never
+   a missing BENCH.json. *)
+let write_bench_json ~micro ~link ~scaling path =
   let b = Buffer.create 2048 in
-  Buffer.add_string b "{\n  \"micro_ns_per_run\": {\n";
-  List.iteri
-    (fun i (name, ns) ->
-      Buffer.add_string b
-        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
-           (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
-           (if i < List.length micro - 1 then "," else "")))
-    micro;
-  Buffer.add_string b "  },\n  \"debug_link\": {\n";
-  let stats s =
-    Printf.sprintf
-      "{ \"exchanges\": %d, \"requests\": %d, \"elapsed_us\": %.0f, \"coverage\": %d, \"crash_events\": %d }"
-      s.exchanges s.requests s.elapsed_us s.coverage s.crash_events
-  in
-  Buffer.add_string b (Printf.sprintf "    \"unbatched\": %s,\n" (stats unbatched));
-  Buffer.add_string b (Printf.sprintf "    \"batched\": %s,\n" (stats batched));
-  Buffer.add_string b
-    (Printf.sprintf "    \"exchange_reduction\": %.3f,\n"
-       (float_of_int unbatched.exchanges /. float_of_int batched.exchanges));
-  Buffer.add_string b
-    (Printf.sprintf "    \"link_time_reduction\": %.3f,\n"
-       (unbatched.elapsed_us /. batched.elapsed_us));
-  Buffer.add_string b
-    (Printf.sprintf "    \"outcomes_identical\": %b\n"
-       (unbatched.coverage = batched.coverage
-       && unbatched.crash_events = batched.crash_events));
-  Buffer.add_string b "  }\n}\n";
+  Buffer.add_string b "{\n  \"micro_ns_per_run\": ";
+  (match micro with
+  | None -> Buffer.add_string b "null"
+  | Some micro ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Buffer.add_string b
+          (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+             (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+             (if i < List.length micro - 1 then "," else "")))
+      micro;
+    Buffer.add_string b "  }");
+  Buffer.add_string b ",\n  \"debug_link\": ";
+  (match link with
+  | None -> Buffer.add_string b "null"
+  | Some (unbatched, batched) ->
+    Buffer.add_string b "{\n";
+    let stats s =
+      Printf.sprintf
+        "{ \"exchanges\": %d, \"requests\": %d, \"elapsed_us\": %.0f, \"coverage\": %d, \"crash_events\": %d }"
+        s.exchanges s.requests s.elapsed_us s.coverage s.crash_events
+    in
+    Buffer.add_string b (Printf.sprintf "    \"unbatched\": %s,\n" (stats unbatched));
+    Buffer.add_string b (Printf.sprintf "    \"batched\": %s,\n" (stats batched));
+    Buffer.add_string b
+      (Printf.sprintf "    \"exchange_reduction\": %.3f,\n"
+         (float_of_int unbatched.exchanges /. float_of_int batched.exchanges));
+    Buffer.add_string b
+      (Printf.sprintf "    \"link_time_reduction\": %.3f,\n"
+         (unbatched.elapsed_us /. batched.elapsed_us));
+    Buffer.add_string b
+      (Printf.sprintf "    \"outcomes_identical\": %b\n"
+         (unbatched.coverage = batched.coverage
+         && unbatched.crash_events = batched.crash_events));
+    Buffer.add_string b "  }");
+  Buffer.add_string b ",\n  \"farm_scaling\": ";
+  (match scaling with
+  | None -> Buffer.add_string b "null"
+  | Some (iterations, points) ->
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"backend\": \"domains\",\n    \"iterations\": %d,\n    \"series\": [\n"
+         iterations);
+    let n = List.length points in
+    List.iteri
+      (fun i (p : Scaling.point) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "      { \"boards\": %d, \"payloads\": %d, \"coverage\": %d, \"virtual_s\": %.3f, \"wall_s\": %.3f, \"throughput_per_virtual_s\": %.2f, \"speedup\": %.3f, \"time_to_cov_s\": %s, \"crashes\": %d }%s\n"
+             p.Scaling.boards p.Scaling.payloads p.Scaling.coverage
+             p.Scaling.virtual_s p.Scaling.wall_s p.Scaling.throughput
+             p.Scaling.speedup
+             (match p.Scaling.time_to_cov with
+             | Some t -> Printf.sprintf "%.3f" t
+             | None -> "null")
+             p.Scaling.crashes
+             (if i < n - 1 then "," else "")))
+      points;
+    Buffer.add_string b "    ]\n  }");
+  Buffer.add_string b "\n}\n";
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents b));
   Printf.printf "[machine-readable results written to %s]\n" path
 
+(* A stage that dies prints why and yields None; the run keeps going and
+   BENCH.json is written regardless of which stages survived. *)
+let guarded name f =
+  try Some (f ())
+  with e ->
+    Printf.printf "\n[%s stage failed: %s]\n%!" name (Printexc.to_string e);
+    None
+
 let () =
-  run_artifacts ();
-  let link = run_link_comparison () in
-  let micro = run_micro () in
-  write_bench_json ~micro ~link "BENCH.json"
+  ignore (guarded "artifact" run_artifacts : unit option);
+  let scaling = guarded "farm-scaling" run_scaling in
+  let link = guarded "debug-link" run_link_comparison in
+  let micro = guarded "micro-benchmark" run_micro in
+  write_bench_json ~micro ~link ~scaling "BENCH.json"

@@ -31,20 +31,64 @@ let target_of os =
 
 (* --- eof fuzz ---------------------------------------------------------- *)
 
-let fuzz os seed iterations no_feedback no_dep no_watchdog irq verbose crash_dir
-    save_corpus load_corpus =
-  match target_of os with
-  | Error e ->
+(* A wall-clock-free fingerprint of a campaign's observable results:
+   identical bits in, identical line out. CI reruns a farm campaign and
+   diffs this line to catch scheduling nondeterminism. *)
+let digest_line ~label ~coverage ~bitmap ~corpus ~crashes ~crash_events ~executed
+    ~iterations_done =
+  let b = Buffer.create 4096 in
+  List.iter (fun bit -> Buffer.add_string b (string_of_int bit ^ ",")) (Eof_util.Bitset.to_list bitmap);
+  Buffer.add_char b '|';
+  List.iter
+    (fun p -> Buffer.add_string b (string_of_int (Eof_core.Prog.hash p) ^ ","))
+    corpus;
+  Buffer.add_char b '|';
+  List.iter (fun c -> Buffer.add_string b (Crash.dedup_key c ^ ",")) crashes;
+  Buffer.add_string b
+    (Printf.sprintf "|%d|%d|%d|%d" coverage crash_events executed iterations_done);
+  Printf.sprintf
+    "digest %s coverage=%d crashes=%d crash_events=%d executed=%d iterations=%d corpus=%d crc=%08lx"
+    label coverage (List.length crashes) crash_events executed iterations_done
+    (List.length corpus)
+    (Eof_util.Crc32.digest_string (Buffer.contents b))
+
+let campaign_digest (o : Campaign.outcome) =
+  digest_line ~label:"campaign" ~coverage:o.Campaign.coverage
+    ~bitmap:o.Campaign.coverage_bitmap ~corpus:o.Campaign.final_corpus
+    ~crashes:o.Campaign.crashes ~crash_events:o.Campaign.crash_events
+    ~executed:o.Campaign.executed_programs ~iterations_done:o.Campaign.iterations_done
+
+let farm_digest (o : Eof_core.Farm.outcome) =
+  let module Farm = Eof_core.Farm in
+  digest_line
+    ~label:
+      (Printf.sprintf "farm boards=%d backend=%s" o.Farm.boards
+         (Farm.backend_name o.Farm.backend))
+    ~coverage:o.Farm.coverage ~bitmap:o.Farm.coverage_bitmap
+    ~corpus:o.Farm.final_corpus ~crashes:o.Farm.crashes
+    ~crash_events:o.Farm.crash_events ~executed:o.Farm.executed_programs
+    ~iterations_done:o.Farm.iterations_done
+
+let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
+    no_dep no_watchdog irq verbose crash_dir save_corpus load_corpus =
+  match (target_of os, Eof_core.Farm.backend_of_name farm_backend) with
+  | Error e, _ | _, Error e ->
     prerr_endline e;
     1
-  | Ok target ->
+  | Ok target, Ok backend ->
     let build = Targets.build_hw target in
     let profile = Eof_hw.Board.profile (Eof_os.Osbuild.board build) in
-    Printf.printf "Fuzzing %s %s on %s over its %s debug port (%d payloads, seed %d)\n%!"
-      (Eof_os.Osbuild.os_name build) (Eof_os.Osbuild.version build)
-      profile.Eof_hw.Board.name
-      (Eof_hw.Board.debug_port_name profile.Eof_hw.Board.debug_port)
-      iterations seed;
+    if not digest then
+      Printf.printf
+        "Fuzzing %s %s on %s over its %s debug port (%d payloads, seed %d%s)\n%!"
+        (Eof_os.Osbuild.os_name build) (Eof_os.Osbuild.version build)
+        profile.Eof_hw.Board.name
+        (Eof_hw.Board.debug_port_name profile.Eof_hw.Board.debug_port)
+        iterations seed
+        (if boards = 1 then ""
+         else
+           Printf.sprintf ", %d boards, %s backend" boards
+             (Eof_core.Farm.backend_name backend));
     let table = Eof_os.Osbuild.api_signatures build in
     let initial_seeds =
       match load_corpus with
@@ -55,8 +99,9 @@ let fuzz os seed iterations no_feedback no_dep no_watchdog irq verbose crash_dir
          | Ok spec ->
            (match Eof_core.Corpus_io.load ~path ~spec ~table with
             | Ok (progs, skipped) ->
-              Printf.printf "loaded %d corpus seeds from %s (%d stale entries skipped)\n"
-                (List.length progs) path skipped;
+              if not digest then
+                Printf.printf "loaded %d corpus seeds from %s (%d stale entries skipped)\n"
+                  (List.length progs) path skipped;
               progs
             | Error e ->
               prerr_endline ("could not load corpus: " ^ e);
@@ -74,49 +119,108 @@ let fuzz os seed iterations no_feedback no_dep no_watchdog irq verbose crash_dir
         initial_seeds;
       }
     in
-    (match Campaign.run config build with
-     | Error e ->
-       prerr_endline ("campaign failed: " ^ e);
-       1
-     | Ok o ->
-       Printf.printf
-         "\ncoverage: %d branches | executed: %d | corpus: %d | resets: %d | reflashes: %d\n"
-         o.Campaign.coverage o.Campaign.executed_programs o.Campaign.corpus_size
-         o.Campaign.resets o.Campaign.reflashes;
-       Printf.printf "crashes: %d distinct (%d events)\n\n"
-         (List.length o.Campaign.crashes)
-         o.Campaign.crash_events;
-       List.iter
-         (fun crash ->
-           print_endline ("  " ^ Crash.summary crash);
-           (match Targets.match_bug crash with
-            | Some bug ->
-              Printf.printf "    -> Table 2 bug #%d (%s)\n" bug.Targets.id
-                bug.Targets.operation
-            | None -> ());
-           if verbose then begin
-             print_endline "    triggering program:";
-             String.split_on_char '\n' crash.Crash.program
-             |> List.iter (fun l -> print_endline ("      " ^ l))
-           end)
-         o.Campaign.crashes;
-       (match crash_dir with
-        | None -> ()
-        | Some dir ->
-          (match Eof_core.Report.save_crashes ~dir o.Campaign.crashes with
-           | Ok paths -> Printf.printf "\nwrote %d crash reports under %s\n" (List.length paths) dir
-           | Error e -> prerr_endline ("could not write crash reports: " ^ e)));
-       (match save_corpus with
-        | None -> ()
-        | Some path ->
-          (match Eof_core.Corpus_io.save ~path o.Campaign.final_corpus with
-           | Ok () ->
-             Printf.printf "saved %d corpus seeds to %s\n"
-               (List.length o.Campaign.final_corpus) path
-           | Error e -> prerr_endline ("could not save corpus: " ^ e)));
-       0)
+    let print_crashes crashes crash_events =
+      Printf.printf "crashes: %d distinct (%d events)\n\n" (List.length crashes)
+        crash_events;
+      List.iter
+        (fun crash ->
+          print_endline ("  " ^ Crash.summary crash);
+          (match Targets.match_bug crash with
+           | Some bug ->
+             Printf.printf "    -> Table 2 bug #%d (%s)\n" bug.Targets.id
+               bug.Targets.operation
+           | None -> ());
+          if verbose then begin
+            print_endline "    triggering program:";
+            String.split_on_char '\n' crash.Crash.program
+            |> List.iter (fun l -> print_endline ("      " ^ l))
+          end)
+        crashes
+    in
+    let save_outputs crashes final_corpus =
+      (match crash_dir with
+       | None -> ()
+       | Some dir ->
+         (match Eof_core.Report.save_crashes ~dir crashes with
+          | Ok paths ->
+            Printf.printf "\nwrote %d crash reports under %s\n" (List.length paths) dir
+          | Error e -> prerr_endline ("could not write crash reports: " ^ e)));
+      match save_corpus with
+      | None -> ()
+      | Some path ->
+        (match Eof_core.Corpus_io.save ~path final_corpus with
+         | Ok () ->
+           Printf.printf "saved %d corpus seeds to %s\n" (List.length final_corpus) path
+         | Error e -> prerr_endline ("could not save corpus: " ^ e))
+    in
+    if boards = 1 then (
+      match Campaign.run config build with
+      | Error e ->
+        prerr_endline ("campaign failed: " ^ e);
+        1
+      | Ok o ->
+        if digest then (
+          print_endline (campaign_digest o);
+          0)
+        else begin
+          Printf.printf
+            "\ncoverage: %d branches | executed: %d | corpus: %d | resets: %d | reflashes: %d\n"
+            o.Campaign.coverage o.Campaign.executed_programs o.Campaign.corpus_size
+            o.Campaign.resets o.Campaign.reflashes;
+          print_crashes o.Campaign.crashes o.Campaign.crash_events;
+          save_outputs o.Campaign.crashes o.Campaign.final_corpus;
+          0
+        end)
+    else begin
+      let module Farm = Eof_core.Farm in
+      let farm_config = { Farm.boards; sync_every; backend; base = config } in
+      match Farm.run farm_config (fun _board -> Targets.build_hw target) with
+      | Error e ->
+        prerr_endline ("farm campaign failed: " ^ e);
+        1
+      | Ok o ->
+        if digest then (
+          print_endline (farm_digest o);
+          0)
+        else begin
+          Array.iteri
+            (fun i (b : Campaign.outcome) ->
+              Printf.printf
+                "board %d: coverage %d | executed %d | crashes %d | board clock %.2f s\n"
+                i b.Campaign.coverage b.Campaign.executed_programs
+                (List.length b.Campaign.crashes) b.Campaign.virtual_s)
+            o.Farm.per_board;
+          Printf.printf
+            "\nglobal coverage: %d branches | executed: %d | corpus: %d | syncs: %d | farm clock: %.2f s\n"
+            o.Farm.coverage o.Farm.executed_programs o.Farm.corpus_size o.Farm.syncs
+            o.Farm.virtual_s;
+          print_crashes o.Farm.crashes o.Farm.crash_events;
+          save_outputs o.Farm.crashes o.Farm.final_corpus;
+          0
+        end
+    end
 
 let fuzz_cmd =
+  let boards =
+    Arg.(value & opt int 1
+         & info [ "boards" ] ~docv:"N"
+             ~doc:"Shard the campaign across $(docv) boards (a board farm).")
+  in
+  let sync_every =
+    Arg.(value & opt int 25
+         & info [ "sync-every" ] ~docv:"K"
+             ~doc:"Merge corpus/coverage across boards every $(docv) payloads.")
+  in
+  let farm_backend =
+    Arg.(value & opt string "cooperative"
+         & info [ "farm-backend" ] ~docv:"BACKEND"
+             ~doc:"Farm scheduler: $(b,cooperative) (deterministic) or $(b,domains) (one OCaml domain per board).")
+  in
+  let digest =
+    Arg.(value & flag
+         & info [ "digest" ]
+             ~doc:"Print only a deterministic one-line fingerprint of the results (no wall times); rerunning the same command must print the same line.")
+  in
   let no_feedback =
     Arg.(value & flag & info [ "no-feedback" ] ~doc:"Disable coverage feedback (EOF-nf).")
   in
@@ -147,8 +251,9 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run an EOF campaign against a simulated board")
     Term.(
-      const fuzz $ os_arg $ seed_arg $ iterations_arg $ no_feedback $ no_dep $ no_watchdog
-      $ irq $ verbose $ crash_dir $ save_corpus $ load_corpus)
+      const fuzz $ os_arg $ seed_arg $ iterations_arg $ boards $ sync_every
+      $ farm_backend $ digest $ no_feedback $ no_dep $ no_watchdog $ irq $ verbose
+      $ crash_dir $ save_corpus $ load_corpus)
 
 (* --- eof spec ----------------------------------------------------------- *)
 

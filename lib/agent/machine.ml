@@ -24,6 +24,20 @@ let create ?(continue_quantum = 200_000) ?transport build =
   | Ok session -> Ok { build; engine; server; transport; session }
   | Error e -> Error (Eof_debug.Session.error_to_string e)
 
+let create_fleet ?continue_quantum ~boards mk_build =
+  if boards < 1 then Error "fleet: boards must be >= 1"
+  else begin
+    let rec go i acc =
+      if i >= boards then Ok (Array.of_list (List.rev acc))
+      else
+        let build = mk_build i in
+        match create ?continue_quantum build with
+        | Ok m -> go (i + 1) ((build, m) :: acc)
+        | Error e -> Error (Printf.sprintf "board %d: %s" i e)
+    in
+    go 0 []
+  end
+
 let build t = t.build
 
 let session t = t.session

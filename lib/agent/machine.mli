@@ -13,6 +13,16 @@ val create :
 (** Boots nothing yet — the first [continue] starts the agent. Fails if
     the RSP handshake over the transport fails. *)
 
+val create_fleet :
+  ?continue_quantum:int -> boards:int -> (int -> Osbuild.t) ->
+  ((Osbuild.t * t) array, string) result
+(** Construct [boards] fully independent targets from a per-board build
+    factory: each gets its own board, flashed image, OpenOCD-style
+    server, probe transport and session — nothing is shared, exactly as
+    N physical dev boards on N probes share nothing. Boards are built
+    sequentially (factories need not be thread-safe); the instances may
+    then be driven from separate domains. *)
+
 val build : t -> Osbuild.t
 
 val session : t -> Eof_debug.Session.t

@@ -118,6 +118,10 @@ type state = {
   mutable current_ops : string array;
       (* call names of current_prog, indexed once at selection so the
          per-crash progress lookup is O(1) instead of O(n^2) List.nth *)
+  mutable consecutive_failures : int;
+      (* unrecoverable link failures in a row; 5 aborts the campaign *)
+  mutable aborted : bool;
+      (* an exception escaped an iteration: stop, keep what we have *)
 }
 
 (* --- small helpers ---------------------------------------------------- *)
@@ -705,7 +709,7 @@ let filter_spec (spec : Eof_spec.Ast.t) allow =
   in
   { spec with Eof_spec.Ast.calls; resources = produced }
 
-let run ?machine config build =
+let init ?machine config build =
   let table = Osbuild.api_signatures build in
   match Eof_spec.Synth.validated_of_api table with
   | Error e -> Error e
@@ -769,6 +773,8 @@ let run ?machine config build =
            pend_log = Buffer.create 256;
            pend_write = None;
            current_ops = [||];
+           consecutive_failures = 0;
+           aborted = false;
          }
        in
        let arm addr =
@@ -788,72 +794,108 @@ let run ?machine config build =
            if Prog.validate prog = Ok () then
              ignore (Corpus.add st.corpus ~prog ~new_edges:1 ~crashed:false : bool))
          config.initial_seeds;
-       let consecutive_failures = ref 0 in
-       (try
-          while st.iteration < config.iterations && !consecutive_failures < 5 do
-            st.iteration <- st.iteration + 1;
-            if config.reboot_every > 0 && st.iteration mod config.reboot_every = 0 then
-              ignore (reboot st : (unit, string) result);
-            (match goto_ready st ~budget:50 with
-             | Error _ -> incr consecutive_failures
-             | Ok () ->
-               let before = Feedback.covered st.fb in
-               let distinct_before = Hashtbl.length st.crash_table in
-               let prog = choose_program st in
-               st.current_prog <- prog;
-               st.current_ops <-
-                 Array.of_list
-                   (List.map (fun c -> c.Prog.spec.Eof_spec.Ast.name) prog);
-               if config.irq_injection && Rng.chance st.rng 0.4 then begin
-                 let pin = Rng.int st.rng 16 in
+       Ok st)
+
+let finished st =
+  st.aborted
+  || st.iteration >= st.config.iterations
+  || st.consecutive_failures >= 5
+
+let step st =
+  if not (finished st) then begin
+    let config = st.config in
+    try
+      st.iteration <- st.iteration + 1;
+      if config.reboot_every > 0 && st.iteration mod config.reboot_every = 0 then
+        ignore (reboot st : (unit, string) result);
+      (match goto_ready st ~budget:50 with
+       | Error _ -> st.consecutive_failures <- st.consecutive_failures + 1
+       | Ok () ->
+         let before = Feedback.covered st.fb in
+         let distinct_before = Hashtbl.length st.crash_table in
+         let prog = choose_program st in
+         st.current_prog <- prog;
+         st.current_ops <-
+           Array.of_list
+             (List.map (fun c -> c.Prog.spec.Eof_spec.Ast.name) prog);
+         if config.irq_injection && Rng.chance st.rng 0.4 then begin
+           let pin = Rng.int st.rng 16 in
+           ignore
+             (Session.inject_gpio st.session ~pin ~level:(Rng.bool st.rng)
+               : (unit, Session.error) result)
+         end;
+         (match write_program st prog with
+          | Error _ -> st.consecutive_failures <- st.consecutive_failures + 1
+          | Ok () ->
+            (match run_program st ~budget:200 ~crashed:false with
+             | Error _ -> st.consecutive_failures <- st.consecutive_failures + 1
+             | Ok (status, crashed) ->
+               st.consecutive_failures <- 0;
+               (match status with
+                | `Completed | `Crashed ->
+                  st.executed_programs <- st.executed_programs + 1
+                | `Rejected | `Aborted -> ());
+               let new_edges = Feedback.covered st.fb - before in
+               if st.last_was_fresh then
+                 st.fresh_yield <-
+                   (0.95 *. st.fresh_yield)
+                   +. (0.05 *. if new_edges > 0 then 1. else 0.);
+               (* Crashing inputs are interesting the first time a
+                  bug is seen; re-triggers of a known bug are not. *)
+               let fresh_crash =
+                 crashed && Hashtbl.length st.crash_table > distinct_before
+               in
+               (* Exploitation (input-to-state children, focus
+                  bursts) only pays once cheap exploration has
+                  dried up; before that it just starves the fresh
+                  sampling that is still finding edges. *)
+               let exploit_worthwhile = st.fresh_yield < 0.3 in
+               (* Children are globally deduplicated, so each
+                  unique patch runs once; no flooding. *)
+               if exploit_worthwhile then queue_i2s_children st;
+               if config.feedback && (new_edges > 0 || fresh_crash) then begin
                  ignore
-                   (Session.inject_gpio st.session ~pin ~level:(Rng.bool st.rng)
-                     : (unit, Session.error) result)
-               end;
-               (match write_program st prog with
-                | Error _ -> incr consecutive_failures
-                | Ok () ->
-                  (match run_program st ~budget:200 ~crashed:false with
-                   | Error _ -> incr consecutive_failures
-                   | Ok (status, crashed) ->
-                     consecutive_failures := 0;
-                     (match status with
-                      | `Completed | `Crashed ->
-                        st.executed_programs <- st.executed_programs + 1
-                      | `Rejected | `Aborted -> ());
-                     let new_edges = Feedback.covered st.fb - before in
-                     if st.last_was_fresh then
-                       st.fresh_yield <-
-                         (0.95 *. st.fresh_yield)
-                         +. (0.05 *. if new_edges > 0 then 1. else 0.);
-                     (* Crashing inputs are interesting the first time a
-                        bug is seen; re-triggers of a known bug are not. *)
-                     let fresh_crash =
-                       crashed && Hashtbl.length st.crash_table > distinct_before
-                     in
-                     (* Exploitation (input-to-state children, focus
-                        bursts) only pays once cheap exploration has
-                        dried up; before that it just starves the fresh
-                        sampling that is still finding edges. *)
-                     let exploit_worthwhile = st.fresh_yield < 0.3 in
-                     (* Children are globally deduplicated, so each
-                        unique patch runs once; no flooding. *)
-                     if exploit_worthwhile then queue_i2s_children st;
-                     if config.feedback && (new_edges > 0 || fresh_crash) then begin
-                       ignore
-                         (Corpus.add st.corpus ~prog ~new_edges ~crashed:fresh_crash
-                           : bool);
-                       (* Focused exploitation pays on narrow finds —
-                          a fresh comparison bucket worth hill-climbing.
-                          Broad hauls come from fresh exploration, which
-                          a burst would only starve. *)
-                       if new_edges > 0 && new_edges <= 4 && exploit_worthwhile
-                       then st.focus <- Some (prog, 12)
-                     end)));
-            if st.iteration mod config.snapshot_every = 0 then sample st
-          done
-        with e ->
-          (* Defensive: a campaign must never take the harness down. *)
-          ignore e);
-       sample st;
-       Ok (outcome_of_state st))
+                   (Corpus.add st.corpus ~prog ~new_edges ~crashed:fresh_crash
+                     : bool);
+                 (* Focused exploitation pays on narrow finds —
+                    a fresh comparison bucket worth hill-climbing.
+                    Broad hauls come from fresh exploration, which
+                    a burst would only starve. *)
+                 if new_edges > 0 && new_edges <= 4 && exploit_worthwhile
+                 then st.focus <- Some (prog, 12)
+               end)));
+      if st.iteration mod config.snapshot_every = 0 then sample st
+    with e ->
+      (* Defensive: a campaign must never take the harness down. *)
+      ignore e;
+      st.aborted <- true
+  end
+
+let finish st =
+  sample st;
+  outcome_of_state st
+
+(* Per-board observers for the farm orchestrator. *)
+
+let feedback st = st.fb
+
+let corpus st = st.corpus
+
+let crashes_so_far st = List.rev st.crash_order
+
+let crash_events_so_far st = st.crash_events
+
+let executed_programs_so_far st = st.executed_programs
+
+let iteration st = st.iteration
+
+let virtual_s st = Machine.virtual_elapsed_s st.machine
+
+let run ?machine config build =
+  match init ?machine config build with
+  | Error e -> Error e
+  | Ok st ->
+    while not (finished st) do
+      step st
+    done;
+    Ok (finish st)

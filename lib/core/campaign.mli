@@ -80,4 +80,56 @@ val filter_spec : Eof_spec.Ast.t -> string list -> Eof_spec.Ast.t
 
 val run : ?machine:Eof_agent.Machine.t -> config -> Osbuild.t -> (outcome, string) result
 (** Runs the loop to the iteration budget (or aborts early after
-    repeated unrecoverable link failures, returning what it has). *)
+    repeated unrecoverable link failures, returning what it has).
+    Equivalent to {!init} followed by {!step} until {!finished} and a
+    final {!finish} — it is exactly that. *)
+
+(** {2 Reentrant single-board stepping}
+
+    The loop above, opened up for external schedulers (the board farm):
+    [init] wires one board and returns its explicit campaign state,
+    [step] runs exactly one iteration (one payload attempt, including
+    recovery), and [finish] seals the outcome. A [step] never raises;
+    an escaping exception marks the state aborted and [finished]
+    becomes true. *)
+
+type state
+(** All per-board campaign state: generator, corpus, coverage map,
+    crash table, pending link data, failure counters. One board each. *)
+
+val init :
+  ?machine:Eof_agent.Machine.t -> config -> Osbuild.t -> (state, string) result
+(** Synthesize + validate the spec, wire the machine (creating one when
+    not supplied), arm the binding-point breakpoints, replay
+    [initial_seeds]. Fails only on spec or link-bringup errors. *)
+
+val step : state -> unit
+(** One campaign iteration: advance to [executor_main], pick/mutate a
+    program, deliver it, pump to completion, classify, feed back. A
+    no-op once {!finished}. *)
+
+val finished : state -> bool
+(** Budget exhausted, five unrecoverable link failures in a row, or an
+    aborted iteration. *)
+
+val finish : state -> outcome
+(** Take the final coverage sample and seal the outcome. Call once. *)
+
+(** Read-only observers used by the farm's epoch synchronisation. *)
+
+val feedback : state -> Feedback.t
+
+val corpus : state -> Corpus.t
+
+val crashes_so_far : state -> Crash.t list
+(** Deduplicated crashes in discovery order, as of now. *)
+
+val crash_events_so_far : state -> int
+
+val executed_programs_so_far : state -> int
+
+val iteration : state -> int
+
+val virtual_s : state -> float
+(** The board's virtual clock (CPU time + debug-link latency): the
+    cooperative farm scheduler's scheduling key. *)

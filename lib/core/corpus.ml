@@ -55,6 +55,25 @@ let pick t =
     if seed.picks mod 4 = 0 then seed.score <- max 1 (seed.score * 3 / 4);
     Some seed.prog
 
+let merge dst src =
+  (* Import oldest-first so the relative addition order of [src]'s seeds
+     is preserved in [dst] (both lists are newest-first): merging a
+     corpus into an empty one of the same capacity reproduces it
+     exactly. Eviction runs after each import, exactly as in {!add}. *)
+  let imported = ref 0 in
+  List.iter
+    (fun s ->
+      let h = Prog.hash s.prog in
+      if not (Hashtbl.mem dst.hashes h) then begin
+        Hashtbl.replace dst.hashes h ();
+        dst.seeds <- { prog = s.prog; score = s.score; picks = s.picks } :: dst.seeds;
+        dst.total_added <- dst.total_added + 1;
+        evict_if_full dst;
+        incr imported
+      end)
+    (List.rev src.seeds);
+  !imported
+
 let progs t = List.map (fun s -> s.prog) t.seeds
 
 let total_added t = t.total_added

@@ -20,6 +20,15 @@ val is_empty : t -> bool
 val pick : t -> Prog.t option
 (** Weighted selection; [None] when empty. Each pick ages the seed. *)
 
+val merge : t -> t -> int
+(** [merge dst src] imports every seed of [src] that [dst] has not seen
+    (by content hash — a program already imported from another shard, or
+    previously evicted from [dst], is rejected), preserving each seed's
+    selection score and [src]'s addition order; [dst]'s eviction policy
+    applies as it fills. Returns how many seeds were imported. [src] is
+    untouched. This is the cross-shard corpus exchange primitive of the
+    board farm. *)
+
 val progs : t -> Prog.t list
 (** Current seeds, most recent first (for persistence). *)
 

@@ -1,0 +1,280 @@
+open Eof_os
+module Rng = Eof_util.Rng
+module Bitset = Eof_util.Bitset
+module Machine = Eof_agent.Machine
+
+type backend = Cooperative | Domains
+
+let backend_name = function Cooperative -> "cooperative" | Domains -> "domains"
+
+let backend_of_name s =
+  match String.lowercase_ascii s with
+  | "cooperative" -> Ok Cooperative
+  | "domains" -> Ok Domains
+  | other -> Error (Printf.sprintf "unknown farm backend %S (cooperative|domains)" other)
+
+type config = {
+  boards : int;
+  sync_every : int;
+  backend : backend;
+  base : Campaign.config;
+}
+
+let default_config =
+  { boards = 1; sync_every = 25; backend = Cooperative; base = Campaign.default_config }
+
+type sync_sample = { executed : int; virtual_s : float; coverage : int }
+
+type outcome = {
+  boards : int;
+  backend : backend;
+  coverage : int;
+  coverage_bitmap : Bitset.t;
+  crashes : Crash.t list;
+  crash_events : int;
+  executed_programs : int;
+  iterations_done : int;
+  corpus_size : int;
+  final_corpus : Prog.t list;
+  virtual_s : float;
+  wall_s : float;
+  syncs : int;
+  sync_series : sync_sample list;
+  per_board : Campaign.outcome array;
+}
+
+(* Board 0 keeps the campaign seed so a one-board farm is the campaign;
+   the other shards derive statistically independent streams. *)
+let board_seed base i =
+  if i = 0 then base
+  else Rng.next64 (Rng.create (Int64.add base (Int64.mul (Int64.of_int i) 0x9E3779B97F4A7C15L)))
+
+(* The total payload budget split round-robin: the first (total mod
+   boards) shards carry the remainder. *)
+let shard_iterations ~total ~boards i =
+  (total / boards) + (if i < total mod boards then 1 else 0)
+
+(* --- shared (host-side) campaign state --------------------------------- *)
+
+type shared = {
+  fb : Feedback.t;  (* global coverage: the union of every shard's map *)
+  corpus : Corpus.t;  (* the cross-board corpus shards pollinate through *)
+  crash_keys : (string, unit) Hashtbl.t;
+  mutable crashes_rev : Crash.t list;  (* reverse global discovery order *)
+  mutable executed_synced : int;  (* payloads covered by past merges *)
+  mutable virtual_max : float;  (* farm clock high-water mark at merges *)
+  mutable syncs : int;
+  mutable series_rev : sync_sample list;
+}
+
+let make_shared ~edge_capacity ~boards ~seed =
+  {
+    fb = Feedback.create ~edge_capacity;
+    (* Big enough that no shard's survivors are evicted from the global
+       view; its rng is never used (the farm never [pick]s from it). *)
+    corpus = Corpus.create ~capacity:(512 * boards) ~rng:(Rng.create seed) ();
+    crash_keys = Hashtbl.create 64;
+    crashes_rev = [];
+    executed_synced = 0;
+    virtual_max = 0.;
+    syncs = 0;
+    series_rev = [];
+  }
+
+(* Merge one shard's discoveries into the global structures. Cheap by
+   construction: the coverage merge is one bitmap union, the corpus
+   merge rejects already-seen hashes in O(1) each, and crash dedup only
+   walks the shard's (short, already per-board-deduplicated) list. *)
+let merge_board shared st ~delta_executed =
+  ignore (Feedback.union_into ~dst:shared.fb ~src:(Campaign.feedback st) : int);
+  ignore (Corpus.merge shared.corpus (Campaign.corpus st) : int);
+  List.iter
+    (fun c ->
+      let k = Crash.dedup_key c in
+      if not (Hashtbl.mem shared.crash_keys k) then begin
+        Hashtbl.replace shared.crash_keys k ();
+        shared.crashes_rev <- c :: shared.crashes_rev
+      end)
+    (Campaign.crashes_so_far st);
+  shared.executed_synced <- shared.executed_synced + delta_executed;
+  shared.virtual_max <- Float.max shared.virtual_max (Campaign.virtual_s st)
+
+let record_sample shared =
+  shared.syncs <- shared.syncs + 1;
+  shared.series_rev <-
+    {
+      executed = shared.executed_synced;
+      virtual_s = shared.virtual_max;
+      coverage = Feedback.covered shared.fb;
+    }
+    :: shared.series_rev
+
+(* --- deterministic cooperative backend --------------------------------- *)
+
+(* Round-robin by virtual time: always step the board whose clock is
+   furthest behind (ties to the lowest index), which interleaves shards
+   exactly as N physical boards would interleave in real time — and
+   with one board degenerates to the plain campaign loop. *)
+let run_cooperative config shared states =
+  let n = Array.length states in
+  let last_exec = Array.make n 0 in
+  let epoch () =
+    Array.iteri
+      (fun i st ->
+        let e = Campaign.executed_programs_so_far st in
+        merge_board shared st ~delta_executed:(e - last_exec.(i));
+        last_exec.(i) <- e)
+      states;
+    (* Cross-pollination: pull the fleet's merged discoveries back into
+       every shard. Skipped for a single board — there is nothing to
+       exchange, and skipping keeps the one-board farm bit-identical to
+       the plain campaign even across corpus evictions. *)
+    if n > 1 then
+      Array.iter
+        (fun st -> ignore (Corpus.merge (Campaign.corpus st) shared.corpus : int))
+        states;
+    record_sample shared
+  in
+  let since = ref 0 in
+  let running = ref true in
+  while !running do
+    let best = ref (-1) and best_t = ref infinity in
+    for i = n - 1 downto 0 do
+      if not (Campaign.finished states.(i)) then begin
+        let t = Campaign.virtual_s states.(i) in
+        if t <= !best_t then begin
+          best := i;
+          best_t := t
+        end
+      end
+    done;
+    if !best < 0 then running := false
+    else begin
+      let st = states.(!best) in
+      let before = Campaign.executed_programs_so_far st in
+      Campaign.step st;
+      if Campaign.executed_programs_so_far st > before then incr since;
+      if !since >= config.sync_every then begin
+        epoch ();
+        since := 0
+      end
+    end
+  done;
+  epoch ()
+
+(* --- OCaml 5 Domain backend -------------------------------------------- *)
+
+(* One domain per board; every shard-local structure is owned by its
+   domain, and the only shared state is [shared], guarded by one mutex
+   taken at epoch boundaries — contention is amortized over
+   [sync_every] payloads of lock-free fuzzing. *)
+let run_domains config shared states =
+  let n = Array.length states in
+  let lock = Mutex.create () in
+  let worker st =
+    let last = ref 0 in
+    let sync () =
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          let e = Campaign.executed_programs_so_far st in
+          merge_board shared st ~delta_executed:(e - !last);
+          last := e;
+          if n > 1 then
+            ignore (Corpus.merge (Campaign.corpus st) shared.corpus : int);
+          record_sample shared)
+    in
+    let since = ref 0 in
+    while not (Campaign.finished st) do
+      let before = Campaign.executed_programs_so_far st in
+      Campaign.step st;
+      if Campaign.executed_programs_so_far st > before then incr since;
+      if !since >= config.sync_every then begin
+        sync ();
+        since := 0
+      end
+    done;
+    sync ()
+  in
+  let domains =
+    Array.map (fun st -> Domain.spawn (fun () -> try worker st with _ -> ())) states
+  in
+  Array.iter Domain.join domains
+
+(* --- top level ---------------------------------------------------------- *)
+
+let run (config : config) mk_build =
+  if config.boards < 1 then Error "farm: boards must be >= 1"
+  else if config.sync_every < 1 then Error "farm: sync_every must be >= 1"
+  else begin
+    let t0 = Unix.gettimeofday () in
+    match Machine.create_fleet ~boards:config.boards mk_build with
+    | Error e -> Error e
+    | Ok fleet ->
+      let edge_capacity = Osbuild.edge_capacity (fst fleet.(0)) in
+      if Array.exists (fun (b, _) -> Osbuild.edge_capacity b <> edge_capacity) fleet
+      then Error "farm: boards disagree on coverage-map capacity (different targets?)"
+      else begin
+        let rec init_all i acc =
+          if i >= Array.length fleet then Ok (Array.of_list (List.rev acc))
+          else begin
+            let build, machine = fleet.(i) in
+            let cfg =
+              {
+                config.base with
+                seed = board_seed config.base.seed i;
+                iterations =
+                  shard_iterations ~total:config.base.iterations ~boards:config.boards i;
+              }
+            in
+            match Campaign.init ~machine cfg build with
+            | Ok st -> init_all (i + 1) (st :: acc)
+            | Error e -> Error (Printf.sprintf "board %d: %s" i e)
+          end
+        in
+        match init_all 0 [] with
+        | Error e -> Error e
+        | Ok states ->
+          let shared =
+            make_shared ~edge_capacity ~boards:config.boards ~seed:config.base.seed
+          in
+          (match config.backend with
+           | Cooperative -> run_cooperative config shared states
+           | Domains -> run_domains config shared states);
+          let per_board = Array.map Campaign.finish states in
+          (* The reported corpus is re-merged from the final shard
+             corpora (shard order): unlike the exchange corpus it never
+             contains seeds every shard has since evicted, and for one
+             board it reproduces that board's corpus exactly. *)
+          let final =
+            Corpus.create ~capacity:(512 * config.boards)
+              ~rng:(Rng.create config.base.seed) ()
+          in
+          Array.iter
+            (fun st -> ignore (Corpus.merge final (Campaign.corpus st) : int))
+            states;
+          let sum f = Array.fold_left (fun a o -> a + f o) 0 per_board in
+          Ok
+            {
+              boards = config.boards;
+              backend = config.backend;
+              coverage = Feedback.covered shared.fb;
+              coverage_bitmap = Feedback.snapshot shared.fb;
+              crashes = List.rev shared.crashes_rev;
+              crash_events = sum (fun o -> o.Campaign.crash_events);
+              executed_programs = sum (fun o -> o.Campaign.executed_programs);
+              iterations_done = sum (fun o -> o.Campaign.iterations_done);
+              corpus_size = Corpus.size final;
+              final_corpus = Corpus.progs final;
+              virtual_s =
+                Array.fold_left
+                  (fun a o -> Float.max a o.Campaign.virtual_s)
+                  0. per_board;
+              wall_s = Unix.gettimeofday () -. t0;
+              syncs = shared.syncs;
+              sync_series = List.rev shared.series_rev;
+              per_board;
+            }
+      end
+  end

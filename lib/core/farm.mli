@@ -1,0 +1,90 @@
+open Eof_os
+
+(** Board-farm orchestration: one fuzzing campaign sharded across N
+    independent boards.
+
+    Each shard owns a full single-board stack — board, flashed image,
+    OpenOCD-style server, probe transport, debug session, agent and
+    campaign state — exactly as N physical dev boards on N probes share
+    nothing. What the shards {e do} share is host-side: a global
+    coverage map, one cross-board corpus, and a crash-deduplication
+    table keyed by crash signature. Sharing is {e epoch-based}: every
+    [sync_every] payloads the farm merges shard-local discoveries into
+    the global structures and pollinates the shared corpus back into
+    the shards — amortizing synchronisation the way the vBatch link
+    amortizes round trips, instead of contending on every payload.
+
+    Two execution backends sit behind the same configuration:
+
+    - {!Cooperative} — a deterministic scheduler interleaving
+      single-board {!Campaign.step}s, always advancing the board whose
+      virtual clock is furthest behind (ties to the lowest index).
+      Same config, same result, every run; and with [boards = 1] the
+      schedule degenerates to the plain loop, so the outcome is
+      bit-identical to {!Campaign.run}.
+    - {!Domains} — one OCaml 5 domain per board for real wall-clock
+      parallelism; shards sync through a mutex at their own epoch
+      boundaries. Throughput-deterministic in virtual time, but merge
+      order (hence exact corpus cross-pollination) depends on domain
+      scheduling. *)
+
+type backend = Cooperative | Domains
+
+val backend_name : backend -> string
+
+val backend_of_name : string -> (backend, string) result
+(** ["cooperative"] or ["domains"] (case-insensitive). *)
+
+type config = {
+  boards : int;  (** shard count; 1 reduces to a plain campaign *)
+  sync_every : int;
+      (** payloads between epoch merges (farm-wide in cooperative mode,
+          per shard in domain mode) *)
+  backend : backend;
+  base : Campaign.config;
+      (** the campaign being sharded. [base.iterations] is the {e total}
+          payload budget, split across boards round-robin; board 0 keeps
+          [base.seed] (the [boards = 1] equivalence), the others derive
+          independent streams from it. *)
+}
+
+val default_config : config
+(** 1 board, sync every 25 payloads, cooperative backend, on
+    {!Campaign.default_config}. *)
+
+type sync_sample = {
+  executed : int;  (** payloads merged into the global map so far *)
+  virtual_s : float;  (** farm clock: max synced board virtual time *)
+  coverage : int;  (** global distinct edges after the merge *)
+}
+
+type outcome = {
+  boards : int;
+  backend : backend;
+  coverage : int;  (** distinct edges in the global map *)
+  coverage_bitmap : Eof_util.Bitset.t;
+  crashes : Crash.t list;
+      (** cross-board deduplicated by {!Crash.dedup_key}, in global
+          discovery (sync) order; first-seeing board's record kept *)
+  crash_events : int;  (** total occurrences across all boards *)
+  executed_programs : int;  (** sum over boards *)
+  iterations_done : int;  (** sum over boards *)
+  corpus_size : int;
+  final_corpus : Prog.t list;
+      (** the merged global corpus (shard order, duplicates dropped) *)
+  virtual_s : float;
+      (** campaign duration on the farm clock: the slowest board's
+          virtual time — boards run in parallel, physically *)
+  wall_s : float;  (** host wall-clock (meaningful for {!Domains}) *)
+  syncs : int;  (** epoch merges performed *)
+  sync_series : sync_sample list;  (** chronological, for time-to-coverage *)
+  per_board : Campaign.outcome array;  (** each shard's own outcome *)
+}
+
+val run : config -> (int -> Osbuild.t) -> (outcome, string) result
+(** [run config mk_build] builds one target per board via [mk_build i]
+    (factories are called sequentially and need not be thread-safe),
+    shards the campaign and runs it to the total budget. Fails if any
+    board fails to build or bring up its link, or if the boards
+    disagree on coverage-map capacity (they must be builds of the same
+    target). *)

@@ -20,6 +20,8 @@ let merge_array t edges ~len =
   done;
   !acc
 
+let union_into ~dst ~src = Eof_util.Bitset.union_into ~dst:dst.bitmap ~src:src.bitmap
+
 let covered t = Eof_util.Bitset.count t.bitmap
 
 let snapshot t = Eof_util.Bitset.copy t.bitmap

@@ -13,6 +13,11 @@ val merge_array : t -> int array -> len:int -> int
 (** Like {!merge} but over the first [len] entries of a scratch array —
     the allocation-free path used by the batched coverage drain. *)
 
+val union_into : dst:t -> src:t -> int
+(** Or [src]'s bitmap into [dst]'s; returns how many edges were new to
+    [dst]. Capacities must match (same build). This is the farm's epoch
+    merge: one bulk union per sync instead of re-replaying edge lists. *)
+
 val covered : t -> int
 (** Distinct edges seen so far. *)
 

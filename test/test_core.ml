@@ -142,6 +142,63 @@ let test_corpus_eviction () =
   done;
   Alcotest.(check bool) "bounded" true (Corpus.size corpus <= 5)
 
+let test_corpus_merge_dedup_across_shards () =
+  (* Two shards discover overlapping seed sets; merging both into a
+     global corpus must import each program once, whichever shard
+     contributed it first. *)
+  let gen = make_gen 31L in
+  let p1 = Gen.generate gen ~max_len:4 in
+  let p2 = Gen.generate gen ~max_len:4 in
+  let p3 = Gen.generate gen ~max_len:4 in
+  let shard seed progs =
+    let c = Corpus.create ~rng:(Eof_util.Rng.create seed) () in
+    List.iter
+      (fun prog -> ignore (Corpus.add c ~prog ~new_edges:2 ~crashed:false : bool))
+      progs;
+    c
+  in
+  let a = shard 1L [ p1; p2 ] in
+  let b = shard 2L [ p2; p3 ] in
+  let global = Corpus.create ~rng:(Eof_util.Rng.create 3L) () in
+  Alcotest.(check int) "all of shard A imported" 2 (Corpus.merge global a);
+  (* p2 is a cross-shard duplicate: only p3 is new. *)
+  Alcotest.(check int) "shard B deduplicated" 1 (Corpus.merge global b);
+  Alcotest.(check int) "global size" 3 (Corpus.size global);
+  Alcotest.(check int) "re-merge is a no-op" 0 (Corpus.merge global a);
+  (* Addition order is preserved: oldest-first from A, then the novel
+     tail of B. *)
+  Alcotest.(check bool) "merge order" true
+    (List.map Prog.hash (Corpus.progs global) = List.map Prog.hash [ p3; p2; p1 ]);
+  (* Source corpora are untouched. *)
+  Alcotest.(check int) "shard A intact" 2 (Corpus.size a);
+  Alcotest.(check int) "shard B intact" 2 (Corpus.size b)
+
+let test_corpus_merge_eviction_order () =
+  (* Merging into a bounded corpus evicts exactly as add does: the
+     lowest-scoring seed goes first once capacity is exceeded. *)
+  let gen = make_gen 32L in
+  let progs = List.init 6 (fun _ -> Gen.generate gen ~max_len:4) in
+  let src = Corpus.create ~rng:(Eof_util.Rng.create 4L) () in
+  List.iteri
+    (fun i prog ->
+      (* Scores 4, 8, 12, 16, 20, 24: seed 0 is the weakest. *)
+      ignore (Corpus.add src ~prog ~new_edges:(i + 1) ~crashed:false : bool))
+    progs;
+  let dst = Corpus.create ~capacity:4 ~rng:(Eof_util.Rng.create 5L) () in
+  let imported = Corpus.merge dst src in
+  Alcotest.(check int) "all were imported (then evicted)" 6 imported;
+  Alcotest.(check bool) "capacity respected" true (Corpus.size dst <= 5);
+  let surviving = List.map Prog.hash (Corpus.progs dst) in
+  (* The weakest seed (first added, score 4) must be gone; the
+     strongest (last added, score 24) must survive. *)
+  Alcotest.(check bool) "weakest evicted" false
+    (List.mem (Prog.hash (List.nth progs 0)) surviving);
+  Alcotest.(check bool) "strongest survives" true
+    (List.mem (Prog.hash (List.nth progs 5)) surviving);
+  (* An evicted program stays known by hash: merging it again is a
+     duplicate, not a re-import. *)
+  Alcotest.(check int) "evicted hash still rejected" 0 (Corpus.merge dst src)
+
 let test_feedback_merge () =
   let fb = Feedback.create ~edge_capacity:100 in
   Alcotest.(check int) "first merge" 3 (Feedback.merge fb [ 1; 2; 3 ]);
@@ -327,6 +384,10 @@ let suite =
     Alcotest.test_case "int hints used" `Quick test_int_hints_used;
     Alcotest.test_case "corpus dedup/pick" `Quick test_corpus_dedup_and_pick;
     Alcotest.test_case "corpus eviction" `Quick test_corpus_eviction;
+    Alcotest.test_case "corpus merge dedups across shards" `Quick
+      test_corpus_merge_dedup_across_shards;
+    Alcotest.test_case "corpus merge eviction order" `Quick
+      test_corpus_merge_eviction_order;
     Alcotest.test_case "feedback merge" `Quick test_feedback_merge;
     Alcotest.test_case "log monitor patterns" `Quick test_monitor_patterns;
     Alcotest.test_case "crash dedup key" `Quick test_crash_dedup_key;

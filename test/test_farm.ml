@@ -1,0 +1,191 @@
+open Eof_os
+module Campaign = Eof_core.Campaign
+module Farm = Eof_core.Farm
+module Corpus = Eof_core.Corpus
+module Prog = Eof_core.Prog
+module Crash = Eof_core.Crash
+module Bitset = Eof_util.Bitset
+
+let mk_build _board =
+  Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec
+
+(* --- the refactor contract: run = init; step*; finish ------------------- *)
+
+let test_step_loop_equals_run () =
+  let config = { Campaign.default_config with iterations = 120; seed = 99L } in
+  let via_run =
+    match Campaign.run config (mk_build 0) with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let via_steps =
+    match Campaign.init config (mk_build 0) with
+    | Error e -> Alcotest.fail e
+    | Ok st ->
+      let steps = ref 0 in
+      while not (Campaign.finished st) do
+        Campaign.step st;
+        incr steps
+      done;
+      Alcotest.(check int) "one step per iteration" 120 !steps;
+      Campaign.finish st
+  in
+  (* Polymorphic equality over the whole outcome record: coverage,
+     bitmap bytes, series (floats included), crashes, every counter. *)
+  Alcotest.(check bool) "bit-identical outcome" true (via_run = via_steps)
+
+(* --- boards:1 must be the plain campaign, bit for bit ------------------- *)
+
+let test_one_board_farm_equals_campaign () =
+  let base = { Campaign.default_config with iterations = 150; seed = 21L } in
+  let farm =
+    match Farm.run { Farm.default_config with boards = 1; base } mk_build with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let solo =
+    match Campaign.run base (mk_build 0) with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "board outcome bit-identical" true (farm.Farm.per_board.(0) = solo);
+  Alcotest.(check int) "global coverage" solo.Campaign.coverage farm.Farm.coverage;
+  Alcotest.(check bool) "global bitmap" true
+    (Bitset.to_list solo.Campaign.coverage_bitmap
+    = Bitset.to_list farm.Farm.coverage_bitmap);
+  Alcotest.(check bool) "global crashes" true (solo.Campaign.crashes = farm.Farm.crashes);
+  Alcotest.(check int) "crash events" solo.Campaign.crash_events farm.Farm.crash_events;
+  Alcotest.(check int) "executed" solo.Campaign.executed_programs farm.Farm.executed_programs;
+  Alcotest.(check bool) "global corpus" true
+    (List.map Prog.hash solo.Campaign.final_corpus
+    = List.map Prog.hash farm.Farm.final_corpus);
+  Alcotest.(check bool) "virtual clock" true
+    (solo.Campaign.virtual_s = farm.Farm.virtual_s)
+
+(* --- cooperative backend determinism ------------------------------------ *)
+
+let farm_digest (o : Farm.outcome) =
+  ( Bitset.to_list o.Farm.coverage_bitmap,
+    List.map Prog.hash o.Farm.final_corpus,
+    List.map Crash.dedup_key o.Farm.crashes,
+    o.Farm.crash_events,
+    o.Farm.executed_programs,
+    o.Farm.iterations_done,
+    o.Farm.syncs,
+    List.map
+      (fun s -> (s.Farm.executed, s.Farm.virtual_s, s.Farm.coverage))
+      o.Farm.sync_series )
+
+let test_cooperative_deterministic () =
+  let run () =
+    let config =
+      {
+        Farm.default_config with
+        boards = 3;
+        sync_every = 20;
+        base = { Campaign.default_config with iterations = 180; seed = 9L };
+      }
+    in
+    match Farm.run config mk_build with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "two runs, same global state" true
+    (farm_digest a = farm_digest b);
+  Alcotest.(check int) "budget spent exactly" 180 a.Farm.iterations_done;
+  Alcotest.(check bool) "all boards reported" true (Array.length a.Farm.per_board = 3)
+
+(* --- cross-board sharing ------------------------------------------------ *)
+
+let test_global_state_is_a_union () =
+  let config =
+    {
+      Farm.default_config with
+      boards = 4;
+      sync_every = 15;
+      base = { Campaign.default_config with iterations = 400; seed = 5L };
+    }
+  in
+  match Farm.run config mk_build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (* Global coverage is the union: at least every shard's own count,
+       and exactly the bits the shards own bitmaps contain. *)
+    let union = Bitset.create (Bitset.capacity o.Farm.coverage_bitmap) in
+    Array.iter
+      (fun (b : Campaign.outcome) ->
+        ignore (Bitset.union_into ~dst:union ~src:b.Campaign.coverage_bitmap : int);
+        Alcotest.(check bool) "global >= shard" true
+          (o.Farm.coverage >= b.Campaign.coverage))
+      o.Farm.per_board;
+    Alcotest.(check bool) "global coverage = union of shards" true
+      (Bitset.to_list union = Bitset.to_list o.Farm.coverage_bitmap);
+    (* Crash list is globally deduplicated. *)
+    let keys = List.map Crash.dedup_key o.Farm.crashes in
+    Alcotest.(check bool) "no duplicate crash signatures" true
+      (List.length keys = List.length (List.sort_uniq compare keys));
+    (* Every shard-discovered signature survives into the global list. *)
+    Array.iter
+      (fun (b : Campaign.outcome) ->
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "shard crash in global table" true
+              (List.mem (Crash.dedup_key c) keys))
+          b.Campaign.crashes)
+      o.Farm.per_board;
+    Alcotest.(check bool) "executed split across shards" true
+      (Array.for_all
+         (fun (b : Campaign.outcome) -> b.Campaign.iterations_done = 100)
+         o.Farm.per_board);
+    Alcotest.(check bool) "syncs happened" true (o.Farm.syncs > 1)
+
+(* --- the Domain backend ------------------------------------------------- *)
+
+let test_domains_backend_smoke () =
+  let config =
+    {
+      Farm.boards = 2;
+      sync_every = 10;
+      backend = Farm.Domains;
+      base = { Campaign.default_config with iterations = 80; seed = 3L };
+    }
+  in
+  match Farm.run config mk_build with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check int) "budget spent" 80 o.Farm.iterations_done;
+    Alcotest.(check bool) "coverage found" true (o.Farm.coverage > 0);
+    Alcotest.(check bool) "programs executed" true (o.Farm.executed_programs > 0);
+    Alcotest.(check int) "both boards ran" 2 (Array.length o.Farm.per_board);
+    Array.iter
+      (fun (b : Campaign.outcome) ->
+        Alcotest.(check int) "per-board budget" 40 b.Campaign.iterations_done)
+      o.Farm.per_board;
+    (* The farm clock is the slowest board, not the sum: parallel boards
+       make the campaign faster than the same budget on one board. *)
+    let sum =
+      Array.fold_left (fun a (b : Campaign.outcome) -> a +. b.Campaign.virtual_s) 0.
+        o.Farm.per_board
+    in
+    Alcotest.(check bool) "parallel virtual clock" true (o.Farm.virtual_s < sum)
+
+let test_farm_rejects_bad_config () =
+  (match Farm.run { Farm.default_config with boards = 0 } mk_build with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "boards=0 accepted");
+  match Farm.run { Farm.default_config with sync_every = 0 } mk_build with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sync_every=0 accepted"
+
+let suite =
+  [
+    Alcotest.test_case "step loop equals run" `Quick test_step_loop_equals_run;
+    Alcotest.test_case "boards:1 equals Campaign.run" `Quick
+      test_one_board_farm_equals_campaign;
+    Alcotest.test_case "cooperative backend deterministic" `Quick
+      test_cooperative_deterministic;
+    Alcotest.test_case "global state is a union" `Quick test_global_state_is_a_union;
+    Alcotest.test_case "domain backend smoke" `Quick test_domains_backend_smoke;
+    Alcotest.test_case "bad farm config rejected" `Quick test_farm_rejects_bad_config;
+  ]

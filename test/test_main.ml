@@ -10,6 +10,7 @@ let () =
       ("spec", Test_spec.suite);
       ("agent", Test_agent.suite);
       ("core", Test_core.suite);
+      ("farm", Test_farm.suite);
       ("baselines", Test_baselines.suite);
       ("expt", Test_expt.suite);
       ("bugs", Test_bugs.suite);
