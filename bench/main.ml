@@ -235,20 +235,26 @@ type link_stats = {
   elapsed_us : float;
   coverage : int;
   crash_events : int;
+  payloads : int;
+  counters : (string * int) list;  (* full obs counter snapshot *)
 }
 
 let run_linked_campaign ~batch_link ~iterations =
   let build =
     Eof_os.Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Eof_os.Zephyr.spec
   in
-  let transport = Eof_debug.Transport.create () in
+  (* A sinkless bus: events stay off, but the monotonic counters
+     accumulate — the per-payload link numbers in BENCH.json's "obs"
+     section come from this snapshot. *)
+  let obs = Eof_obs.Obs.create () in
+  let transport = Eof_debug.Transport.create ~obs () in
   let machine =
-    match Eof_agent.Machine.create ~transport build with
+    match Eof_agent.Machine.create ~obs ~transport build with
     | Ok m -> m
     | Error e -> failwith e
   in
   let config = { Eof_core.Campaign.default_config with iterations; seed = 11L; batch_link } in
-  match Eof_core.Campaign.run ~machine config build with
+  match Eof_core.Campaign.run ~machine ~obs config build with
   | Error e -> failwith e
   | Ok o ->
     {
@@ -258,6 +264,8 @@ let run_linked_campaign ~batch_link ~iterations =
       elapsed_us = Eof_debug.Transport.elapsed_us transport;
       coverage = o.Eof_core.Campaign.coverage;
       crash_events = o.Eof_core.Campaign.crash_events;
+      payloads = Eof_obs.Obs.counter_value obs "campaign.payloads";
+      counters = Eof_obs.Obs.counters obs;
     }
 
 let run_link_comparison () =
@@ -362,6 +370,37 @@ let write_bench_json ~micro ~link ~scaling path =
          (unbatched.coverage = batched.coverage
          && unbatched.crash_events = batched.crash_events));
     Buffer.add_string b "  }");
+  Buffer.add_string b ",\n  \"obs\": ";
+  (match link with
+  | None -> Buffer.add_string b "null"
+  | Some (_, batched) ->
+    (* Counter-derived link economics of the batched (default) mode. *)
+    let c name =
+      match List.assoc_opt name batched.counters with Some v -> v | None -> 0
+    in
+    let payloads = max 1 batched.payloads in
+    let per v = float_of_int v /. float_of_int payloads in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"exchanges_per_payload\": %.3f,\n"
+         (per (c "transport.exchanges")));
+    Buffer.add_string b
+      (Printf.sprintf "    \"bytes_per_payload\": %.1f,\n"
+         (per (c "transport.bytes_tx" + c "transport.bytes_rx")));
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"drain_spans\": { \"count\": %d, \"total_us\": %d },\n"
+         (c "span.covlink.exchange.count" + c "span.covlink.drain.count")
+         (c "span.covlink.exchange.us" + c "span.covlink.drain.us"));
+    Buffer.add_string b "    \"counters\": {\n";
+    let n = List.length batched.counters in
+    List.iteri
+      (fun i (name, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "      \"%s\": %d%s\n" (json_escape name) v
+             (if i < n - 1 then "," else "")))
+      batched.counters;
+    Buffer.add_string b "    }\n  }");
   Buffer.add_string b ",\n  \"farm_scaling\": ";
   (match scaling with
   | None -> Buffer.add_string b "null"

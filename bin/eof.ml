@@ -2,6 +2,7 @@
    list targets, or regenerate a single paper artifact. *)
 
 open Cmdliner
+module Obs = Eof_obs.Obs
 module Campaign = Eof_core.Campaign
 module Crash = Eof_core.Crash
 module Targets = Eof_expt.Targets
@@ -69,26 +70,50 @@ let farm_digest (o : Eof_core.Farm.outcome) =
     ~crash_events:o.Farm.crash_events ~executed:o.Farm.executed_programs
     ~iterations_done:o.Farm.iterations_done
 
+(* "off" keeps the bus inert on the console side; a trace sink can still
+   be attached independently. *)
+let console_level_of_string s =
+  match String.lowercase_ascii s with
+  | "off" | "none" | "quiet" -> Ok None
+  | s -> Result.map Option.some (Obs.Level.of_string s)
+
 let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
-    no_dep no_watchdog irq verbose crash_dir save_corpus load_corpus =
-  match (target_of os, Eof_core.Farm.backend_of_name farm_backend) with
-  | Error e, _ | _, Error e ->
+    no_dep no_watchdog irq verbose crash_dir save_corpus load_corpus log_level
+    trace_file =
+  match
+    (target_of os, Eof_core.Farm.backend_of_name farm_backend,
+     console_level_of_string log_level)
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
     prerr_endline e;
     1
-  | Ok target, Ok backend ->
+  | Ok target, Ok backend, Ok console_level ->
+    let obs = Obs.create () in
+    (match console_level with
+     | Some min_level -> Obs.add_sink obs (Obs.console_sink ~min_level ())
+     | None -> ());
+    let trace_oc =
+      match trace_file with
+      | None -> None
+      | Some path ->
+        let oc = open_out path in
+        Obs.add_sink obs (Obs.jsonl_sink oc);
+        Some oc
+    in
+    Fun.protect ~finally:(fun () -> Option.iter close_out trace_oc) @@ fun () ->
     let build = Targets.build_hw target in
     let profile = Eof_hw.Board.profile (Eof_os.Osbuild.board build) in
-    if not digest then
-      Printf.printf
-        "Fuzzing %s %s on %s over its %s debug port (%d payloads, seed %d%s)\n%!"
-        (Eof_os.Osbuild.os_name build) (Eof_os.Osbuild.version build)
-        profile.Eof_hw.Board.name
-        (Eof_hw.Board.debug_port_name profile.Eof_hw.Board.debug_port)
-        iterations seed
-        (if boards = 1 then ""
-         else
-           Printf.sprintf ", %d boards, %s backend" boards
-             (Eof_core.Farm.backend_name backend));
+    Obs.message obs Obs.Level.Info
+      (Printf.sprintf
+         "fuzzing %s %s on %s over its %s debug port (%d payloads, seed %d%s)"
+         (Eof_os.Osbuild.os_name build) (Eof_os.Osbuild.version build)
+         profile.Eof_hw.Board.name
+         (Eof_hw.Board.debug_port_name profile.Eof_hw.Board.debug_port)
+         iterations seed
+         (if boards = 1 then ""
+          else
+            Printf.sprintf ", %d boards, %s backend" boards
+              (Eof_core.Farm.backend_name backend)));
     let table = Eof_os.Osbuild.api_signatures build in
     let initial_seeds =
       match load_corpus with
@@ -99,9 +124,9 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
          | Ok spec ->
            (match Eof_core.Corpus_io.load ~path ~spec ~table with
             | Ok (progs, skipped) ->
-              if not digest then
-                Printf.printf "loaded %d corpus seeds from %s (%d stale entries skipped)\n"
-                  (List.length progs) path skipped;
+              Obs.message obs Obs.Level.Info
+                (Printf.sprintf "loaded %d corpus seeds from %s (%d stale entries skipped)"
+                   (List.length progs) path skipped);
               progs
             | Error e ->
               prerr_endline ("could not load corpus: " ^ e);
@@ -154,7 +179,7 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
          | Error e -> prerr_endline ("could not save corpus: " ^ e))
     in
     if boards = 1 then (
-      match Campaign.run config build with
+      match Campaign.run ~obs config build with
       | Error e ->
         prerr_endline ("campaign failed: " ^ e);
         1
@@ -174,7 +199,7 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
     else begin
       let module Farm = Eof_core.Farm in
       let farm_config = { Farm.boards; sync_every; backend; base = config } in
-      match Farm.run farm_config (fun _board -> Targets.build_hw target) with
+      match Farm.run ~obs farm_config (fun _board -> Targets.build_hw target) with
       | Error e ->
         prerr_endline ("farm campaign failed: " ^ e);
         1
@@ -248,12 +273,43 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None
          & info [ "load-corpus" ] ~docv:"FILE" ~doc:"Seed the corpus from a saved file.")
   in
+  let log_level =
+    Arg.(value & opt string "info"
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Console telemetry on stderr at $(docv): $(b,trace), $(b,debug), $(b,info), $(b,warn), $(b,error), or $(b,off). Result output on stdout is unaffected.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write every telemetry event to $(docv) as JSONL, timestamped in virtual time. With the cooperative farm backend, rerunning the same command produces a byte-identical trace.")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run an EOF campaign against a simulated board")
     Term.(
       const fuzz $ os_arg $ seed_arg $ iterations_arg $ boards $ sync_every
       $ farm_backend $ digest $ no_feedback $ no_dep $ no_watchdog $ irq $ verbose
-      $ crash_dir $ save_corpus $ load_corpus)
+      $ crash_dir $ save_corpus $ load_corpus $ log_level $ trace)
+
+(* --- eof trace ---------------------------------------------------------- *)
+
+let trace_summary file =
+  match Eof_obs.Trace.of_file file with
+  | summary ->
+    print_string (Eof_obs.Trace.render summary);
+    0
+  | exception Sys_error e ->
+    prerr_endline e;
+    1
+
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"A JSONL trace written by $(b,eof fuzz --trace).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Summarize a JSONL telemetry trace (time per phase, link traffic, coverage growth)")
+    Term.(const trace_summary $ file)
 
 (* --- eof spec ----------------------------------------------------------- *)
 
@@ -348,6 +404,6 @@ let main_cmd =
   let doc = "feedback-guided fuzzing of embedded OSs over a (simulated) debug port" in
   Cmd.group
     (Cmd.info "eof" ~version:"1.0.0" ~doc)
-    [ fuzz_cmd; spec_cmd; targets_cmd; artifact_cmd ]
+    [ fuzz_cmd; trace_cmd; spec_cmd; targets_cmd; artifact_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -48,19 +48,29 @@ let () =
   (match Liveness.check watchdog session with
    | Liveness.First_observation -> print_endline "4. watchdog armed (LastPC recorded)"
    | _ -> failwith "expected first observation");
-  (match ok (Session.continue_ session) with
-   | Session.Stopped_quantum _ -> ()
-   | _ -> failwith "expected another quantum stop");
-  (match Liveness.check watchdog session with
-   | Liveness.Pc_stalled pc ->
-     Printf.printf "5. PC stalled at 0x%08x -> unrecoverable state detected\n" pc
-   | _ -> failwith "expected a stall verdict");
+  (* The watchdog only declares a stall after the PC repeats on
+     [stall_threshold] consecutive checks — a single repeat is routine
+     (polling loops, breakpoint parking) and must not trigger a
+     reflash. *)
+  let rec wait_for_stall repeats =
+    (match ok (Session.continue_ session) with
+     | Session.Stopped_quantum _ -> ()
+     | _ -> failwith "expected another quantum stop");
+    match Liveness.check watchdog session with
+    | Liveness.Pc_stalled pc ->
+      Printf.printf
+        "5. PC stalled at 0x%08x after %d repeated samples -> unrecoverable state\n"
+        pc repeats
+    | Liveness.Alive -> wait_for_stall (repeats + 1)
+    | _ -> failwith "unexpected watchdog verdict"
+  in
+  wait_for_stall 1;
   print_string (ok (Session.drain_uart session));
 
   (* Algorithm 1, restoration side: reflash every partition, reboot. *)
   (match Liveness.restore session ~build with
    | Ok n -> Printf.printf "6. reflashed %d partitions from the golden image\n" n
-   | Error e -> failwith e);
+   | Error e -> failwith (Liveness.error_to_string e));
   (match ok (Session.continue_ session) with
    | Session.Stopped_breakpoint _ ->
      print_endline "7. target booted again; fuzzing resumes without manual intervention"

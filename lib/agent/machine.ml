@@ -9,7 +9,7 @@ type t = {
   session : Eof_debug.Session.t;
 }
 
-let create ?(continue_quantum = 200_000) ?transport build =
+let create ?obs ?(continue_quantum = 200_000) ?transport build =
   let board = Osbuild.board build in
   let syms = Osbuild.syms build in
   let engine =
@@ -18,20 +18,34 @@ let create ?(continue_quantum = 200_000) ?transport build =
   in
   let server = Eof_debug.Openocd.create ~continue_quantum ~board ~engine () in
   let transport =
-    match transport with Some t -> t | None -> Eof_debug.Transport.create ()
+    match transport with
+    | Some t -> t
+    | None -> Eof_debug.Transport.create ?obs ()
   in
-  match Eof_debug.Session.connect ~transport ~server with
-  | Ok session -> Ok { build; engine; server; transport; session }
+  match Eof_debug.Session.connect ?obs ~transport ~server () with
+  | Ok session ->
+    let t = { build; engine; server; transport; session } in
+    (* Timestamps on this machine's bus handle come from its own virtual
+       clock, never the host wall clock — the trace-determinism
+       guarantee hangs on this binding. *)
+    (match obs with
+     | Some bus ->
+       Eof_obs.Obs.set_clock bus (fun () ->
+           Clock.now_s (Board.clock board)
+           +. (Eof_debug.Transport.elapsed_us transport /. 1e6))
+     | None -> ());
+    Ok t
   | Error e -> Error (Eof_debug.Session.error_to_string e)
 
-let create_fleet ?continue_quantum ~boards mk_build =
+let create_fleet ?obs ?continue_quantum ~boards mk_build =
   if boards < 1 then Error "fleet: boards must be >= 1"
   else begin
     let rec go i acc =
       if i >= boards then Ok (Array.of_list (List.rev acc))
       else
         let build = mk_build i in
-        match create ?continue_quantum build with
+        let obs = Option.map (fun bus -> Eof_obs.Obs.for_board bus i) obs in
+        match create ?obs ?continue_quantum build with
         | Ok m -> go (i + 1) ((build, m) :: acc)
         | Error e -> Error (Printf.sprintf "board %d: %s" i e)
     in

@@ -8,12 +8,19 @@ open Eof_os
 type t
 
 val create :
+  ?obs:Eof_obs.Obs.t ->
   ?continue_quantum:int -> ?transport:Eof_debug.Transport.t -> Osbuild.t ->
   (t, string) result
 (** Boots nothing yet — the first [continue] starts the agent. Fails if
-    the RSP handshake over the transport fails. *)
+    the RSP handshake over the transport fails.
+
+    When [obs] is given it is threaded into the transport and session
+    (unless a pre-built [transport] is supplied), and its clock is bound
+    to this machine's {!virtual_elapsed_s} — events are timestamped in
+    virtual time, making traces deterministic. *)
 
 val create_fleet :
+  ?obs:Eof_obs.Obs.t ->
   ?continue_quantum:int -> boards:int -> (int -> Osbuild.t) ->
   ((Osbuild.t * t) array, string) result
 (** Construct [boards] fully independent targets from a per-board build

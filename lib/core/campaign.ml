@@ -7,6 +7,7 @@ module Wire = Eof_agent.Wire
 module Agent = Eof_agent.Agent
 module Machine = Eof_agent.Machine
 module Sancov = Eof_cov.Sancov
+module Obs = Eof_obs.Obs
 
 type config = {
   seed : int64;
@@ -14,6 +15,7 @@ type config = {
   feedback : bool;
   dep_aware : bool;
   stall_watchdog : bool;
+  stall_threshold : int;
   max_prog_len : int;
   mutation_bias : float;
   snapshot_every : int;
@@ -31,6 +33,7 @@ let default_config =
     feedback = true;
     dep_aware = true;
     stall_watchdog = true;
+    stall_threshold = Liveness.default_stall_threshold;
     max_prog_len = 12;
     mutation_bias = 0.8;
     snapshot_every = 10;
@@ -122,6 +125,10 @@ type state = {
       (* unrecoverable link failures in a row; 5 aborts the campaign *)
   mutable aborted : bool;
       (* an exception escaped an iteration: stop, keep what we have *)
+  obs : Obs.t;
+  c_payloads : Obs.Counter.t;
+  c_crash_events : Obs.Counter.t;
+  c_corpus_admits : Obs.Counter.t;
 }
 
 (* --- small helpers ---------------------------------------------------- *)
@@ -275,6 +282,7 @@ let scope_of_backtrace = function
 
 let record_crash st ~kind ~operation ~scope ~message ~backtrace ~monitor =
   st.crash_events <- st.crash_events + 1;
+  Obs.Counter.incr st.c_crash_events;
   let crash =
     {
       Crash.os = Osbuild.os_name st.build;
@@ -291,7 +299,10 @@ let record_crash st ~kind ~operation ~scope ~message ~backtrace ~monitor =
   let key = Crash.dedup_key crash in
   if not (Hashtbl.mem st.crash_table key) then begin
     Hashtbl.replace st.crash_table key crash;
-    st.crash_order <- crash :: st.crash_order
+    st.crash_order <- crash :: st.crash_order;
+    if Obs.active st.obs then
+      Obs.emit st.obs
+        (Obs.Event.Crash_found { kind = Crash.kind_name kind; operation })
   end
 
 (* Scan a log chunk for monitor-detectable events (assertions in
@@ -348,7 +359,7 @@ let reflash st =
     st.resets <- st.resets + 1;
     discard_pending st;
     Ok ()
-  | Error e -> Error e
+  | Error e -> Error (Liveness.error_to_string e)
 
 let reboot st =
   match Liveness.reboot_only st.session with
@@ -356,7 +367,7 @@ let reboot st =
     st.resets <- st.resets + 1;
     discard_pending st;
     Ok ()
-  | Error e -> Error e
+  | Error e -> Error (Session.error_to_string e)
 
 (* One continue plus full interpretation of the stop. *)
 type event =
@@ -709,7 +720,7 @@ let filter_spec (spec : Eof_spec.Ast.t) allow =
   in
   { spec with Eof_spec.Ast.calls; resources = produced }
 
-let init ?machine config build =
+let init ?machine ?obs config build =
   let table = Osbuild.api_signatures build in
   match Eof_spec.Synth.validated_of_api table with
   | Error e -> Error e
@@ -718,11 +729,20 @@ let init ?machine config build =
       match config.api_filter with None -> spec | Some allow -> filter_spec spec allow
     in
     let machine_result =
-      match machine with Some m -> Ok m | None -> Machine.create build
+      match machine with Some m -> Ok m | None -> Machine.create ?obs build
     in
     (match machine_result with
      | Error e -> Error e
      | Ok machine ->
+       (* The campaign may hold a different handle of the same bus than
+          the machine does (the farm derives one per board); bind this
+          one's clock to the same virtual time source. *)
+       (match obs with
+        | Some bus -> Obs.set_clock bus (fun () -> Machine.virtual_elapsed_s machine)
+        | None -> ());
+       let obs =
+         match obs with Some o -> o | None -> Session.obs (Machine.session machine)
+       in
        let rng = Rng.create config.seed in
        let gen =
          Gen.create ~dep_aware:config.dep_aware ~rng:(Rng.split rng) ~spec ~table ()
@@ -763,7 +783,7 @@ let init ?machine config build =
            last_was_child = false;
            fresh_yield = 1.0;
            last_was_fresh = false;
-           liveness = Liveness.create ();
+           liveness = Liveness.create ~obs ~stall_threshold:config.stall_threshold ();
            covlink;
            pend_rec = Array.make 256 0;
            pend_rec_len = 0;
@@ -775,6 +795,10 @@ let init ?machine config build =
            current_ops = [||];
            consecutive_failures = 0;
            aborted = false;
+           obs;
+           c_payloads = Obs.Counter.make obs "campaign.payloads";
+           c_crash_events = Obs.Counter.make obs "campaign.crash_events";
+           c_corpus_admits = Obs.Counter.make obs "campaign.corpus_admits";
          }
        in
        let arm addr =
@@ -827,15 +851,32 @@ let step st =
          (match write_program st prog with
           | Error _ -> st.consecutive_failures <- st.consecutive_failures + 1
           | Ok () ->
+            let payload_span = Obs.span_begin st.obs "campaign.payload" in
             (match run_program st ~budget:200 ~crashed:false with
-             | Error _ -> st.consecutive_failures <- st.consecutive_failures + 1
+             | Error _ ->
+               Obs.span_end st.obs payload_span;
+               st.consecutive_failures <- st.consecutive_failures + 1
              | Ok (status, crashed) ->
+               Obs.span_end st.obs payload_span;
+               Obs.Counter.incr st.c_payloads;
                st.consecutive_failures <- 0;
                (match status with
                 | `Completed | `Crashed ->
                   st.executed_programs <- st.executed_programs + 1
                 | `Rejected | `Aborted -> ());
                let new_edges = Feedback.covered st.fb - before in
+               if Obs.active st.obs then begin
+                 let status_name =
+                   match status with
+                   | `Completed -> "completed"
+                   | `Crashed -> "crashed"
+                   | `Rejected -> "rejected"
+                   | `Aborted -> "aborted"
+                 in
+                 Obs.emit st.obs
+                   (Obs.Event.Payload
+                      { iteration = st.iteration; status = status_name; new_edges })
+               end;
                if st.last_was_fresh then
                  st.fresh_yield <-
                    (0.95 *. st.fresh_yield)
@@ -857,6 +898,11 @@ let step st =
                  ignore
                    (Corpus.add st.corpus ~prog ~new_edges ~crashed:fresh_crash
                      : bool);
+                 Obs.Counter.incr st.c_corpus_admits;
+                 if Obs.active st.obs then
+                   Obs.emit st.obs
+                     (Obs.Event.Corpus_admit
+                        { new_edges; size = Corpus.size st.corpus });
                  (* Focused exploitation pays on narrow finds —
                     a fresh comparison bucket worth hill-climbing.
                     Broad hauls come from fresh exploration, which
@@ -891,8 +937,8 @@ let iteration st = st.iteration
 
 let virtual_s st = Machine.virtual_elapsed_s st.machine
 
-let run ?machine config build =
-  match init ?machine config build with
+let run ?machine ?obs config build =
+  match init ?machine ?obs config build with
   | Error e -> Error e
   | Ok st ->
     while not (finished st) do

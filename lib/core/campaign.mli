@@ -19,6 +19,9 @@ type config = {
   feedback : bool;
   dep_aware : bool;
   stall_watchdog : bool;
+  stall_threshold : int;
+      (** consecutive identical PC samples before the stall watchdog
+          fires (see {!Liveness.default_stall_threshold}) *)
   max_prog_len : int;
   mutation_bias : float;
       (** ceiling for P(mutate a corpus seed); the actual split tracks
@@ -78,11 +81,18 @@ val filter_spec : Eof_spec.Ast.t -> string list -> Eof_spec.Ast.t
 (** Restrict a spec to an allowlist of call names, dropping resource
     kinds that lose all producers (shared with the baseline drivers). *)
 
-val run : ?machine:Eof_agent.Machine.t -> config -> Osbuild.t -> (outcome, string) result
+val run :
+  ?machine:Eof_agent.Machine.t -> ?obs:Eof_obs.Obs.t -> config -> Osbuild.t ->
+  (outcome, string) result
 (** Runs the loop to the iteration budget (or aborts early after
     repeated unrecoverable link failures, returning what it has).
     Equivalent to {!init} followed by {!step} until {!finished} and a
-    final {!finish} — it is exactly that. *)
+    final {!finish} — it is exactly that.
+
+    [obs] is the telemetry bus: the campaign emits per-payload events
+    and spans ([Payload], [Corpus_admit], [Crash_found], plus whatever
+    the layers below emit) and bumps [campaign.*] counters. Purely a
+    reporting plane — outcomes are identical with or without it. *)
 
 (** {2 Reentrant single-board stepping}
 
@@ -98,10 +108,12 @@ type state
     crash table, pending link data, failure counters. One board each. *)
 
 val init :
-  ?machine:Eof_agent.Machine.t -> config -> Osbuild.t -> (state, string) result
+  ?machine:Eof_agent.Machine.t -> ?obs:Eof_obs.Obs.t -> config -> Osbuild.t ->
+  (state, string) result
 (** Synthesize + validate the spec, wire the machine (creating one when
     not supplied), arm the binding-point breakpoints, replay
-    [initial_seeds]. Fails only on spec or link-bringup errors. *)
+    [initial_seeds]. Fails only on spec or link-bringup errors. When
+    [obs] is given its clock is bound to this board's virtual time. *)
 
 val step : state -> unit
 (** One campaign iteration: advance to [executor_main], pick/mutate a

@@ -2,6 +2,7 @@ open Eof_os
 module Rng = Eof_util.Rng
 module Bitset = Eof_util.Bitset
 module Machine = Eof_agent.Machine
+module Obs = Eof_obs.Obs
 
 type backend = Cooperative | Domains
 
@@ -65,21 +66,30 @@ type shared = {
   mutable virtual_max : float;  (* farm clock high-water mark at merges *)
   mutable syncs : int;
   mutable series_rev : sync_sample list;
+  obs : Obs.t;  (* farm-level handle: epoch-sync events, no board tag *)
 }
 
-let make_shared ~edge_capacity ~boards ~seed =
-  {
-    fb = Feedback.create ~edge_capacity;
-    (* Big enough that no shard's survivors are evicted from the global
-       view; its rng is never used (the farm never [pick]s from it). *)
-    corpus = Corpus.create ~capacity:(512 * boards) ~rng:(Rng.create seed) ();
-    crash_keys = Hashtbl.create 64;
-    crashes_rev = [];
-    executed_synced = 0;
-    virtual_max = 0.;
-    syncs = 0;
-    series_rev = [];
-  }
+let make_shared ?obs ~edge_capacity ~boards ~seed () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let s =
+    {
+      fb = Feedback.create ~edge_capacity;
+      (* Big enough that no shard's survivors are evicted from the global
+         view; its rng is never used (the farm never [pick]s from it). *)
+      corpus = Corpus.create ~capacity:(512 * boards) ~rng:(Rng.create seed) ();
+      crash_keys = Hashtbl.create 64;
+      crashes_rev = [];
+      executed_synced = 0;
+      virtual_max = 0.;
+      syncs = 0;
+      series_rev = [];
+      obs;
+    }
+  in
+  (* Farm-level events are timestamped by the merge high-water mark —
+     deterministic under the cooperative backend. *)
+  Obs.set_clock obs (fun () -> s.virtual_max);
+  s
 
 (* Merge one shard's discoveries into the global structures. Cheap by
    construction: the coverage merge is one bitmap union, the corpus
@@ -101,11 +111,16 @@ let merge_board shared st ~delta_executed =
 
 let record_sample shared =
   shared.syncs <- shared.syncs + 1;
+  let coverage = Feedback.covered shared.fb in
+  if Obs.active shared.obs then
+    Obs.emit shared.obs
+      (Obs.Event.Epoch_sync
+         { sync = shared.syncs; executed = shared.executed_synced; coverage });
   shared.series_rev <-
     {
       executed = shared.executed_synced;
       virtual_s = shared.virtual_max;
-      coverage = Feedback.covered shared.fb;
+      coverage;
     }
     :: shared.series_rev
 
@@ -204,12 +219,12 @@ let run_domains config shared states =
 
 (* --- top level ---------------------------------------------------------- *)
 
-let run (config : config) mk_build =
+let run ?obs (config : config) mk_build =
   if config.boards < 1 then Error "farm: boards must be >= 1"
   else if config.sync_every < 1 then Error "farm: sync_every must be >= 1"
   else begin
     let t0 = Unix.gettimeofday () in
-    match Machine.create_fleet ~boards:config.boards mk_build with
+    match Machine.create_fleet ?obs ~boards:config.boards mk_build with
     | Error e -> Error e
     | Ok fleet ->
       let edge_capacity = Osbuild.edge_capacity (fst fleet.(0)) in
@@ -228,7 +243,8 @@ let run (config : config) mk_build =
                   shard_iterations ~total:config.base.iterations ~boards:config.boards i;
               }
             in
-            match Campaign.init ~machine cfg build with
+            let board_obs = Option.map (fun bus -> Obs.for_board bus i) obs in
+            match Campaign.init ~machine ?obs:board_obs cfg build with
             | Ok st -> init_all (i + 1) (st :: acc)
             | Error e -> Error (Printf.sprintf "board %d: %s" i e)
           end
@@ -237,7 +253,8 @@ let run (config : config) mk_build =
         | Error e -> Error e
         | Ok states ->
           let shared =
-            make_shared ~edge_capacity ~boards:config.boards ~seed:config.base.seed
+            make_shared ?obs ~edge_capacity ~boards:config.boards
+              ~seed:config.base.seed ()
           in
           (match config.backend with
            | Cooperative -> run_cooperative config shared states

@@ -81,10 +81,17 @@ type outcome = {
   per_board : Campaign.outcome array;  (** each shard's own outcome *)
 }
 
-val run : config -> (int -> Osbuild.t) -> (outcome, string) result
+val run : ?obs:Eof_obs.Obs.t -> config -> (int -> Osbuild.t) -> (outcome, string) result
 (** [run config mk_build] builds one target per board via [mk_build i]
     (factories are called sequentially and need not be thread-safe),
     shards the campaign and runs it to the total budget. Fails if any
     board fails to build or bring up its link, or if the boards
     disagree on coverage-map capacity (they must be builds of the same
-    target). *)
+    target).
+
+    With [obs], each board emits on a {!Eof_obs.Obs.for_board}-derived
+    handle of the same bus (events carry the board index, timestamped by
+    that board's virtual clock) and the farm itself emits an
+    [Epoch_sync] event per merge, timestamped by the farm clock. Under
+    the {!Cooperative} backend the full event stream is deterministic;
+    under {!Domains} the interleaving follows domain scheduling. *)

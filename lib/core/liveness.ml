@@ -1,40 +1,80 @@
 open Eof_hw
 open Eof_os
 module Session = Eof_debug.Session
+module Obs = Eof_obs.Obs
 
 type verdict = Alive | First_observation | Connection_lost | Pc_stalled of int
 
-type t = { mutable last_pc : int option }
+type error = Link of Session.error | Missing_blob of string
 
-let create () = { last_pc = None }
+let error_to_string = function
+  | Link e -> Session.error_to_string e
+  | Missing_blob name -> Printf.sprintf "image has no blob for partition %s" name
 
-let reset t = t.last_pc <- None
+type t = {
+  threshold : int;
+  obs : Obs.t;
+  mutable last_pc : int option;
+  mutable streak : int;
+}
+
+let default_stall_threshold = 3
+
+let create ?obs ?(stall_threshold = default_stall_threshold) () =
+  if stall_threshold < 1 then invalid_arg "Liveness.create: stall_threshold must be >= 1";
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  { threshold = stall_threshold; obs; last_pc = None; streak = 0 }
+
+let stall_threshold t = t.threshold
+
+let stall_streak t = t.streak
+
+let reset t =
+  t.last_pc <- None;
+  t.streak <- 0
+
+let verdict_name = function
+  | Alive -> "alive"
+  | First_observation -> "first-observation"
+  | Connection_lost -> "connection-lost"
+  | Pc_stalled _ -> "pc-stalled"
+
+let observe t verdict ~pc =
+  if Obs.active t.obs then
+    Obs.emit t.obs
+      (Obs.Event.Liveness_verdict { verdict = verdict_name verdict; pc });
+  verdict
 
 let check t session =
   match Session.read_pc session with
-  | Error Session.Timeout -> Connection_lost
-  | Error _ -> Connection_lost
+  | Error _ -> observe t Connection_lost ~pc:(-1)
   | Ok pc ->
     (match t.last_pc with
      | None ->
        t.last_pc <- Some pc;
-       First_observation
-     | Some prev when prev = pc -> Pc_stalled pc
+       t.streak <- 0;
+       observe t First_observation ~pc
+     | Some prev when prev = pc ->
+       (* One repeated sample is routine — a target parked at a
+          breakpoint or polling loop re-reads the same PC. Only a run of
+          [threshold] consecutive identical samples is declared a stall. *)
+       t.streak <- t.streak + 1;
+       if t.streak >= t.threshold then observe t (Pc_stalled pc) ~pc
+       else observe t Alive ~pc
      | Some _ ->
        t.last_pc <- Some pc;
-       Alive)
+       t.streak <- 0;
+       observe t Alive ~pc)
 
-let ( let* ) r f =
-  match r with Ok v -> f v | Error e -> Error (Session.error_to_string e)
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error (Link e)
 
-let restore session ~build =
-  let image = Osbuild.image build in
-  let flash_base = (Board.profile (Osbuild.board build)).Board.flash_base in
+let restore_partitions ?obs session ~flash_base ~image ~table =
+  let obs = match obs with Some o -> o | None -> Session.obs session in
   let rec reflash count = function
     | [] -> Ok count
     | (e : Partition.entry) :: rest ->
       (match List.assoc_opt e.Partition.name image.Image.blobs with
-       | None -> Error (Printf.sprintf "image has no blob for partition %s" e.Partition.name)
+       | None -> Error (Missing_blob e.Partition.name)
        | Some blob ->
          let* () =
            Session.flash_erase session ~addr:(flash_base + e.Partition.offset)
@@ -58,14 +98,25 @@ let restore session ~build =
           | Error _ as err -> err
           | Ok () ->
             let* () = Session.flash_done session in
+            if Obs.active obs then
+              Obs.emit obs
+                (Obs.Event.Reflash_partition
+                   { partition = e.Partition.name; bytes = String.length blob });
             reflash (count + 1) rest))
   in
-  match reflash 0 image.Image.table with
+  reflash 0 table
+
+let restore ?obs session ~build =
+  let image = Osbuild.image build in
+  let flash_base = (Board.profile (Osbuild.board build)).Board.flash_base in
+  let obs = match obs with Some o -> o | None -> Session.obs session in
+  match restore_partitions ~obs session ~flash_base ~image ~table:image.Image.table with
   | Error _ as e -> e
   | Ok count ->
     let* () = Session.reset_target session in
+    if Obs.active obs then
+      Obs.emit obs (Obs.Event.Restore_done { partitions = count });
     Ok count
 
 let reboot_only session =
-  let* () = Session.reset_target session in
-  Ok ()
+  match Session.reset_target session with Ok () -> Ok () | Error e -> Error e

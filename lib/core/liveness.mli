@@ -16,21 +16,62 @@ type verdict =
   | Connection_lost
   | Pc_stalled of int
 
+(** Typed restoration failure — stringly only at the reporting
+    boundary (see {!error_to_string}). *)
+type error =
+  | Link of Eof_debug.Session.error  (** the debug link failed mid-restore *)
+  | Missing_blob of string
+      (** the partition table names a partition the image has no blob for *)
+
+val error_to_string : error -> string
+
 type t
 
-val create : unit -> t
+val default_stall_threshold : int
+(** 3: a stall is declared only after this many {e consecutive} repeated
+    PC samples. One repeat is routine (breakpoint parking, polling
+    loops); demanding a streak keeps the watchdog from reflashing a
+    healthy target. *)
+
+val create : ?obs:Eof_obs.Obs.t -> ?stall_threshold:int -> unit -> t
+(** @raise Invalid_argument when [stall_threshold < 1]. With [obs],
+    every {!check} emits a [Liveness_verdict] event. *)
+
+val stall_threshold : t -> int
+
+val stall_streak : t -> int
+(** Current consecutive-repeat count (0 after progress or {!reset}). *)
 
 val reset : t -> unit
-(** Forget LastPC (call when the target demonstrably made progress). *)
+(** Forget LastPC and the stall streak (call when the target
+    demonstrably made progress). *)
 
 val check : t -> Eof_debug.Session.t -> verdict
-(** One LivenessWatchDog() evaluation. *)
+(** One LivenessWatchDog() evaluation. [Pc_stalled] requires the PC to
+    repeat on [stall_threshold] consecutive checks; any new PC value
+    resets the streak and yields [Alive]. *)
+
+val restore_partitions :
+  ?obs:Eof_obs.Obs.t ->
+  Eof_debug.Session.t ->
+  flash_base:int ->
+  image:Eof_hw.Image.t ->
+  table:Eof_hw.Partition.t ->
+  (int, error) result
+(** Reflash each [table] entry from [image]'s blobs in 2048-byte chunks
+    (no reboot); returns the number of partitions written. Emits a
+    [Reflash_partition] event per partition. Exposed separately from
+    {!restore} so tests can drive hand-built tables (missing-blob error
+    path, odd-sized final chunks). *)
 
 val restore :
-  Eof_debug.Session.t -> build:Osbuild.t -> (int, string) result
+  ?obs:Eof_obs.Obs.t ->
+  Eof_debug.Session.t -> build:Osbuild.t -> (int, error) result
 (** StateRestoration(): reflash each partition and reboot; returns the
     number of partitions written. The post-reboot settling delay is
-    charged to the link. *)
+    charged to the link. Emits [Reflash_partition] events and a final
+    [Restore_done]. When [obs] is omitted the session's own bus is
+    used. *)
 
-val reboot_only : Eof_debug.Session.t -> (unit, string) result
+val reboot_only : Eof_debug.Session.t -> (unit, Eof_debug.Session.error) result
 (** A plain reset, for degraded states with an intact image. *)

@@ -1,8 +1,13 @@
 module Sancov = Eof_cov.Sancov
+module Obs = Eof_obs.Obs
 
 type t = {
   session : Session.t;
   layout : Sancov.Layout.t;
+  obs : Obs.t;
+  c_drains : Obs.Counter.t;
+  c_records : Obs.Counter.t;
+  c_cmp : Obs.Counter.t;
 }
 
 type drained = {
@@ -15,7 +20,22 @@ type drained = {
 
 let empty_drained = { n_records = 0; records_raw = ""; n_cmp = 0; cmp_raw = ""; log = "" }
 
-let create ~session ~layout = { session; layout }
+let create ~session ~layout =
+  let obs = Session.obs session in
+  { session; layout; obs;
+    c_drains = Obs.Counter.make obs "covlink.drains";
+    c_records = Obs.Counter.make obs "covlink.records";
+    c_cmp = Obs.Counter.make obs "covlink.cmp" }
+
+let observe_drained t ~fused d =
+  Obs.Counter.incr t.c_drains;
+  Obs.Counter.add t.c_records d.n_records;
+  Obs.Counter.add t.c_cmp d.n_cmp;
+  if Obs.active t.obs then
+    Obs.emit t.obs
+      (Obs.Event.Drain
+         { records = d.n_records; cmp = d.n_cmp;
+           log_bytes = String.length d.log; fused })
 
 let session t = t.session
 
@@ -69,9 +89,15 @@ let interpret t ~want_cmp replies =
   | _ -> Error (Session.Protocol "covlink: unexpected drain reply shape")
 
 let drain t ~want_cmp =
-  match Session.batch t.session (drain_ops t ~want_cmp) with
-  | Error e -> Error e
-  | Ok replies -> interpret t ~want_cmp replies
+  let span = Obs.span_begin t.obs "covlink.drain" in
+  let result =
+    match Session.batch t.session (drain_ops t ~want_cmp) with
+    | Error e -> Error e
+    | Ok replies -> interpret t ~want_cmp replies
+  in
+  Obs.span_end t.obs span;
+  (match result with Ok d -> observe_drained t ~fused:false d | Error _ -> ());
+  result
 
 let continue_replies t ~want_cmp = function
   | stop_r :: rest ->
@@ -94,13 +120,21 @@ let continue_and_drain ?write t ~want_cmp =
     | Some (addr, data) -> [ Rsp.B_write { addr; data } ]
   in
   let ops = prefix @ (Rsp.B_continue :: drain_ops t ~want_cmp) in
-  match Session.batch t.session ops with
-  | Error e -> Error e
-  | Ok replies ->
-    (* Peel the optional write acknowledgement off the front; a failed
-       write must not be silently continued past. *)
-    (match (write, replies) with
-     | Some _, Rsp.Br_error n :: _ -> Error (Session.Remote n)
-     | Some _, Rsp.Br_ok :: rest -> continue_replies t ~want_cmp rest
-     | Some _, _ -> Error (Session.Protocol "covlink: write sub-reply is not an ack")
-     | None, rest -> continue_replies t ~want_cmp rest)
+  let span = Obs.span_begin t.obs "covlink.exchange" in
+  let result =
+    match Session.batch t.session ops with
+    | Error e -> Error e
+    | Ok replies ->
+      (* Peel the optional write acknowledgement off the front; a failed
+         write must not be silently continued past. *)
+      (match (write, replies) with
+       | Some _, Rsp.Br_error n :: _ -> Error (Session.Remote n)
+       | Some _, Rsp.Br_ok :: rest -> continue_replies t ~want_cmp rest
+       | Some _, _ -> Error (Session.Protocol "covlink: write sub-reply is not an ack")
+       | None, rest -> continue_replies t ~want_cmp rest)
+  in
+  Obs.span_end t.obs span;
+  (match result with
+   | Ok (_, d) -> observe_drained t ~fused:true d
+   | Error _ -> ());
+  result

@@ -8,6 +8,8 @@ type stop =
   | Stopped_fault of int
   | Target_exited
 
+module Obs = Eof_obs.Obs
+
 type t = {
   transport : Transport.t;
   server : Openocd.t;
@@ -16,6 +18,11 @@ type t = {
   endianness : Arch.endianness;
   mutable requests : int;
   mutable features : string;  (* the stub's qSupported reply *)
+  obs : Obs.t;
+  c_batches : Obs.Counter.t;
+  c_batch_ops : Obs.Counter.t;
+  c_flash_ops : Obs.Counter.t;
+  c_stops : Obs.Counter.t;
 }
 
 let ( let* ) = Result.bind
@@ -61,9 +68,10 @@ let expect_hex t payload =
   | Rsp.Error_reply n -> Error (Remote n)
   | _ -> Error (Protocol "expected hex data")
 
-let connect ~transport ~server =
+let connect ?obs ~transport ~server () =
   let board = Openocd.board server in
   let arch = (Board.profile board).Board.arch in
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let t =
     {
       transport;
@@ -73,6 +81,11 @@ let connect ~transport ~server =
       endianness = arch.Arch.endianness;
       requests = 0;
       features = "";
+      obs;
+      c_batches = Obs.Counter.make obs "session.batches";
+      c_batch_ops = Obs.Counter.make obs "session.batch_ops";
+      c_flash_ops = Obs.Counter.make obs "session.flash_ops";
+      c_stops = Obs.Counter.make obs "session.stops";
     }
   in
   let* reply = request t (Rsp.render_command (Rsp.Q_supported "swbreak+;vBatch+;X+")) in
@@ -97,6 +110,10 @@ let write_mem_bin t ~addr data =
   expect_ok t (Rsp.render_command (Rsp.Write_mem_bin { addr; data }))
 
 let batch t ops =
+  Obs.Counter.incr t.c_batches;
+  Obs.Counter.add t.c_batch_ops (List.length ops);
+  if Obs.active t.obs then
+    Obs.emit t.obs (Obs.Event.Batch { ops = List.length ops });
   let* reply = request t (Rsp.render_command (Rsp.Batch ops)) in
   match reply with
   | Rsp.Raw s when String.length s >= 1 && s.[0] = 'b' ->
@@ -129,6 +146,16 @@ let set_breakpoint t addr = expect_ok t (Rsp.render_command (Rsp.Insert_breakpoi
 
 let remove_breakpoint t addr = expect_ok t (Rsp.render_command (Rsp.Remove_breakpoint addr))
 
+let stop_kind = function
+  | Stopped_breakpoint _ -> "breakpoint"
+  | Stopped_quantum _ -> "quantum"
+  | Stopped_fault _ -> "fault"
+  | Target_exited -> "exited"
+
+let stop_pc = function
+  | Stopped_breakpoint pc | Stopped_quantum pc | Stopped_fault pc -> pc
+  | Target_exited -> -1
+
 let stop_of_reply = function
   | Rsp.Stop { signal = _; pc; detail = "swbreak" } -> Ok (Stopped_breakpoint pc)
   | Rsp.Stop { signal = _; pc; detail = "quantum" } -> Ok (Stopped_quantum pc)
@@ -140,18 +167,28 @@ let stop_of_reply = function
   | Rsp.Error_reply n -> Error (Remote n)
   | _ -> Error (Protocol "expected stop reply")
 
+let observe_stop t result =
+  (match result with
+   | Ok stop ->
+     Obs.Counter.incr t.c_stops;
+     if Obs.active t.obs then
+       Obs.emit t.obs
+         (Obs.Event.Stop { kind = stop_kind stop; pc = stop_pc stop })
+   | Error _ -> ());
+  result
+
 let decode_stop t payload =
   match Rsp.parse_reply ~pc_reg:t.pc_reg payload with
   | Error e -> Error (Protocol e)
-  | Ok reply -> stop_of_reply reply
+  | Ok reply -> observe_stop t (stop_of_reply reply)
 
 let continue_ t =
   let* reply = request t (Rsp.render_command Rsp.Continue) in
-  stop_of_reply reply
+  observe_stop t (stop_of_reply reply)
 
 let step t =
   let* reply = request t (Rsp.render_command Rsp.Step) in
-  stop_of_reply reply
+  observe_stop t (stop_of_reply reply)
 
 let read_pc t =
   let* raw = expect_hex t (Rsp.render_command Rsp.Read_registers) in
@@ -166,12 +203,22 @@ let read_pc t =
     in
     Ok (Int32.to_int (Int32.logand v 0x7FFFFFFFl))
 
-let flash_erase t ~addr ~len = expect_ok t (Rsp.render_command (Rsp.Flash_erase { addr; len }))
+let observe_flash t ~op ~addr ~len =
+  Obs.Counter.incr t.c_flash_ops;
+  if Obs.active t.obs then
+    Obs.emit t.obs (Obs.Event.Flash_op { op; addr; len })
+
+let flash_erase t ~addr ~len =
+  observe_flash t ~op:"erase" ~addr ~len;
+  expect_ok t (Rsp.render_command (Rsp.Flash_erase { addr; len }))
 
 let flash_write t ~addr data =
+  observe_flash t ~op:"write" ~addr ~len:(String.length data);
   expect_ok t (Rsp.render_command (Rsp.Flash_write { addr; data }))
 
-let flash_done t = expect_ok t (Rsp.render_command Rsp.Flash_done)
+let flash_done t =
+  observe_flash t ~op:"done" ~addr:0 ~len:0;
+  expect_ok t (Rsp.render_command Rsp.Flash_done)
 
 let monitor t cmd =
   let* reply = request t (Rsp.render_command (Rsp.Monitor cmd)) in
@@ -185,6 +232,7 @@ let monitor t cmd =
   | _ -> Error (Protocol "unexpected qRcmd reply")
 
 let reset_target t =
+  if Obs.active t.obs then Obs.emit t.obs Obs.Event.Reset_board;
   let* _ = monitor t "reset" in
   Ok ()
 
@@ -207,3 +255,5 @@ let target_cycles t =
   | None -> Error (Protocol ("bad cycles reply: " ^ text))
 
 let requests t = t.requests
+
+let obs t = t.obs

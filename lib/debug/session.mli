@@ -18,8 +18,14 @@ type stop =
 
 type t
 
-val connect : transport:Transport.t -> server:Openocd.t -> (t, error) result
-(** Performs the [qSupported] handshake. *)
+val connect :
+  ?obs:Eof_obs.Obs.t -> transport:Transport.t -> server:Openocd.t -> unit ->
+  (t, error) result
+(** Performs the [qSupported] handshake.
+
+    With [obs], the session emits [Batch]/[Stop]/[Flash_op]/[Reset_board]
+    events and bumps [session.batches]/[session.batch_ops]/
+    [session.flash_ops]/[session.stops] counters. *)
 
 val read_mem : t -> addr:int -> len:int -> (string, error) result
 
@@ -84,5 +90,9 @@ val boot_ok : t -> (bool, error) result
 val target_cycles : t -> (int64, error) result
 
 val requests : t -> int
+
+val obs : t -> Eof_obs.Obs.t
+(** The bus this session emits on (an inert private bus when none was
+    supplied to {!connect}). *)
 
 val error_to_string : error -> string

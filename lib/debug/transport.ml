@@ -8,12 +8,23 @@ type t = {
   mutable elapsed_us : float;
   mutable exchanges : int;
   mutable timeouts : int;
+  obs : Eof_obs.Obs.t;
+  c_exchanges : Eof_obs.Obs.Counter.t;
+  c_timeouts : Eof_obs.Obs.Counter.t;
+  c_bytes_tx : Eof_obs.Obs.Counter.t;
+  c_bytes_rx : Eof_obs.Obs.Counter.t;
 }
 
-let create ?rng ?(byte_latency_us = 1.0) ?(exchange_overhead_us = 40.0) () =
+let create ?obs ?rng ?(byte_latency_us = 1.0) ?(exchange_overhead_us = 40.0) () =
   let rng = match rng with Some r -> r | None -> Eof_util.Rng.create 0x7712AB34L in
+  let obs = match obs with Some o -> o | None -> Eof_obs.Obs.create () in
   { rng; byte_latency_us; exchange_overhead_us; mode = Up; elapsed_us = 0.;
-    exchanges = 0; timeouts = 0 }
+    exchanges = 0; timeouts = 0;
+    obs;
+    c_exchanges = Eof_obs.Obs.Counter.make obs "transport.exchanges";
+    c_timeouts = Eof_obs.Obs.Counter.make obs "transport.timeouts";
+    c_bytes_tx = Eof_obs.Obs.Counter.make obs "transport.bytes_tx";
+    c_bytes_rx = Eof_obs.Obs.Counter.make obs "transport.bytes_rx" }
 
 let set_failure_mode t mode = t.mode <- mode
 
@@ -25,6 +36,9 @@ let timeout_cost_us = 500_000.
 
 let exchange t ~server request =
   t.exchanges <- t.exchanges + 1;
+  Eof_obs.Obs.Counter.incr t.c_exchanges;
+  let tx = String.length request in
+  Eof_obs.Obs.Counter.add t.c_bytes_tx tx;
   let lost =
     match t.mode with
     | Up -> false
@@ -33,15 +47,23 @@ let exchange t ~server request =
   in
   if lost then begin
     t.timeouts <- t.timeouts + 1;
+    Eof_obs.Obs.Counter.incr t.c_timeouts;
     t.elapsed_us <- t.elapsed_us +. timeout_cost_us;
+    if Eof_obs.Obs.active t.obs then
+      Eof_obs.Obs.emit t.obs
+        (Eof_obs.Obs.Event.Exchange { tx; rx = 0; timeout = true });
     Error `Timeout
   end
   else begin
     let response = server request in
-    let bytes = String.length request + String.length response in
+    let rx = String.length response in
+    Eof_obs.Obs.Counter.add t.c_bytes_rx rx;
     t.elapsed_us <-
       t.elapsed_us +. t.exchange_overhead_us
-      +. (float_of_int bytes *. t.byte_latency_us);
+      +. (float_of_int (tx + rx) *. t.byte_latency_us);
+    if Eof_obs.Obs.active t.obs then
+      Eof_obs.Obs.emit t.obs
+        (Eof_obs.Obs.Event.Exchange { tx; rx; timeout = false });
     Ok response
   end
 

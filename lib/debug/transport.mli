@@ -14,11 +14,17 @@ type failure_mode = Up | Down | Flaky of float
 type t
 
 val create :
+  ?obs:Eof_obs.Obs.t ->
   ?rng:Eof_util.Rng.t -> ?byte_latency_us:float -> ?exchange_overhead_us:float ->
   unit -> t
 (** Default latency: 1 us/byte (~1 MBaud SWD) plus a fixed 40 us per
     exchange (probe/USB turnaround) — the round-trip cost that makes
-    batched exchanges pay, charged identically to every client. *)
+    batched exchanges pay, charged identically to every client.
+
+    When [obs] is given, every round trip emits an
+    [Exchange {tx; rx; timeout}] event and bumps the
+    [transport.exchanges]/[transport.timeouts]/[transport.bytes_tx]/
+    [transport.bytes_rx] counters. *)
 
 val set_failure_mode : t -> failure_mode -> unit
 

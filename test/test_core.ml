@@ -339,7 +339,7 @@ let test_liveness_restore_over_session () =
   Alcotest.(check bool) "damaged" false (Eof_hw.Board.boot_ok board);
   (match Liveness.restore session ~build with
    | Ok n -> Alcotest.(check int) "three partitions" 3 n
-   | Error e -> Alcotest.fail e);
+   | Error e -> Alcotest.fail (Liveness.error_to_string e));
   Alcotest.(check bool) "boots" true (Eof_hw.Board.boot_ok board)
 
 let test_liveness_watchdog_timeout () =
@@ -864,4 +864,241 @@ let suite =
       Alcotest.test_case "batched equals unbatched" `Quick test_batched_equals_unbatched;
       Alcotest.test_case "batched flaky deterministic" `Quick
         test_batched_flaky_deterministic;
+    ]
+
+(* --- liveness stall streaks and restore edge cases --------------------- *)
+
+module Obs = Eof_obs.Obs
+
+let fresh_machine ?obs () =
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  match Eof_agent.Machine.create ?obs build with
+  | Ok m -> (build, m)
+  | Error e -> Alcotest.fail e
+
+let test_stall_requires_streak () =
+  (* The PC of a freshly connected target does not move between reads,
+     so repeated checks walk the streak up deterministically. *)
+  let _, machine = fresh_machine () in
+  let session = Eof_agent.Machine.session machine in
+  let wd = Liveness.create () in
+  Alcotest.(check int) "default threshold" 3 (Liveness.stall_threshold wd);
+  (match Liveness.check wd session with
+   | Liveness.First_observation -> ()
+   | _ -> Alcotest.fail "first check arms the watchdog");
+  (* Repeats below the threshold are Alive, not a stall. *)
+  for i = 1 to 2 do
+    match Liveness.check wd session with
+    | Liveness.Alive -> Alcotest.(check int) "streak grows" i (Liveness.stall_streak wd)
+    | v ->
+      Alcotest.fail
+        (Printf.sprintf "repeat %d must stay alive (streak %d), got %s" i
+           (Liveness.stall_streak wd)
+           (match v with
+            | Liveness.Pc_stalled _ -> "pc-stalled"
+            | Liveness.Connection_lost -> "connection-lost"
+            | Liveness.First_observation -> "first-observation"
+            | Liveness.Alive -> "alive"))
+  done;
+  (* The third consecutive repeat crosses the default threshold. *)
+  (match Liveness.check wd session with
+   | Liveness.Pc_stalled _ -> ()
+   | _ -> Alcotest.fail "threshold-th repeat must declare a stall")
+
+let test_stall_streak_resets_on_progress () =
+  let _, machine = fresh_machine () in
+  let session = Eof_agent.Machine.session machine in
+  let wd = Liveness.create () in
+  ignore (Liveness.check wd session);
+  ignore (Liveness.check wd session);
+  ignore (Liveness.check wd session);
+  Alcotest.(check int) "two repeats banked" 2 (Liveness.stall_streak wd);
+  (* Any PC movement wipes the streak: step the target forward. *)
+  (match Eof_debug.Session.step session with
+   | Ok _ -> ()
+   | Error e -> Alcotest.fail (Eof_debug.Session.error_to_string e));
+  (match Liveness.check wd session with
+   | Liveness.Alive -> ()
+   | _ -> Alcotest.fail "new PC must be alive");
+  Alcotest.(check int) "streak cleared" 0 (Liveness.stall_streak wd);
+  (* And the stall needs a full fresh streak again. *)
+  (match Liveness.check wd session with
+   | Liveness.Alive -> ()
+   | _ -> Alcotest.fail "single repeat after progress is not a stall");
+  (* reset clears even the armed LastPC. *)
+  Liveness.reset wd;
+  (match Liveness.check wd session with
+   | Liveness.First_observation -> ()
+   | _ -> Alcotest.fail "reset must disarm the watchdog")
+
+let test_stall_threshold_one_and_validation () =
+  (* threshold 1 reproduces the old single-repeat behaviour. *)
+  let _, machine = fresh_machine () in
+  let session = Eof_agent.Machine.session machine in
+  let wd = Liveness.create ~stall_threshold:1 () in
+  ignore (Liveness.check wd session);
+  (match Liveness.check wd session with
+   | Liveness.Pc_stalled _ -> ()
+   | _ -> Alcotest.fail "threshold 1 must stall on the first repeat");
+  match Liveness.create ~stall_threshold:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threshold 0 must be rejected"
+
+let flash_ops events =
+  List.filter_map
+    (function
+      | _, _, Obs.Event.Flash_op { op; addr; len } -> Some (op, addr, len)
+      | _ -> None)
+    events
+
+let test_restore_partitions_odd_final_chunk () =
+  let bus = Obs.create () in
+  let sink, events = Obs.memory_sink () in
+  Obs.add_sink bus sink;
+  let build, machine = fresh_machine ~obs:bus () in
+  let session = Eof_agent.Machine.session machine in
+  let flash_base =
+    (Eof_hw.Board.profile (Osbuild.board build)).Eof_hw.Board.flash_base
+  in
+  (* A 3000-byte blob crosses one full 2048-byte packet and leaves an
+     odd 952-byte tail. *)
+  let table = [ { Eof_hw.Partition.name = "odd"; offset = 0; size = 4096 } ] in
+  let image = Eof_hw.Image.build_exn ~table ~blobs:[ ("odd", String.make 3000 'k') ] in
+  (match Liveness.restore_partitions session ~flash_base ~image ~table with
+   | Ok n -> Alcotest.(check int) "one partition" 1 n
+   | Error e -> Alcotest.fail (Liveness.error_to_string e));
+  let writes =
+    List.filter_map
+      (fun (op, addr, len) -> if op = "write" then Some (addr, len) else None)
+      (flash_ops (events ()))
+  in
+  (match writes with
+   | [ (a1, 2048); (a2, 952) ] ->
+     Alcotest.(check int) "first chunk at base" flash_base a1;
+     Alcotest.(check int) "tail follows" (flash_base + 2048) a2
+   | ws ->
+     Alcotest.fail
+       (Printf.sprintf "expected 2048+952 writes, got [%s]"
+          (String.concat "; "
+             (List.map (fun (a, l) -> Printf.sprintf "0x%x:%d" a l) ws))));
+  (* One Reflash_partition event carrying the blob size. *)
+  match
+    List.filter_map
+      (function
+        | _, _, Obs.Event.Reflash_partition { partition; bytes } -> Some (partition, bytes)
+        | _ -> None)
+      (events ())
+  with
+  | [ ("odd", 3000) ] -> ()
+  | _ -> Alcotest.fail "expected one reflash event for 'odd' (3000 bytes)"
+
+let test_restore_partitions_missing_blob () =
+  let build, machine = fresh_machine () in
+  let session = Eof_agent.Machine.session machine in
+  let flash_base =
+    (Eof_hw.Board.profile (Osbuild.board build)).Eof_hw.Board.flash_base
+  in
+  let table = [ { Eof_hw.Partition.name = "present"; offset = 0; size = 2048 } ] in
+  let image =
+    Eof_hw.Image.build_exn ~table ~blobs:[ ("present", String.make 100 'p') ]
+  in
+  (* The table handed to restore names a partition the image has no blob
+     for — the typed error must say which one. *)
+  let ghost = { Eof_hw.Partition.name = "ghost"; offset = 2048; size = 2048 } in
+  match Liveness.restore_partitions session ~flash_base ~image ~table:(table @ [ ghost ]) with
+  | Error (Liveness.Missing_blob "ghost") -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Liveness.error_to_string e)
+  | Ok _ -> Alcotest.fail "missing blob must fail"
+
+let test_restore_emits_reflash_events () =
+  let bus = Obs.create () in
+  let sink, events = Obs.memory_sink () in
+  Obs.add_sink bus sink;
+  let build, machine = fresh_machine ~obs:bus () in
+  let session = Eof_agent.Machine.session machine in
+  let board = Osbuild.board build in
+  Eof_hw.Flash.corrupt (Eof_hw.Board.flash board)
+    ~addr:(Eof_hw.Flash.base (Eof_hw.Board.flash board) + 0x5000)
+    "XX";
+  (match Liveness.restore session ~build with
+   | Ok 3 -> ()
+   | Ok n -> Alcotest.fail (Printf.sprintf "expected 3 partitions, got %d" n)
+   | Error e -> Alcotest.fail (Liveness.error_to_string e));
+  Alcotest.(check bool) "boots" true (Eof_hw.Board.boot_ok board);
+  let evs = events () in
+  let reflashes =
+    List.filter_map
+      (function
+        | _, _, Obs.Event.Reflash_partition { partition; _ } -> Some partition
+        | _ -> None)
+      evs
+  in
+  Alcotest.(check int) "one event per partition" 3 (List.length reflashes);
+  let expected =
+    List.map (fun (e : Eof_hw.Partition.entry) -> e.Eof_hw.Partition.name)
+      (Osbuild.image build).Eof_hw.Image.table
+  in
+  Alcotest.(check bool) "partition names in table order" true (reflashes = expected);
+  (match
+     List.find_opt
+       (function _, _, Obs.Event.Restore_done _ -> true | _ -> false)
+       evs
+   with
+   | Some (_, _, Obs.Event.Restore_done { partitions = 3 }) -> ()
+   | _ -> Alcotest.fail "expected a Restore_done{partitions=3} event");
+  (* The reset that follows the reflash is also on the trace. *)
+  Alcotest.(check bool) "reset event present" true
+    (List.exists (function _, _, Obs.Event.Reset_board -> true | _ -> false) evs)
+
+let test_campaign_obs_does_not_perturb () =
+  let build = Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Zephyr.spec in
+  let config = { Campaign.default_config with iterations = 80; seed = 7L } in
+  let fingerprint (o : Campaign.outcome) =
+    ( o.Campaign.coverage,
+      o.Campaign.crash_events,
+      o.Campaign.executed_programs,
+      o.Campaign.iterations_done,
+      o.Campaign.corpus_size,
+      Eof_util.Bitset.to_list o.Campaign.coverage_bitmap )
+  in
+  let bare =
+    match Campaign.run config build with Ok o -> fingerprint o | Error e -> Alcotest.fail e
+  in
+  (* A sinkless bus must not change a single outcome field... *)
+  let null_sink =
+    match Campaign.run ~obs:(Obs.create ()) config build with
+    | Ok o -> fingerprint o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "null-sink outcome identical" true (bare = null_sink);
+  (* ...and neither must full event capture: observation is a reporting
+     plane, not a data plane. *)
+  let bus = Obs.create () in
+  let sink, events = Obs.memory_sink () in
+  Obs.add_sink bus sink;
+  let observed =
+    match Campaign.run ~obs:bus config build with
+    | Ok o -> fingerprint o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "observed outcome identical" true (bare = observed);
+  Alcotest.(check bool) "events actually captured" true (List.length (events ()) > 0);
+  Alcotest.(check int) "payload counter matches" 80
+    (Obs.counter_value bus "campaign.payloads")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "stall requires a streak" `Quick test_stall_requires_streak;
+      Alcotest.test_case "stall streak resets on progress" `Quick
+        test_stall_streak_resets_on_progress;
+      Alcotest.test_case "stall threshold one (and validation)" `Quick
+        test_stall_threshold_one_and_validation;
+      Alcotest.test_case "restore odd final chunk" `Quick
+        test_restore_partitions_odd_final_chunk;
+      Alcotest.test_case "restore missing blob" `Quick test_restore_partitions_missing_blob;
+      Alcotest.test_case "restore emits reflash events" `Quick
+        test_restore_emits_reflash_events;
+      Alcotest.test_case "obs does not perturb campaign" `Quick
+        test_campaign_obs_does_not_perturb;
     ]

@@ -98,7 +98,7 @@ let make_machine () =
   (board, engine, server, transport)
 
 let connect_exn (server, transport) =
-  match Session.connect ~transport ~server with
+  match Session.connect ~transport ~server () with
   | Ok s -> s
   | Error e -> Alcotest.fail (Session.error_to_string e)
 

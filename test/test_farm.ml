@@ -178,6 +178,70 @@ let test_farm_rejects_bad_config () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "sync_every=0 accepted"
 
+
+(* --- cooperative trace determinism -------------------------------------- *)
+
+module Obs = Eof_obs.Obs
+
+let test_cooperative_trace_deterministic () =
+  (* Two identical cooperative runs must emit byte-identical JSONL event
+     streams: timestamps come from board virtual clocks, never the host. *)
+  let run () =
+    let buf = Buffer.create 4096 in
+    let bus = Obs.create () in
+    Obs.add_sink bus
+      (Obs.sink (fun ~t ~board ev ->
+           Buffer.add_string buf (Obs.event_to_json ~t ~board ev);
+           Buffer.add_char buf '\n'));
+    let config =
+      {
+        Farm.default_config with
+        boards = 2;
+        sync_every = 15;
+        base = { Campaign.default_config with iterations = 90; seed = 13L };
+      }
+    in
+    match Farm.run ~obs:bus config mk_build with
+    | Error e -> Alcotest.fail e
+    | Ok o -> (farm_digest o, Buffer.contents buf)
+  in
+  let d1, t1 = run () in
+  let d2, t2 = run () in
+  Alcotest.(check bool) "traces non-empty" true (String.length t1 > 0);
+  Alcotest.(check bool) "traces byte-identical" true (String.equal t1 t2);
+  Alcotest.(check bool) "outcomes identical" true (d1 = d2);
+  (* The stream parses back and carries both boards plus epoch syncs. *)
+  let s = Eof_obs.Trace.summarize (List.to_seq (String.split_on_char '\n' t1)) in
+  Alcotest.(check int) "no unparseable lines" 0 s.Eof_obs.Trace.bad_lines;
+  Alcotest.(check int) "both boards on the trace" 2 s.Eof_obs.Trace.boards;
+  Alcotest.(check int) "payload events" 90 s.Eof_obs.Trace.payloads;
+  Alcotest.(check bool) "epoch syncs on the trace" true
+    (s.Eof_obs.Trace.coverage_final <> None)
+
+let test_farm_obs_does_not_perturb () =
+  (* Full event capture must not change the farm's outcome. *)
+  let config =
+    {
+      Farm.default_config with
+      boards = 2;
+      sync_every = 15;
+      base = { Campaign.default_config with iterations = 90; seed = 13L };
+    }
+  in
+  let bare =
+    match Farm.run config mk_build with Ok o -> farm_digest o | Error e -> Alcotest.fail e
+  in
+  let bus = Obs.create () in
+  let sink, events = Obs.memory_sink () in
+  Obs.add_sink bus sink;
+  let observed =
+    match Farm.run ~obs:bus config mk_build with
+    | Ok o -> farm_digest o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "observed farm outcome identical" true (bare = observed);
+  Alcotest.(check bool) "events captured" true (List.length (events ()) > 0)
+
 let suite =
   [
     Alcotest.test_case "step loop equals run" `Quick test_step_loop_equals_run;
@@ -188,4 +252,8 @@ let suite =
     Alcotest.test_case "global state is a union" `Quick test_global_state_is_a_union;
     Alcotest.test_case "domain backend smoke" `Quick test_domains_backend_smoke;
     Alcotest.test_case "bad farm config rejected" `Quick test_farm_rejects_bad_config;
+    Alcotest.test_case "cooperative trace deterministic" `Quick
+      test_cooperative_trace_deterministic;
+    Alcotest.test_case "obs does not perturb the farm" `Quick
+      test_farm_obs_does_not_perturb;
   ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "eof"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("hw", Test_hw.suite);
       ("exec", Test_exec.suite);
       ("debug", Test_debug.suite);
