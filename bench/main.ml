@@ -182,7 +182,7 @@ let micro_tests () =
     Test.make ~name:"vbatch_codec" (Staged.stage (fun () ->
         ignore
           (Eof_debug.Rsp.parse_batch_ops batch_wire
-            : (Eof_debug.Rsp.batch_op list, string) result)))
+            : (Eof_debug.Rsp.batch_op list, Eof_util.Eof_error.t) result)))
   in
   [ t_rsp; t_crc; t_wire_enc; t_wire_dec; t_spec; t_gen; t_heap; t_json; t_cov;
     t_cov_into; t_batch ]
@@ -251,11 +251,11 @@ let run_linked_campaign ~batch_link ~iterations =
   let machine =
     match Eof_agent.Machine.create ~obs ~transport build with
     | Ok m -> m
-    | Error e -> failwith e
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
   in
   let config = { Eof_core.Campaign.default_config with iterations; seed = 11L; batch_link } in
   match Eof_core.Campaign.run ~machine ~obs config build with
-  | Error e -> failwith e
+  | Error e -> failwith (Eof_util.Eof_error.to_string e)
   | Ok o ->
     {
       mode = (if batch_link then "batched" else "unbatched");
@@ -293,6 +293,114 @@ let run_link_comparison () =
      then "and crashes identical"
      else "DIVERGED (bug!)");
   (unbatched, batched)
+
+(* --- link resilience ---------------------------------------------------- *)
+
+type resilience_stats = {
+  fault_rate : float;
+  res_payloads : int;
+  retries : int;
+  resyncs : int;
+  rung_resets : int;
+  rung_reflashes : int;
+  rung_dead : int;
+  clean_wall_s : float;  (* fault-rate 0, no injector attached *)
+  inert_wall_s : float;  (* fault-rate 0, injector attached but inert *)
+  rate0_identical : bool;  (* clean vs inert outcomes bit-equal *)
+}
+
+let run_resilience () =
+  section "Link resilience: recovery ladder under a seeded 2% fault schedule";
+  let iterations = Runner.scaled 400 in
+  let fault_rate = 0.02 in
+  Printf.printf
+    "[Zephyr campaign, seed 11, %d payloads, fault rate %.0f%%, fault seed 42...]\n%!"
+    iterations (fault_rate *. 100.);
+  (* Boards are stateful (flash wear, heap churn): every campaign below
+     gets a freshly made build, so the clean/inert pair is comparable. *)
+  let mk_build () =
+    Eof_os.Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Eof_os.Zephyr.spec
+  in
+  let obs = Eof_obs.Obs.create () in
+  let config =
+    { Eof_core.Campaign.default_config with
+      iterations; seed = 11L; fault_rate; fault_seed = 42L }
+  in
+  (match Eof_core.Campaign.run ~obs config (mk_build ()) with
+  | Error e -> failwith (Eof_util.Eof_error.to_string e)
+  | Ok _ -> ());
+  let c name = Eof_obs.Obs.counter_value obs name in
+  let payloads = max 1 (c "campaign.payloads") in
+  let retries = c "session.retries" in
+  let resyncs = c "recover.resync" in
+  let rung_resets = c "recover.reset" in
+  let rung_reflashes = c "recover.reflash" in
+  let rung_dead = c "recover.dead" in
+  print_endline
+    (Text_table.render
+       ~align:Text_table.[ Left; Right ]
+       ~header:[ "recovery rung"; "fires" ]
+       [
+         [ "1 retry (exchange re-sent)"; string_of_int retries ];
+         [ "2 resync (decoder flush)"; string_of_int resyncs ];
+         [ "3 board reset"; string_of_int rung_resets ];
+         [ "4 partition reflash"; string_of_int rung_reflashes ];
+         [ "5 board dead"; string_of_int rung_dead ];
+       ]);
+  Printf.printf "[%.3f retries/payload over %d payloads]\n"
+    (float_of_int retries /. float_of_int payloads)
+    payloads;
+  (* The injector wrapper's cost when inert: the same clean campaign with
+     and without an attached rate-0 injector must produce identical
+     outcomes, and the attached run's wall-clock shows the wrapper tax. *)
+  let clean_config = { config with fault_rate = 0. } in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let outcome = function
+    | Ok o -> o
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+  in
+  let clean, clean_wall_s =
+    timed (fun () -> outcome (Eof_core.Campaign.run clean_config (mk_build ())))
+  in
+  let inert_build = mk_build () in
+  let inert_machine =
+    match
+      Eof_agent.Machine.create
+        ~inject:{ Eof_debug.Inject.default_config with rate = 0. } inert_build
+    with
+    | Ok m -> m
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+  in
+  let inert, inert_wall_s =
+    timed (fun () ->
+        outcome (Eof_core.Campaign.run ~machine:inert_machine clean_config inert_build))
+  in
+  let rate0_identical =
+    clean.Eof_core.Campaign.coverage = inert.Eof_core.Campaign.coverage
+    && clean.Eof_core.Campaign.crash_events = inert.Eof_core.Campaign.crash_events
+    && clean.Eof_core.Campaign.virtual_s = inert.Eof_core.Campaign.virtual_s
+  in
+  Printf.printf
+    "[inert-injector overhead at fault-rate 0: %.2fx wall clock (%.2fs vs %.2fs); outcomes %s]\n"
+    (inert_wall_s /. Float.max 1e-9 clean_wall_s)
+    inert_wall_s clean_wall_s
+    (if rate0_identical then "identical" else "DIVERGED (bug!)");
+  {
+    fault_rate;
+    res_payloads = payloads;
+    retries;
+    resyncs;
+    rung_resets;
+    rung_reflashes;
+    rung_dead;
+    clean_wall_s;
+    inert_wall_s;
+    rate0_identical;
+  }
 
 (* --- board-farm scaling ------------------------------------------------- *)
 
@@ -332,7 +440,7 @@ let json_escape s =
 
 (* Every section is optional: a failed stage becomes a JSON null, never
    a missing BENCH.json. *)
-let write_bench_json ~micro ~link ~scaling path =
+let write_bench_json ~micro ~link ~scaling ~resilience path =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n  \"micro_ns_per_run\": ";
   (match micro with
@@ -425,6 +533,29 @@ let write_bench_json ~micro ~link ~scaling path =
              (if i < n - 1 then "," else "")))
       points;
     Buffer.add_string b "    ]\n  }");
+  Buffer.add_string b ",\n  \"resilience\": ";
+  (match resilience with
+  | None -> Buffer.add_string b "null"
+  | Some r ->
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"fault_rate\": %.3f,\n    \"payloads\": %d,\n"
+         r.fault_rate r.res_payloads);
+    Buffer.add_string b
+      (Printf.sprintf "    \"retries\": %d,\n    \"retries_per_payload\": %.3f,\n"
+         r.retries
+         (float_of_int r.retries /. float_of_int (max 1 r.res_payloads)));
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"recoveries\": { \"resync\": %d, \"reset\": %d, \"reflash\": %d, \"dead\": %d },\n"
+         r.resyncs r.rung_resets r.rung_reflashes r.rung_dead);
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"injector_overhead_rate0\": { \"clean_wall_s\": %.3f, \"inert_wall_s\": %.3f, \"ratio\": %.3f, \"outcomes_identical\": %b }\n"
+         r.clean_wall_s r.inert_wall_s
+         (r.inert_wall_s /. Float.max 1e-9 r.clean_wall_s)
+         r.rate0_identical);
+    Buffer.add_string b "  }");
   Buffer.add_string b "\n}\n";
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents b));
@@ -442,5 +573,6 @@ let () =
   ignore (guarded "artifact" run_artifacts : unit option);
   let scaling = guarded "farm-scaling" run_scaling in
   let link = guarded "debug-link" run_link_comparison in
+  let resilience = guarded "resilience" run_resilience in
   let micro = guarded "micro-benchmark" run_micro in
-  write_bench_json ~micro ~link ~scaling "BENCH.json"
+  write_bench_json ~micro ~link ~scaling ~resilience "BENCH.json"

@@ -79,13 +79,16 @@ let console_level_of_string s =
 
 let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
     no_dep no_watchdog irq verbose crash_dir save_corpus load_corpus log_level
-    trace_file =
+    trace_file fault_rate fault_seed =
   match
     (target_of os, Eof_core.Farm.backend_of_name farm_backend,
      console_level_of_string log_level)
   with
   | Error e, _, _ | _, Error e, _ | _, _, Error e ->
     prerr_endline e;
+    1
+  | _ when not (fault_rate >= 0. && fault_rate <= 1.) ->
+    prerr_endline "eof fuzz: --fault-rate must be within [0, 1]";
     1
   | Ok target, Ok backend, Ok console_level ->
     let obs = Obs.create () in
@@ -142,8 +145,14 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
         stall_watchdog = not no_watchdog;
         irq_injection = irq;
         initial_seeds;
+        fault_rate;
+        fault_seed = Int64.of_int fault_seed;
       }
     in
+    if fault_rate > 0. then
+      Obs.message obs Obs.Level.Info
+        (Printf.sprintf "link-fault injection on: rate %g, seed %d" fault_rate
+           fault_seed);
     let print_crashes crashes crash_events =
       Printf.printf "crashes: %d distinct (%d events)\n\n" (List.length crashes)
         crash_events;
@@ -181,7 +190,7 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
     if boards = 1 then (
       match Campaign.run ~obs config build with
       | Error e ->
-        prerr_endline ("campaign failed: " ^ e);
+        prerr_endline ("campaign failed: " ^ Eof_util.Eof_error.to_string e);
         1
       | Ok o ->
         if digest then (
@@ -201,7 +210,7 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
       let farm_config = { Farm.boards; sync_every; backend; base = config } in
       match Farm.run ~obs farm_config (fun _board -> Targets.build_hw target) with
       | Error e ->
-        prerr_endline ("farm campaign failed: " ^ e);
+        prerr_endline ("farm campaign failed: " ^ Eof_util.Eof_error.to_string e);
         1
       | Ok o ->
         if digest then (
@@ -283,12 +292,23 @@ let fuzz_cmd =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Write every telemetry event to $(docv) as JSONL, timestamped in virtual time. With the cooperative farm backend, rerunning the same command produces a byte-identical trace.")
   in
+  let fault_rate =
+    Arg.(value & opt float 0.
+         & info [ "fault-rate" ] ~docv:"P"
+             ~doc:"Deterministically inject debug-link faults (drops, truncations, NAK storms, timeouts, post-reset garbage): each exchange starts a fault burst with probability $(docv). 0 disables injection entirely; the link path is then byte-identical to a run without this flag.")
+  in
+  let fault_seed =
+    Arg.(value & opt int (Int64.to_int Campaign.default_config.Campaign.fault_seed)
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Seed for the fault injector's private RNG. Same seed, same rate, same command: same faults, same recoveries, same digest and trace. Each farm board derives its own independent schedule from $(docv).")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run an EOF campaign against a simulated board")
     Term.(
       const fuzz $ os_arg $ seed_arg $ iterations_arg $ boards $ sync_every
       $ farm_backend $ digest $ no_feedback $ no_dep $ no_watchdog $ irq $ verbose
-      $ crash_dir $ save_corpus $ load_corpus $ log_level $ trace)
+      $ crash_dir $ save_corpus $ load_corpus $ log_level $ trace $ fault_rate
+      $ fault_seed)
 
 (* --- eof trace ---------------------------------------------------------- *)
 

@@ -26,7 +26,9 @@ let api_index table name =
 let () =
   let build = Osbuild.make ~board_profile:Profiles.stm32f4_disco Rtthread.spec in
   let machine =
-    match Machine.create build with Ok m -> m | Error e -> failwith e
+    match Machine.create build with
+    | Ok m -> m
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
   in
   let session = Machine.session machine in
   let syms = Osbuild.syms build in

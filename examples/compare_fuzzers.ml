@@ -14,7 +14,9 @@ let () =
   List.iter
     (fun tool ->
       match Runner.run_tool tool ~seed:11L ~iterations target with
-      | Error e -> Printf.printf "%-8s failed: %s\n" (Runner.tool_name tool) e
+      | Error e ->
+        Printf.printf "%-8s failed: %s\n" (Runner.tool_name tool)
+          (Eof_util.Eof_error.to_string e)
       | Ok o ->
         let bugs = Targets.found_ids o.Campaign.crashes in
         Printf.printf "%-8s %4d branches, %d resets, bugs {%s}\n"

@@ -18,7 +18,11 @@ let ok = function
 
 let () =
   let build = Osbuild.make ~board_profile:Profiles.esp32_devkitc Freertos.spec in
-  let machine = match Machine.create build with Ok m -> m | Error e -> failwith e in
+  let machine =
+    match Machine.create build with
+    | Ok m -> m
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+  in
   let session = Machine.session machine in
   let syms = Osbuild.syms build in
   let board = Osbuild.board build in

@@ -23,7 +23,7 @@ let () =
   let config = { Campaign.default_config with iterations = 300; seed = 42L } in
   match Campaign.run config build with
   | Error e ->
-    prerr_endline ("campaign failed: " ^ e);
+    prerr_endline ("campaign failed: " ^ Eof_util.Eof_error.to_string e);
     exit 1
   | Ok outcome ->
     Printf.printf "\nExecuted %d programs in %.2f virtual seconds (%d resets, %d reflashes)\n"

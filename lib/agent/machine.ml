@@ -1,5 +1,6 @@
 open Eof_hw
 open Eof_os
+module Eof_error = Eof_util.Eof_error
 
 type t = {
   build : Osbuild.t;
@@ -9,7 +10,7 @@ type t = {
   session : Eof_debug.Session.t;
 }
 
-let create ?obs ?(continue_quantum = 200_000) ?transport build =
+let create ?obs ?(continue_quantum = 200_000) ?transport ?inject build =
   let board = Osbuild.board build in
   let syms = Osbuild.syms build in
   let engine =
@@ -22,6 +23,12 @@ let create ?obs ?(continue_quantum = 200_000) ?transport build =
     | Some t -> t
     | None -> Eof_debug.Transport.create ?obs ()
   in
+  (* A fault schedule rides the transport whether the transport was
+     supplied or created here: the injector is orthogonal probe
+     behaviour, not transport construction. *)
+  (match inject with
+   | Some cfg -> Eof_debug.Transport.set_injector transport (Some (Eof_debug.Inject.create cfg))
+   | None -> ());
   match Eof_debug.Session.connect ?obs ~transport ~server () with
   | Ok session ->
     let t = { build; engine; server; transport; session } in
@@ -35,19 +42,20 @@ let create ?obs ?(continue_quantum = 200_000) ?transport build =
            +. (Eof_debug.Transport.elapsed_us transport /. 1e6))
      | None -> ());
     Ok t
-  | Error e -> Error (Eof_debug.Session.error_to_string e)
+  | Error e -> Error (Eof_error.with_context "link bring-up" e)
 
-let create_fleet ?obs ?continue_quantum ~boards mk_build =
-  if boards < 1 then Error "fleet: boards must be >= 1"
+let create_fleet ?obs ?continue_quantum ?inject_for ~boards mk_build =
+  if boards < 1 then Error (Eof_error.config "fleet: boards must be >= 1")
   else begin
     let rec go i acc =
       if i >= boards then Ok (Array.of_list (List.rev acc))
       else
         let build = mk_build i in
         let obs = Option.map (fun bus -> Eof_obs.Obs.for_board bus i) obs in
-        match create ?obs ?continue_quantum build with
+        let inject = match inject_for with Some f -> f i | None -> None in
+        match create ?obs ?continue_quantum ?inject build with
         | Ok m -> go (i + 1) ((build, m) :: acc)
-        | Error e -> Error (Printf.sprintf "board %d: %s" i e)
+        | Error e -> Error (Eof_error.with_context (Printf.sprintf "board %d" i) e)
     in
     go 0 []
   end

@@ -9,26 +9,40 @@ type t
 
 val create :
   ?obs:Eof_obs.Obs.t ->
-  ?continue_quantum:int -> ?transport:Eof_debug.Transport.t -> Osbuild.t ->
-  (t, string) result
+  ?continue_quantum:int ->
+  ?transport:Eof_debug.Transport.t ->
+  ?inject:Eof_debug.Inject.config ->
+  Osbuild.t ->
+  (t, Eof_util.Eof_error.t) result
 (** Boots nothing yet — the first [continue] starts the agent. Fails if
     the RSP handshake over the transport fails.
 
     When [obs] is given it is threaded into the transport and session
     (unless a pre-built [transport] is supplied), and its clock is bound
     to this machine's {!virtual_elapsed_s} — events are timestamped in
-    virtual time, making traces deterministic. *)
+    virtual time, making traces deterministic.
+
+    [inject] attaches a deterministic link-fault injector to the
+    transport (whether supplied or created here); omitted means a clean
+    link. *)
 
 val create_fleet :
   ?obs:Eof_obs.Obs.t ->
-  ?continue_quantum:int -> boards:int -> (int -> Osbuild.t) ->
-  ((Osbuild.t * t) array, string) result
+  ?continue_quantum:int ->
+  ?inject_for:(int -> Eof_debug.Inject.config option) ->
+  boards:int ->
+  (int -> Osbuild.t) ->
+  ((Osbuild.t * t) array, Eof_util.Eof_error.t) result
 (** Construct [boards] fully independent targets from a per-board build
     factory: each gets its own board, flashed image, OpenOCD-style
     server, probe transport and session — nothing is shared, exactly as
     N physical dev boards on N probes share nothing. Boards are built
     sequentially (factories need not be thread-safe); the instances may
-    then be driven from separate domains. *)
+    then be driven from separate domains.
+
+    [inject_for i] supplies board [i]'s fault schedule (each board gets
+    its own independently seeded injector, as each physical probe
+    glitches independently). *)
 
 val build : t -> Osbuild.t
 

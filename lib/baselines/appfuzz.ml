@@ -233,7 +233,8 @@ let run config build =
     find 0 table.Eof_rtos.Api.entries
   in
   match entry_index with
-  | None -> Error (Printf.sprintf "no entry API %s" config.entry_api)
+  | None ->
+    Error (Eof_util.Eof_error.config (Printf.sprintf "no entry API %s" config.entry_api))
   | Some entry_index ->
     (match Machine.create build with
      | Error e -> Error e
@@ -330,4 +331,5 @@ let run config build =
            iterations_done = st.iteration;
            coverage_bitmap = Feedback.snapshot st.fb;
            final_corpus = [];
+           abort_cause = None;
          })

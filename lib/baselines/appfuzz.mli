@@ -28,4 +28,4 @@ type config = {
   snapshot_every : int;
 }
 
-val run : config -> Osbuild.t -> (Eof_core.Campaign.outcome, string) result
+val run : config -> Osbuild.t -> (Eof_core.Campaign.outcome, Eof_util.Eof_error.t) result

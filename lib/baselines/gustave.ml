@@ -211,4 +211,5 @@ let run ~seed ~iterations ?(snapshot_every = 10) build =
       iterations_done = !iteration;
       coverage_bitmap = Feedback.snapshot fb;
       final_corpus = [];
+      abort_cause = None;
     }

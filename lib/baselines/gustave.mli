@@ -17,4 +17,4 @@ val decode_genome : table:Eof_rtos.Api.table -> string -> Eof_agent.Wire.program
 
 val run :
   seed:int64 -> iterations:int -> ?snapshot_every:int -> Osbuild.t ->
-  (Eof_core.Campaign.outcome, string) result
+  (Eof_core.Campaign.outcome, Eof_util.Eof_error.t) result

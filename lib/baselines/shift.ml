@@ -3,7 +3,8 @@ open Eof_os
 let run ~seed ~iterations ~entry_api ?(snapshot_every = 10) build =
   if Osbuild.os_name build <> "FreeRTOS" then
     Error
-      (Printf.sprintf "SHIFT is only adapted to FreeRTOS, not %s" (Osbuild.os_name build))
+      (Eof_util.Eof_error.config
+         (Printf.sprintf "SHIFT is only adapted to FreeRTOS, not %s" (Osbuild.os_name build)))
   else
     (* Semihosting traps the core into the debugger on every sanitizer
        and coverage access, roughly halving throughput relative to the

@@ -151,7 +151,7 @@ let sample st =
 let run ~seed ~iterations ?(snapshot_every = 10) build =
   let table = Osbuild.api_signatures build in
   match Eof_spec.Synth.validated_of_api table with
-  | Error e -> Error e
+  | Error e -> Error (Eof_util.Eof_error.config e)
   | Ok spec ->
     let os = Osbuild.os_name build in
     let unsupported = unsupported_calls os in
@@ -265,4 +265,5 @@ let run ~seed ~iterations ?(snapshot_every = 10) build =
         iterations_done = st.iteration;
         coverage_bitmap = Feedback.snapshot st.fb;
         final_corpus = Eof_core.Corpus.progs st.corpus;
+        abort_cause = None;
       }

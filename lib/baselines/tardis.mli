@@ -26,4 +26,4 @@ val build_for : Osbuild.spec -> Osbuild.t
 
 val run :
   seed:int64 -> iterations:int -> ?snapshot_every:int -> Osbuild.t ->
-  (Eof_core.Campaign.outcome, string) result
+  (Eof_core.Campaign.outcome, Eof_util.Eof_error.t) result

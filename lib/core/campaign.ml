@@ -8,6 +8,7 @@ module Agent = Eof_agent.Agent
 module Machine = Eof_agent.Machine
 module Sancov = Eof_cov.Sancov
 module Obs = Eof_obs.Obs
+module Eof_error = Eof_util.Eof_error
 
 type config = {
   seed : int64;
@@ -24,6 +25,8 @@ type config = {
   initial_seeds : Prog.t list;
   reboot_every : int;
   batch_link : bool;
+  fault_rate : float;
+  fault_seed : int64;
 }
 
 let default_config =
@@ -42,6 +45,8 @@ let default_config =
     initial_seeds = [];
     reboot_every = 150;
     batch_link = true;
+    fault_rate = 0.;
+    fault_seed = 0xFA0175EEDL;
   }
 
 type sample = { iteration : int; virtual_s : float; coverage : int }
@@ -62,6 +67,7 @@ type outcome = {
   iterations_done : int;
   coverage_bitmap : Eof_util.Bitset.t;
   final_corpus : Prog.t list;
+  abort_cause : Eof_error.t option;
 }
 
 type state = {
@@ -125,10 +131,20 @@ type state = {
       (* unrecoverable link failures in a row; 5 aborts the campaign *)
   mutable aborted : bool;
       (* an exception escaped an iteration: stop, keep what we have *)
+  mutable rung : int;
+      (* current height on the recovery escalation ladder; 0 = healthy,
+         reset by any clean stop, climbed by each link failure *)
+  mutable dead : bool;
+      (* the ladder was exhausted: this board is gone for good *)
+  mutable abort_cause : Eof_error.t option;
   obs : Obs.t;
   c_payloads : Obs.Counter.t;
   c_crash_events : Obs.Counter.t;
   c_corpus_admits : Obs.Counter.t;
+  c_resyncs : Obs.Counter.t;
+  c_rung_resets : Obs.Counter.t;
+  c_rung_reflashes : Obs.Counter.t;
+  c_dead : Obs.Counter.t;
 }
 
 (* --- small helpers ---------------------------------------------------- *)
@@ -359,7 +375,7 @@ let reflash st =
     st.resets <- st.resets + 1;
     discard_pending st;
     Ok ()
-  | Error e -> Error (Liveness.error_to_string e)
+  | Error e -> Error e
 
 let reboot st =
   match Liveness.reboot_only st.session with
@@ -367,7 +383,46 @@ let reboot st =
     st.resets <- st.resets + 1;
     discard_pending st;
     Ok ()
-  | Error e -> Error (Session.error_to_string e)
+  | Error e -> Error e
+
+(* The escalation ladder, climbing one rung per link failure that the
+   session's own in-exchange retry (rung "retry") could not cure:
+   resynchronize the session, then reset the board, then reflash every
+   partition, then give the board up for dead. A recovery action that
+   itself fails climbs immediately; any cleanly decoded stop drops back
+   to the bottom (see {!classify_stop}). *)
+let rec recover st (cause : Eof_error.t) =
+  st.rung <- st.rung + 1;
+  let attempt = st.rung in
+  let observe rung =
+    if Obs.active st.obs then
+      Obs.emit st.obs (Obs.Event.Recovery { rung; attempt })
+  in
+  match st.rung with
+  | 1 ->
+    Obs.Counter.incr st.c_resyncs;
+    observe "resync";
+    (match Session.resync st.session with
+     | Ok () -> Ok ()
+     | Error e -> recover st e)
+  | 2 ->
+    Obs.Counter.incr st.c_rung_resets;
+    observe "reset";
+    (match reboot st with Ok () -> Ok () | Error e -> recover st e)
+  | 3 ->
+    Obs.Counter.incr st.c_rung_reflashes;
+    observe "reflash";
+    (match reflash st with Ok () -> Ok () | Error e -> recover st e)
+  | _ ->
+    Obs.Counter.incr st.c_dead;
+    observe "dead";
+    st.dead <- true;
+    let e =
+      Eof_error.with_context (Eof_error.to_string cause)
+        (Eof_error.board_dead "reflash")
+    in
+    st.abort_cause <- Some e;
+    Error e
 
 (* One continue plus full interpretation of the stop. *)
 type event =
@@ -379,9 +434,13 @@ type event =
   | Ev_quantum of int
   | Ev_other_bp
   | Ev_exited
-  | Ev_timeout
+  | Ev_link_failed of Eof_error.t
 
-let classify_stop st = function
+let classify_stop st stop =
+  (* Any cleanly decoded stop proves the link healthy: drop back to the
+     bottom of the escalation ladder. *)
+  st.rung <- 0;
+  match stop with
   | Session.Stopped_breakpoint pc ->
     Liveness.reset st.liveness;
     if pc = st.syms.Osbuild.sym_executor_main then Ev_ready
@@ -397,8 +456,7 @@ let advance st =
   match st.covlink with
   | None ->
     (match Session.continue_ st.session with
-     | Error Session.Timeout -> Ev_timeout
-     | Error _ -> Ev_timeout
+     | Error e -> Ev_link_failed e
      | Ok stop -> classify_stop st stop)
   | Some cl ->
     (* The hot-path fusion: the continue, the whole coverage drain and
@@ -407,8 +465,7 @@ let advance st =
     let write = st.pend_write in
     st.pend_write <- None;
     (match Covlink.continue_and_drain ?write cl ~want_cmp:st.config.feedback with
-     | Error Session.Timeout -> Ev_timeout
-     | Error _ -> Ev_timeout
+     | Error e -> Ev_link_failed e
      | Ok (stop, d) ->
        absorb_drained st d;
        classify_stop st stop)
@@ -484,7 +541,7 @@ let handle_stall st pc =
 
 (* Drive until the agent waits at executor_main. *)
 let rec goto_ready st ~budget =
-  if budget <= 0 then Error "target failed to reach executor_main"
+  if budget <= 0 then Error (Eof_error.agent "target failed to reach executor_main")
   else
     match advance st with
     | Ev_ready -> Ok ()
@@ -531,25 +588,27 @@ let rec goto_ready st ~budget =
            | Error e -> Error e)
         | Liveness.Connection_lost ->
           st.timeouts <- st.timeouts + 1;
-          (match reflash st with
+          (match
+             recover st (Eof_error.with_context "liveness connection-lost" Eof_error.timeout)
+           with
            | Ok () -> goto_ready st ~budget:(budget - 1)
            | Error e -> Error e)
         | Liveness.Alive | Liveness.First_observation ->
           goto_ready st ~budget:(budget - 1)
       end
-    | Ev_timeout ->
+    | Ev_link_failed cause ->
       st.timeouts <- st.timeouts + 1;
-      (match reflash st with
+      (match recover st cause with
        | Ok () -> goto_ready st ~budget:(budget - 1)
        | Error e -> Error e)
 
 let write_program st prog =
   let wire = Prog.to_wire prog in
   match Wire.encode ~endianness:st.endianness wire with
-  | Error e -> Error e
+  | Error e -> Error (Eof_error.agent e)
   | Ok payload ->
     if String.length payload + 8 > Agent.max_program_bytes st.build then
-      Error "program exceeds mailbox"
+      Error (Eof_error.agent "program exceeds mailbox")
     else begin
       let header = Bytes.create 8 in
       (match st.endianness with
@@ -572,7 +631,7 @@ let write_program st prog =
       | None ->
         (match Session.write_mem st.session ~addr image with
          | Ok () -> Ok ()
-         | Error e -> Error (Session.error_to_string e))
+         | Error e -> Error (Eof_error.with_context "program delivery" e))
     end
 
 (* Execute the delivered program until loop_back (or a crash resolves). *)
@@ -614,14 +673,20 @@ let rec run_program st ~budget ~crashed =
            | Error e -> Error e)
         | Liveness.Connection_lost ->
           st.timeouts <- st.timeouts + 1;
-          (match reflash st with Ok () -> Ok (`Aborted, crashed) | Error e -> Error e)
+          (match
+             recover st (Eof_error.with_context "liveness connection-lost" Eof_error.timeout)
+           with
+           | Ok () -> Ok (`Aborted, crashed)
+           | Error e -> Error e)
         | Liveness.Alive | Liveness.First_observation ->
           ignore pc;
           run_program st ~budget:(budget - 1) ~crashed
       end
-    | Ev_timeout ->
+    | Ev_link_failed cause ->
       st.timeouts <- st.timeouts + 1;
-      (match reflash st with Ok () -> Ok (`Aborted, crashed) | Error e -> Error e)
+      (match recover st cause with
+       | Ok () -> Ok (`Aborted, crashed)
+       | Error e -> Error e)
 
 let mutate_seed st seed =
   (* Mutation may grow seeds past the fresh-generation cap: corpus
@@ -699,6 +764,7 @@ let outcome_of_state st =
     iterations_done = st.iteration;
     coverage_bitmap = Feedback.snapshot st.fb;
     final_corpus = Corpus.progs st.corpus;
+    abort_cause = st.abort_cause;
   }
 
 (* Restrict a validated spec to an allowlist, dropping resources that
@@ -723,13 +789,26 @@ let filter_spec (spec : Eof_spec.Ast.t) allow =
 let init ?machine ?obs config build =
   let table = Osbuild.api_signatures build in
   match Eof_spec.Synth.validated_of_api table with
-  | Error e -> Error e
+  | Error e -> Error (Eof_error.config e)
   | Ok spec ->
     let spec =
       match config.api_filter with None -> spec | Some allow -> filter_spec spec allow
     in
     let machine_result =
-      match machine with Some m -> Ok m | None -> Machine.create ?obs build
+      match machine with
+      | Some m -> Ok m
+      | None ->
+        let inject =
+          if config.fault_rate > 0. then
+            Some
+              {
+                Eof_debug.Inject.default_config with
+                Eof_debug.Inject.rate = config.fault_rate;
+                seed = config.fault_seed;
+              }
+          else None
+        in
+        Machine.create ?obs ?inject build
     in
     (match machine_result with
      | Error e -> Error e
@@ -795,16 +874,23 @@ let init ?machine ?obs config build =
            current_ops = [||];
            consecutive_failures = 0;
            aborted = false;
+           rung = 0;
+           dead = false;
+           abort_cause = None;
            obs;
            c_payloads = Obs.Counter.make obs "campaign.payloads";
            c_crash_events = Obs.Counter.make obs "campaign.crash_events";
            c_corpus_admits = Obs.Counter.make obs "campaign.corpus_admits";
+           c_resyncs = Obs.Counter.make obs "recover.resync";
+           c_rung_resets = Obs.Counter.make obs "recover.reset";
+           c_rung_reflashes = Obs.Counter.make obs "recover.reflash";
+           c_dead = Obs.Counter.make obs "recover.dead";
          }
        in
        let arm addr =
          match Session.set_breakpoint session addr with
          | Ok () -> Ok ()
-         | Error e -> Error (Session.error_to_string e)
+         | Error e -> Error (Eof_error.with_context "arm breakpoint" e)
        in
        let ( let* ) = Result.bind in
        let* () = arm st.syms.Osbuild.sym_executor_main in
@@ -820,8 +906,16 @@ let init ?machine ?obs config build =
          config.initial_seeds;
        Ok st)
 
+(* An unrecoverable iteration failure: five in a row abort the campaign,
+   and the cause of the fifth is kept as the abort cause (a dead board
+   already recorded its own richer cause). *)
+let note_failure st e =
+  st.consecutive_failures <- st.consecutive_failures + 1;
+  if st.consecutive_failures >= 5 && st.abort_cause = None then
+    st.abort_cause <- Some (Eof_error.with_context "5 consecutive failed iterations" e)
+
 let finished st =
-  st.aborted
+  st.aborted || st.dead
   || st.iteration >= st.config.iterations
   || st.consecutive_failures >= 5
 
@@ -831,9 +925,9 @@ let step st =
     try
       st.iteration <- st.iteration + 1;
       if config.reboot_every > 0 && st.iteration mod config.reboot_every = 0 then
-        ignore (reboot st : (unit, string) result);
+        ignore (reboot st : (unit, Eof_error.t) result);
       (match goto_ready st ~budget:50 with
-       | Error _ -> st.consecutive_failures <- st.consecutive_failures + 1
+       | Error e -> note_failure st e
        | Ok () ->
          let before = Feedback.covered st.fb in
          let distinct_before = Hashtbl.length st.crash_table in
@@ -849,13 +943,13 @@ let step st =
                : (unit, Session.error) result)
          end;
          (match write_program st prog with
-          | Error _ -> st.consecutive_failures <- st.consecutive_failures + 1
+          | Error e -> note_failure st e
           | Ok () ->
             let payload_span = Obs.span_begin st.obs "campaign.payload" in
             (match run_program st ~budget:200 ~crashed:false with
-             | Error _ ->
+             | Error e ->
                Obs.span_end st.obs payload_span;
-               st.consecutive_failures <- st.consecutive_failures + 1
+               note_failure st e
              | Ok (status, crashed) ->
                Obs.span_end st.obs payload_span;
                Obs.Counter.incr st.c_payloads;
@@ -913,8 +1007,9 @@ let step st =
       if st.iteration mod config.snapshot_every = 0 then sample st
     with e ->
       (* Defensive: a campaign must never take the harness down. *)
-      ignore e;
-      st.aborted <- true
+      st.aborted <- true;
+      if st.abort_cause = None then
+        st.abort_cause <- Some (Eof_error.agent (Printexc.to_string e))
   end
 
 let finish st =
@@ -934,6 +1029,8 @@ let crash_events_so_far st = st.crash_events
 let executed_programs_so_far st = st.executed_programs
 
 let iteration st = st.iteration
+
+let is_dead st = st.dead
 
 let virtual_s st = Machine.virtual_elapsed_s st.machine
 

@@ -51,6 +51,18 @@ type config = {
           baseline comparisons are calibrated against. Coverage and
           crash outcomes are identical either way; only link traffic
           differs. *)
+  fault_rate : float;
+      (** probability that any one debug-link exchange starts a fault
+          burst (drops, truncations, NAK storms, timeouts, post-reset
+          garbage). 0 (the default) attaches no injector at all — the
+          link code path is bit-identical to a build without fault
+          injection. Only used when {!init} creates the machine itself;
+          a supplied machine keeps whatever injector it was built
+          with. *)
+  fault_seed : int64;
+      (** seed of the injector's private RNG; the whole fault schedule —
+          which exchanges fault and how — is a deterministic function of
+          this seed and the exchange sequence *)
 }
 
 val default_config : config
@@ -75,6 +87,11 @@ type outcome = {
   coverage_bitmap : Eof_util.Bitset.t;
       (** final edge bitmap (edge index = site index * variants + variant) *)
   final_corpus : Prog.t list;  (** seeds at campaign end, for persistence *)
+  abort_cause : Eof_util.Eof_error.t option;
+      (** why the campaign stopped early, when it did: the ladder's
+          [Board_dead] verdict, the fifth consecutive unrecoverable
+          failure, or an escaped exception. [None] means the iteration
+          budget was reached. *)
 }
 
 val filter_spec : Eof_spec.Ast.t -> string list -> Eof_spec.Ast.t
@@ -83,9 +100,10 @@ val filter_spec : Eof_spec.Ast.t -> string list -> Eof_spec.Ast.t
 
 val run :
   ?machine:Eof_agent.Machine.t -> ?obs:Eof_obs.Obs.t -> config -> Osbuild.t ->
-  (outcome, string) result
+  (outcome, Eof_util.Eof_error.t) result
 (** Runs the loop to the iteration budget (or aborts early after
-    repeated unrecoverable link failures, returning what it has).
+    repeated unrecoverable link failures or a dead board, returning
+    what it has — see [outcome.abort_cause]).
     Equivalent to {!init} followed by {!step} until {!finished} and a
     final {!finish} — it is exactly that.
 
@@ -109,7 +127,7 @@ type state
 
 val init :
   ?machine:Eof_agent.Machine.t -> ?obs:Eof_obs.Obs.t -> config -> Osbuild.t ->
-  (state, string) result
+  (state, Eof_util.Eof_error.t) result
 (** Synthesize + validate the spec, wire the machine (creating one when
     not supplied), arm the binding-point breakpoints, replay
     [initial_seeds]. Fails only on spec or link-bringup errors. When
@@ -121,8 +139,9 @@ val step : state -> unit
     no-op once {!finished}. *)
 
 val finished : state -> bool
-(** Budget exhausted, five unrecoverable link failures in a row, or an
-    aborted iteration. *)
+(** Budget exhausted, five unrecoverable link failures in a row, an
+    aborted iteration, or a board the escalation ladder gave up for
+    dead. *)
 
 val finish : state -> outcome
 (** Take the final coverage sample and seal the outcome. Call once. *)
@@ -141,6 +160,11 @@ val crash_events_so_far : state -> int
 val executed_programs_so_far : state -> int
 
 val iteration : state -> int
+
+val is_dead : state -> bool
+(** The recovery escalation ladder was exhausted on this board: retry,
+    resync, reset and reflash all failed in a row. The board takes no
+    further part in the campaign. *)
 
 val virtual_s : state -> float
 (** The board's virtual clock (CPU time + debug-link latency): the

@@ -3,6 +3,8 @@ module Rng = Eof_util.Rng
 module Bitset = Eof_util.Bitset
 module Machine = Eof_agent.Machine
 module Obs = Eof_obs.Obs
+module Inject = Eof_debug.Inject
+module Eof_error = Eof_util.Eof_error
 
 type backend = Cooperative | Domains
 
@@ -42,6 +44,7 @@ type outcome = {
   syncs : int;
   sync_series : sync_sample list;
   per_board : Campaign.outcome array;
+  dead_boards : int;
 }
 
 (* Board 0 keeps the campaign seed so a one-board farm is the campaign;
@@ -54,6 +57,13 @@ let board_seed base i =
    boards) shards carry the remainder. *)
 let shard_iterations ~total ~boards i =
   (total / boards) + (if i < total mod boards then 1 else 0)
+
+(* Each board's probe glitches on its own schedule: derive an
+   independent fault-injector seed per board (board 0 keeps the base
+   seed, mirroring {!board_seed}). *)
+let board_fault_seed base i =
+  if i = 0 then base
+  else Rng.next64 (Rng.create (Int64.add base (Int64.mul (Int64.of_int i) 0xD1B54A32D192ED03L)))
 
 (* --- shared (host-side) campaign state --------------------------------- *)
 
@@ -219,17 +229,37 @@ let run_domains config shared states =
 
 (* --- top level ---------------------------------------------------------- *)
 
-let run ?obs (config : config) mk_build =
-  if config.boards < 1 then Error "farm: boards must be >= 1"
-  else if config.sync_every < 1 then Error "farm: sync_every must be >= 1"
+let run ?obs ?inject_for (config : config) mk_build =
+  if config.boards < 1 then Error (Eof_error.config "farm: boards must be >= 1")
+  else if config.sync_every < 1 then Error (Eof_error.config "farm: sync_every must be >= 1")
   else begin
     let t0 = Unix.gettimeofday () in
-    match Machine.create_fleet ?obs ~boards:config.boards mk_build with
+    (* The fault schedule rides the fleet: each board gets its own
+       independently seeded injector (or none at rate 0). Tests override
+       [inject_for] to target specific boards. *)
+    let inject_for =
+      match inject_for with
+      | Some f -> f
+      | None ->
+        fun i ->
+          if config.base.fault_rate > 0. then
+            Some
+              {
+                Inject.default_config with
+                Inject.rate = config.base.fault_rate;
+                seed = board_fault_seed config.base.fault_seed i;
+              }
+          else None
+    in
+    match Machine.create_fleet ?obs ~inject_for ~boards:config.boards mk_build with
     | Error e -> Error e
     | Ok fleet ->
       let edge_capacity = Osbuild.edge_capacity (fst fleet.(0)) in
       if Array.exists (fun (b, _) -> Osbuild.edge_capacity b <> edge_capacity) fleet
-      then Error "farm: boards disagree on coverage-map capacity (different targets?)"
+      then
+        Error
+          (Eof_error.config
+             "farm: boards disagree on coverage-map capacity (different targets?)")
       else begin
         let rec init_all i acc =
           if i >= Array.length fleet then Ok (Array.of_list (List.rev acc))
@@ -246,7 +276,7 @@ let run ?obs (config : config) mk_build =
             let board_obs = Option.map (fun bus -> Obs.for_board bus i) obs in
             match Campaign.init ~machine ?obs:board_obs cfg build with
             | Ok st -> init_all (i + 1) (st :: acc)
-            | Error e -> Error (Printf.sprintf "board %d: %s" i e)
+            | Error e -> Error (Eof_error.with_context (Printf.sprintf "board %d" i) e)
           end
         in
         match init_all 0 [] with
@@ -292,6 +322,10 @@ let run ?obs (config : config) mk_build =
               syncs = shared.syncs;
               sync_series = List.rev shared.series_rev;
               per_board;
+              dead_boards =
+                Array.fold_left
+                  (fun a st -> if Campaign.is_dead st then a + 1 else a)
+                  0 states;
             }
       end
   end

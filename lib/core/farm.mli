@@ -79,15 +79,31 @@ type outcome = {
   syncs : int;  (** epoch merges performed *)
   sync_series : sync_sample list;  (** chronological, for time-to-coverage *)
   per_board : Campaign.outcome array;  (** each shard's own outcome *)
+  dead_boards : int;
+      (** boards whose recovery escalation ladder was exhausted: they
+          stopped contributing, but the farm ran on with the survivors
+          (their partial results are still merged) *)
 }
 
-val run : ?obs:Eof_obs.Obs.t -> config -> (int -> Osbuild.t) -> (outcome, string) result
+val run :
+  ?obs:Eof_obs.Obs.t ->
+  ?inject_for:(int -> Eof_debug.Inject.config option) ->
+  config ->
+  (int -> Osbuild.t) ->
+  (outcome, Eof_util.Eof_error.t) result
 (** [run config mk_build] builds one target per board via [mk_build i]
     (factories are called sequentially and need not be thread-safe),
     shards the campaign and runs it to the total budget. Fails if any
     board fails to build or bring up its link, or if the boards
     disagree on coverage-map capacity (they must be builds of the same
     target).
+
+    [inject_for i] overrides board [i]'s link-fault schedule; by
+    default each board derives an independent injector seed from
+    [base.fault_seed] when [base.fault_rate > 0], and runs a clean
+    link otherwise. A board that dies mid-campaign (ladder exhausted)
+    is simply skipped by the scheduler; the farm finishes on the
+    survivors and reports it in [dead_boards].
 
     With [obs], each board emits on a {!Eof_obs.Obs.for_board}-derived
     handle of the same bus (events carry the board index, timestamped by

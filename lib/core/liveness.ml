@@ -2,14 +2,13 @@ open Eof_hw
 open Eof_os
 module Session = Eof_debug.Session
 module Obs = Eof_obs.Obs
+module Eof_error = Eof_util.Eof_error
 
 type verdict = Alive | First_observation | Connection_lost | Pc_stalled of int
 
-type error = Link of Session.error | Missing_blob of string
+type error = Eof_error.t
 
-let error_to_string = function
-  | Link e -> Session.error_to_string e
-  | Missing_blob name -> Printf.sprintf "image has no blob for partition %s" name
+let error_to_string = Eof_error.to_string
 
 type t = {
   threshold : int;
@@ -66,19 +65,34 @@ let check t session =
        t.streak <- 0;
        observe t Alive ~pc)
 
-let ( let* ) r f = match r with Ok v -> f v | Error e -> Error (Link e)
+let ( let* ) = Result.bind
 
+(* A failed flash step names the partition and the step (erase / which
+   chunk / done) in its context — the Session-level retry already
+   stamped its "after N attempts" breadcrumb below it, so the boundary
+   string reads e.g.
+   "reflash partition app: write chunk +0x1800: after 3 attempts:
+    debug link timeout". *)
 let restore_partitions ?obs session ~flash_base ~image ~table =
   let obs = match obs with Some o -> o | None -> Session.obs session in
   let rec reflash count = function
     | [] -> Ok count
     | (e : Partition.entry) :: rest ->
+      let in_partition step r =
+        Result.map_error
+          (fun err ->
+            Eof_error.with_context
+              (Printf.sprintf "reflash partition %s" e.Partition.name)
+              (Eof_error.with_context step err))
+          r
+      in
       (match List.assoc_opt e.Partition.name image.Image.blobs with
-       | None -> Error (Missing_blob e.Partition.name)
+       | None -> Error (Eof_error.missing_blob e.Partition.name)
        | Some blob ->
          let* () =
-           Session.flash_erase session ~addr:(flash_base + e.Partition.offset)
-             ~len:e.Partition.size
+           in_partition "erase"
+             (Session.flash_erase session ~addr:(flash_base + e.Partition.offset)
+                ~len:e.Partition.size)
          in
          (* Program in bounded chunks, as a probe constrained by its
             packet size would. *)
@@ -88,16 +102,18 @@ let restore_partitions ?obs session ~flash_base ~image ~table =
            else
              let len = min chunk (String.length blob - off) in
              let* () =
-               Session.flash_write session
-                 ~addr:(flash_base + e.Partition.offset + off)
-                 (String.sub blob off len)
+               in_partition
+                 (Printf.sprintf "write chunk +0x%x" off)
+                 (Session.flash_write session
+                    ~addr:(flash_base + e.Partition.offset + off)
+                    (String.sub blob off len))
              in
              program (off + len)
          in
          (match program 0 with
           | Error _ as err -> err
           | Ok () ->
-            let* () = Session.flash_done session in
+            let* () = in_partition "done" (Session.flash_done session) in
             if Obs.active obs then
               Obs.emit obs
                 (Obs.Event.Reflash_partition
@@ -113,7 +129,10 @@ let restore ?obs session ~build =
   match restore_partitions ~obs session ~flash_base ~image ~table:image.Image.table with
   | Error _ as e -> e
   | Ok count ->
-    let* () = Session.reset_target session in
+    let* () =
+      Result.map_error (Eof_error.with_context "post-restore reset")
+        (Session.reset_target session)
+    in
     if Obs.active obs then
       Obs.emit obs (Obs.Event.Restore_done { partitions = count });
     Ok count

@@ -16,12 +16,12 @@ type verdict =
   | Connection_lost
   | Pc_stalled of int
 
+type error = Eof_util.Eof_error.t
 (** Typed restoration failure — stringly only at the reporting
-    boundary (see {!error_to_string}). *)
-type error =
-  | Link of Eof_debug.Session.error  (** the debug link failed mid-restore *)
-  | Missing_blob of string
-      (** the partition table names a partition the image has no blob for *)
+    boundary. Link failures mid-restore carry the partition name, the
+    failing step (erase / chunk offset / done) and the session's retry
+    count as context breadcrumbs; a partition without an image blob is
+    [Missing_blob]. *)
 
 val error_to_string : error -> string
 

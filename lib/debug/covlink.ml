@@ -1,5 +1,6 @@
 module Sancov = Eof_cov.Sancov
 module Obs = Eof_obs.Obs
+module Eof_error = Eof_util.Eof_error
 
 type t = {
   session : Session.t;
@@ -86,7 +87,7 @@ let interpret t ~want_cmp replies =
       counted ~max_count:t.layout.Sancov.Layout.capacity_records rec_r
     in
     Ok { n_records; records_raw; n_cmp = 0; cmp_raw = ""; log = text_of uart_r }
-  | _ -> Error (Session.Protocol "covlink: unexpected drain reply shape")
+  | _ -> Error (Eof_error.protocol "covlink: unexpected drain reply shape")
 
 let drain t ~want_cmp =
   let span = Obs.span_begin t.obs "covlink.drain" in
@@ -109,9 +110,9 @@ let continue_replies t ~want_cmp = function
           (match interpret t ~want_cmp rest with
            | Error e -> Error e
            | Ok d -> Ok (stop, d)))
-     | Rsp.Br_error n -> Error (Session.Remote n)
-     | _ -> Error (Session.Protocol "covlink: continue sub-reply is not a stop"))
-  | [] -> Error (Session.Protocol "covlink: empty batch reply")
+     | Rsp.Br_error n -> Error (Eof_error.remote n)
+     | _ -> Error (Eof_error.protocol "covlink: continue sub-reply is not a stop"))
+  | [] -> Error (Eof_error.protocol "covlink: empty batch reply")
 
 let continue_and_drain ?write t ~want_cmp =
   let prefix =
@@ -128,9 +129,9 @@ let continue_and_drain ?write t ~want_cmp =
       (* Peel the optional write acknowledgement off the front; a failed
          write must not be silently continued past. *)
       (match (write, replies) with
-       | Some _, Rsp.Br_error n :: _ -> Error (Session.Remote n)
+       | Some _, Rsp.Br_error n :: _ -> Error (Eof_error.remote n)
        | Some _, Rsp.Br_ok :: rest -> continue_replies t ~want_cmp rest
-       | Some _, _ -> Error (Session.Protocol "covlink: write sub-reply is not an ack")
+       | Some _, _ -> Error (Eof_error.protocol "covlink: write sub-reply is not an ack")
        | None, rest -> continue_replies t ~want_cmp rest)
   in
   Obs.span_end t.obs span;

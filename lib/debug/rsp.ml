@@ -469,3 +469,22 @@ let parse_reply ~pc_reg payload =
     Ok (Exited code)
   else if String.length payload >= 3 && payload.[0] = 'T' then parse_stop ~pc_reg payload
   else Ok (Raw payload)
+
+(* --- typed boundary ----------------------------------------------------
+
+   The parsers above compose over plain strings; the public entry points
+   re-type their errors as [Eof_error.Protocol] so every consumer up the
+   stack speaks one error language. (Shadowing below the internal uses
+   keeps the string combinators composable in here.) *)
+
+let typed r = Result.map_error Eof_error.protocol r
+
+let unescape_binary s = typed (unescape_binary s)
+
+let parse_batch_ops s = typed (parse_batch_ops s)
+
+let parse_batch_replies s = typed (parse_batch_replies s)
+
+let parse_command payload = typed (parse_command payload)
+
+let parse_reply ~pc_reg payload = typed (parse_reply ~pc_reg payload)

@@ -17,7 +17,10 @@ val escape_binary : string -> string
 (** Escape [$], [#], [}] and [*] as [}(c lxor 0x20)] for binary payload
     sections (as used by [vFlashWrite]). *)
 
-val unescape_binary : string -> (string, string) result
+val unescape_binary : string -> (string, Eof_util.Eof_error.t) result
+(** All parse entry points in this module fail with
+    [Eof_error.Protocol] — malformed wire data is a protocol error by
+    definition. *)
 
 (** Incremental frame decoder. Feed raw bytes; collect events. *)
 module Decoder : sig
@@ -70,11 +73,11 @@ type batch_reply =
 val render_batch_ops : batch_op list -> string
 (** The [vBatch:] payload body (escaped, self-delimiting). *)
 
-val parse_batch_ops : string -> (batch_op list, string) result
+val parse_batch_ops : string -> (batch_op list, Eof_util.Eof_error.t) result
 
 val render_batch_replies : batch_reply list -> string
 
-val parse_batch_replies : string -> (batch_reply list, string) result
+val parse_batch_replies : string -> (batch_reply list, Eof_util.Eof_error.t) result
 
 (** Host-to-target commands, parsed from packet payloads. *)
 type command =
@@ -97,7 +100,7 @@ type command =
   | Kill
   | Batch of batch_op list  (** [vBatch:] multi-operation exchange *)
 
-val parse_command : string -> (command, string) result
+val parse_command : string -> (command, Eof_util.Eof_error.t) result
 (** Parse an unescaped packet payload. *)
 
 val render_command : command -> string
@@ -123,6 +126,6 @@ val render_reply : pc_reg:int -> reply -> string
 (** [pc_reg] is the architecture's PC register number for [T] stop
     replies. *)
 
-val parse_reply : pc_reg:int -> string -> (reply, string) result
+val parse_reply : pc_reg:int -> string -> (reply, Eof_util.Eof_error.t) result
 (** Client side. [Raw] is returned for payloads that match no structured
     form; callers with context (e.g. after [m]) interpret it. *)

@@ -1,6 +1,7 @@
 open Eof_hw
+module Eof_error = Eof_util.Eof_error
 
-type error = Timeout | Protocol of string | Remote of int
+type error = Eof_error.t
 
 type stop =
   | Stopped_breakpoint of int
@@ -13,50 +14,64 @@ module Obs = Eof_obs.Obs
 type t = {
   transport : Transport.t;
   server : Openocd.t;
-  decoder : Rsp.Decoder.t;
+  mutable decoder : Rsp.Decoder.t;
   pc_reg : int;
   endianness : Arch.endianness;
   mutable requests : int;
   mutable features : string;  (* the stub's qSupported reply *)
+  mutable retry : Eof_error.Retry.budget;
   obs : Obs.t;
   c_batches : Obs.Counter.t;
   c_batch_ops : Obs.Counter.t;
   c_flash_ops : Obs.Counter.t;
   c_stops : Obs.Counter.t;
+  c_retries : Obs.Counter.t;
 }
 
 let ( let* ) = Result.bind
 
-let error_to_string = function
-  | Timeout -> "debug link timeout"
-  | Protocol msg -> "protocol error: " ^ msg
-  | Remote n -> Printf.sprintf "remote error E%02x" n
+let error_to_string = Eof_error.to_string
 
+let set_retry t budget = t.retry <- budget
+
+let retry_budget t = t.retry
+
+(* One logical request: frame, exchange, decode, parse — retried under
+   the session's budget. Only link-level failures (timeout, desync) are
+   retried; [Remote]/[Protocol] replies are deterministic answers.
+   Backoff waits are charged to the transport's virtual clock, so
+   recovery is deterministic and visible in virtual time. *)
 let request t payload =
   t.requests <- t.requests + 1;
   let tx = Rsp.make_frame payload in
-  match Transport.exchange t.transport ~server:(Openocd.feed t.server) tx with
-  | Error `Timeout -> Error Timeout
-  | Ok rx ->
-    let events = Rsp.Decoder.feed t.decoder rx in
-    let packet =
-      List.find_map
-        (function Rsp.Decoder.Packet p -> Some p | _ -> None)
-        events
-    in
-    (match packet with
-     | None -> Error (Protocol "no reply packet")
-     | Some p ->
-       (match Rsp.parse_reply ~pc_reg:t.pc_reg p with
-        | Ok reply -> Ok reply
-        | Error e -> Error (Protocol e)))
+  let attempt () =
+    match Transport.exchange t.transport ~server:(Openocd.feed t.server) tx with
+    | Error _ as err -> err
+    | Ok rx ->
+      let events = Rsp.Decoder.feed t.decoder rx in
+      let packet =
+        List.find_map
+          (function Rsp.Decoder.Packet p -> Some p | _ -> None)
+          events
+      in
+      (match packet with
+       | None -> Error (Eof_error.desync "no reply frame")
+       | Some p -> Rsp.parse_reply ~pc_reg:t.pc_reg p)
+  in
+  Eof_error.Retry.run ~budget:t.retry
+    ~sleep_us:(Transport.charge_us t.transport)
+    ~on_retry:(fun ~attempt _ ->
+      Obs.Counter.incr t.c_retries;
+      if Obs.active t.obs then
+        Obs.emit t.obs (Obs.Event.Recovery { rung = "retry"; attempt }))
+    attempt
 
 let expect_ok t payload =
   let* reply = request t payload in
   match reply with
   | Rsp.Ok_reply -> Ok ()
-  | Rsp.Error_reply n -> Error (Remote n)
-  | _ -> Error (Protocol "expected OK")
+  | Rsp.Error_reply n -> Error (Eof_error.remote n)
+  | _ -> Error (Eof_error.protocol "expected OK")
 
 let expect_hex t payload =
   let* reply = request t payload in
@@ -64,9 +79,9 @@ let expect_hex t payload =
   | Rsp.Raw s ->
     (match Eof_util.Hex.decode s with
      | Ok data -> Ok data
-     | Error e -> Error (Protocol e))
-  | Rsp.Error_reply n -> Error (Remote n)
-  | _ -> Error (Protocol "expected hex data")
+     | Error e -> Error (Eof_error.protocol e))
+  | Rsp.Error_reply n -> Error (Eof_error.remote n)
+  | _ -> Error (Eof_error.protocol "expected hex data")
 
 let connect ?obs ~transport ~server () =
   let board = Openocd.board server in
@@ -81,11 +96,13 @@ let connect ?obs ~transport ~server () =
       endianness = arch.Arch.endianness;
       requests = 0;
       features = "";
+      retry = Eof_error.Retry.default;
       obs;
       c_batches = Obs.Counter.make obs "session.batches";
       c_batch_ops = Obs.Counter.make obs "session.batch_ops";
       c_flash_ops = Obs.Counter.make obs "session.flash_ops";
       c_stops = Obs.Counter.make obs "session.stops";
+      c_retries = Obs.Counter.make obs "session.retries";
     }
   in
   let* reply = request t (Rsp.render_command (Rsp.Q_supported "swbreak+;vBatch+;X+")) in
@@ -93,13 +110,24 @@ let connect ?obs ~transport ~server () =
   | Rsp.Raw features when features <> "" ->
     t.features <- features;
     Ok t
-  | Rsp.Raw _ -> Error (Protocol "empty qSupported reply")
-  | _ -> Error (Protocol "unexpected qSupported reply")
+  | Rsp.Raw _ -> Error (Eof_error.protocol "empty qSupported reply")
+  | _ -> Error (Eof_error.protocol "unexpected qSupported reply")
 
 let has_feature t name =
   List.exists (fun f -> String.trim f = name) (String.split_on_char ';' t.features)
 
 let supports_batch t = has_feature t "vBatch+"
+
+(* Resynchronize a desynced link: throw away whatever partial frame the
+   decoder is stuck on and confirm the stub still answers a halt-reason
+   query. This is rung 2 of the escalation ladder — cheaper than a
+   reset, and sufficient when the damage was host-side decode state. *)
+let resync t =
+  t.decoder <- Rsp.Decoder.create ();
+  let* reply = request t (Rsp.render_command Rsp.Halt_reason) in
+  match reply with
+  | Rsp.Error_reply n -> Error (Eof_error.remote n)
+  | _ -> Ok ()
 
 let read_mem t ~addr ~len = expect_hex t (Rsp.render_command (Rsp.Read_mem { addr; len }))
 
@@ -118,14 +146,14 @@ let batch t ops =
   match reply with
   | Rsp.Raw s when String.length s >= 1 && s.[0] = 'b' ->
     (match Rsp.parse_batch_replies (String.sub s 1 (String.length s - 1)) with
-     | Error e -> Error (Protocol ("batch: " ^ e))
+     | Error e -> Error (Eof_error.with_context "batch" e)
      | Ok replies ->
        if List.length replies <> List.length ops then
-         Error (Protocol "batch reply count mismatch")
+         Error (Eof_error.protocol "batch reply count mismatch")
        else Ok replies)
-  | Rsp.Error_reply n -> Error (Remote n)
-  | Rsp.Raw "" -> Error (Protocol "stub does not support vBatch")
-  | _ -> Error (Protocol "expected batch reply")
+  | Rsp.Error_reply n -> Error (Eof_error.remote n)
+  | Rsp.Raw "" -> Error (Eof_error.protocol "stub does not support vBatch")
+  | _ -> Error (Eof_error.protocol "expected batch reply")
 
 let read_u32 t ~addr =
   let* raw = read_mem t ~addr ~len:4 in
@@ -162,10 +190,10 @@ let stop_of_reply = function
   | Rsp.Stop { signal = _; pc; detail = "fault" } -> Ok (Stopped_fault pc)
   | Rsp.Stop { signal = _; pc; detail } ->
     if detail = "initial" then Ok (Stopped_quantum pc)
-    else Error (Protocol (Printf.sprintf "unknown stop detail %S" detail))
+    else Error (Eof_error.protocol (Printf.sprintf "unknown stop detail %S" detail))
   | Rsp.Exited _ -> Ok Target_exited
-  | Rsp.Error_reply n -> Error (Remote n)
-  | _ -> Error (Protocol "expected stop reply")
+  | Rsp.Error_reply n -> Error (Eof_error.remote n)
+  | _ -> Error (Eof_error.protocol "expected stop reply")
 
 let observe_stop t result =
   (match result with
@@ -179,7 +207,7 @@ let observe_stop t result =
 
 let decode_stop t payload =
   match Rsp.parse_reply ~pc_reg:t.pc_reg payload with
-  | Error e -> Error (Protocol e)
+  | Error e -> Error e
   | Ok reply -> observe_stop t (stop_of_reply reply)
 
 let continue_ t =
@@ -193,7 +221,7 @@ let step t =
 let read_pc t =
   let* raw = expect_hex t (Rsp.render_command Rsp.Read_registers) in
   let need = (t.pc_reg + 1) * 4 in
-  if String.length raw < need then Error (Protocol "register dump too short")
+  if String.length raw < need then Error (Eof_error.protocol "register dump too short")
   else
     let b = Bytes.unsafe_of_string raw in
     let v =
@@ -227,13 +255,17 @@ let monitor t cmd =
   | Rsp.Raw s ->
     (match Eof_util.Hex.decode s with
      | Ok text -> Ok text
-     | Error e -> Error (Protocol e))
-  | Rsp.Error_reply n -> Error (Remote n)
-  | _ -> Error (Protocol "unexpected qRcmd reply")
+     | Error e -> Error (Eof_error.protocol e))
+  | Rsp.Error_reply n -> Error (Eof_error.remote n)
+  | _ -> Error (Eof_error.protocol "unexpected qRcmd reply")
 
 let reset_target t =
   if Obs.active t.obs then Obs.emit t.obs Obs.Event.Reset_board;
   let* _ = monitor t "reset" in
+  (* A real probe often spews desynced garbage right after the target
+     resets; arm that fault in the injector, if one is riding the
+     link. *)
+  Transport.note_reset t.transport;
   Ok ()
 
 let inject_gpio t ~pin ~level =
@@ -252,8 +284,10 @@ let target_cycles t =
   let* text = monitor t "cycles" in
   match Int64.of_string_opt text with
   | Some v -> Ok v
-  | None -> Error (Protocol ("bad cycles reply: " ^ text))
+  | None -> Error (Eof_error.protocol ("bad cycles reply: " ^ text))
 
 let requests t = t.requests
 
 let obs t = t.obs
+
+let retries t = Obs.Counter.value t.c_retries

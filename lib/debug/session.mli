@@ -2,13 +2,18 @@
     target.
 
     Every method round-trips an RSP packet through the transport to the
-    probe server. [Error Timeout] is the signal the connection-timeout
-    liveness watchdog consumes. *)
+    probe server. Failures surface as {!Eof_util.Eof_error.t}:
+    [Link_timeout] is the signal the connection-timeout liveness
+    watchdog consumes, [Link_desync] means bytes arrived but no frame
+    decoded, [Remote]/[Protocol] are the stub's own answers.
 
-type error =
-  | Timeout  (** the link dropped the exchange *)
-  | Protocol of string  (** malformed/unexpected reply *)
-  | Remote of int  (** explicit [Enn] from the stub *)
+    Link-level failures are retried {e inside} each request under the
+    session's {!Eof_util.Eof_error.Retry.budget} (rung 1 of the
+    recovery escalation ladder), with backoff charged to the
+    transport's virtual clock — on a clean link the budget is inert and
+    behaviour is bit-identical to a retry-free session. *)
+
+type error = Eof_util.Eof_error.t
 
 type stop =
   | Stopped_breakpoint of int  (** PC, parked at a breakpointed site *)
@@ -24,8 +29,21 @@ val connect :
 (** Performs the [qSupported] handshake.
 
     With [obs], the session emits [Batch]/[Stop]/[Flash_op]/[Reset_board]
-    events and bumps [session.batches]/[session.batch_ops]/
-    [session.flash_ops]/[session.stops] counters. *)
+    events, a [Recovery {rung="retry"}] event per link retry, and bumps
+    [session.batches]/[session.batch_ops]/[session.flash_ops]/
+    [session.stops]/[session.retries] counters. *)
+
+val set_retry : t -> Eof_util.Eof_error.Retry.budget -> unit
+(** Replace the per-request retry budget (default
+    {!Eof_util.Eof_error.Retry.default}). [no_retry] restores
+    fail-on-first-loss behaviour. *)
+
+val retry_budget : t -> Eof_util.Eof_error.Retry.budget
+
+val resync : t -> (unit, error) result
+(** Recover from a desynced link without touching the target: discard
+    the decoder's partial-frame state and confirm the stub answers a
+    halt-reason query. Rung 2 of the escalation ladder. *)
 
 val read_mem : t -> addr:int -> len:int -> (string, error) result
 
@@ -77,6 +95,8 @@ val monitor : t -> string -> (string, error) result
 (** [qRcmd]; returns the decoded text reply. *)
 
 val reset_target : t -> (unit, error) result
+(** Resets the target and arms the injector's post-reset-garbage fault
+    (see {!Transport.note_reset}). *)
 
 val inject_gpio : t -> pin:int -> level:bool -> (unit, error) result
 (** Peripheral event injection: flip a GPIO pin on the target board. *)
@@ -95,4 +115,10 @@ val obs : t -> Eof_obs.Obs.t
 (** The bus this session emits on (an inert private bus when none was
     supplied to {!connect}). *)
 
+val retries : t -> int
+(** Exchanges re-sent by the in-request retry rung so far (the
+    [session.retries] counter's value). *)
+
 val error_to_string : error -> string
+(** Alias of {!Eof_util.Eof_error.to_string}, kept at the session
+    boundary for convenience. *)

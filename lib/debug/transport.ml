@@ -5,6 +5,7 @@ type t = {
   byte_latency_us : float;
   exchange_overhead_us : float;
   mutable mode : failure_mode;
+  mutable injector : Inject.t option;
   mutable elapsed_us : float;
   mutable exchanges : int;
   mutable timeouts : int;
@@ -13,26 +14,63 @@ type t = {
   c_timeouts : Eof_obs.Obs.Counter.t;
   c_bytes_tx : Eof_obs.Obs.Counter.t;
   c_bytes_rx : Eof_obs.Obs.Counter.t;
+  c_faults : Eof_obs.Obs.Counter.t;
 }
 
-let create ?obs ?rng ?(byte_latency_us = 1.0) ?(exchange_overhead_us = 40.0) () =
+let create ?obs ?rng ?injector ?(byte_latency_us = 1.0) ?(exchange_overhead_us = 40.0) () =
   let rng = match rng with Some r -> r | None -> Eof_util.Rng.create 0x7712AB34L in
   let obs = match obs with Some o -> o | None -> Eof_obs.Obs.create () in
-  { rng; byte_latency_us; exchange_overhead_us; mode = Up; elapsed_us = 0.;
-    exchanges = 0; timeouts = 0;
+  { rng; byte_latency_us; exchange_overhead_us; mode = Up; injector;
+    elapsed_us = 0.; exchanges = 0; timeouts = 0;
     obs;
     c_exchanges = Eof_obs.Obs.Counter.make obs "transport.exchanges";
     c_timeouts = Eof_obs.Obs.Counter.make obs "transport.timeouts";
     c_bytes_tx = Eof_obs.Obs.Counter.make obs "transport.bytes_tx";
-    c_bytes_rx = Eof_obs.Obs.Counter.make obs "transport.bytes_rx" }
+    c_bytes_rx = Eof_obs.Obs.Counter.make obs "transport.bytes_rx";
+    c_faults = Eof_obs.Obs.Counter.make obs "transport.faults" }
 
 let set_failure_mode t mode = t.mode <- mode
 
 let failure_mode t = t.mode
 
+let set_injector t injector = t.injector <- injector
+
+let injector t = t.injector
+
+let note_reset t = match t.injector with Some inj -> Inject.note_reset inj | None -> ()
+
+let charge_us t us = t.elapsed_us <- t.elapsed_us +. us
+
 (* A timeout costs the host its full wait budget; generous so that
    timeouts are visibly expensive, as on real probes. *)
 let timeout_cost_us = 500_000.
+
+let observe_fault t fault =
+  Eof_obs.Obs.Counter.incr t.c_faults;
+  if Eof_obs.Obs.active t.obs then
+    Eof_obs.Obs.emit t.obs
+      (Eof_obs.Obs.Event.Link_fault
+         { fault = Inject.fault_name fault; exchange = t.exchanges })
+
+let time_out t ~tx =
+  t.timeouts <- t.timeouts + 1;
+  Eof_obs.Obs.Counter.incr t.c_timeouts;
+  t.elapsed_us <- t.elapsed_us +. timeout_cost_us;
+  if Eof_obs.Obs.active t.obs then
+    Eof_obs.Obs.emit t.obs
+      (Eof_obs.Obs.Event.Exchange { tx; rx = 0; timeout = true });
+  Error Eof_util.Eof_error.timeout
+
+let deliver t ~tx response =
+  let rx = String.length response in
+  Eof_obs.Obs.Counter.add t.c_bytes_rx rx;
+  t.elapsed_us <-
+    t.elapsed_us +. t.exchange_overhead_us
+    +. (float_of_int (tx + rx) *. t.byte_latency_us);
+  if Eof_obs.Obs.active t.obs then
+    Eof_obs.Obs.emit t.obs
+      (Eof_obs.Obs.Event.Exchange { tx; rx; timeout = false });
+  Ok response
 
 let exchange t ~server request =
   t.exchanges <- t.exchanges + 1;
@@ -45,27 +83,26 @@ let exchange t ~server request =
     | Down -> true
     | Flaky p -> Eof_util.Rng.chance t.rng p
   in
-  if lost then begin
-    t.timeouts <- t.timeouts + 1;
-    Eof_obs.Obs.Counter.incr t.c_timeouts;
-    t.elapsed_us <- t.elapsed_us +. timeout_cost_us;
-    if Eof_obs.Obs.active t.obs then
-      Eof_obs.Obs.emit t.obs
-        (Eof_obs.Obs.Event.Exchange { tx; rx = 0; timeout = true });
-    Error `Timeout
-  end
-  else begin
-    let response = server request in
-    let rx = String.length response in
-    Eof_obs.Obs.Counter.add t.c_bytes_rx rx;
-    t.elapsed_us <-
-      t.elapsed_us +. t.exchange_overhead_us
-      +. (float_of_int (tx + rx) *. t.byte_latency_us);
-    if Eof_obs.Obs.active t.obs then
-      Eof_obs.Obs.emit t.obs
-        (Eof_obs.Obs.Event.Exchange { tx; rx; timeout = false });
-    Ok response
-  end
+  if lost then time_out t ~tx
+  else
+    match t.injector with
+    | None -> deliver t ~tx (server request)
+    | Some inj ->
+      (match Inject.decide inj with
+       | Inject.Pass -> deliver t ~tx (server request)
+       | Inject.Fault Inject.Drop ->
+         (* The request never reached the probe: the server is NOT
+            called, which is what makes a drop always safe to retry. *)
+         observe_fault t Inject.Drop;
+         time_out t ~tx
+       | Inject.Fault Inject.Timeout ->
+         (* The server DID execute; only the response was lost. *)
+         observe_fault t Inject.Timeout;
+         ignore (server request : string);
+         time_out t ~tx
+       | Inject.Fault ((Inject.Truncate | Inject.Nak_storm | Inject.Garbage) as f) ->
+         observe_fault t f;
+         deliver t ~tx (Inject.mangle inj f (server request)))
 
 let elapsed_us t = t.elapsed_us
 

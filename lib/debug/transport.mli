@@ -7,7 +7,12 @@
     - [Up]: requests go through, charged with per-byte latency.
     - [Down]: the link is dead; every exchange times out.
     - [Flaky p]: each exchange is independently lost with probability
-      [p] (then times out). *)
+      [p] (then times out).
+
+    Orthogonally, an {!Inject.t} fault injector can ride the transport:
+    it mangles or drops individual exchanges on a seeded deterministic
+    schedule (see {!Inject}), which is how the recovery escalation
+    ladder is exercised without real flaky hardware. *)
 
 type failure_mode = Up | Down | Flaky of float
 
@@ -15,7 +20,9 @@ type t
 
 val create :
   ?obs:Eof_obs.Obs.t ->
-  ?rng:Eof_util.Rng.t -> ?byte_latency_us:float -> ?exchange_overhead_us:float ->
+  ?rng:Eof_util.Rng.t ->
+  ?injector:Inject.t ->
+  ?byte_latency_us:float -> ?exchange_overhead_us:float ->
   unit -> t
 (** Default latency: 1 us/byte (~1 MBaud SWD) plus a fixed 40 us per
     exchange (probe/USB turnaround) — the round-trip cost that makes
@@ -24,15 +31,37 @@ val create :
     When [obs] is given, every round trip emits an
     [Exchange {tx; rx; timeout}] event and bumps the
     [transport.exchanges]/[transport.timeouts]/[transport.bytes_tx]/
-    [transport.bytes_rx] counters. *)
+    [transport.bytes_rx] counters; injected faults emit [Link_fault]
+    and bump [transport.faults]. *)
 
 val set_failure_mode : t -> failure_mode -> unit
 
 val failure_mode : t -> failure_mode
 
-val exchange : t -> server:(string -> string) -> string -> (string, [ `Timeout ]) result
+val set_injector : t -> Inject.t option -> unit
+
+val injector : t -> Inject.t option
+
+val note_reset : t -> unit
+(** Tell the injector (if any) that the target was just reset, arming
+    the post-reset-garbage fault. The session calls this from
+    [reset_target]. *)
+
+val charge_us : t -> float -> unit
+(** Advance the link's virtual clock without an exchange — retry
+    backoff waits are charged here so recovery costs deterministic
+    virtual time, not host wall time. *)
+
+val exchange : t -> server:(string -> string) -> string -> (string, Eof_util.Eof_error.t) result
 (** Push request bytes through the link to [server]; return its response
-    bytes. [Error `Timeout] models a dead/flaky link. *)
+    bytes. [Error] is always [Eof_error.Link_timeout] — a dead/flaky
+    link, a dropped request (server never called) or a lost response
+    (server {e did} execute). Response-mangling faults
+    (truncate/NAK-storm/garbage) return [Ok] with the mangled bytes;
+    the session's decoder surfaces those as [Link_desync]. *)
+
+val timeout_cost_us : float
+(** What one timed-out exchange costs on the virtual clock (500 ms). *)
 
 val elapsed_us : t -> float
 (** Accumulated link latency (host-side wall model). *)

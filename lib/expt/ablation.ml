@@ -3,7 +3,7 @@ module Osbuild = Eof_os.Osbuild
 
 let run_rtthread config =
   match Targets.find "RT-Thread" with
-  | None -> Error "no RT-Thread target"
+  | None -> Error (Eof_util.Eof_error.config "no RT-Thread target")
   | Some target -> Campaign.run config (Targets.build_hw target)
 
 let describe label (outcome : Campaign.outcome) =
@@ -33,7 +33,7 @@ let render_a1 ?iterations () =
       (fun (label, config) ->
         match run_rtthread config with
         | Ok o -> Some (describe label o)
-        | Error e -> Some (label ^ ": ABORTED — " ^ e))
+        | Error e -> Some (label ^ ": ABORTED — " ^ Eof_util.Eof_error.to_string e))
       [
         ("with stall watchdog", base);
         ("without stall watchdog", { base with Campaign.stall_watchdog = false });
@@ -54,7 +54,7 @@ let render_a2 ?iterations () =
       (fun (label, config) ->
         match run_rtthread config with
         | Ok o -> Some (describe label o)
-        | Error e -> Some (label ^ ": " ^ e))
+        | Error e -> Some (label ^ ": " ^ Eof_util.Eof_error.to_string e))
       [
         ("dependency-aware", base);
         ("blind references", { base with Campaign.dep_aware = false });
@@ -92,7 +92,7 @@ let render_irq ?iterations () =
   let iterations = match iterations with Some i -> i | None -> Runner.scaled 1000 in
   let run irq_injection =
     match Targets.find "RT-Thread" with
-    | None -> Error "no RT-Thread target"
+    | None -> Error (Eof_util.Eof_error.config "no RT-Thread target")
     | Some target ->
       let build = Targets.build_hw target in
       (match
@@ -108,7 +108,7 @@ let render_irq ?iterations () =
     | Ok ((o : Campaign.outcome), isr_cov) ->
       Printf.sprintf "%-22s total coverage=%4d   ISR-path edges=%2d" label
         o.Campaign.coverage isr_cov
-    | Error e -> label ^ ": " ^ e
+    | Error e -> label ^ ": " ^ Eof_util.Eof_error.to_string e
   in
   "E1: peripheral event injection (the paper's future-work extension)\n  "
   ^ line "without IRQ injection" (run false)

@@ -24,7 +24,7 @@ val tool_name : tool -> string
 
 val run_tool :
   tool -> seed:int64 -> iterations:int -> Targets.hw_target ->
-  (Eof_core.Campaign.outcome, string) result
+  (Eof_core.Campaign.outcome, Eof_util.Eof_error.t) result
 (** Build a fresh target instance and run one campaign with the tool's
     mechanism. EOF/EOF-nf run on the hardware board; Tardis/Gustave run
     on their emulator builds. *)

@@ -44,6 +44,8 @@ module Event = struct
     | Crash_found of { kind : string; operation : string }
     | Corpus_admit of { new_edges : int; size : int }
     | Epoch_sync of { sync : int; executed : int; coverage : int }
+    | Link_fault of { fault : string; exchange : int }
+    | Recovery of { rung : string; attempt : int }
     | Span of { name : string; dur_us : float }
     | Message of { level : Level.t; text : string }
 
@@ -61,6 +63,8 @@ module Event = struct
     | Crash_found _ -> "crash"
     | Corpus_admit _ -> "corpus-admit"
     | Epoch_sync _ -> "epoch-sync"
+    | Link_fault _ -> "link-fault"
+    | Recovery _ -> "recovery"
     | Span _ -> "span"
     | Message _ -> "message"
 
@@ -72,6 +76,8 @@ module Event = struct
        | "pc-stalled" | "connection-lost" -> Level.Warn
        | _ -> Level.Trace)
     | Reflash_partition _ | Corpus_admit _ | Epoch_sync _ -> Level.Info
+    | Link_fault _ -> Level.Debug
+    | Recovery _ -> Level.Warn
     | Restore_done _ | Crash_found _ -> Level.Warn
     | Message { level; _ } -> level
 
@@ -100,6 +106,10 @@ module Event = struct
       [ ("new_edges", V_int new_edges); ("size", V_int size) ]
     | Epoch_sync { sync; executed; coverage } ->
       [ ("sync", V_int sync); ("executed", V_int executed); ("coverage", V_int coverage) ]
+    | Link_fault { fault; exchange } ->
+      [ ("fault", V_str fault); ("exchange", V_int exchange) ]
+    | Recovery { rung; attempt } ->
+      [ ("rung", V_str rung); ("attempt", V_int attempt) ]
     | Span { name; dur_us } -> [ ("name", V_str name); ("dur_us", V_float dur_us) ]
     | Message { level; text } ->
       [ ("level", V_str (Level.to_string level)); ("text", V_str text) ]

@@ -62,6 +62,12 @@ module Event : sig
     | Corpus_admit of { new_edges : int; size : int }
     | Epoch_sync of { sync : int; executed : int; coverage : int }
         (** farm epoch merge *)
+    | Link_fault of { fault : string; exchange : int }
+        (** the injector mangled/dropped this exchange: ["drop"],
+            ["timeout"], ["truncate"], ["nak-storm"], ["garbage"] *)
+    | Recovery of { rung : string; attempt : int }
+        (** one step of the link-recovery escalation ladder: ["retry"],
+            ["resync"], ["reset"], ["reflash"], ["dead"] *)
     | Span of { name : string; dur_us : float }
     | Message of { level : Level.t; text : string }
 

@@ -73,7 +73,7 @@ let make_zephyr () =
   let build = Osbuild.make ~board_profile:Profiles.stm32f4_disco Zephyr.spec in
   match Machine.create build with
   | Ok m -> m
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
 
 let ok_or_fail = function
   | Ok v -> v

@@ -48,7 +48,7 @@ let test_tardis_runs_and_is_weaker_monitored () =
   Alcotest.(check string) "emulated board" "qemu-mps2-an385"
     (Eof_hw.Board.profile (Osbuild.board build)).Eof_hw.Board.name;
   match Eof_baselines.Tardis.run ~seed:3L ~iterations:300 build with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   | Ok o ->
     Alcotest.(check bool) "coverage" true (o.Campaign.coverage > 0);
     Alcotest.(check int) "iterations" 300 o.Campaign.iterations_done;
@@ -79,7 +79,7 @@ let test_shift_freertos_only () =
       ~board_profile:Eof_hw.Profiles.esp32_devkitc Freertos.spec
   in
   match Eof_baselines.Shift.run ~seed:1L ~iterations:150 ~entry_api:"json_parse" frt with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   | Ok o ->
     Alcotest.(check bool) "edge feedback finds coverage" true (o.Campaign.coverage > 0);
     Alcotest.(check bool) "corpus grows" true (o.Campaign.corpus_size > 0)
@@ -94,7 +94,7 @@ let test_gdbfuzz_runs () =
     Eof_baselines.Gdbfuzz.run ~seed:2L ~iterations:150 ~entry_api:"http_request"
       ~sample_modules:[ Freertos.http_module ] build
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   | Ok o ->
     Alcotest.(check bool) "coverage measured" true (o.Campaign.coverage > 0);
     Alcotest.(check int) "iterations" 150 o.Campaign.iterations_done
@@ -102,7 +102,7 @@ let test_gdbfuzz_runs () =
 let test_gustave_runs () =
   let build = Eof_baselines.Gustave.build_for Pokos.spec in
   match Eof_baselines.Gustave.run ~seed:4L ~iterations:200 build with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   | Ok o ->
     Alcotest.(check bool) "coverage" true (o.Campaign.coverage > 0);
     Alcotest.(check bool) "executed" true (o.Campaign.executed_programs > 0)

@@ -32,7 +32,7 @@ type harness = {
 
 let make_harness spec board =
   let build = Osbuild.make ~board_profile:board spec in
-  let machine = match Machine.create build with Ok m -> m | Error e -> Alcotest.fail e in
+  let machine = match Machine.create build with Ok m -> m | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e) in
   let session = Machine.session machine in
   let syms = Osbuild.syms build in
   List.iter

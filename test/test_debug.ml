@@ -13,7 +13,7 @@ let test_escape_roundtrip () =
     (not (String.contains escaped '$') && not (String.contains escaped '#'));
   match Rsp.unescape_binary escaped with
   | Ok s -> Alcotest.(check string) "roundtrip" raw s
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
 
 let test_decoder_stream () =
   let d = Rsp.Decoder.create () in
@@ -56,7 +56,7 @@ let test_command_roundtrip () =
     (fun cmd ->
       match Rsp.parse_command (Rsp.render_command cmd) with
       | Ok cmd' -> Alcotest.(check bool) "roundtrip" true (cmd = cmd')
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e))
     cases
 
 let test_command_rejects () =
@@ -73,7 +73,7 @@ let test_reply_roundtrip () =
     (fun reply ->
       match Rsp.parse_reply ~pc_reg (Rsp.render_reply ~pc_reg reply) with
       | Ok reply' -> Alcotest.(check bool) "roundtrip" true (reply = reply')
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e))
     [
       Rsp.Ok_reply;
       Rsp.Error_reply 14;
@@ -119,7 +119,7 @@ let test_session_memory () =
    | Ok v -> Alcotest.(check int32) "u32" 0xCAFEBABEl v
    | Error e -> Alcotest.fail (Session.error_to_string e));
   match Session.read_mem s ~addr:0x1 ~len:4 with
-  | Error (Session.Remote _) -> ()
+  | Error { Eof_util.Eof_error.kind = Remote _; _ } -> ()
   | _ -> Alcotest.fail "unmapped read must fail remotely"
 
 let test_session_breakpoint_flow () =
@@ -169,7 +169,7 @@ let test_transport_failures () =
   let s = connect_exn (server, transport) in
   Transport.set_failure_mode transport Transport.Down;
   (match Session.read_pc s with
-   | Error Session.Timeout -> ()
+   | Error { Eof_util.Eof_error.kind = Link_timeout; _ } -> ()
    | _ -> Alcotest.fail "expected timeout on dead link");
   Transport.set_failure_mode transport Transport.Up;
   (match Session.read_pc s with
@@ -235,14 +235,14 @@ let test_gpio_injection_over_monitor () =
   Alcotest.(check bool) "level set" true (Eof_hw.Gpio.level (Board.gpio board) ~pin:2);
   Alcotest.(check int) "irq latched" 1 (Eof_hw.Gpio.pending_count (Board.gpio board));
   match Session.inject_gpio s ~pin:99 ~level:true with
-  | Error (Session.Remote _) -> ()
+  | Error { Eof_util.Eof_error.kind = Remote _; _ } -> ()
   | _ -> Alcotest.fail "bad pin accepted"
 
 let test_monitor_unknown_command () =
   let _, _, server, transport = make_machine () in
   let s = connect_exn (server, transport) in
   match Session.monitor s "frobnicate" with
-  | Error (Session.Remote 1) -> ()
+  | Error { Eof_util.Eof_error.kind = Remote 1; _ } -> ()
   | _ -> Alcotest.fail "unknown monitor command accepted"
 
 let suite =
@@ -322,7 +322,7 @@ let test_x_packet_roundtrip () =
       let cmd = Rsp.Write_mem_bin { addr = 0x20000100; data } in
       match Rsp.parse_command (Rsp.render_command cmd) with
       | Ok cmd' -> Alcotest.(check bool) "roundtrip" true (cmd = cmd')
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e))
     [ ""; "}$#*"; "\x00\x01\xFF}}x"; String.init 256 Char.chr ]
 
 let test_x_packet_writes_memory () =
@@ -361,7 +361,7 @@ let test_batch_codec_samples () =
   in
   (match Rsp.parse_batch_ops (Rsp.render_batch_ops ops) with
    | Ok ops' -> Alcotest.(check bool) "ops roundtrip" true (ops = ops')
-   | Error e -> Alcotest.fail e);
+   | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e));
   let replies =
     [
       Rsp.Br_ok;
@@ -373,12 +373,12 @@ let test_batch_codec_samples () =
   in
   (match Rsp.parse_batch_replies (Rsp.render_batch_replies replies) with
    | Ok r' -> Alcotest.(check bool) "replies roundtrip" true (replies = r')
-   | Error e -> Alcotest.fail e);
+   | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e));
   (* The whole command survives the command layer too. *)
   match Rsp.parse_command (Rsp.render_command (Rsp.Batch ops)) with
   | Ok (Rsp.Batch ops') -> Alcotest.(check bool) "command roundtrip" true (ops = ops')
   | Ok _ -> Alcotest.fail "parsed as wrong command"
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
 
 let prop_batch_ops_roundtrip =
   let op_gen =

@@ -16,11 +16,11 @@ let test_step_loop_equals_run () =
   let via_run =
     match Campaign.run config (mk_build 0) with
     | Ok o -> o
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   in
   let via_steps =
     match Campaign.init config (mk_build 0) with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
     | Ok st ->
       let steps = ref 0 in
       while not (Campaign.finished st) do
@@ -41,12 +41,12 @@ let test_one_board_farm_equals_campaign () =
   let farm =
     match Farm.run { Farm.default_config with boards = 1; base } mk_build with
     | Ok o -> o
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   in
   let solo =
     match Campaign.run base (mk_build 0) with
     | Ok o -> o
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   in
   Alcotest.(check bool) "board outcome bit-identical" true (farm.Farm.per_board.(0) = solo);
   Alcotest.(check int) "global coverage" solo.Campaign.coverage farm.Farm.coverage;
@@ -88,7 +88,7 @@ let test_cooperative_deterministic () =
     in
     match Farm.run config mk_build with
     | Ok o -> o
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   in
   let a = run () and b = run () in
   Alcotest.(check bool) "two runs, same global state" true
@@ -108,7 +108,7 @@ let test_global_state_is_a_union () =
     }
   in
   match Farm.run config mk_build with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   | Ok o ->
     (* Global coverage is the union: at least every shard's own count,
        and exactly the bits the shards own bitmaps contain. *)
@@ -152,7 +152,7 @@ let test_domains_backend_smoke () =
     }
   in
   match Farm.run config mk_build with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   | Ok o ->
     Alcotest.(check int) "budget spent" 80 o.Farm.iterations_done;
     Alcotest.(check bool) "coverage found" true (o.Farm.coverage > 0);
@@ -202,7 +202,7 @@ let test_cooperative_trace_deterministic () =
       }
     in
     match Farm.run ~obs:bus config mk_build with
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
     | Ok o -> (farm_digest o, Buffer.contents buf)
   in
   let d1, t1 = run () in
@@ -229,7 +229,7 @@ let test_farm_obs_does_not_perturb () =
     }
   in
   let bare =
-    match Farm.run config mk_build with Ok o -> farm_digest o | Error e -> Alcotest.fail e
+    match Farm.run config mk_build with Ok o -> farm_digest o | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   in
   let bus = Obs.create () in
   let sink, events = Obs.memory_sink () in
@@ -237,7 +237,7 @@ let test_farm_obs_does_not_perturb () =
   let observed =
     match Farm.run ~obs:bus config mk_build with
     | Ok o -> farm_digest o
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   in
   Alcotest.(check bool) "observed farm outcome identical" true (bare = observed);
   Alcotest.(check bool) "events captured" true (List.length (events ()) > 0)

@@ -12,6 +12,7 @@ let () =
       ("agent", Test_agent.suite);
       ("core", Test_core.suite);
       ("farm", Test_farm.suite);
+      ("resilience", Test_resilience.suite);
       ("baselines", Test_baselines.suite);
       ("expt", Test_expt.suite);
       ("bugs", Test_bugs.suite);
