@@ -423,6 +423,79 @@ let run_scaling () =
    | None -> ());
   (iterations, points)
 
+(* --- native backend ------------------------------------------------------ *)
+
+type native_stats = {
+  nat_iterations : int;
+  nat_link_wall_s : float;
+  nat_native_wall_s : float;
+  nat_link_virtual_s : float;
+  nat_native_virtual_s : float;
+  nat_executed : int;
+  digest_identical : bool;
+}
+
+(* The tentpole measurement: the same campaign over the debug link and
+   in-process, payloads per virtual second each way. Virtual time is
+   the honest axis — it is where the link's per-exchange latency lives;
+   wall clock additionally shows the host-side cost of RSP framing. *)
+let run_native_comparison () =
+  section "Native backend: in-process execution vs the debug link";
+  let iterations = Runner.scaled 800 in
+  Printf.printf "[Zephyr campaign, seed 11, %d payloads, link vs native...]\n%!"
+    iterations;
+  let mk_build () =
+    Eof_os.Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Eof_os.Zephyr.spec
+  in
+  let config = { Eof_core.Campaign.default_config with iterations; seed = 11L } in
+  let timed backend =
+    let t0 = Unix.gettimeofday () in
+    match
+      Eof_core.Campaign.run { config with Eof_core.Campaign.backend } (mk_build ())
+    with
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+    | Ok o -> (o, Unix.gettimeofday () -. t0)
+  in
+  let link_o, link_wall = timed Eof_agent.Machine.Link in
+  let native_o, native_wall = timed Eof_agent.Machine.Native in
+  let digest_identical =
+    String.equal
+      (Eof_core.Report.campaign_digest link_o)
+      (Eof_core.Report.campaign_digest native_o)
+  in
+  let per_s executed virtual_s =
+    float_of_int executed /. Float.max 1e-9 virtual_s
+  in
+  let link_pps = per_s link_o.Eof_core.Campaign.executed_programs link_o.Eof_core.Campaign.virtual_s in
+  let native_pps =
+    per_s native_o.Eof_core.Campaign.executed_programs native_o.Eof_core.Campaign.virtual_s
+  in
+  let speedup = native_pps /. Float.max 1e-9 link_pps in
+  print_endline
+    (Text_table.render
+       ~align:Text_table.[ Left; Right; Right; Right ]
+       ~header:[ "backend"; "payloads/virtual-s"; "virtual s"; "wall s" ]
+       [
+         [ "debug link"; Printf.sprintf "%.0f" link_pps;
+           Printf.sprintf "%.3f" link_o.Eof_core.Campaign.virtual_s;
+           Printf.sprintf "%.2f" link_wall ];
+         [ "native"; Printf.sprintf "%.0f" native_pps;
+           Printf.sprintf "%.3f" native_o.Eof_core.Campaign.virtual_s;
+           Printf.sprintf "%.2f" native_wall ];
+       ]);
+  Printf.printf "[native throughput: %.1fx the debug link%s; digests %s]\n" speedup
+    (if speedup >= 20. then "" else " — BELOW the 20x target")
+    (if digest_identical then "identical" else "DIVERGED (bug!)");
+  {
+    nat_iterations = iterations;
+    nat_link_wall_s = link_wall;
+    nat_native_wall_s = native_wall;
+    nat_link_virtual_s = link_o.Eof_core.Campaign.virtual_s;
+    nat_native_virtual_s = native_o.Eof_core.Campaign.virtual_s;
+    nat_executed = native_o.Eof_core.Campaign.executed_programs;
+    digest_identical;
+  }
+
 (* --- machine-readable results ------------------------------------------ *)
 
 let json_escape s =
@@ -440,7 +513,7 @@ let json_escape s =
 
 (* Every section is optional: a failed stage becomes a JSON null, never
    a missing BENCH.json. *)
-let write_bench_json ~micro ~link ~scaling ~resilience path =
+let write_bench_json ~micro ~link ~scaling ~resilience ~native path =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n  \"micro_ns_per_run\": ";
   (match micro with
@@ -533,6 +606,36 @@ let write_bench_json ~micro ~link ~scaling ~resilience path =
              (if i < n - 1 then "," else "")))
       points;
     Buffer.add_string b "    ]\n  }");
+  Buffer.add_string b ",\n  \"native\": ";
+  (match native with
+  | None -> Buffer.add_string b "null"
+  | Some s ->
+    let pps executed virtual_s = float_of_int executed /. Float.max 1e-9 virtual_s in
+    let link_pps = pps s.nat_executed s.nat_link_virtual_s in
+    let native_pps = pps s.nat_executed s.nat_native_virtual_s in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"iterations\": %d,\n    \"executed\": %d,\n"
+         s.nat_iterations s.nat_executed);
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"payloads_per_virtual_s\": { \"link\": %.1f, \"native\": %.1f },\n"
+         link_pps native_pps);
+    Buffer.add_string b
+      (Printf.sprintf "    \"virtual_s\": { \"link\": %.4f, \"native\": %.4f },\n"
+         s.nat_link_virtual_s s.nat_native_virtual_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"wall_s\": { \"link\": %.3f, \"native\": %.3f },\n"
+         s.nat_link_wall_s s.nat_native_wall_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"speedup_virtual\": %.1f,\n"
+         (native_pps /. Float.max 1e-9 link_pps));
+    Buffer.add_string b
+      (Printf.sprintf "    \"speedup_wall\": %.2f,\n"
+         (s.nat_link_wall_s /. Float.max 1e-9 s.nat_native_wall_s));
+    Buffer.add_string b
+      (Printf.sprintf "    \"digest_identical\": %b\n" s.digest_identical);
+    Buffer.add_string b "  }");
   Buffer.add_string b ",\n  \"resilience\": ";
   (match resilience with
   | None -> Buffer.add_string b "null"
@@ -574,5 +677,6 @@ let () =
   let scaling = guarded "farm-scaling" run_scaling in
   let link = guarded "debug-link" run_link_comparison in
   let resilience = guarded "resilience" run_resilience in
+  let native = guarded "native-backend" run_native_comparison in
   let micro = guarded "micro-benchmark" run_micro in
-  write_bench_json ~micro ~link ~scaling ~resilience "BENCH.json"
+  write_bench_json ~micro ~link ~scaling ~resilience ~native "BENCH.json"

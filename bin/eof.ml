@@ -32,43 +32,20 @@ let target_of os =
 
 (* --- eof fuzz ---------------------------------------------------------- *)
 
-(* A wall-clock-free fingerprint of a campaign's observable results:
-   identical bits in, identical line out. CI reruns a farm campaign and
-   diffs this line to catch scheduling nondeterminism. *)
-let digest_line ~label ~coverage ~bitmap ~corpus ~crashes ~crash_events ~executed
-    ~iterations_done =
-  let b = Buffer.create 4096 in
-  List.iter (fun bit -> Buffer.add_string b (string_of_int bit ^ ",")) (Eof_util.Bitset.to_list bitmap);
-  Buffer.add_char b '|';
-  List.iter
-    (fun p -> Buffer.add_string b (string_of_int (Eof_core.Prog.hash p) ^ ","))
-    corpus;
-  Buffer.add_char b '|';
-  List.iter (fun c -> Buffer.add_string b (Crash.dedup_key c ^ ",")) crashes;
-  Buffer.add_string b
-    (Printf.sprintf "|%d|%d|%d|%d" coverage crash_events executed iterations_done);
-  Printf.sprintf
-    "digest %s coverage=%d crashes=%d crash_events=%d executed=%d iterations=%d corpus=%d crc=%08lx"
-    label coverage (List.length crashes) crash_events executed iterations_done
-    (List.length corpus)
-    (Eof_util.Crc32.digest_string (Buffer.contents b))
+(* The digest lines (wall-clock-free result fingerprints) live in
+   Report so the CLI, the differential oracle and the tests all print
+   the same bits for the same outcome. *)
+let campaign_digest = Eof_core.Report.campaign_digest
+let farm_digest = Eof_core.Report.farm_digest
 
-let campaign_digest (o : Campaign.outcome) =
-  digest_line ~label:"campaign" ~coverage:o.Campaign.coverage
-    ~bitmap:o.Campaign.coverage_bitmap ~corpus:o.Campaign.final_corpus
-    ~crashes:o.Campaign.crashes ~crash_events:o.Campaign.crash_events
-    ~executed:o.Campaign.executed_programs ~iterations_done:o.Campaign.iterations_done
+(* Which machinery executes payloads: one backend, or both with the
+   differential oracle comparing them. *)
+type exec_mode = Single of Eof_agent.Machine.backend | Differential
 
-let farm_digest (o : Eof_core.Farm.outcome) =
-  let module Farm = Eof_core.Farm in
-  digest_line
-    ~label:
-      (Printf.sprintf "farm boards=%d backend=%s" o.Farm.boards
-         (Farm.backend_name o.Farm.backend))
-    ~coverage:o.Farm.coverage ~bitmap:o.Farm.coverage_bitmap
-    ~corpus:o.Farm.final_corpus ~crashes:o.Farm.crashes
-    ~crash_events:o.Farm.crash_events ~executed:o.Farm.executed_programs
-    ~iterations_done:o.Farm.iterations_done
+let exec_mode_of_name s =
+  match String.lowercase_ascii s with
+  | "diff" | "differential" -> Ok Differential
+  | _ -> Result.map (fun b -> Single b) (Eof_agent.Machine.backend_of_name s)
 
 (* "off" keeps the bus inert on the console side; a trace sink can still
    be attached independently. *)
@@ -77,20 +54,20 @@ let console_level_of_string s =
   | "off" | "none" | "quiet" -> Ok None
   | s -> Result.map Option.some (Obs.Level.of_string s)
 
-let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
-    no_dep no_watchdog irq verbose crash_dir save_corpus load_corpus log_level
-    trace_file fault_rate fault_seed =
+let fuzz os seed iterations boards sync_every exec_backend farm_backend digest
+    no_feedback no_dep no_watchdog irq verbose crash_dir save_corpus load_corpus
+    log_level trace_file fault_rate fault_seed =
   match
     (target_of os, Eof_core.Farm.backend_of_name farm_backend,
-     console_level_of_string log_level)
+     console_level_of_string log_level, exec_mode_of_name exec_backend)
   with
-  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
     prerr_endline e;
     1
   | _ when not (fault_rate >= 0. && fault_rate <= 1.) ->
     prerr_endline "eof fuzz: --fault-rate must be within [0, 1]";
     1
-  | Ok target, Ok backend, Ok console_level ->
+  | Ok target, Ok backend, Ok console_level, Ok exec_mode ->
     let obs = Obs.create () in
     (match console_level with
      | Some min_level -> Obs.add_sink obs (Obs.console_sink ~min_level ())
@@ -108,10 +85,17 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
     let profile = Eof_hw.Board.profile (Eof_os.Osbuild.board build) in
     Obs.message obs Obs.Level.Info
       (Printf.sprintf
-         "fuzzing %s %s on %s over its %s debug port (%d payloads, seed %d%s)"
+         "fuzzing %s %s on %s %s (%d payloads, seed %d%s)"
          (Eof_os.Osbuild.os_name build) (Eof_os.Osbuild.version build)
          profile.Eof_hw.Board.name
-         (Eof_hw.Board.debug_port_name profile.Eof_hw.Board.debug_port)
+         (match exec_mode with
+          | Single Eof_agent.Machine.Link | Differential ->
+            Printf.sprintf "over its %s debug port%s"
+              (Eof_hw.Board.debug_port_name profile.Eof_hw.Board.debug_port)
+              (match exec_mode with
+               | Differential -> " + in-process (differential)"
+               | _ -> "")
+          | Single Eof_agent.Machine.Native -> "in-process (native backend)")
          iterations seed
          (if boards = 1 then ""
           else
@@ -140,6 +124,11 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
         Campaign.default_config with
         seed = Int64.of_int seed;
         iterations;
+        backend =
+          (match exec_mode with
+           | Single b -> b
+           (* Diff.run overrides the backend for each of its two runs. *)
+           | Differential -> Eof_agent.Machine.Link);
         feedback = not no_feedback;
         dep_aware = not no_dep;
         stall_watchdog = not no_watchdog;
@@ -187,6 +176,27 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
            Printf.printf "saved %d corpus seeds to %s\n" (List.length final_corpus) path
          | Error e -> prerr_endline ("could not save corpus: " ^ e))
     in
+    match exec_mode with
+    | Differential ->
+      (* Run both backends on the same seed schedule and compare every
+         observable: any divergence is a bug in one of them. *)
+      let module Diff = Eof_core.Diff in
+      let verdict =
+        if boards = 1 then Diff.run ~obs config (fun () -> Targets.build_hw target)
+        else
+          let module Farm = Eof_core.Farm in
+          Diff.run_farm ~obs
+            { Farm.boards; sync_every; backend; base = config }
+            (fun _board -> Targets.build_hw target)
+      in
+      (match verdict with
+       | Error e ->
+         prerr_endline ("differential campaign failed: " ^ Eof_util.Eof_error.to_string e);
+         1
+       | Ok v ->
+         print_endline (Diff.report v);
+         if v.Diff.equal then 0 else 1)
+    | Single _ ->
     if boards = 1 then (
       match Campaign.run ~obs config build with
       | Error e ->
@@ -198,9 +208,9 @@ let fuzz os seed iterations boards sync_every farm_backend digest no_feedback
           0)
         else begin
           Printf.printf
-            "\ncoverage: %d branches | executed: %d | corpus: %d | resets: %d | reflashes: %d\n"
+            "\ncoverage: %d branches | executed: %d | corpus: %d | resets: %d | reflashes: %d | stalls: %d\n"
             o.Campaign.coverage o.Campaign.executed_programs o.Campaign.corpus_size
-            o.Campaign.resets o.Campaign.reflashes;
+            o.Campaign.resets o.Campaign.reflashes o.Campaign.stalls;
           print_crashes o.Campaign.crashes o.Campaign.crash_events;
           save_outputs o.Campaign.crashes o.Campaign.final_corpus;
           0
@@ -244,6 +254,15 @@ let fuzz_cmd =
     Arg.(value & opt int 25
          & info [ "sync-every" ] ~docv:"K"
              ~doc:"Merge corpus/coverage across boards every $(docv) payloads.")
+  in
+  let exec_backend =
+    Arg.(value & opt string "link"
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Execution backend: $(b,link) drives the agent over the simulated debug \
+                   port (RSP framing, transport latency), $(b,native) runs agent and RTOS \
+                   in-process with coverage drained by direct call (same results, no link \
+                   cost), $(b,diff) runs both on the same seed schedule and fails if any \
+                   observable differs.")
   in
   let farm_backend =
     Arg.(value & opt string "cooperative"
@@ -306,9 +325,9 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Run an EOF campaign against a simulated board")
     Term.(
       const fuzz $ os_arg $ seed_arg $ iterations_arg $ boards $ sync_every
-      $ farm_backend $ digest $ no_feedback $ no_dep $ no_watchdog $ irq $ verbose
-      $ crash_dir $ save_corpus $ load_corpus $ log_level $ trace $ fault_rate
-      $ fault_seed)
+      $ exec_backend $ farm_backend $ digest $ no_feedback $ no_dep $ no_watchdog
+      $ irq $ verbose $ crash_dir $ save_corpus $ load_corpus $ log_level $ trace
+      $ fault_rate $ fault_seed)
 
 (* --- eof trace ---------------------------------------------------------- *)
 

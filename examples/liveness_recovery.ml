@@ -49,7 +49,7 @@ let () =
    | Session.Stopped_quantum pc ->
      Printf.printf "3. continue stopped at 0x%08x (no agent breakpoint: suspicious)\n" pc
    | _ -> failwith "expected a quantum stop");
-  (match Liveness.check watchdog session with
+  (match Liveness.check watchdog machine with
    | Liveness.First_observation -> print_endline "4. watchdog armed (LastPC recorded)"
    | _ -> failwith "expected first observation");
   (* The watchdog only declares a stall after the PC repeats on
@@ -60,7 +60,7 @@ let () =
     (match ok (Session.continue_ session) with
      | Session.Stopped_quantum _ -> ()
      | _ -> failwith "expected another quantum stop");
-    match Liveness.check watchdog session with
+    match Liveness.check watchdog machine with
     | Liveness.Pc_stalled pc ->
       Printf.printf
         "5. PC stalled at 0x%08x after %d repeated samples -> unrecoverable state\n"
@@ -72,7 +72,7 @@ let () =
   print_string (ok (Session.drain_uart session));
 
   (* Algorithm 1, restoration side: reflash every partition, reboot. *)
-  (match Liveness.restore session ~build with
+  (match Liveness.restore machine ~build with
    | Ok n -> Printf.printf "6. reflashed %d partitions from the golden image\n" n
    | Error e -> failwith (Liveness.error_to_string e));
   (match ok (Session.continue_ session) with

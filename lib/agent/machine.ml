@@ -1,22 +1,68 @@
 open Eof_hw
 open Eof_os
 module Eof_error = Eof_util.Eof_error
+module Session = Eof_debug.Session
+module Sancov = Eof_cov.Sancov
+module Obs = Eof_obs.Obs
+
+type backend = Link | Native
+
+let backend_name = function Link -> "link" | Native -> "native"
+
+let backend_of_name s =
+  match String.lowercase_ascii s with
+  | "link" -> Ok Link
+  | "native" -> Ok Native
+  | other -> Error (Printf.sprintf "unknown backend %S (link|native)" other)
+
+type stop = Eof_debug.Session.stop =
+  | Stopped_breakpoint of int
+  | Stopped_quantum of int
+  | Stopped_fault of int
+  | Target_exited
+
+type drained = {
+  n_records : int;
+  records_raw : string;
+  n_cmp : int;
+  cmp_raw : string;
+  log : string;
+}
+
+type link_state = {
+  server : Eof_debug.Openocd.t;
+  transport : Eof_debug.Transport.t;
+  session : Session.t;
+}
+
+type native_state = {
+  continue_quantum : int;
+  n_obs : Obs.t;
+  c_stops : Obs.Counter.t;
+  c_drains : Obs.Counter.t;
+  c_records : Obs.Counter.t;
+  c_cmp : Obs.Counter.t;
+  c_flash_ops : Obs.Counter.t;
+}
+
+type impl = L of link_state | N of native_state
 
 type t = {
   build : Osbuild.t;
+  board : Board.t;
   engine : Eof_exec.Engine.t;
-  server : Eof_debug.Openocd.t;
-  transport : Eof_debug.Transport.t;
-  session : Eof_debug.Session.t;
+  impl : impl;
 }
+
+let make_engine build =
+  let board = Osbuild.board build in
+  let syms = Osbuild.syms build in
+  Eof_exec.Engine.create ~board ~fault_vector:syms.Osbuild.sym_handle_exception
+    ~entry:(Agent.entry build)
 
 let create ?obs ?(continue_quantum = 200_000) ?transport ?inject build =
   let board = Osbuild.board build in
-  let syms = Osbuild.syms build in
-  let engine =
-    Eof_exec.Engine.create ~board ~fault_vector:syms.Osbuild.sym_handle_exception
-      ~entry:(Agent.entry build)
-  in
+  let engine = make_engine build in
   let server = Eof_debug.Openocd.create ~continue_quantum ~board ~engine () in
   let transport =
     match transport with
@@ -31,7 +77,7 @@ let create ?obs ?(continue_quantum = 200_000) ?transport ?inject build =
    | None -> ());
   match Eof_debug.Session.connect ?obs ~transport ~server () with
   | Ok session ->
-    let t = { build; engine; server; transport; session } in
+    let t = { build; board; engine; impl = L { server; transport; session } } in
     (* Timestamps on this machine's bus handle come from its own virtual
        clock, never the host wall clock — the trace-determinism
        guarantee hangs on this binding. *)
@@ -44,7 +90,35 @@ let create ?obs ?(continue_quantum = 200_000) ?transport ?inject build =
     Ok t
   | Error e -> Error (Eof_error.with_context "link bring-up" e)
 
-let create_fleet ?obs ?continue_quantum ?inject_for ~boards mk_build =
+let create_native ?obs ?(continue_quantum = 200_000) build =
+  let board = Osbuild.board build in
+  let engine = make_engine build in
+  (* The native clock is board CPU time alone: no transport exists to
+     contribute latency, and binding anything else would break the
+     backend's "pay only for execution" cost model. *)
+  (match obs with
+   | Some bus -> Obs.set_clock bus (fun () -> Clock.now_s (Board.clock board))
+   | None -> ());
+  let n_obs = match obs with Some o -> o | None -> Obs.create () in
+  Ok
+    {
+      build;
+      board;
+      engine;
+      impl =
+        N
+          {
+            continue_quantum;
+            n_obs;
+            c_stops = Obs.Counter.make n_obs "native.stops";
+            c_drains = Obs.Counter.make n_obs "native.drains";
+            c_records = Obs.Counter.make n_obs "native.records";
+            c_cmp = Obs.Counter.make n_obs "native.cmp";
+            c_flash_ops = Obs.Counter.make n_obs "native.flash_ops";
+          };
+    }
+
+let create_fleet ?obs ?continue_quantum ?inject_for ?(backend = Link) ~boards mk_build =
   if boards < 1 then Error (Eof_error.config "fleet: boards must be >= 1")
   else begin
     let rec go i acc =
@@ -53,21 +127,281 @@ let create_fleet ?obs ?continue_quantum ?inject_for ~boards mk_build =
         let build = mk_build i in
         let obs = Option.map (fun bus -> Eof_obs.Obs.for_board bus i) obs in
         let inject = match inject_for with Some f -> f i | None -> None in
-        match create ?obs ?continue_quantum ?inject build with
+        let made =
+          match backend with
+          | Link -> create ?obs ?continue_quantum ?inject build
+          | Native ->
+            if inject <> None then
+              Error
+                (Eof_error.config
+                   "fault injection is link-only: the native backend has no link to fault")
+            else create_native ?obs ?continue_quantum build
+        in
+        match made with
         | Ok m -> go (i + 1) ((build, m) :: acc)
         | Error e -> Error (Eof_error.with_context (Printf.sprintf "board %d" i) e)
     in
     go 0 []
   end
 
+let backend t = match t.impl with L _ -> Link | N _ -> Native
+
 let build t = t.build
 
-let session t = t.session
+let link_only t name =
+  match t.impl with
+  | L l -> l
+  | N _ -> invalid_arg (Printf.sprintf "Machine.%s: native machine has no link stack" name)
 
-let transport t = t.transport
+let session t = (link_only t "session").session
 
-let server t = t.server
+let transport t = (link_only t "transport").transport
+
+let server t = (link_only t "server").server
+
+let obs t =
+  match t.impl with L l -> Session.obs l.session | N n -> n.n_obs
 
 let virtual_elapsed_s t =
-  let board = Osbuild.board t.build in
-  Clock.now_s (Board.clock board) +. (Eof_debug.Transport.elapsed_us t.transport /. 1e6)
+  let cpu = Clock.now_s (Board.clock t.board) in
+  match t.impl with
+  | L l -> cpu +. (Eof_debug.Transport.elapsed_us l.transport /. 1e6)
+  | N _ -> cpu
+
+(* Target CPU time alone — identical across backends for the same
+   payload schedule, which is what makes it usable as a
+   backend-invariant ordering key. *)
+let cpu_elapsed_s t = Clock.now_s (Board.clock t.board)
+
+(* --- backend-neutral operations ---------------------------------------- *)
+
+let fault_error f = Eof_error.agent ("native memory access faulted: " ^ Fault.to_string f)
+
+let endianness t = (Board.profile t.board).Board.arch.Arch.endianness
+
+(* The native stop mapping is copied from the probe server's
+   [stop_of_reason]: the two backends must classify identically for the
+   differential oracle to hold. *)
+let native_stop t (reason : Eof_exec.Engine.stop_reason) =
+  match reason with
+  | Eof_exec.Engine.Breakpoint_hit pc -> Stopped_breakpoint pc
+  | Eof_exec.Engine.Fuel_exhausted -> Stopped_quantum (Eof_exec.Engine.pc t.engine)
+  | Eof_exec.Engine.Faulted _ -> Stopped_fault (Eof_exec.Engine.pc t.engine)
+  | Eof_exec.Engine.Exited -> Target_exited
+
+let stop_kind = function
+  | Stopped_breakpoint _ -> "breakpoint"
+  | Stopped_quantum _ -> "quantum"
+  | Stopped_fault _ -> "fault"
+  | Target_exited -> "exited"
+
+let stop_pc = function
+  | Stopped_breakpoint pc | Stopped_quantum pc | Stopped_fault pc -> pc
+  | Target_exited -> 0
+
+let observe_stop n stop =
+  Obs.Counter.incr n.c_stops;
+  if Obs.active n.n_obs then
+    Obs.emit n.n_obs (Obs.Event.Stop { kind = stop_kind stop; pc = stop_pc stop })
+
+let continue_ t =
+  match t.impl with
+  | L l -> Session.continue_ l.session
+  | N n ->
+    let stop = native_stop t (Eof_exec.Engine.run t.engine ~fuel:n.continue_quantum) in
+    observe_stop n stop;
+    Ok stop
+
+let read_mem t ~addr ~len =
+  match t.impl with
+  | L l -> Session.read_mem l.session ~addr ~len
+  | N _ -> Result.map_error fault_error (Board.read_mem t.board ~addr ~len)
+
+let write_mem t ~addr data =
+  match t.impl with
+  | L l -> Session.write_mem l.session ~addr data
+  | N _ -> Result.map_error fault_error (Board.write_ram t.board ~addr data)
+
+let word_of t raw =
+  let b = Bytes.unsafe_of_string raw in
+  match endianness t with
+  | Arch.Little -> Bytes.get_int32_le b 0
+  | Arch.Big -> Bytes.get_int32_be b 0
+
+let read_u32 t ~addr =
+  match t.impl with
+  | L l -> Session.read_u32 l.session ~addr
+  | N _ ->
+    (match Board.read_mem t.board ~addr ~len:4 with
+     | Error f -> Error (fault_error f)
+     | Ok raw -> Ok (word_of t raw))
+
+let write_u32 t ~addr v =
+  match t.impl with
+  | L l -> Session.write_u32 l.session ~addr v
+  | N _ ->
+    let b = Bytes.create 4 in
+    (match endianness t with
+     | Arch.Little -> Bytes.set_int32_le b 0 v
+     | Arch.Big -> Bytes.set_int32_be b 0 v);
+    Result.map_error fault_error
+      (Board.write_ram t.board ~addr (Bytes.unsafe_to_string b))
+
+let set_breakpoint t addr =
+  match t.impl with
+  | L l -> Session.set_breakpoint l.session addr
+  | N _ ->
+    Eof_exec.Engine.set_breakpoint t.engine addr;
+    Ok ()
+
+let read_pc t =
+  match t.impl with
+  | L l -> Session.read_pc l.session
+  | N _ -> Ok (Eof_exec.Engine.pc t.engine land 0x7FFFFFFF)
+
+let drain_uart t =
+  match t.impl with
+  | L l -> Session.drain_uart l.session
+  | N _ -> Ok (Uart.drain (Board.uart t.board))
+
+let last_fault t =
+  match t.impl with
+  | L l -> Session.last_fault l.session
+  | N _ ->
+    Ok
+      (match Eof_exec.Engine.last_fault t.engine with
+       | None -> ""
+       | Some f -> Fault.to_string f)
+
+let reset_target t =
+  match t.impl with
+  | L l -> Session.reset_target l.session
+  | N n ->
+    (* Exactly the probe server's reset path: board first (RAM, UART,
+       GPIO cleared; clock and flash persist), then re-arm the engine. *)
+    Board.reset t.board;
+    Eof_exec.Engine.reset t.engine;
+    if Obs.active n.n_obs then Obs.emit n.n_obs Obs.Event.Reset_board;
+    Ok ()
+
+let resync t =
+  match t.impl with
+  | L l -> Session.resync l.session
+  | N _ -> Ok ()
+
+let inject_gpio t ~pin ~level =
+  match t.impl with
+  | L l -> Session.inject_gpio l.session ~pin ~level
+  | N _ ->
+    (match Gpio.set_level (Board.gpio t.board) ~pin ~level with
+     | Ok () -> Ok ()
+     | Error e -> Error (Eof_error.agent ("gpio injection: " ^ e)))
+
+let supports_batch t =
+  match t.impl with L l -> Session.supports_batch l.session | N _ -> false
+
+(* --- native fused continue + drain ------------------------------------- *)
+
+(* Mirrors the probe server's [B_read_counted] semantics bit-for-bit:
+   read the counter word, clamp to capacity, read that many entries from
+   the start of the buffer, then reset the counter — so the raw byte
+   stream handed to the campaign's decoders is identical to what the
+   vBatch drain returns over the link. A failed read yields the zero
+   result (nothing was reset, nothing is lost), matching Covlink. *)
+let read_counted t ~count_addr ~data_addr ~stride ~max_count =
+  match Board.read_mem t.board ~addr:count_addr ~len:4 with
+  | Error _ -> (0, "")
+  | Ok raw ->
+    let count = Int32.to_int (word_of t raw) in
+    let n = max 0 (min count max_count) in
+    let data =
+      if n = 0 then Ok ""
+      else Board.read_mem t.board ~addr:data_addr ~len:(n * stride)
+    in
+    (match data with
+     | Error _ -> (0, "")
+     | Ok data ->
+       (match Board.write_ram t.board ~addr:count_addr (String.make 4 '\x00') with
+        | Ok () -> (n, data)
+        | Error _ -> (0, "")))
+
+let native_drain t n ~want_cmp =
+  let layout = Osbuild.covbuf_layout t.build in
+  let n_records, records_raw =
+    read_counted t
+      ~count_addr:(Sancov.Layout.write_index_addr layout)
+      ~data_addr:(Sancov.Layout.records_addr layout)
+      ~stride:4 ~max_count:layout.Sancov.Layout.capacity_records
+  in
+  let n_cmp, cmp_raw =
+    if want_cmp then
+      read_counted t
+        ~count_addr:(Sancov.Layout.cmp_count_addr layout)
+        ~data_addr:(Sancov.Layout.cmp_ring_addr layout)
+        ~stride:8 ~max_count:Sancov.Layout.cmp_ring_entries
+    else (0, "")
+  in
+  let log = Uart.drain (Board.uart t.board) in
+  let d = { n_records; records_raw; n_cmp; cmp_raw; log } in
+  Obs.Counter.incr n.c_drains;
+  Obs.Counter.add n.c_records d.n_records;
+  Obs.Counter.add n.c_cmp d.n_cmp;
+  if Obs.active n.n_obs then
+    Obs.emit n.n_obs
+      (Obs.Event.Drain
+         { records = d.n_records; cmp = d.n_cmp;
+           log_bytes = String.length d.log; fused = true });
+  d
+
+let continue_and_drain ?write t ~want_cmp =
+  match t.impl with
+  | L _ ->
+    Error
+      (Eof_error.protocol
+         "Machine.continue_and_drain: link machines fuse drains through Covlink")
+  | N n ->
+    let deliver =
+      match write with
+      | None -> Ok ()
+      | Some (addr, data) ->
+        Result.map_error fault_error (Board.write_ram t.board ~addr data)
+    in
+    (match deliver with
+     | Error e -> Error (Eof_error.with_context "program delivery" e)
+     | Ok () ->
+       let stop = native_stop t (Eof_exec.Engine.run t.engine ~fuel:n.continue_quantum) in
+       observe_stop n stop;
+       Ok (stop, native_drain t n ~want_cmp))
+
+(* --- flash (state restoration) ----------------------------------------- *)
+
+let observe_flash n ~op ~addr ~len =
+  Obs.Counter.incr n.c_flash_ops;
+  if Obs.active n.n_obs then Obs.emit n.n_obs (Obs.Event.Flash_op { op; addr; len })
+
+let flash_erase t ~addr ~len =
+  match t.impl with
+  | L l -> Session.flash_erase l.session ~addr ~len
+  | N n ->
+    (match Flash.erase_range (Board.flash t.board) ~addr ~len with
+     | () ->
+       observe_flash n ~op:"erase" ~addr ~len;
+       Ok ()
+     | exception Fault.Trap f -> Error (Eof_error.flash (Fault.to_string f)))
+
+let flash_write t ~addr data =
+  match t.impl with
+  | L l -> Session.flash_write l.session ~addr data
+  | N n ->
+    (match Flash.program (Board.flash t.board) ~addr data with
+     | () ->
+       observe_flash n ~op:"write" ~addr ~len:(String.length data);
+       Ok ()
+     | exception Fault.Trap f -> Error (Eof_error.flash (Fault.to_string f)))
+
+let flash_done t =
+  match t.impl with
+  | L l -> Session.flash_done l.session
+  | N n ->
+    observe_flash n ~op:"done" ~addr:0 ~len:0;
+    Ok ()

@@ -1,9 +1,52 @@
 open Eof_os
 
-(** One fully-wired target: board + engine running the agent, behind an
-    OpenOCD server and a fault-injectable transport, exposed to the host
-    only as a {!Eof_debug.Session}. This is the "plug the probe in"
-    step. *)
+(** One fully-wired target behind one of two execution backends.
+
+    {b Link} is the on-hardware path: board + engine running the agent,
+    behind an OpenOCD-style server and a fault-injectable transport,
+    driven over a simulated GDB RSP session. Every operation costs
+    modelled link latency and can fail like a real probe.
+
+    {b Native} is the transplant path (EmbedFuzz-style): the same board,
+    engine and agent run in-process with no RSP framing and no
+    transport. Operations are direct function calls into the engine and
+    board memory, virtual time is charged from board CPU cost only, and
+    the only failures left are the target's own. The debug-link backend
+    stays the oracle: a differential campaign run on both backends must
+    produce identical digests (see {!Eof_core.Diff}).
+
+    The campaign and farm layers drive either backend through the
+    backend-neutral operations below; nothing above this module needs to
+    know which one is plugged in. *)
+
+type backend = Link | Native
+
+val backend_name : backend -> string
+
+val backend_of_name : string -> (backend, string) result
+(** ["link"] or ["native"] (case-insensitive). *)
+
+(** Stop classification, shared vocabulary with the debug session (the
+    native backend maps engine stop reasons onto the same constructors
+    the RSP stop decoder produces). *)
+type stop = Eof_debug.Session.stop =
+  | Stopped_breakpoint of int
+  | Stopped_quantum of int
+  | Stopped_fault of int
+  | Target_exited
+
+(** One drained batch of target-side evidence: raw coverage records, raw
+    cmp-ring bytes and UART output, exactly as the link's fused vBatch
+    drain returns them. The native backend fills the same shape by
+    direct memory reads so the campaign's decode path is shared
+    bit-for-bit between backends. *)
+type drained = {
+  n_records : int;
+  records_raw : string;
+  n_cmp : int;
+  cmp_raw : string;
+  log : string;
+}
 
 type t
 
@@ -14,8 +57,9 @@ val create :
   ?inject:Eof_debug.Inject.config ->
   Osbuild.t ->
   (t, Eof_util.Eof_error.t) result
-(** Boots nothing yet — the first [continue] starts the agent. Fails if
-    the RSP handshake over the transport fails.
+(** The debug-link backend. Boots nothing yet — the first [continue]
+    starts the agent. Fails if the RSP handshake over the transport
+    fails.
 
     When [obs] is given it is threaded into the transport and session
     (unless a pre-built [transport] is supplied), and its clock is bound
@@ -26,35 +70,137 @@ val create :
     transport (whether supplied or created here); omitted means a clean
     link. *)
 
+val create_native :
+  ?obs:Eof_obs.Obs.t ->
+  ?continue_quantum:int ->
+  Osbuild.t ->
+  (t, Eof_util.Eof_error.t) result
+(** The native transplant backend: agent + personality in-process, no
+    server, no transport, no session. [continue_quantum] bounds each
+    {!continue_} in instrumentation sites exactly as the link backend's
+    server does, so stop schedules match. There is no fault injector to
+    attach — link faults cannot exist off the link.
+
+    With [obs], the bus clock is bound to board CPU time only (the
+    native {!virtual_elapsed_s}), preserving the virtual-clock
+    determinism guarantee without any transport term. *)
+
 val create_fleet :
   ?obs:Eof_obs.Obs.t ->
   ?continue_quantum:int ->
   ?inject_for:(int -> Eof_debug.Inject.config option) ->
+  ?backend:backend ->
   boards:int ->
   (int -> Osbuild.t) ->
   ((Osbuild.t * t) array, Eof_util.Eof_error.t) result
 (** Construct [boards] fully independent targets from a per-board build
-    factory: each gets its own board, flashed image, OpenOCD-style
-    server, probe transport and session — nothing is shared, exactly as
-    N physical dev boards on N probes share nothing. Boards are built
-    sequentially (factories need not be thread-safe); the instances may
-    then be driven from separate domains.
+    factory: each gets its own board, flashed image and backend stack —
+    nothing is shared, exactly as N physical dev boards on N probes
+    share nothing. Boards are built sequentially (factories need not be
+    thread-safe); the instances may then be driven from separate
+    domains.
 
+    [backend] (default {!Link}) selects the stack per board.
     [inject_for i] supplies board [i]'s fault schedule (each board gets
     its own independently seeded injector, as each physical probe
-    glitches independently). *)
+    glitches independently); supplying one for a {!Native} board is a
+    [Config] error — faults are link-only. *)
+
+val backend : t -> backend
 
 val build : t -> Osbuild.t
 
+val obs : t -> Eof_obs.Obs.t
+(** The bus this machine emits on (an inert private bus when none was
+    supplied at creation). *)
+
 val session : t -> Eof_debug.Session.t
+(** Link backend only — the raw RSP session, for baselines and bench
+    code that measure the link itself.
+    @raise Invalid_argument on a native machine. *)
 
 val transport : t -> Eof_debug.Transport.t
+(** Link backend only. @raise Invalid_argument on a native machine. *)
 
 val server : t -> Eof_debug.Openocd.t
-(** Exposed for tests and the emulation-based baselines that read board
-    state directly (Tardis-style shared memory). Hardware-mode fuzzing
-    code must go through {!session} only. *)
+(** Link backend only; exposed for tests and the emulation-based
+    baselines that read board state directly (Tardis-style shared
+    memory). @raise Invalid_argument on a native machine. *)
 
 val virtual_elapsed_s : t -> float
-(** Virtual wall time: board CPU time plus debug-link latency. This is
-    the clock campaign budgets are measured against. *)
+(** Virtual wall time — the clock campaign budgets are measured
+    against. Link: board CPU time plus debug-link latency. Native:
+    board CPU time only (there is no link to charge). *)
+
+val cpu_elapsed_s : t -> float
+(** Target CPU time only, excluding any link latency. Identical on
+    both backends for the same payload schedule, so schedulers that
+    must interleave boards backend-invariantly (the farm's cooperative
+    scheduler, hence the differential farm oracle) key on this rather
+    than on {!virtual_elapsed_s}. *)
+
+(** {2 Backend-neutral target operations}
+
+    Each dispatches to the RSP session (link) or to the engine/board
+    directly (native). Result types match the session's so the campaign
+    code is backend-blind; on the native backend the link-failure arms
+    are simply unreachable. *)
+
+val continue_ : t -> (stop, Eof_util.Eof_error.t) result
+(** Resume for one quantum. Native: [Engine.run ~fuel:continue_quantum]
+    with the stop mapped exactly as the probe server maps it. *)
+
+val continue_and_drain :
+  ?write:int * string ->
+  t ->
+  want_cmp:bool ->
+  (stop * drained, Eof_util.Eof_error.t) result
+(** Native backend's hot path: deliver the optional staged mailbox
+    image, resume one quantum, then drain coverage records, the cmp
+    ring (when [want_cmp]) and UART by direct memory access —
+    mirroring the link's fused [vBatch] continue+drain semantics
+    (clamp to capacity, reset the target-side counter) so the byte
+    stream entering the campaign's decoders is identical.
+
+    On the link backend this is an error: batched link drains go
+    through {!Eof_debug.Covlink} (which owns the vBatch framing), and
+    the campaign selects that path instead. *)
+
+val read_u32 : t -> addr:int -> (int32, Eof_util.Eof_error.t) result
+
+val write_u32 : t -> addr:int -> int32 -> (unit, Eof_util.Eof_error.t) result
+
+val read_mem : t -> addr:int -> len:int -> (string, Eof_util.Eof_error.t) result
+
+val write_mem : t -> addr:int -> string -> (unit, Eof_util.Eof_error.t) result
+
+val set_breakpoint : t -> int -> (unit, Eof_util.Eof_error.t) result
+
+val read_pc : t -> (int, Eof_util.Eof_error.t) result
+
+val drain_uart : t -> (string, Eof_util.Eof_error.t) result
+
+val last_fault : t -> (string, Eof_util.Eof_error.t) result
+(** Empty string when no fault is latched. *)
+
+val reset_target : t -> (unit, Eof_util.Eof_error.t) result
+(** Board reset + engine re-arm (native), or the RSP reset monitor
+    command (link). Emits a [Reset_board] event either way. *)
+
+val resync : t -> (unit, Eof_util.Eof_error.t) result
+(** Link: flush the decoder and confirm the stub answers. Native: a
+    no-op success — there is no link to desynchronize. *)
+
+val inject_gpio : t -> pin:int -> level:bool -> (unit, Eof_util.Eof_error.t) result
+
+val supports_batch : t -> bool
+(** Whether the campaign may fuse drains through {!Eof_debug.Covlink}:
+    the link stub's [vBatch+] capability. Always [false] on native —
+    the native backend has its own fused path
+    ({!continue_and_drain}). *)
+
+val flash_erase : t -> addr:int -> len:int -> (unit, Eof_util.Eof_error.t) result
+
+val flash_write : t -> addr:int -> string -> (unit, Eof_util.Eof_error.t) result
+
+val flash_done : t -> (unit, Eof_util.Eof_error.t) result

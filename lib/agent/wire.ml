@@ -35,11 +35,9 @@ let put_u16 ~endianness buf v =
     Buffer.add_char buf (Char.chr lo)
 
 let put_u64 ~endianness buf v =
-  let b = Bytes.create 8 in
-  (match endianness with
-   | Arch.Little -> Bytes.set_int64_le b 0 v
-   | Arch.Big -> Bytes.set_int64_be b 0 v);
-  Buffer.add_bytes buf b
+  match endianness with
+  | Arch.Little -> Buffer.add_int64_le buf v
+  | Arch.Big -> Buffer.add_int64_be buf v
 
 let validate program =
   if List.length program > max_calls then Error "too many calls"
@@ -67,11 +65,14 @@ let validate program =
     in
     go 0 program
 
-let encode ~endianness program =
+(* Appends to a caller-owned (typically reused) buffer: the per-payload
+   hot path encodes thousands of programs, and letting the campaign keep
+   one pre-sized buffer removes the per-call [Buffer.create] churn the
+   same way [decode_*_into] removed it on the drain side. *)
+let encode_into ~endianness buf program =
   match validate program with
   | Error _ as e -> e
   | Ok () ->
-    let buf = Buffer.create 256 in
     put_u16 ~endianness buf 1 (* version *);
     put_u16 ~endianness buf (List.length program);
     List.iter
@@ -94,7 +95,13 @@ let encode ~endianness program =
               put_u16 ~endianness buf k)
           call.args)
       program;
-    Ok (Buffer.contents buf)
+    Ok ()
+
+let encode ~endianness program =
+  let buf = Buffer.create 256 in
+  match encode_into ~endianness buf program with
+  | Error _ as e -> e
+  | Ok () -> Ok (Buffer.contents buf)
 
 (* --- decoding over an abstract byte source --------------------------- *)
 

@@ -34,6 +34,12 @@ val max_str : int
 val encode : endianness:Arch.endianness -> program -> (string, string) result
 (** Host side. Validates the limits. *)
 
+val encode_into :
+  endianness:Arch.endianness -> Buffer.t -> program -> (unit, string) result
+(** Like {!encode} but appending into a caller-owned buffer, so a hot
+    loop can clear and reuse one pre-sized buffer instead of allocating
+    per program. The buffer is untouched on validation failure. *)
+
 val decode : endianness:Arch.endianness -> string -> (program, string) result
 (** Pure decoder (tests, corpus tools). *)
 

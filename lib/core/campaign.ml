@@ -27,6 +27,7 @@ type config = {
   batch_link : bool;
   fault_rate : float;
   fault_seed : int64;
+  backend : Machine.backend;
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     batch_link = true;
     fault_rate = 0.;
     fault_seed = 0xFA0175EEDL;
+    backend = Machine.Link;
   }
 
 type sample = { iteration : int; virtual_s : float; coverage : int }
@@ -70,11 +72,25 @@ type outcome = {
   abort_cause : Eof_error.t option;
 }
 
+(* How target-side evidence (coverage records, cmp ring, UART) reaches
+   the host. [Per_request]: legacy unbatched link — one RSP exchange per
+   read, performed at the loop's consumption points. [Batched]: fused
+   link — every continue carries the full drain in one vBatch exchange
+   and data parks in the pend_* accumulators. [Direct]: native backend —
+   same fused drain-every-stop discipline, but by direct memory access
+   with no link at all. Batched and Direct share the accumulator path
+   bit-for-bit; that shared path is what makes the two backends
+   digest-identical. *)
+type drain_mode =
+  | Per_request
+  | Batched of Covlink.t
+  | Direct
+
 type state = {
   config : config;
   build : Osbuild.t;
   machine : Machine.t;
-  session : Session.t;
+  mode : drain_mode;
   syms : Osbuild.syms;
   endianness : Arch.endianness;
   gen : Gen.t;
@@ -109,12 +125,6 @@ type state = {
          drives the explore/exploit split (explore while it pays) *)
   mutable last_was_fresh : bool;
   liveness : Liveness.t;
-  covlink : Covlink.t option;
-      (* Some = batched debug link: every continue is fused with the
-         coverage/cmp/UART drain into one vBatch exchange, and drained
-         data parks host-side in the pend_* accumulators below until the
-         loop reaches the point where the unbatched path would have
-         read it. None = legacy per-request exchanges. *)
   mutable pend_rec : int array;  (* drained, uncommitted edge records *)
   mutable pend_rec_len : int;
   mutable pend_cmp_a : int64 array;  (* drained, uncommitted operand pairs *)
@@ -124,6 +134,9 @@ type state = {
   mutable pend_write : (int * string) option;
       (* a staged mailbox image, delivered as a write op inside the next
          fused vBatch instead of its own exchange *)
+  img_buf : Buffer.t;
+      (* reused wire-encode + mailbox-image scratch, pre-sized once so
+         the per-payload path allocates only the final image string *)
   mutable current_ops : string array;
       (* call names of current_prog, indexed once at selection so the
          per-crash progress lookup is O(1) instead of O(n^2) List.nth *)
@@ -149,18 +162,18 @@ type state = {
 
 (* --- small helpers ---------------------------------------------------- *)
 
-(* Batched mode: park one stop's drained data in the pending
-   accumulators. Committing happens separately, at exactly the loop
-   points where the unbatched path performs its reads. Because every
-   batched drain resets the target-side counters, the pending data is
-   always exactly what the unbatched host would still find in target
-   RAM — so a board reset, which clears RAM and the UART FIFO, must
-   discard the pending accumulators too (see {!reboot}). Decoding goes
-   straight into the reusable scratch arrays: nothing proportional to
-   the record count is allocated on this path. *)
-let absorb_drained st (d : Covlink.drained) =
-  if d.Covlink.n_records > 0 then begin
-    let need = st.pend_rec_len + d.Covlink.n_records in
+(* Fused modes (Batched link, Direct native): park one stop's drained
+   data in the pending accumulators. Committing happens separately, at
+   exactly the loop points where the unbatched path performs its reads.
+   Because every fused drain resets the target-side counters, the
+   pending data is always exactly what the unbatched host would still
+   find in target RAM — so a board reset, which clears RAM and the UART
+   FIFO, must discard the pending accumulators too (see {!reboot}).
+   Decoding goes straight into the reusable scratch arrays: nothing
+   proportional to the record count is allocated on this path. *)
+let absorb_drained st (d : Machine.drained) =
+  if d.Machine.n_records > 0 then begin
+    let need = st.pend_rec_len + d.Machine.n_records in
     if Array.length st.pend_rec < need then begin
       let grown = Array.make (max need (2 * Array.length st.pend_rec)) 0 in
       Array.blit st.pend_rec 0 grown 0 st.pend_rec_len;
@@ -169,10 +182,10 @@ let absorb_drained st (d : Covlink.drained) =
     st.pend_rec_len <-
       st.pend_rec_len
       + Sancov.decode_records_into ~pos:st.pend_rec_len ~endianness:st.endianness
-          ~count:d.Covlink.n_records d.Covlink.records_raw st.pend_rec
+          ~count:d.Machine.n_records d.Machine.records_raw st.pend_rec
   end;
-  if d.Covlink.n_cmp > 0 then begin
-    let need = st.pend_cmp_len + d.Covlink.n_cmp in
+  if d.Machine.n_cmp > 0 then begin
+    let need = st.pend_cmp_len + d.Machine.n_cmp in
     if Array.length st.pend_cmp_a < need then begin
       let grow a =
         let g = Array.make (max need (2 * Array.length a)) 0L in
@@ -185,17 +198,29 @@ let absorb_drained st (d : Covlink.drained) =
     st.pend_cmp_len <-
       st.pend_cmp_len
       + Sancov.decode_cmp_ring_into ~pos:st.pend_cmp_len ~endianness:st.endianness
-          ~count:d.Covlink.n_cmp d.Covlink.cmp_raw ~a:st.pend_cmp_a ~b:st.pend_cmp_b
+          ~count:d.Machine.n_cmp d.Machine.cmp_raw ~a:st.pend_cmp_a ~b:st.pend_cmp_b
   end;
-  if d.Covlink.log <> "" then Buffer.add_string st.pend_log d.Covlink.log
+  if d.Machine.log <> "" then Buffer.add_string st.pend_log d.Machine.log
+
+(* The link's fused drain and the native one return the same shape under
+   different record types; bridge the Covlink one over. *)
+let drained_of_covlink (d : Covlink.drained) : Machine.drained =
+  {
+    Machine.n_records = d.Covlink.n_records;
+    records_raw = d.Covlink.records_raw;
+    n_cmp = d.Covlink.n_cmp;
+    cmp_raw = d.Covlink.cmp_raw;
+    log = d.Covlink.log;
+  }
 
 (* UART output as the unbatched path would see it at this point: either
    drained now over the link, or accumulated stop-by-stop since the last
    consumption point. *)
 let take_log st =
-  match st.covlink with
-  | None -> (match Session.drain_uart st.session with Ok s -> s | Error _ -> "")
-  | Some _ ->
+  match st.mode with
+  | Per_request ->
+    (match Machine.drain_uart st.machine with Ok s -> s | Error _ -> "")
+  | Batched _ | Direct ->
     let log = Buffer.contents st.pend_log in
     Buffer.clear st.pend_log;
     log
@@ -204,8 +229,8 @@ let drain_cmp_hints st =
   (* Only feedback-guided campaigns read the ring, and only they learn
      from it — EOF-nf ignores feedback by definition. *)
   if st.config.feedback then begin
-    match st.covlink with
-    | Some _ ->
+    match st.mode with
+    | Batched _ | Direct ->
       if st.pend_cmp_len > 0 then begin
         let pairs =
           List.init st.pend_cmp_len (fun i -> (st.pend_cmp_a.(i), st.pend_cmp_b.(i)))
@@ -218,23 +243,23 @@ let drain_cmp_hints st =
             Gen.add_int_hint st.gen b)
           pairs
       end
-    | None ->
+    | Per_request ->
       let layout = Osbuild.covbuf_layout st.build in
-      (match Session.read_u32 st.session ~addr:(Sancov.Layout.cmp_count_addr layout) with
+      (match Machine.read_u32 st.machine ~addr:(Sancov.Layout.cmp_count_addr layout) with
        | Error _ -> ()
        | Ok count ->
          let count = min (Int32.to_int count) Sancov.Layout.cmp_ring_entries in
          if count > 0 then begin
            match
-             Session.read_mem st.session
+             Machine.read_mem st.machine
                ~addr:(Sancov.Layout.cmp_ring_addr layout)
                ~len:(8 * count)
            with
            | Error _ -> ()
            | Ok raw ->
              ignore
-               (Session.write_u32 st.session ~addr:(Sancov.Layout.cmp_count_addr layout) 0l
-                 : (unit, Session.error) result);
+               (Machine.write_u32 st.machine ~addr:(Sancov.Layout.cmp_count_addr layout) 0l
+                 : (unit, Eof_error.t) result);
              let pairs =
                List.map
                  (fun (a, b) -> (Int64.of_int32 a, Int64.of_int32 b))
@@ -250,35 +275,35 @@ let drain_cmp_hints st =
   end
 
 let drain_coverage st =
-  match st.covlink with
-  | Some _ ->
+  match st.mode with
+  | Batched _ | Direct ->
     let merged = Feedback.merge_array st.fb st.pend_rec ~len:st.pend_rec_len in
     st.pend_rec_len <- 0;
     merged
-  | None ->
+  | Per_request ->
     let layout = Osbuild.covbuf_layout st.build in
-    (match Session.read_u32 st.session ~addr:(Sancov.Layout.write_index_addr layout) with
+    (match Machine.read_u32 st.machine ~addr:(Sancov.Layout.write_index_addr layout) with
      | Error _ -> 0
      | Ok widx ->
        let widx = min (Int32.to_int widx) layout.Sancov.Layout.capacity_records in
        if widx <= 0 then 0
        else begin
          match
-           Session.read_mem st.session
+           Machine.read_mem st.machine
              ~addr:(Sancov.Layout.records_addr layout)
              ~len:(4 * widx)
          with
          | Error _ -> 0
          | Ok raw ->
            ignore
-             (Session.write_u32 st.session ~addr:(Sancov.Layout.write_index_addr layout) 0l
-               : (unit, Session.error) result);
+             (Machine.write_u32 st.machine ~addr:(Sancov.Layout.write_index_addr layout) 0l
+               : (unit, Eof_error.t) result);
            let edges = Sancov.decode_records ~endianness:st.endianness ~count:widx raw in
            Feedback.merge st.fb edges
        end)
 
 let operation_of_progress st =
-  match Session.read_u32 st.session ~addr:(Agent.progress_addr st.build) with
+  match Machine.read_u32 st.machine ~addr:(Agent.progress_addr st.build) with
   | Error _ -> None
   | Ok v ->
     let idx = Int32.to_int v in
@@ -369,7 +394,7 @@ let discard_pending st =
   Buffer.clear st.pend_log
 
 let reflash st =
-  match Liveness.restore st.session ~build:st.build with
+  match Liveness.restore st.machine ~build:st.build with
   | Ok _ ->
     st.reflashes <- st.reflashes + 1;
     st.resets <- st.resets + 1;
@@ -378,7 +403,7 @@ let reflash st =
   | Error e -> Error e
 
 let reboot st =
-  match Liveness.reboot_only st.session with
+  match Liveness.reboot_only st.machine with
   | Ok () ->
     st.resets <- st.resets + 1;
     discard_pending st;
@@ -402,7 +427,7 @@ let rec recover st (cause : Eof_error.t) =
   | 1 ->
     Obs.Counter.incr st.c_resyncs;
     observe "resync";
-    (match Session.resync st.session with
+    (match Machine.resync st.machine with
      | Ok () -> Ok ()
      | Error e -> recover st e)
   | 2 ->
@@ -441,24 +466,24 @@ let classify_stop st stop =
      bottom of the escalation ladder. *)
   st.rung <- 0;
   match stop with
-  | Session.Stopped_breakpoint pc ->
+  | Machine.Stopped_breakpoint pc ->
     Liveness.reset st.liveness;
     if pc = st.syms.Osbuild.sym_executor_main then Ev_ready
     else if pc = st.syms.Osbuild.sym_loop_back then Ev_done
     else if pc = st.syms.Osbuild.sym_buf_full then Ev_buf_full
     else if pc = st.syms.Osbuild.sym_handle_exception then Ev_panic_bp
     else Ev_other_bp
-  | Session.Stopped_fault _ -> Ev_fault
-  | Session.Stopped_quantum pc -> Ev_quantum pc
-  | Session.Target_exited -> Ev_exited
+  | Machine.Stopped_fault _ -> Ev_fault
+  | Machine.Stopped_quantum pc -> Ev_quantum pc
+  | Machine.Target_exited -> Ev_exited
 
 let advance st =
-  match st.covlink with
-  | None ->
-    (match Session.continue_ st.session with
+  match st.mode with
+  | Per_request ->
+    (match Machine.continue_ st.machine with
      | Error e -> Ev_link_failed e
      | Ok stop -> classify_stop st stop)
-  | Some cl ->
+  | Batched cl ->
     (* The hot-path fusion: the continue, the whole coverage drain and
        any staged mailbox delivery are one vBatch exchange, so each stop
        costs one link round trip instead of six-plus. *)
@@ -467,17 +492,32 @@ let advance st =
     (match Covlink.continue_and_drain ?write cl ~want_cmp:st.config.feedback with
      | Error e -> Ev_link_failed e
      | Ok (stop, d) ->
+       absorb_drained st (drained_of_covlink d);
+       classify_stop st stop)
+  | Direct ->
+    (* The same fusion with the link removed entirely: mailbox delivery,
+       continue and full drain are direct calls into board memory. *)
+    let write = st.pend_write in
+    st.pend_write <- None;
+    (match Machine.continue_and_drain ?write st.machine ~want_cmp:st.config.feedback with
+     | Error e -> Ev_link_failed e
+     | Ok (stop, d) ->
        absorb_drained st d;
        classify_stop st stop)
 
 (* A continue whose stop is deliberately ignored (letting a fault
-   unwind). The batched path still drains, so nothing the unbatched
+   unwind). The fused paths still drain, so nothing the unbatched
    path would later find in RAM is lost. *)
 let blind_continue st =
-  match st.covlink with
-  | None -> ignore (Session.continue_ st.session : (Session.stop, Session.error) result)
-  | Some cl ->
+  match st.mode with
+  | Per_request ->
+    ignore (Machine.continue_ st.machine : (Machine.stop, Eof_error.t) result)
+  | Batched cl ->
     (match Covlink.continue_and_drain cl ~want_cmp:st.config.feedback with
+     | Ok (_, d) -> absorb_drained st (drained_of_covlink d)
+     | Error _ -> ())
+  | Direct ->
+    (match Machine.continue_and_drain st.machine ~want_cmp:st.config.feedback with
      | Ok (_, d) -> absorb_drained st d
      | Error _ -> ())
 
@@ -488,7 +528,7 @@ let handle_panic_bp st =
   let message =
     match Monitor.first_panic detections with
     | Some (_, m) -> m
-    | None -> (match Session.last_fault st.session with Ok f when f <> "" -> f | _ -> "panic")
+    | None -> (match Machine.last_fault st.machine with Ok f when f <> "" -> f | _ -> "panic")
   in
   let operation =
     match operation_of_progress st with Some op -> op | None -> "boot"
@@ -506,7 +546,7 @@ let handle_fault st =
   let log = take_log st in
   ignore (scan_log_for_crashes st log : Monitor.detection list);
   let message =
-    match Session.last_fault st.session with Ok f when f <> "" -> f | _ -> "hardware fault"
+    match Machine.last_fault st.machine with Ok f when f <> "" -> f | _ -> "hardware fault"
   in
   let operation =
     match operation_of_progress st with Some op -> op | None -> "boot"
@@ -580,7 +620,7 @@ let rec goto_ready st ~budget =
         (* Ablation A1: no stall watchdog; burn budget continuing. *)
         goto_ready st ~budget:(budget - 1)
       else begin
-        match Liveness.check st.liveness st.session with
+        match Liveness.check st.liveness st.machine with
         | Liveness.Pc_stalled pc ->
           Liveness.reset st.liveness;
           (match handle_stall st pc with
@@ -604,32 +644,39 @@ let rec goto_ready st ~budget =
 
 let write_program st prog =
   let wire = Prog.to_wire prog in
-  match Wire.encode ~endianness:st.endianness wire with
+  (* Encode into the reused scratch buffer; the only per-payload
+     allocation left is the exact-size image string itself (it must be
+     a string: staged writes and RSP packets both keep it). *)
+  Buffer.clear st.img_buf;
+  match Wire.encode_into ~endianness:st.endianness st.img_buf wire with
   | Error e -> Error (Eof_error.agent e)
-  | Ok payload ->
-    if String.length payload + 8 > Agent.max_program_bytes st.build then
+  | Ok () ->
+    let plen = Buffer.length st.img_buf in
+    if plen + 8 > Agent.max_program_bytes st.build then
       Error (Eof_error.agent "program exceeds mailbox")
     else begin
-      let header = Bytes.create 8 in
+      let image = Bytes.create (8 + plen) in
       (match st.endianness with
        | Arch.Little ->
-         Bytes.set_int32_le header 0 Wire.magic;
-         Bytes.set_int32_le header 4 (Int32.of_int (String.length payload))
+         Bytes.set_int32_le image 0 Wire.magic;
+         Bytes.set_int32_le image 4 (Int32.of_int plen)
        | Arch.Big ->
-         Bytes.set_int32_be header 0 Wire.magic;
-         Bytes.set_int32_be header 4 (Int32.of_int (String.length payload)));
-      let image = Bytes.to_string header ^ payload in
+         Bytes.set_int32_be image 0 Wire.magic;
+         Bytes.set_int32_be image 4 (Int32.of_int plen));
+      Buffer.blit st.img_buf 0 image 8 plen;
+      let image = Bytes.unsafe_to_string image in
       let addr = Osbuild.mailbox_base st.build in
-      (* Batched mode stages the image: it is delivered as a binary
-         write op inside the next fused continue's vBatch, costing zero
-         extra exchanges. The unbatched baseline keeps the hex M packet
-         so its per-request cost model stays what it was. *)
-      match st.covlink with
-      | Some _ ->
+      (* Fused modes stage the image: it is delivered inside the next
+         fused continue (a binary write op in the vBatch, or a direct
+         memory write), costing zero extra exchanges. The unbatched
+         baseline keeps the hex M packet so its per-request cost model
+         stays what it was. *)
+      match st.mode with
+      | Batched _ | Direct ->
         st.pend_write <- Some (addr, image);
         Ok ()
-      | None ->
-        (match Session.write_mem st.session ~addr image with
+      | Per_request ->
+        (match Machine.write_mem st.machine ~addr image with
          | Ok () -> Ok ()
          | Error e -> Error (Eof_error.with_context "program delivery" e))
     end
@@ -665,7 +712,7 @@ let rec run_program st ~budget ~crashed =
     | Ev_quantum pc ->
       if not st.config.stall_watchdog then run_program st ~budget:(budget - 1) ~crashed
       else begin
-        match Liveness.check st.liveness st.session with
+        match Liveness.check st.liveness st.machine with
         | Liveness.Pc_stalled pc' ->
           Liveness.reset st.liveness;
           (match handle_stall st pc' with
@@ -798,20 +845,30 @@ let init ?machine ?obs config build =
       match machine with
       | Some m -> Ok m
       | None ->
-        let inject =
-          if config.fault_rate > 0. then
-            Some
-              {
-                Eof_debug.Inject.default_config with
-                Eof_debug.Inject.rate = config.fault_rate;
-                seed = config.fault_seed;
-              }
-          else None
-        in
-        Machine.create ?obs ?inject build
+        (match config.backend with
+         | Machine.Native -> Machine.create_native ?obs build
+         | Machine.Link ->
+           let inject =
+             if config.fault_rate > 0. then
+               Some
+                 {
+                   Eof_debug.Inject.default_config with
+                   Eof_debug.Inject.rate = config.fault_rate;
+                   seed = config.fault_seed;
+                 }
+             else None
+           in
+           Machine.create ?obs ?inject build)
     in
     (match machine_result with
      | Error e -> Error e
+     | Ok machine when
+         Machine.backend machine = Machine.Native && config.fault_rate > 0. ->
+       (* Checked against the resolved machine, not config.backend, so a
+          farm-supplied native machine is rejected identically. *)
+       Error
+         (Eof_error.config
+            "fault injection is link-only: the native backend has no link to fault")
      | Ok machine ->
        (* The campaign may hold a different handle of the same bus than
           the machine does (the farm derives one per board); bind this
@@ -819,25 +876,27 @@ let init ?machine ?obs config build =
        (match obs with
         | Some bus -> Obs.set_clock bus (fun () -> Machine.virtual_elapsed_s machine)
         | None -> ());
-       let obs =
-         match obs with Some o -> o | None -> Session.obs (Machine.session machine)
-       in
+       let obs = match obs with Some o -> o | None -> Machine.obs machine in
        let rng = Rng.create config.seed in
        let gen =
          Gen.create ~dep_aware:config.dep_aware ~rng:(Rng.split rng) ~spec ~table ()
        in
-       let session = Machine.session machine in
-       let covlink =
-         if config.batch_link && Session.supports_batch session then
-           Some (Covlink.create ~session ~layout:(Osbuild.covbuf_layout build))
-         else None
+       let mode =
+         match Machine.backend machine with
+         | Machine.Native -> Direct
+         | Machine.Link ->
+           if config.batch_link && Machine.supports_batch machine then
+             Batched
+               (Covlink.create ~session:(Machine.session machine)
+                  ~layout:(Osbuild.covbuf_layout build))
+           else Per_request
        in
        let st =
          {
            config;
            build;
            machine;
-           session;
+           mode;
            syms = Osbuild.syms build;
            endianness = (Board.profile (Osbuild.board build)).Board.arch.Arch.endianness;
            gen;
@@ -863,7 +922,6 @@ let init ?machine ?obs config build =
            fresh_yield = 1.0;
            last_was_fresh = false;
            liveness = Liveness.create ~obs ~stall_threshold:config.stall_threshold ();
-           covlink;
            pend_rec = Array.make 256 0;
            pend_rec_len = 0;
            pend_cmp_a = Array.make 64 0L;
@@ -871,6 +929,7 @@ let init ?machine ?obs config build =
            pend_cmp_len = 0;
            pend_log = Buffer.create 256;
            pend_write = None;
+           img_buf = Buffer.create 1024;
            current_ops = [||];
            consecutive_failures = 0;
            aborted = false;
@@ -888,7 +947,7 @@ let init ?machine ?obs config build =
          }
        in
        let arm addr =
-         match Session.set_breakpoint session addr with
+         match Machine.set_breakpoint machine addr with
          | Ok () -> Ok ()
          | Error e -> Error (Eof_error.with_context "arm breakpoint" e)
        in
@@ -939,8 +998,8 @@ let step st =
          if config.irq_injection && Rng.chance st.rng 0.4 then begin
            let pin = Rng.int st.rng 16 in
            ignore
-             (Session.inject_gpio st.session ~pin ~level:(Rng.bool st.rng)
-               : (unit, Session.error) result)
+             (Machine.inject_gpio st.machine ~pin ~level:(Rng.bool st.rng)
+               : (unit, Eof_error.t) result)
          end;
          (match write_program st prog with
           | Error e -> note_failure st e
@@ -1033,6 +1092,8 @@ let iteration st = st.iteration
 let is_dead st = st.dead
 
 let virtual_s st = Machine.virtual_elapsed_s st.machine
+
+let cpu_s st = Machine.cpu_elapsed_s st.machine
 
 let run ?machine ?obs config build =
   match init ?machine ?obs config build with

@@ -63,6 +63,17 @@ type config = {
       (** seed of the injector's private RNG; the whole fault schedule —
           which exchanges fault and how — is a deterministic function of
           this seed and the exchange sequence *)
+  backend : Eof_agent.Machine.backend;
+      (** execution backend (default [Link]). [Link] drives the target
+          over the simulated debug probe; [Native] transplants agent +
+          personality in-process — no RSP framing, no transport,
+          coverage drained by direct memory access, virtual time charged
+          from board CPU cost only. Outcomes and digests are identical
+          across backends on the same seed (enforced by {!Diff});
+          setting [fault_rate > 0] with [Native] is a [Config] error,
+          since link faults cannot exist without a link. Only used when
+          {!init} creates the machine; a supplied machine's own backend
+          wins. *)
 }
 
 val default_config : config
@@ -167,5 +178,12 @@ val is_dead : state -> bool
     further part in the campaign. *)
 
 val virtual_s : state -> float
-(** The board's virtual clock (CPU time + debug-link latency): the
-    cooperative farm scheduler's scheduling key. *)
+(** The board's virtual clock — CPU time plus debug-link latency on
+    the link backend, CPU time alone on the native backend. *)
+
+val cpu_s : state -> float
+(** The board's CPU time alone. Backend-invariant for a given payload
+    schedule, so the cooperative farm scheduler keys on it: board
+    interleaving (and therefore corpus cross-pollination order) is then
+    identical whether the shards run over the link or natively, which
+    is what lets the differential farm oracle demand digest equality. *)

@@ -1,0 +1,144 @@
+module Machine = Eof_agent.Machine
+module Obs = Eof_obs.Obs
+module Eof_error = Eof_util.Eof_error
+
+type mismatch = { field : string; link : string; native : string }
+
+type verdict = {
+  label : string;
+  link_digest : string;
+  native_digest : string;
+  equal : bool;
+  mismatches : mismatch list;
+  link_virtual_s : float;
+  native_virtual_s : float;
+  speedup_virtual : float;
+}
+
+let speedup ~link ~native = if native > 0. then link /. native else Float.infinity
+
+(* Field-by-field comparison over the observable outcome — the digest
+   alone says "diverged", the mismatch list says where. *)
+let compare_fields fields =
+  List.filter_map
+    (fun (field, l, n) -> if String.equal l n then None else Some { field; link = l; native = n })
+    fields
+
+let crash_keys crashes =
+  String.concat ";" (List.map Crash.dedup_key crashes)
+
+let corpus_hashes progs =
+  String.concat ";" (List.map (fun p -> string_of_int (Prog.hash p)) progs)
+
+let verdict_of ~label ~link_digest ~native_digest ~mismatches ~link_virtual_s
+    ~native_virtual_s =
+  {
+    label;
+    link_digest;
+    native_digest;
+    equal = String.equal link_digest native_digest && mismatches = [];
+    mismatches;
+    link_virtual_s;
+    native_virtual_s;
+    speedup_virtual = speedup ~link:link_virtual_s ~native:native_virtual_s;
+  }
+
+let campaign_fields (l : Campaign.outcome) (n : Campaign.outcome) =
+  [
+    ("coverage", string_of_int l.Campaign.coverage, string_of_int n.Campaign.coverage);
+    ("crashes", crash_keys l.Campaign.crashes, crash_keys n.Campaign.crashes);
+    ( "crash_events",
+      string_of_int l.Campaign.crash_events,
+      string_of_int n.Campaign.crash_events );
+    ( "executed_programs",
+      string_of_int l.Campaign.executed_programs,
+      string_of_int n.Campaign.executed_programs );
+    ( "iterations_done",
+      string_of_int l.Campaign.iterations_done,
+      string_of_int n.Campaign.iterations_done );
+    ("corpus", corpus_hashes l.Campaign.final_corpus, corpus_hashes n.Campaign.final_corpus);
+    ("resets", string_of_int l.Campaign.resets, string_of_int n.Campaign.resets);
+    ("reflashes", string_of_int l.Campaign.reflashes, string_of_int n.Campaign.reflashes);
+    ("stalls", string_of_int l.Campaign.stalls, string_of_int n.Campaign.stalls);
+  ]
+
+let check_config (config : Campaign.config) =
+  if config.Campaign.fault_rate > 0. then
+    Error
+      (Eof_error.config
+         "differential mode needs a clean link: fault injection exists only on the \
+          link backend, so a faulted link run has no native counterpart")
+  else Ok ()
+
+let ( let* ) = Result.bind
+
+let run ?obs (config : Campaign.config) mk_build =
+  let* () = check_config config in
+  let* link =
+    Result.map_error (Eof_error.with_context "link run")
+      (Campaign.run ?obs { config with Campaign.backend = Machine.Link } (mk_build ()))
+  in
+  let* native =
+    Result.map_error (Eof_error.with_context "native run")
+      (Campaign.run ?obs { config with Campaign.backend = Machine.Native } (mk_build ()))
+  in
+  Ok
+    (verdict_of ~label:"campaign"
+       ~link_digest:(Report.campaign_digest link)
+       ~native_digest:(Report.campaign_digest native)
+       ~mismatches:(compare_fields (campaign_fields link native))
+       ~link_virtual_s:link.Campaign.virtual_s
+       ~native_virtual_s:native.Campaign.virtual_s)
+
+let farm_fields (l : Farm.outcome) (n : Farm.outcome) =
+  [
+    ("coverage", string_of_int l.Farm.coverage, string_of_int n.Farm.coverage);
+    ("crashes", crash_keys l.Farm.crashes, crash_keys n.Farm.crashes);
+    ("crash_events", string_of_int l.Farm.crash_events, string_of_int n.Farm.crash_events);
+    ( "executed_programs",
+      string_of_int l.Farm.executed_programs,
+      string_of_int n.Farm.executed_programs );
+    ( "iterations_done",
+      string_of_int l.Farm.iterations_done,
+      string_of_int n.Farm.iterations_done );
+    ("corpus", corpus_hashes l.Farm.final_corpus, corpus_hashes n.Farm.final_corpus);
+    ("dead_boards", string_of_int l.Farm.dead_boards, string_of_int n.Farm.dead_boards);
+  ]
+
+let run_farm ?obs (config : Farm.config) mk_build =
+  let* () = check_config config.Farm.base in
+  let with_backend backend =
+    { config with Farm.base = { config.Farm.base with Campaign.backend } }
+  in
+  let* link =
+    Result.map_error (Eof_error.with_context "link run")
+      (Farm.run ?obs (with_backend Machine.Link) mk_build)
+  in
+  let* native =
+    Result.map_error (Eof_error.with_context "native run")
+      (Farm.run ?obs (with_backend Machine.Native) mk_build)
+  in
+  Ok
+    (verdict_of
+       ~label:(Printf.sprintf "farm boards=%d" config.Farm.boards)
+       ~link_digest:(Report.farm_digest link)
+       ~native_digest:(Report.farm_digest native)
+       ~mismatches:(compare_fields (farm_fields link native))
+       ~link_virtual_s:link.Farm.virtual_s ~native_virtual_s:native.Farm.virtual_s)
+
+let report v =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "differential %s: %s\n" v.label
+       (if v.equal then "backends agree" else "BACKENDS DIVERGED"));
+  Buffer.add_string b (Printf.sprintf "  link   %s\n" v.link_digest);
+  Buffer.add_string b (Printf.sprintf "  native %s\n" v.native_digest);
+  List.iter
+    (fun m ->
+      Buffer.add_string b
+        (Printf.sprintf "  mismatch %s: link=%s native=%s\n" m.field m.link m.native))
+    v.mismatches;
+  Buffer.add_string b
+    (Printf.sprintf "  virtual time: link %.3fs, native %.3fs (%.1fx)" v.link_virtual_s
+       v.native_virtual_s v.speedup_virtual);
+  Buffer.contents b

@@ -1,0 +1,49 @@
+open Eof_os
+
+(** The differential oracle: run the same campaign on the debug-link
+    backend and the native transplant backend, then assert that every
+    observable result — digest, coverage, crash dedup set, corpus,
+    recovery counts — is identical. The link path is ground truth (it is
+    the one calibrated against the probe cost model); the native path is
+    the throughput engine. Agreement on the same seed schedule is what
+    licenses trusting native-only bulk campaigns.
+
+    Both runs execute on fresh builds from the caller's factory, so
+    neither inherits mutated board state from the other. Virtual times
+    necessarily differ (the native backend charges no link latency);
+    they are reported alongside as the measured speedup, never
+    compared. *)
+
+type mismatch = { field : string; link : string; native : string }
+
+type verdict = {
+  label : string;
+  link_digest : string;
+  native_digest : string;
+  equal : bool;  (** digests match and no field-level mismatch *)
+  mismatches : mismatch list;  (** where they diverged, when they did *)
+  link_virtual_s : float;
+  native_virtual_s : float;
+  speedup_virtual : float;  (** link virtual time / native virtual time *)
+}
+
+val run :
+  ?obs:Eof_obs.Obs.t ->
+  Campaign.config ->
+  (unit -> Osbuild.t) ->
+  (verdict, Eof_util.Eof_error.t) result
+(** One campaign per backend on fresh builds (the configured [backend]
+    field is overridden per run). [Config] error when
+    [config.fault_rate > 0]: a fault-injected link run has no native
+    counterpart to compare against. *)
+
+val run_farm :
+  ?obs:Eof_obs.Obs.t ->
+  Farm.config ->
+  (int -> Osbuild.t) ->
+  (verdict, Eof_util.Eof_error.t) result
+(** The multi-board analogue, comparing whole-farm outcomes. *)
+
+val report : verdict -> string
+(** Multi-line human-readable verdict: both digests, field mismatches if
+    any, and the virtual-time speedup. *)

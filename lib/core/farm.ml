@@ -136,10 +136,14 @@ let record_sample shared =
 
 (* --- deterministic cooperative backend --------------------------------- *)
 
-(* Round-robin by virtual time: always step the board whose clock is
-   furthest behind (ties to the lowest index), which interleaves shards
-   exactly as N physical boards would interleave in real time — and
-   with one board degenerates to the plain campaign loop. *)
+(* Round-robin by target CPU time: always step the board whose CPU
+   clock is furthest behind (ties to the lowest index), which
+   interleaves shards as N physical boards would interleave in real
+   time — and with one board degenerates to the plain campaign loop.
+   CPU time rather than full virtual time because the latter includes
+   link latency, which only exists on the link backend: keying on it
+   would make the interleaving backend-dependent and break the
+   differential oracle's farm equality. *)
 let run_cooperative config shared states =
   let n = Array.length states in
   let last_exec = Array.make n 0 in
@@ -166,7 +170,12 @@ let run_cooperative config shared states =
     let best = ref (-1) and best_t = ref infinity in
     for i = n - 1 downto 0 do
       if not (Campaign.finished states.(i)) then begin
-        let t = Campaign.virtual_s states.(i) in
+        (* Key on CPU time, not full virtual time: link latency is
+           backend-dependent, and the interleaving (hence epoch and
+           cross-pollination order) must be identical for the link and
+           native backends or the differential farm oracle can never
+           hold. *)
+        let t = Campaign.cpu_s states.(i) in
         if t <= !best_t then begin
           best := i;
           best_t := t
@@ -232,6 +241,13 @@ let run_domains config shared states =
 let run ?obs ?inject_for (config : config) mk_build =
   if config.boards < 1 then Error (Eof_error.config "farm: boards must be >= 1")
   else if config.sync_every < 1 then Error (Eof_error.config "farm: sync_every must be >= 1")
+  else if config.base.Campaign.backend = Machine.Native && config.base.Campaign.fault_rate > 0.
+  then
+    (* Reject before any board is built; Campaign.init repeats the check
+       per board for machines supplied by other callers. *)
+    Error
+      (Eof_error.config
+         "fault injection is link-only: the native backend has no link to fault")
   else begin
     let t0 = Unix.gettimeofday () in
     (* The fault schedule rides the fleet: each board gets its own
@@ -251,7 +267,10 @@ let run ?obs ?inject_for (config : config) mk_build =
               }
           else None
     in
-    match Machine.create_fleet ?obs ~inject_for ~boards:config.boards mk_build with
+    match
+      Machine.create_fleet ?obs ~inject_for ~backend:config.base.Campaign.backend
+        ~boards:config.boards mk_build
+    with
     | Error e -> Error e
     | Ok fleet ->
       let edge_capacity = Osbuild.edge_capacity (fst fleet.(0)) in

@@ -18,8 +18,10 @@ open Eof_os
 
     - {!Cooperative} — a deterministic scheduler interleaving
       single-board {!Campaign.step}s, always advancing the board whose
-      virtual clock is furthest behind (ties to the lowest index).
-      Same config, same result, every run; and with [boards = 1] the
+      target CPU clock is furthest behind (ties to the lowest index).
+      The key is CPU time, not full virtual time, so the interleaving
+      is identical on the link and native execution backends. Same
+      config, same result, every run; and with [boards = 1] the
       schedule degenerates to the plain loop, so the outcome is
       bit-identical to {!Campaign.run}.
     - {!Domains} — one OCaml 5 domain per board for real wall-clock

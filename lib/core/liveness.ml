@@ -1,6 +1,6 @@
 open Eof_hw
 open Eof_os
-module Session = Eof_debug.Session
+module Machine = Eof_agent.Machine
 module Obs = Eof_obs.Obs
 module Eof_error = Eof_util.Eof_error
 
@@ -44,8 +44,8 @@ let observe t verdict ~pc =
       (Obs.Event.Liveness_verdict { verdict = verdict_name verdict; pc });
   verdict
 
-let check t session =
-  match Session.read_pc session with
+let check t machine =
+  match Machine.read_pc machine with
   | Error _ -> observe t Connection_lost ~pc:(-1)
   | Ok pc ->
     (match t.last_pc with
@@ -73,8 +73,8 @@ let ( let* ) = Result.bind
    string reads e.g.
    "reflash partition app: write chunk +0x1800: after 3 attempts:
     debug link timeout". *)
-let restore_partitions ?obs session ~flash_base ~image ~table =
-  let obs = match obs with Some o -> o | None -> Session.obs session in
+let restore_partitions ?obs machine ~flash_base ~image ~table =
+  let obs = match obs with Some o -> o | None -> Machine.obs machine in
   let rec reflash count = function
     | [] -> Ok count
     | (e : Partition.entry) :: rest ->
@@ -91,11 +91,13 @@ let restore_partitions ?obs session ~flash_base ~image ~table =
        | Some blob ->
          let* () =
            in_partition "erase"
-             (Session.flash_erase session ~addr:(flash_base + e.Partition.offset)
+             (Machine.flash_erase machine ~addr:(flash_base + e.Partition.offset)
                 ~len:e.Partition.size)
          in
          (* Program in bounded chunks, as a probe constrained by its
-            packet size would. *)
+            packet size would. The native backend keeps the same chunk
+            walk (flash wear and event streams stay comparable) even
+            though nothing limits its write size. *)
          let chunk = 2048 in
          let rec program off =
            if off >= String.length blob then Ok ()
@@ -104,7 +106,7 @@ let restore_partitions ?obs session ~flash_base ~image ~table =
              let* () =
                in_partition
                  (Printf.sprintf "write chunk +0x%x" off)
-                 (Session.flash_write session
+                 (Machine.flash_write machine
                     ~addr:(flash_base + e.Partition.offset + off)
                     (String.sub blob off len))
              in
@@ -113,7 +115,7 @@ let restore_partitions ?obs session ~flash_base ~image ~table =
          (match program 0 with
           | Error _ as err -> err
           | Ok () ->
-            let* () = in_partition "done" (Session.flash_done session) in
+            let* () = in_partition "done" (Machine.flash_done machine) in
             if Obs.active obs then
               Obs.emit obs
                 (Obs.Event.Reflash_partition
@@ -122,20 +124,20 @@ let restore_partitions ?obs session ~flash_base ~image ~table =
   in
   reflash 0 table
 
-let restore ?obs session ~build =
+let restore ?obs machine ~build =
   let image = Osbuild.image build in
   let flash_base = (Board.profile (Osbuild.board build)).Board.flash_base in
-  let obs = match obs with Some o -> o | None -> Session.obs session in
-  match restore_partitions ~obs session ~flash_base ~image ~table:image.Image.table with
+  let obs = match obs with Some o -> o | None -> Machine.obs machine in
+  match restore_partitions ~obs machine ~flash_base ~image ~table:image.Image.table with
   | Error _ as e -> e
   | Ok count ->
     let* () =
       Result.map_error (Eof_error.with_context "post-restore reset")
-        (Session.reset_target session)
+        (Machine.reset_target machine)
     in
     if Obs.active obs then
       Obs.emit obs (Obs.Event.Restore_done { partitions = count });
     Ok count
 
-let reboot_only session =
-  match Session.reset_target session with Ok () -> Ok () | Error e -> Error e
+let reboot_only machine =
+  match Machine.reset_target machine with Ok () -> Ok () | Error e -> Error e

@@ -2,13 +2,19 @@ open Eof_os
 
 (** Liveness watchdogs and state restoration (the paper's Algorithm 1).
 
-    Two host-side checks over the debug link, with no target
-    instrumentation: a connection-timeout watchdog (a dead link means a
-    failed boot or total unresponsiveness) and a PC-stall watchdog (a
-    continue that does not move the program counter means the core
-    cannot execute). Either verdict triggers {!restore}: reflash every
-    partition from the golden image at the offsets recorded in the
-    partition table, then reboot. *)
+    Two host-side checks with no target instrumentation: a
+    connection-timeout watchdog (a dead link means a failed boot or
+    total unresponsiveness) and a PC-stall watchdog (a continue that
+    does not move the program counter means the core cannot execute).
+    Either verdict triggers {!restore}: reflash every partition from the
+    golden image at the offsets recorded in the partition table, then
+    reboot.
+
+    All operations go through the backend-polymorphic
+    {!Eof_agent.Machine}, so the same watchdog and restoration ladder
+    drive both the debug-link and the native transplant backends (on
+    native, the connection-lost verdict is unreachable — there is no
+    link to lose). *)
 
 type verdict =
   | Alive
@@ -46,14 +52,14 @@ val reset : t -> unit
 (** Forget LastPC and the stall streak (call when the target
     demonstrably made progress). *)
 
-val check : t -> Eof_debug.Session.t -> verdict
+val check : t -> Eof_agent.Machine.t -> verdict
 (** One LivenessWatchDog() evaluation. [Pc_stalled] requires the PC to
     repeat on [stall_threshold] consecutive checks; any new PC value
     resets the streak and yields [Alive]. *)
 
 val restore_partitions :
   ?obs:Eof_obs.Obs.t ->
-  Eof_debug.Session.t ->
+  Eof_agent.Machine.t ->
   flash_base:int ->
   image:Eof_hw.Image.t ->
   table:Eof_hw.Partition.t ->
@@ -66,12 +72,12 @@ val restore_partitions :
 
 val restore :
   ?obs:Eof_obs.Obs.t ->
-  Eof_debug.Session.t -> build:Osbuild.t -> (int, error) result
+  Eof_agent.Machine.t -> build:Osbuild.t -> (int, error) result
 (** StateRestoration(): reflash each partition and reboot; returns the
     number of partitions written. The post-reboot settling delay is
-    charged to the link. Emits [Reflash_partition] events and a final
-    [Restore_done]. When [obs] is omitted the session's own bus is
-    used. *)
+    charged to the link (link backend only — native pays nothing).
+    Emits [Reflash_partition] events and a final [Restore_done]. When
+    [obs] is omitted the machine's own bus is used. *)
 
-val reboot_only : Eof_debug.Session.t -> (unit, Eof_debug.Session.error) result
+val reboot_only : Eof_agent.Machine.t -> (unit, error) result
 (** A plain reset, for degraded states with an intact image. *)

@@ -42,6 +42,46 @@ let save_crashes ~dir crashes =
     Ok paths
   with Sys_error e -> Error e
 
+(* A wall-clock-free fingerprint of a campaign's observable results:
+   identical bits in, identical line out. CI reruns a farm campaign and
+   diffs this line to catch scheduling nondeterminism, and the
+   differential backend check compares link and native runs through it —
+   which is why virtual time must stay out of the digest: the two
+   backends agree on every observable result but not on the clock. *)
+let digest_line ~label ~coverage ~bitmap ~corpus ~crashes ~crash_events ~executed
+    ~iterations_done =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun bit -> Buffer.add_string b (string_of_int bit ^ ","))
+    (Eof_util.Bitset.to_list bitmap);
+  Buffer.add_char b '|';
+  List.iter (fun p -> Buffer.add_string b (string_of_int (Prog.hash p) ^ ",")) corpus;
+  Buffer.add_char b '|';
+  List.iter (fun c -> Buffer.add_string b (Crash.dedup_key c ^ ",")) crashes;
+  Buffer.add_string b
+    (Printf.sprintf "|%d|%d|%d|%d" coverage crash_events executed iterations_done);
+  Printf.sprintf
+    "digest %s coverage=%d crashes=%d crash_events=%d executed=%d iterations=%d corpus=%d crc=%08lx"
+    label coverage (List.length crashes) crash_events executed iterations_done
+    (List.length corpus)
+    (Eof_util.Crc32.digest_string (Buffer.contents b))
+
+let campaign_digest (o : Campaign.outcome) =
+  digest_line ~label:"campaign" ~coverage:o.Campaign.coverage
+    ~bitmap:o.Campaign.coverage_bitmap ~corpus:o.Campaign.final_corpus
+    ~crashes:o.Campaign.crashes ~crash_events:o.Campaign.crash_events
+    ~executed:o.Campaign.executed_programs ~iterations_done:o.Campaign.iterations_done
+
+let farm_digest (o : Farm.outcome) =
+  digest_line
+    ~label:
+      (Printf.sprintf "farm boards=%d backend=%s" o.Farm.boards
+         (Farm.backend_name o.Farm.backend))
+    ~coverage:o.Farm.coverage ~bitmap:o.Farm.coverage_bitmap
+    ~corpus:o.Farm.final_corpus ~crashes:o.Farm.crashes
+    ~crash_events:o.Farm.crash_events ~executed:o.Farm.executed_programs
+    ~iterations_done:o.Farm.iterations_done
+
 let outcome_summary (o : Campaign.outcome) =
   String.concat "\n"
     [

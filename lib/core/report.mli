@@ -10,3 +10,24 @@ val save_crashes : dir:string -> Crash.t list -> (string list, string) result
 
 val outcome_summary : Campaign.outcome -> string
 (** The multi-line summary the CLI prints after a campaign. *)
+
+val digest_line :
+  label:string ->
+  coverage:int ->
+  bitmap:Eof_util.Bitset.t ->
+  corpus:Prog.t list ->
+  crashes:Crash.t list ->
+  crash_events:int ->
+  executed:int ->
+  iterations_done:int ->
+  string
+(** A wall-clock-free fingerprint of observable campaign results:
+    coverage bitmap bits, corpus program hashes, crash dedup keys and
+    the headline counts, CRC'd into one printable line. Virtual time is
+    deliberately excluded — the determinism CI and the link/native
+    differential oracle both compare digests, and the two backends agree
+    on results but not on clocks. *)
+
+val campaign_digest : Campaign.outcome -> string
+
+val farm_digest : Farm.outcome -> string

@@ -25,8 +25,21 @@ let of_api (table : Api.table) =
 
 let syzlang_of_api table = Ast.to_syzlang (of_api table)
 
-let validated_of_api table =
-  let text = syzlang_of_api table in
+(* Parse + validate, memoized on the synthesized text. Every campaign
+   over the same OS personality re-derives the identical spec (and a
+   farm does so once per board), so the ~60 µs parse is paid once per
+   distinct personality instead of once per init. Keying on the text —
+   not the table — is what makes the cache safe: any table change
+   changes the text. The result [Ast.t] is immutable, so sharing one
+   value across campaigns is sound; the mutex covers farm builds that
+   may race from multiple domains. *)
+(* [Stdlib.Mutex], not the RTOS personality's kernel object of the same
+   name brought in by [open Eof_rtos]. *)
+let memo_lock = Stdlib.Mutex.create ()
+
+let memo : (string, (Ast.t, string) result) Hashtbl.t = Hashtbl.create 8
+
+let validated_of_text text =
   match Parser.parse text with
   | Error e -> Error (Printf.sprintf "synthesized spec failed to parse: %s" e)
   | Ok spec ->
@@ -36,6 +49,17 @@ let validated_of_api table =
        Error
          (Printf.sprintf "synthesized spec failed validation: %s"
             (String.concat "; " (List.map Check.error_to_string errs))))
+
+let validated_of_api table =
+  let text = syzlang_of_api table in
+  Stdlib.Mutex.protect memo_lock (fun () ->
+      match Hashtbl.find_opt memo text with
+      | Some r -> r
+      | None ->
+        if Hashtbl.length memo >= 32 then Hashtbl.reset memo;
+        let r = validated_of_text text in
+        Hashtbl.replace memo text r;
+        r)
 
 let index_map (spec : Ast.t) (table : Api.table) =
   let indexed = List.mapi (fun i (e : Api.entry) -> (e.Api.name, i)) table.Api.entries in

@@ -20,7 +20,12 @@ val syzlang_of_api : Api.table -> string
 val validated_of_api : Api.table -> (Ast.t, string) result
 (** The full pipeline: emit text, re-parse it, validate it. This is the
     entry point campaigns use; a personality whose API table cannot
-    round-trip through the language is rejected here. *)
+    round-trip through the language is rejected here.
+
+    Memoized on the synthesized text: repeated inits over the same
+    personality (every campaign, every farm board) share one parsed,
+    validated — and immutable — [Ast.t] instead of re-paying the parse
+    on each payload-path setup. Thread-safe. *)
 
 val index_map : Ast.t -> Api.table -> (Ast.call * int) list
 (** Pair each spec call with its API-table index (what the wire format's

@@ -330,14 +330,13 @@ let test_liveness_restore_over_session () =
   let machine =
     match Eof_agent.Machine.create build with Ok m -> m | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   in
-  let session = Eof_agent.Machine.session machine in
   let board = Osbuild.board build in
   (* Damage flash, then restore through the documented procedure. *)
   Eof_hw.Flash.corrupt (Eof_hw.Board.flash board)
     ~addr:(Eof_hw.Flash.base (Eof_hw.Board.flash board) + 0x5000)
     "XX";
   Alcotest.(check bool) "damaged" false (Eof_hw.Board.boot_ok board);
-  (match Liveness.restore session ~build with
+  (match Liveness.restore machine ~build with
    | Ok n -> Alcotest.(check int) "three partitions" 3 n
    | Error e -> Alcotest.fail (Liveness.error_to_string e));
   Alcotest.(check bool) "boots" true (Eof_hw.Board.boot_ok board)
@@ -350,13 +349,12 @@ let test_liveness_watchdog_timeout () =
     | Ok m -> m
     | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
   in
-  let session = Eof_agent.Machine.session machine in
   let wd = Liveness.create () in
-  (match Liveness.check wd session with
+  (match Liveness.check wd machine with
    | Liveness.First_observation -> ()
    | _ -> Alcotest.fail "expected first observation");
   Eof_debug.Transport.set_failure_mode transport Eof_debug.Transport.Down;
-  (match Liveness.check wd session with
+  (match Liveness.check wd machine with
    | Liveness.Connection_lost -> ()
    | _ -> Alcotest.fail "expected connection-lost verdict");
   Eof_debug.Transport.set_failure_mode transport Eof_debug.Transport.Up
@@ -885,15 +883,14 @@ let test_stall_requires_streak () =
   (* The PC of a freshly connected target does not move between reads,
      so repeated checks walk the streak up deterministically. *)
   let _, machine = fresh_machine () in
-  let session = Eof_agent.Machine.session machine in
   let wd = Liveness.create () in
   Alcotest.(check int) "default threshold" 3 (Liveness.stall_threshold wd);
-  (match Liveness.check wd session with
+  (match Liveness.check wd machine with
    | Liveness.First_observation -> ()
    | _ -> Alcotest.fail "first check arms the watchdog");
   (* Repeats below the threshold are Alive, not a stall. *)
   for i = 1 to 2 do
-    match Liveness.check wd session with
+    match Liveness.check wd machine with
     | Liveness.Alive -> Alcotest.(check int) "streak grows" i (Liveness.stall_streak wd)
     | v ->
       Alcotest.fail
@@ -906,7 +903,7 @@ let test_stall_requires_streak () =
             | Liveness.Alive -> "alive"))
   done;
   (* The third consecutive repeat crosses the default threshold. *)
-  (match Liveness.check wd session with
+  (match Liveness.check wd machine with
    | Liveness.Pc_stalled _ -> ()
    | _ -> Alcotest.fail "threshold-th repeat must declare a stall")
 
@@ -914,35 +911,34 @@ let test_stall_streak_resets_on_progress () =
   let _, machine = fresh_machine () in
   let session = Eof_agent.Machine.session machine in
   let wd = Liveness.create () in
-  ignore (Liveness.check wd session);
-  ignore (Liveness.check wd session);
-  ignore (Liveness.check wd session);
+  ignore (Liveness.check wd machine);
+  ignore (Liveness.check wd machine);
+  ignore (Liveness.check wd machine);
   Alcotest.(check int) "two repeats banked" 2 (Liveness.stall_streak wd);
   (* Any PC movement wipes the streak: step the target forward. *)
   (match Eof_debug.Session.step session with
    | Ok _ -> ()
    | Error e -> Alcotest.fail (Eof_debug.Session.error_to_string e));
-  (match Liveness.check wd session with
+  (match Liveness.check wd machine with
    | Liveness.Alive -> ()
    | _ -> Alcotest.fail "new PC must be alive");
   Alcotest.(check int) "streak cleared" 0 (Liveness.stall_streak wd);
   (* And the stall needs a full fresh streak again. *)
-  (match Liveness.check wd session with
+  (match Liveness.check wd machine with
    | Liveness.Alive -> ()
    | _ -> Alcotest.fail "single repeat after progress is not a stall");
   (* reset clears even the armed LastPC. *)
   Liveness.reset wd;
-  (match Liveness.check wd session with
+  (match Liveness.check wd machine with
    | Liveness.First_observation -> ()
    | _ -> Alcotest.fail "reset must disarm the watchdog")
 
 let test_stall_threshold_one_and_validation () =
   (* threshold 1 reproduces the old single-repeat behaviour. *)
   let _, machine = fresh_machine () in
-  let session = Eof_agent.Machine.session machine in
   let wd = Liveness.create ~stall_threshold:1 () in
-  ignore (Liveness.check wd session);
-  (match Liveness.check wd session with
+  ignore (Liveness.check wd machine);
+  (match Liveness.check wd machine with
    | Liveness.Pc_stalled _ -> ()
    | _ -> Alcotest.fail "threshold 1 must stall on the first repeat");
   match Liveness.create ~stall_threshold:0 () with
@@ -961,7 +957,6 @@ let test_restore_partitions_odd_final_chunk () =
   let sink, events = Obs.memory_sink () in
   Obs.add_sink bus sink;
   let build, machine = fresh_machine ~obs:bus () in
-  let session = Eof_agent.Machine.session machine in
   let flash_base =
     (Eof_hw.Board.profile (Osbuild.board build)).Eof_hw.Board.flash_base
   in
@@ -969,7 +964,7 @@ let test_restore_partitions_odd_final_chunk () =
      odd 952-byte tail. *)
   let table = [ { Eof_hw.Partition.name = "odd"; offset = 0; size = 4096 } ] in
   let image = Eof_hw.Image.build_exn ~table ~blobs:[ ("odd", String.make 3000 'k') ] in
-  (match Liveness.restore_partitions session ~flash_base ~image ~table with
+  (match Liveness.restore_partitions machine ~flash_base ~image ~table with
    | Ok n -> Alcotest.(check int) "one partition" 1 n
    | Error e -> Alcotest.fail (Liveness.error_to_string e));
   let writes =
@@ -999,7 +994,6 @@ let test_restore_partitions_odd_final_chunk () =
 
 let test_restore_partitions_missing_blob () =
   let build, machine = fresh_machine () in
-  let session = Eof_agent.Machine.session machine in
   let flash_base =
     (Eof_hw.Board.profile (Osbuild.board build)).Eof_hw.Board.flash_base
   in
@@ -1010,7 +1004,7 @@ let test_restore_partitions_missing_blob () =
   (* The table handed to restore names a partition the image has no blob
      for — the typed error must say which one. *)
   let ghost = { Eof_hw.Partition.name = "ghost"; offset = 2048; size = 2048 } in
-  match Liveness.restore_partitions session ~flash_base ~image ~table:(table @ [ ghost ]) with
+  match Liveness.restore_partitions machine ~flash_base ~image ~table:(table @ [ ghost ]) with
   | Error { Eof_util.Eof_error.kind = Missing_blob "ghost"; _ } -> ()
   | Error e -> Alcotest.fail ("wrong error: " ^ Liveness.error_to_string e)
   | Ok _ -> Alcotest.fail "missing blob must fail"
@@ -1020,12 +1014,11 @@ let test_restore_emits_reflash_events () =
   let sink, events = Obs.memory_sink () in
   Obs.add_sink bus sink;
   let build, machine = fresh_machine ~obs:bus () in
-  let session = Eof_agent.Machine.session machine in
   let board = Osbuild.board build in
   Eof_hw.Flash.corrupt (Eof_hw.Board.flash board)
     ~addr:(Eof_hw.Flash.base (Eof_hw.Board.flash board) + 0x5000)
     "XX";
-  (match Liveness.restore session ~build with
+  (match Liveness.restore machine ~build with
    | Ok 3 -> ()
    | Ok n -> Alcotest.fail (Printf.sprintf "expected 3 partitions, got %d" n)
    | Error e -> Alcotest.fail (Liveness.error_to_string e));

@@ -11,6 +11,7 @@ let () =
       ("spec", Test_spec.suite);
       ("agent", Test_agent.suite);
       ("core", Test_core.suite);
+      ("backend", Test_backend.suite);
       ("farm", Test_farm.suite);
       ("resilience", Test_resilience.suite);
       ("baselines", Test_baselines.suite);
