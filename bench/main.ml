@@ -496,6 +496,89 @@ let run_native_comparison () =
     digest_identical;
   }
 
+(* --- fleet hub ----------------------------------------------------------- *)
+
+type hub_stats = {
+  hub_tenants : int;
+  hub_farms : int;
+  hub_iterations : int;  (** per tenant *)
+  hub_payloads : int;
+  hub_wall_s : float;
+  hub_nosync_wall_s : float;
+  hub_transplants : int;
+  hub_crashes_deduped : int;
+  hub_crash_sum : int;  (** per-tenant crash counts, before fleet dedup *)
+  hub_deterministic : bool;
+}
+
+let run_hub_fleet () =
+  section "Fleet hub: two tenants sharded across two farms";
+  let iterations = Runner.scaled 400 in
+  Printf.printf
+    "[2 tenants x 2 farms, %d payloads per tenant, in-process deterministic fleet...]\n%!"
+    iterations;
+  let module Tenant = Eof_hub.Tenant in
+  let module Worker = Eof_hub.Worker in
+  let module Inproc = Eof_hub.Inproc in
+  let resolve os =
+    match Eof_expt.Targets.find os with
+    | None -> Error (Printf.sprintf "unknown OS %s" os)
+    | Some target ->
+      let build = Eof_expt.Targets.build_hw target in
+      let table = Eof_os.Osbuild.api_signatures build in
+      (match Eof_spec.Synth.validated_of_api table with
+      | Error e -> Error e
+      | Ok spec ->
+        Ok
+          {
+            Worker.mk_build = (fun _ -> Eof_expt.Targets.build_hw target);
+            spec;
+            table;
+          })
+  in
+  let tenants =
+    [
+      { Tenant.default with Tenant.tenant = "alice"; os = "Zephyr"; seed = 7L;
+        iterations; farms = 2 };
+      { Tenant.default with Tenant.tenant = "bob"; os = "FreeRTOS"; seed = 11L;
+        iterations; farms = 2 };
+    ]
+  in
+  let run ?corpus_sync () =
+    match Inproc.run ?corpus_sync ~farms:2 tenants ~resolve with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let a = run () in
+  let b = run () in
+  let nosync = run ~corpus_sync:false () in
+  let deterministic = String.equal (Inproc.summary a) (Inproc.summary b) in
+  let wall_s = Float.min a.Inproc.wall_s b.Inproc.wall_s in
+  let crash_sum =
+    List.fold_left
+      (fun acc (r : Inproc.tenant_result) -> acc + r.Inproc.crashes)
+      0 a.Inproc.tenants
+  in
+  print_string (Inproc.summary a);
+  Printf.printf
+    "[%.0f payloads/s aggregate; corpus-sync overhead %.2fx (%d transplants); %d crashes deduped from %d; reruns %s]\n"
+    (float_of_int a.Inproc.payloads /. Float.max 1e-9 wall_s)
+    (wall_s /. Float.max 1e-9 nosync.Inproc.wall_s)
+    a.Inproc.transplants a.Inproc.crashes_deduped crash_sum
+    (if deterministic then "byte-identical" else "DIVERGED (bug!)");
+  {
+    hub_tenants = List.length tenants;
+    hub_farms = 2;
+    hub_iterations = iterations;
+    hub_payloads = a.Inproc.payloads;
+    hub_wall_s = wall_s;
+    hub_nosync_wall_s = nosync.Inproc.wall_s;
+    hub_transplants = a.Inproc.transplants;
+    hub_crashes_deduped = a.Inproc.crashes_deduped;
+    hub_crash_sum = crash_sum;
+    hub_deterministic = deterministic;
+  }
+
 (* --- machine-readable results ------------------------------------------ *)
 
 let json_escape s =
@@ -513,7 +596,7 @@ let json_escape s =
 
 (* Every section is optional: a failed stage becomes a JSON null, never
    a missing BENCH.json. *)
-let write_bench_json ~micro ~link ~scaling ~resilience ~native path =
+let write_bench_json ~micro ~link ~scaling ~resilience ~native ~hub path =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n  \"micro_ns_per_run\": ";
   (match micro with
@@ -659,6 +742,32 @@ let write_bench_json ~micro ~link ~scaling ~resilience ~native path =
          (r.inert_wall_s /. Float.max 1e-9 r.clean_wall_s)
          r.rate0_identical);
     Buffer.add_string b "  }");
+  Buffer.add_string b ",\n  \"hub\": ";
+  (match hub with
+  | None -> Buffer.add_string b "null"
+  | Some h ->
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"tenants\": %d,\n    \"farms\": %d,\n    \"iterations_per_tenant\": %d,\n"
+         h.hub_tenants h.hub_farms h.hub_iterations);
+    Buffer.add_string b
+      (Printf.sprintf "    \"payloads\": %d,\n    \"payloads_per_s\": %.1f,\n"
+         h.hub_payloads
+         (float_of_int h.hub_payloads /. Float.max 1e-9 h.hub_wall_s));
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"corpus_sync\": { \"wall_s\": %.3f, \"nosync_wall_s\": %.3f, \"overhead_ratio\": %.3f, \"transplants\": %d },\n"
+         h.hub_wall_s h.hub_nosync_wall_s
+         (h.hub_wall_s /. Float.max 1e-9 h.hub_nosync_wall_s)
+         h.hub_transplants);
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"crashes\": { \"deduped\": %d, \"tenant_sum\": %d },\n"
+         h.hub_crashes_deduped h.hub_crash_sum);
+    Buffer.add_string b
+      (Printf.sprintf "    \"deterministic\": %b\n" h.hub_deterministic);
+    Buffer.add_string b "  }");
   Buffer.add_string b "\n}\n";
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents b));
@@ -678,5 +787,6 @@ let () =
   let link = guarded "debug-link" run_link_comparison in
   let resilience = guarded "resilience" run_resilience in
   let native = guarded "native-backend" run_native_comparison in
+  let hub = guarded "hub-fleet" run_hub_fleet in
   let micro = guarded "micro-benchmark" run_micro in
-  write_bench_json ~micro ~link ~scaling ~resilience ~native "BENCH.json"
+  write_bench_json ~micro ~link ~scaling ~resilience ~native ~hub "BENCH.json"

@@ -439,10 +439,191 @@ let artifact_cmd =
     (Cmd.info "artifact" ~doc:"Regenerate one paper table or figure")
     Term.(const artifact $ artifact_name $ iterations_arg)
 
+(* --- eof serve / eof submit -------------------------------------------- *)
+
+module Hub_tenant = Eof_hub.Tenant
+module Hub_worker = Eof_hub.Worker
+module Hub_inproc = Eof_hub.Inproc
+module Hub_socket = Eof_hub.Socket
+
+(* What the hub and its workers need to know about an OS personality:
+   builds (memoized in Osbuild, so per-shard resolution is cheap) and
+   the spec/table pair that rebinds wire-encoded corpus programs. *)
+let hub_target os =
+  match target_of os with
+  | Error e -> Error e
+  | Ok target ->
+    let build = Targets.build_hw target in
+    let table = Eof_os.Osbuild.api_signatures build in
+    (match Eof_spec.Synth.validated_of_api table with
+    | Error e -> Error (Printf.sprintf "%s: spec synthesis failed: %s" os e)
+    | Ok spec ->
+      Ok
+        {
+          Hub_worker.mk_build = (fun _board -> Targets.build_hw target);
+          spec;
+          table;
+        })
+
+let parse_tenants specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+      (match Hub_tenant.of_spec s with
+      | Ok c -> go (c :: acc) rest
+      | Error e -> Error e)
+  in
+  go [] specs
+
+(* One JSONL file per tenant: the same event stream the fuzz --trace
+   flag writes, pre-filtered on the tenant tag. *)
+let tenant_trace_sinks obs dir tenants =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.map
+    (fun (c : Hub_tenant.config) ->
+      let name = c.Hub_tenant.tenant in
+      let oc = open_out (Filename.concat dir (name ^ ".jsonl")) in
+      Obs.add_sink obs
+        (Obs.sink (fun ~t ~board ~tenant ev ->
+             if tenant = Some name then begin
+               output_string oc (Obs.event_to_json ~t ~board ~tenant ev);
+               output_char oc '\n'
+             end));
+      oc)
+    tenants
+
+let serve inproc socket_path farms tenant_specs trace_dir no_corpus_sync
+    max_campaigns =
+  let corpus_sync = not no_corpus_sync in
+  match (inproc, socket_path) with
+  | false, None ->
+    prerr_endline "eof serve: choose --inproc or --socket PATH";
+    2
+  | true, Some _ ->
+    prerr_endline "eof serve: --inproc and --socket are mutually exclusive";
+    2
+  | true, None ->
+    (match parse_tenants tenant_specs with
+    | Error e ->
+      prerr_endline e;
+      2
+    | Ok [] ->
+      prerr_endline "eof serve --inproc: submit at least one --tenant spec";
+      2
+    | Ok tenants ->
+      let obs = Obs.create () in
+      let traces =
+        match trace_dir with
+        | None -> []
+        | Some dir -> tenant_trace_sinks obs dir tenants
+      in
+      let result =
+        Hub_inproc.run ~obs ~corpus_sync ~farms tenants ~resolve:hub_target
+      in
+      List.iter close_out traces;
+      (match result with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok o ->
+        (* Summary on stdout is deterministic (cmp-able by CI); the
+           wall clock goes to stderr. *)
+        print_string (Hub_inproc.summary o);
+        Printf.eprintf "wall %.3fs\n" o.Hub_inproc.wall_s;
+        0))
+  | false, Some socket ->
+    (match Hub_socket.serve ~corpus_sync ?max_campaigns ~socket ~farms
+             ~resolve:hub_target ()
+     with
+    | Ok () -> 0
+    | Error e ->
+      prerr_endline e;
+      1)
+
+let serve_cmd =
+  let inproc =
+    Arg.(value & flag
+         & info [ "inproc" ]
+             ~doc:"Run the whole fleet deterministically in this process: every farm on \
+                   one cooperative schedule, a virtual clock, protocol traffic through \
+                   in-memory queues (still framed through the wire codec). Rerunning the \
+                   same command prints a byte-identical summary and traces.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve clients on a Unix domain socket at $(docv); farms stay in-process. \
+                   Submit campaigns with $(b,eof submit --socket) $(docv).")
+  in
+  let farms =
+    Arg.(value & opt int 2
+         & info [ "farms" ] ~docv:"N" ~doc:"Worker farm slots in the fleet.")
+  in
+  let tenant =
+    Arg.(value & opt_all string []
+         & info [ "tenant" ] ~docv:"SPEC"
+             ~doc:"Submit a tenant campaign (repeatable, --inproc mode): comma-separated \
+                   $(b,key=value) pairs over defaults — keys $(b,name), $(b,os), $(b,seed), \
+                   $(b,iterations), $(b,boards), $(b,farms), $(b,sync), $(b,backend). \
+                   Example: $(b,name=alice,os=Zephyr,seed=7,iterations=400,farms=2).")
+  in
+  let trace_dir =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"Write one JSONL telemetry trace per tenant into $(docv) \
+                   ($(i,tenant).jsonl), each event tagged and filtered by tenant.")
+  in
+  let no_corpus_sync =
+    Arg.(value & flag
+         & info [ "no-corpus-sync" ]
+             ~doc:"Disable cross-farm seed transplanting (for measuring its overhead).")
+  in
+  let max_campaigns =
+    Arg.(value & opt (some int) None
+         & info [ "max-campaigns" ] ~docv:"N"
+             ~doc:"Socket mode: exit after $(docv) campaigns complete (default: serve forever).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fleet hub: shard tenant campaigns across farms, sync corpora, dedup crashes fleet-wide")
+    Term.(
+      const serve $ inproc $ socket $ farms $ tenant $ trace_dir $ no_corpus_sync
+      $ max_campaigns)
+
+let submit socket spec =
+  match Hub_tenant.of_spec spec with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok config ->
+    (match Hub_socket.submit ~socket config with
+    | Ok digest ->
+      print_endline digest;
+      0
+    | Error e ->
+      prerr_endline e;
+      1)
+
+let submit_cmd =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"The hub's Unix domain socket.")
+  in
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SPEC"
+             ~doc:"Tenant campaign spec, comma-separated $(b,key=value) pairs \
+                   (see $(b,eof serve --tenant)).")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a tenant campaign to a running hub and wait for its digest")
+    Term.(const submit $ socket $ spec)
+
 let main_cmd =
   let doc = "feedback-guided fuzzing of embedded OSs over a (simulated) debug port" in
   Cmd.group
     (Cmd.info "eof" ~version:"1.0.0" ~doc)
-    [ fuzz_cmd; trace_cmd; spec_cmd; targets_cmd; artifact_cmd ]
+    [ fuzz_cmd; trace_cmd; spec_cmd; targets_cmd; artifact_cmd; serve_cmd; submit_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

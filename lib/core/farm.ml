@@ -101,23 +101,73 @@ let make_shared ?obs ~edge_capacity ~boards ~seed () =
   Obs.set_clock obs (fun () -> s.virtual_max);
   s
 
+(* --- per-shard merge cursors ------------------------------------------- *)
+
+(* Everything a shard publishes at an epoch is monotone: its coverage
+   bitmap only gains bits, its corpus only counts additions up, its
+   crash-event counter only increments, and the shared exchange corpus
+   likewise. A cursor remembers each monotone counter at the shard's
+   last merge, so an unchanged counter proves the corresponding merge
+   would import nothing and the whole walk can be elided. This is what
+   keeps the Domains backend's critical section near-empty on quiet
+   epochs: three integer compares instead of a bitmap union plus two
+   full corpus walks under the lock. The elisions are pure no-op
+   removals, so cooperative results stay bit-identical. *)
+type cursor = {
+  mutable cov : int;  (* shard coverage count at last push *)
+  mutable added : int;  (* shard corpus total_added at last push/pull *)
+  mutable crash_events : int;  (* shard crash events at last push *)
+  mutable pulled : int;  (* shared corpus total_added at last pull *)
+  mutable exec : int;  (* shard executed payloads already accounted *)
+}
+
+let make_cursor () = { cov = 0; added = 0; crash_events = 0; pulled = 0; exec = 0 }
+
 (* Merge one shard's discoveries into the global structures. Cheap by
    construction: the coverage merge is one bitmap union, the corpus
-   merge rejects already-seen hashes in O(1) each, and crash dedup only
-   walks the shard's (short, already per-board-deduplicated) list. *)
-let merge_board shared st ~delta_executed =
-  ignore (Feedback.union_into ~dst:shared.fb ~src:(Campaign.feedback st) : int);
-  ignore (Corpus.merge shared.corpus (Campaign.corpus st) : int);
-  List.iter
-    (fun c ->
-      let k = Crash.dedup_key c in
-      if not (Hashtbl.mem shared.crash_keys k) then begin
-        Hashtbl.replace shared.crash_keys k ();
-        shared.crashes_rev <- c :: shared.crashes_rev
-      end)
-    (Campaign.crashes_so_far st);
-  shared.executed_synced <- shared.executed_synced + delta_executed;
+   merge rejects already-seen hashes in O(1) each, crash dedup only
+   walks the shard's (short, already per-board-deduplicated) list — and
+   the cursor elides each of those entirely when the shard found
+   nothing new since its last epoch. *)
+let merge_board shared st cur =
+  let cov = Feedback.covered (Campaign.feedback st) in
+  if cov <> cur.cov then begin
+    ignore (Feedback.union_into ~dst:shared.fb ~src:(Campaign.feedback st) : int);
+    cur.cov <- cov
+  end;
+  let added = Corpus.total_added (Campaign.corpus st) in
+  if added <> cur.added then begin
+    ignore (Corpus.merge shared.corpus (Campaign.corpus st) : int);
+    cur.added <- added
+  end;
+  let events = Campaign.crash_events_so_far st in
+  if events <> cur.crash_events then begin
+    List.iter
+      (fun c ->
+        let k = Crash.dedup_key c in
+        if not (Hashtbl.mem shared.crash_keys k) then begin
+          Hashtbl.replace shared.crash_keys k ();
+          shared.crashes_rev <- c :: shared.crashes_rev
+        end)
+      (Campaign.crashes_so_far st);
+    cur.crash_events <- events
+  end;
+  let e = Campaign.executed_programs_so_far st in
+  shared.executed_synced <- shared.executed_synced + (e - cur.exec);
+  cur.exec <- e;
   shared.virtual_max <- Float.max shared.virtual_max (Campaign.virtual_s st)
+
+(* Cross-pollination: pull the fleet's merged discoveries back into one
+   shard, skipped when the shared corpus saw no addition since this
+   shard's last pull. Right after a pull the shard corpus is a subset of
+   the shared hash set, so the push cursor can jump too. *)
+let pull_board shared st cur =
+  let sa = Corpus.total_added shared.corpus in
+  if sa <> cur.pulled then begin
+    ignore (Corpus.merge (Campaign.corpus st) shared.corpus : int);
+    cur.pulled <- sa;
+    cur.added <- Corpus.total_added (Campaign.corpus st)
+  end
 
 let record_sample shared =
   shared.syncs <- shared.syncs + 1;
@@ -134,7 +184,32 @@ let record_sample shared =
     }
     :: shared.series_rev
 
+(* --- reentrant farm state ------------------------------------------------ *)
+
+type t = {
+  config : config;
+  shared : shared;
+  states : Campaign.state array;
+  cursors : cursor array;
+  mutable since : int;  (* payloads executed since the last epoch *)
+  mutable finalized : bool;  (* the final epoch merge has run *)
+  mutable result : outcome option;
+  t0 : float;
+}
+
+let epoch t =
+  let n = Array.length t.states in
+  Array.iteri (fun i st -> merge_board t.shared st t.cursors.(i)) t.states;
+  (* Cross-pollination is skipped for a single board — there is nothing
+     to exchange, and skipping keeps the one-board farm bit-identical to
+     the plain campaign even across corpus evictions. *)
+  if n > 1 then
+    Array.iteri (fun i st -> pull_board t.shared st t.cursors.(i)) t.states;
+  record_sample t.shared
+
 (* --- deterministic cooperative backend --------------------------------- *)
+
+let finished t = Array.for_all Campaign.finished t.states
 
 (* Round-robin by target CPU time: always step the board whose CPU
    clock is furthest behind (ties to the lowest index), which
@@ -144,101 +219,123 @@ let record_sample shared =
    link latency, which only exists on the link backend: keying on it
    would make the interleaving backend-dependent and break the
    differential oracle's farm equality. *)
-let run_cooperative config shared states =
-  let n = Array.length states in
-  let last_exec = Array.make n 0 in
-  let epoch () =
-    Array.iteri
-      (fun i st ->
-        let e = Campaign.executed_programs_so_far st in
-        merge_board shared st ~delta_executed:(e - last_exec.(i));
-        last_exec.(i) <- e)
-      states;
-    (* Cross-pollination: pull the fleet's merged discoveries back into
-       every shard. Skipped for a single board — there is nothing to
-       exchange, and skipping keeps the one-board farm bit-identical to
-       the plain campaign even across corpus evictions. *)
-    if n > 1 then
-      Array.iter
-        (fun st -> ignore (Corpus.merge (Campaign.corpus st) shared.corpus : int))
-        states;
-    record_sample shared
-  in
-  let since = ref 0 in
-  let running = ref true in
-  while !running do
-    let best = ref (-1) and best_t = ref infinity in
-    for i = n - 1 downto 0 do
-      if not (Campaign.finished states.(i)) then begin
-        (* Key on CPU time, not full virtual time: link latency is
-           backend-dependent, and the interleaving (hence epoch and
-           cross-pollination order) must be identical for the link and
-           native backends or the differential farm oracle can never
-           hold. *)
-        let t = Campaign.cpu_s states.(i) in
-        if t <= !best_t then begin
-          best := i;
-          best_t := t
-        end
-      end
-    done;
-    if !best < 0 then running := false
-    else begin
-      let st = states.(!best) in
-      let before = Campaign.executed_programs_so_far st in
-      Campaign.step st;
-      if Campaign.executed_programs_so_far st > before then incr since;
-      if !since >= config.sync_every then begin
-        epoch ();
-        since := 0
+let next_board t =
+  let n = Array.length t.states in
+  let best = ref (-1) and best_t = ref infinity in
+  for i = n - 1 downto 0 do
+    if not (Campaign.finished t.states.(i)) then begin
+      let time = Campaign.cpu_s t.states.(i) in
+      if time <= !best_t then begin
+        best := i;
+        best_t := time
       end
     end
   done;
-  epoch ()
+  if !best < 0 then None else Some !best
+
+let next_cpu_s t =
+  match next_board t with
+  | None -> None
+  | Some i -> Some (Campaign.cpu_s t.states.(i))
+
+let step t =
+  (match t.config.backend with
+   | Cooperative -> ()
+   | Domains -> invalid_arg "Farm.step: only cooperative farms are steppable");
+  match next_board t with
+  | None -> ()
+  | Some i ->
+    let st = t.states.(i) in
+    let before = Campaign.executed_programs_so_far st in
+    Campaign.step st;
+    if Campaign.executed_programs_so_far st > before then t.since <- t.since + 1;
+    if t.since >= t.config.sync_every then begin
+      epoch t;
+      t.since <- 0
+    end
+
+let run_cooperative t =
+  while not (finished t) do
+    step t
+  done
 
 (* --- OCaml 5 Domain backend -------------------------------------------- *)
 
-(* One domain per board; every shard-local structure is owned by its
-   domain, and the only shared state is [shared], guarded by one mutex
-   taken at epoch boundaries — contention is amortized over
-   [sync_every] payloads of lock-free fuzzing. *)
-let run_domains config shared states =
-  let n = Array.length states in
+(* Shards are grouped onto at most [Domain.recommended_domain_count]
+   domains — one shard per domain when the host has the cores, several
+   shards interleaved cooperatively per domain when it does not.
+   Spawning a domain per board regardless of core count is what the old
+   BENCH.json regression was: OCaml 5 minor collections are
+   stop-the-world barriers across every running domain, so oversubscribed
+   domains spend their wall time waiting for descheduled peers to reach
+   the barrier instead of fuzzing. Every shard-local structure is owned
+   by its domain; the only shared state is [shared], guarded by one
+   mutex taken once per epoch boundary — contention is amortized over
+   [sync_every] payloads of lock-free fuzzing, and the merge-cursor
+   elisions keep the held section to integer compares when a shard has
+   nothing new. *)
+let run_domains t =
+  let n = Array.length t.states in
   let lock = Mutex.create () in
-  let worker st =
-    let last = ref 0 in
-    let sync () =
-      Mutex.lock lock;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock lock)
-        (fun () ->
-          let e = Campaign.executed_programs_so_far st in
-          merge_board shared st ~delta_executed:(e - !last);
-          last := e;
-          if n > 1 then
-            ignore (Corpus.merge (Campaign.corpus st) shared.corpus : int);
-          record_sample shared)
+  let sync i =
+    let st = t.states.(i) and cur = t.cursors.(i) in
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        merge_board t.shared st cur;
+        if n > 1 then pull_board t.shared st cur;
+        record_sample t.shared)
+  in
+  let workers = min n (max 1 (Domain.recommended_domain_count ())) in
+  (* Round-robin shard assignment; within a group the worker interleaves
+     its shards by the cooperative min-CPU rule, so a one-core host runs
+     the whole farm as one cooperative schedule instead of eight
+     barrier-thrashing domains. *)
+  let group w = List.filter (fun i -> i mod workers = w) (List.init n Fun.id) in
+  let worker shards =
+    let since = Hashtbl.create 8 in
+    List.iter (fun i -> Hashtbl.replace since i 0) shards;
+    let pick () =
+      List.fold_left
+        (fun best i ->
+          if Campaign.finished t.states.(i) then best
+          else
+            let time = Campaign.cpu_s t.states.(i) in
+            match best with
+            | Some (_, bt) when bt <= time -> best
+            | _ -> Some (i, time))
+        None (List.rev shards)
     in
-    let since = ref 0 in
-    while not (Campaign.finished st) do
-      let before = Campaign.executed_programs_so_far st in
-      Campaign.step st;
-      if Campaign.executed_programs_so_far st > before then incr since;
-      if !since >= config.sync_every then begin
-        sync ();
-        since := 0
-      end
-    done;
-    sync ()
+    let rec loop () =
+      match pick () with
+      | None -> ()
+      | Some (i, _) ->
+        let st = t.states.(i) in
+        let before = Campaign.executed_programs_so_far st in
+        Campaign.step st;
+        if Campaign.executed_programs_so_far st > before then
+          Hashtbl.replace since i (Hashtbl.find since i + 1);
+        if Campaign.finished st then sync i
+        else if Hashtbl.find since i >= t.config.sync_every then begin
+          sync i;
+          Hashtbl.replace since i 0
+        end;
+        loop ()
+    in
+    loop ()
   in
   let domains =
-    Array.map (fun st -> Domain.spawn (fun () -> try worker st with _ -> ())) states
+    Array.init workers (fun w -> Domain.spawn (fun () -> try worker (group w) with _ -> ()))
   in
-  Array.iter Domain.join domains
+  Array.iter Domain.join domains;
+  (* Each worker ran every shard's final sync; a farm-level closing
+     epoch would add a spurious sample. *)
+  t.finalized <- true
 
 (* --- top level ---------------------------------------------------------- *)
 
-let run ?obs ?inject_for (config : config) mk_build =
+let init ?obs ?inject_for (config : config) mk_build =
   if config.boards < 1 then Error (Eof_error.config "farm: boards must be >= 1")
   else if config.sync_every < 1 then Error (Eof_error.config "farm: sync_every must be >= 1")
   else if config.base.Campaign.backend = Machine.Native && config.base.Campaign.fault_rate > 0.
@@ -305,46 +402,95 @@ let run ?obs ?inject_for (config : config) mk_build =
             make_shared ?obs ~edge_capacity ~boards:config.boards
               ~seed:config.base.seed ()
           in
-          (match config.backend with
-           | Cooperative -> run_cooperative config shared states
-           | Domains -> run_domains config shared states);
-          let per_board = Array.map Campaign.finish states in
-          (* The reported corpus is re-merged from the final shard
-             corpora (shard order): unlike the exchange corpus it never
-             contains seeds every shard has since evicted, and for one
-             board it reproduces that board's corpus exactly. *)
-          let final =
-            Corpus.create ~capacity:(512 * config.boards)
-              ~rng:(Rng.create config.base.seed) ()
-          in
-          Array.iter
-            (fun st -> ignore (Corpus.merge final (Campaign.corpus st) : int))
-            states;
-          let sum f = Array.fold_left (fun a o -> a + f o) 0 per_board in
           Ok
             {
-              boards = config.boards;
-              backend = config.backend;
-              coverage = Feedback.covered shared.fb;
-              coverage_bitmap = Feedback.snapshot shared.fb;
-              crashes = List.rev shared.crashes_rev;
-              crash_events = sum (fun o -> o.Campaign.crash_events);
-              executed_programs = sum (fun o -> o.Campaign.executed_programs);
-              iterations_done = sum (fun o -> o.Campaign.iterations_done);
-              corpus_size = Corpus.size final;
-              final_corpus = Corpus.progs final;
-              virtual_s =
-                Array.fold_left
-                  (fun a o -> Float.max a o.Campaign.virtual_s)
-                  0. per_board;
-              wall_s = Unix.gettimeofday () -. t0;
-              syncs = shared.syncs;
-              sync_series = List.rev shared.series_rev;
-              per_board;
-              dead_boards =
-                Array.fold_left
-                  (fun a st -> if Campaign.is_dead st then a + 1 else a)
-                  0 states;
+              config;
+              shared;
+              states;
+              cursors = Array.init (Array.length states) (fun _ -> make_cursor ());
+              since = 0;
+              finalized = false;
+              result = None;
+              t0;
             }
       end
   end
+
+(* --- mid-run observers (for the hub worker) ----------------------------- *)
+
+let coverage t = Feedback.covered t.shared.fb
+
+let coverage_bitmap t = Feedback.snapshot t.shared.fb
+
+let exchange_corpus t = t.shared.corpus
+
+let crashes_so_far t = List.rev t.shared.crashes_rev
+
+let executed_so_far t = t.shared.executed_synced
+
+let virtual_now t = t.shared.virtual_max
+
+let syncs_so_far t = t.shared.syncs
+
+let adopt t progs =
+  List.fold_left
+    (fun n prog ->
+      if Corpus.add t.shared.corpus ~prog ~new_edges:1 ~crashed:false then n + 1 else n)
+    0 progs
+
+let finish t =
+  match t.result with
+  | Some outcome -> outcome
+  | None ->
+    if not t.finalized then begin
+      epoch t;
+      t.finalized <- true
+    end;
+    let per_board = Array.map Campaign.finish t.states in
+    (* The reported corpus is re-merged from the final shard corpora
+       (shard order): unlike the exchange corpus it never contains seeds
+       every shard has since evicted, and for one board it reproduces
+       that board's corpus exactly. *)
+    let final =
+      Corpus.create ~capacity:(512 * t.config.boards)
+        ~rng:(Rng.create t.config.base.seed) ()
+    in
+    Array.iter
+      (fun st -> ignore (Corpus.merge final (Campaign.corpus st) : int))
+      t.states;
+    let sum f = Array.fold_left (fun a o -> a + f o) 0 per_board in
+    let outcome =
+      {
+        boards = t.config.boards;
+        backend = t.config.backend;
+        coverage = Feedback.covered t.shared.fb;
+        coverage_bitmap = Feedback.snapshot t.shared.fb;
+        crashes = List.rev t.shared.crashes_rev;
+        crash_events = sum (fun o -> o.Campaign.crash_events);
+        executed_programs = sum (fun o -> o.Campaign.executed_programs);
+        iterations_done = sum (fun o -> o.Campaign.iterations_done);
+        corpus_size = Corpus.size final;
+        final_corpus = Corpus.progs final;
+        virtual_s =
+          Array.fold_left (fun a o -> Float.max a o.Campaign.virtual_s) 0. per_board;
+        wall_s = Unix.gettimeofday () -. t.t0;
+        syncs = t.shared.syncs;
+        sync_series = List.rev t.shared.series_rev;
+        per_board;
+        dead_boards =
+          Array.fold_left
+            (fun a st -> if Campaign.is_dead st then a + 1 else a)
+            0 t.states;
+      }
+    in
+    t.result <- Some outcome;
+    outcome
+
+let run ?obs ?inject_for (config : config) mk_build =
+  match init ?obs ?inject_for config mk_build with
+  | Error e -> Error e
+  | Ok t ->
+    (match config.backend with
+     | Cooperative -> run_cooperative t
+     | Domains -> run_domains t);
+    Ok (finish t)

@@ -24,11 +24,14 @@ open Eof_os
       config, same result, every run; and with [boards = 1] the
       schedule degenerates to the plain loop, so the outcome is
       bit-identical to {!Campaign.run}.
-    - {!Domains} — one OCaml 5 domain per board for real wall-clock
-      parallelism; shards sync through a mutex at their own epoch
-      boundaries. Throughput-deterministic in virtual time, but merge
-      order (hence exact corpus cross-pollination) depends on domain
-      scheduling. *)
+    - {!Domains} — real wall-clock parallelism on at most
+      [Domain.recommended_domain_count] OCaml 5 domains; when boards
+      outnumber cores each domain interleaves its shard group
+      cooperatively (oversubscribed domains would stall each other at
+      every minor-GC barrier). Shards sync through a mutex at their own
+      epoch boundaries. Throughput-deterministic in virtual time, but
+      merge order (hence exact corpus cross-pollination) depends on
+      domain scheduling. *)
 
 type backend = Cooperative | Domains
 
@@ -86,6 +89,72 @@ type outcome = {
           stopped contributing, but the farm ran on with the survivors
           (their partial results are still merged) *)
 }
+
+type t
+(** An in-progress farm: every shard built, linked and initialised, the
+    shared structures allocated, no payload executed yet. The reentrant
+    surface ({!init} / {!step} / {!finished} / {!finish}) is what lets an
+    external scheduler — the hub's in-process fleet driver — interleave a
+    farm with other farms and with protocol work, exactly as
+    {!Campaign.init}/{!Campaign.step} let the farm interleave boards. *)
+
+val init :
+  ?obs:Eof_obs.Obs.t ->
+  ?inject_for:(int -> Eof_debug.Inject.config option) ->
+  config ->
+  (int -> Osbuild.t) ->
+  (t, Eof_util.Eof_error.t) result
+(** Build and initialise every shard (see {!run} for the semantics of
+    the arguments) without executing anything. *)
+
+val step : t -> unit
+(** Advance the cooperative scheduler by one campaign step: pick the
+    board whose CPU clock is furthest behind (ties to the lowest index)
+    and step it, merging an epoch every [sync_every] executed payloads.
+    No-op when every board is finished. Raises [Invalid_argument] on a
+    {!Domains} farm — only cooperative farms are externally steppable. *)
+
+val finished : t -> bool
+
+val next_cpu_s : t -> float option
+(** The CPU clock of the board {!step} would advance next — the farm's
+    scheduling key when an external driver interleaves several farms.
+    [None] when the farm is finished. *)
+
+val finish : t -> outcome
+(** Run the closing epoch merge (unless the backend already did) and
+    assemble the outcome. Idempotent: the outcome is computed once and
+    cached. *)
+
+(** {2 Mid-run observers}
+
+    Safe while stepping cooperatively; they read the shared structures
+    as of the last epoch merge. The hub worker uses these to ship
+    discoveries to the fleet between epochs. *)
+
+val coverage : t -> int
+
+val coverage_bitmap : t -> Eof_util.Bitset.t
+(** A snapshot copy (the live map keeps growing). *)
+
+val exchange_corpus : t -> Corpus.t
+(** The live shared corpus the shards pollinate through. *)
+
+val crashes_so_far : t -> Crash.t list
+(** Globally deduplicated, in discovery order. *)
+
+val executed_so_far : t -> int
+
+val virtual_now : t -> float
+(** Farm-clock high-water mark at the last merge. *)
+
+val syncs_so_far : t -> int
+
+val adopt : t -> Prog.t list -> int
+(** Graft externally discovered seeds (another farm's corpus, shipped
+    through the hub) into the exchange corpus; they reach every shard at
+    its next epoch pull. Returns how many were new (content-hash dedup
+    applies). *)
 
 val run :
   ?obs:Eof_obs.Obs.t ->

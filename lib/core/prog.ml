@@ -68,6 +68,33 @@ let validate t =
   in
   go 0
 
+let of_wire ~spec ~table (wire : Eof_agent.Wire.program) =
+  let entries = Array.of_list table.Eof_rtos.Api.entries in
+  let rec go acc = function
+    | [] ->
+      let prog = List.rev acc in
+      (match validate prog with Ok () -> Ok prog | Error e -> Error e)
+    | (wc : Eof_agent.Wire.call) :: rest ->
+      if wc.Eof_agent.Wire.api_index < 0 || wc.Eof_agent.Wire.api_index >= Array.length entries
+      then Error (Printf.sprintf "api index %d out of table range" wc.Eof_agent.Wire.api_index)
+      else begin
+        let name = entries.(wc.Eof_agent.Wire.api_index).Eof_rtos.Api.name in
+        match Ast.find_call spec name with
+        | None -> Error (Printf.sprintf "call %S not in spec" name)
+        | Some spec_call ->
+          let args =
+            List.map
+              (function
+                | Eof_agent.Wire.W_int v -> Int v
+                | Eof_agent.Wire.W_str s -> Str s
+                | Eof_agent.Wire.W_res k -> Res k)
+              wc.Eof_agent.Wire.args
+          in
+          go ({ spec = spec_call; api_index = wc.Eof_agent.Wire.api_index; args } :: acc) rest
+      end
+  in
+  go [] wire
+
 let arg_to_string = function
   | Int v -> Int64.to_string v
   | Str s ->

@@ -11,6 +11,14 @@ type t = call list
 
 val to_wire : t -> Eof_agent.Wire.program
 
+val of_wire :
+  spec:Ast.t -> table:Eof_rtos.Api.table -> Eof_agent.Wire.program -> (t, string) result
+(** Rebind a wire program to a typed program against [spec]/[table] —
+    the inverse of {!to_wire} for corpus transfer between processes
+    fuzzing the same personality. Each call's [api_index] is resolved
+    through the table to its spec entry, then the whole program is
+    {!validate}d. *)
+
 val length : t -> int
 
 val hash : t -> int

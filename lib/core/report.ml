@@ -82,6 +82,23 @@ let farm_digest (o : Farm.outcome) =
     ~crash_events:o.Farm.crash_events ~executed:o.Farm.executed_programs
     ~iterations_done:o.Farm.iterations_done
 
+(* The fleet-level fingerprint composes per-tenant digest lines in
+   tenant order — campaigns, farms and whole hub runs are all
+   fingerprintable the same way, and CI can [cmp] a two-tenant fleet
+   soak exactly as it does a single farm. *)
+let fleet_digest tenants =
+  let tenants = List.sort (fun (a, _) (b, _) -> compare a b) tenants in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (tenant, digest) ->
+      Buffer.add_string b tenant;
+      Buffer.add_char b '=';
+      Buffer.add_string b digest;
+      Buffer.add_char b '\n')
+    tenants;
+  Printf.sprintf "digest fleet tenants=%d crc=%08lx" (List.length tenants)
+    (Eof_util.Crc32.digest_string (Buffer.contents b))
+
 let outcome_summary (o : Campaign.outcome) =
   String.concat "\n"
     [

@@ -31,3 +31,10 @@ val digest_line :
 val campaign_digest : Campaign.outcome -> string
 
 val farm_digest : Farm.outcome -> string
+
+val fleet_digest : (string * string) list -> string
+(** [(tenant, digest_line)] pairs — the per-tenant campaign digests of a
+    hub run — CRC'd in tenant order into one fleet-level fingerprint, so
+    multi-tenant fleet soaks are [cmp]-checkable the same way single
+    campaigns and farms are. Order-insensitive: pairs are sorted by
+    tenant before hashing. *)

@@ -1,0 +1,345 @@
+module Obs = Eof_obs.Obs
+module Bitset = Eof_util.Bitset
+module Wire = Eof_agent.Wire
+module Corpus = Eof_core.Corpus
+module Crash = Eof_core.Crash
+module Prog = Eof_core.Prog
+module Report = Eof_core.Report
+
+type resolved = { spec : Eof_spec.Ast.t; table : Eof_rtos.Api.table }
+
+type action = To_client of int * Protocol.t | To_farm of int * Protocol.t
+
+type campaign = {
+  id : int;
+  config : Tenant.config;
+  client : int;
+  resolved : resolved;
+  corpus : Corpus.t;  (** hub-side merged view of the tenant's corpus *)
+  seen : (string, unit) Hashtbl.t;
+      (** wire encodings already known, so a pushed program is
+          broadcast at most once and pulls never echo back *)
+  mutable bitmap : Bitset.t option;  (** allocated at the first heartbeat *)
+  shard_exec : int array;
+  shard_virtual : float array;
+  mutable shards_done : int;
+  mutable iterations_done : int;
+  mutable crash_events : int;
+  mutable crashes_rev : Crash.t list;  (** tenant-deduped, discovery order *)
+  crash_keys : (string, unit) Hashtbl.t;
+  mutable syncs : int;
+  mutable digest : string option;
+  obs : Obs.t;  (** tenant-scoped handle, clocked by the campaign *)
+}
+
+type fleet_entry = { crash : Crash.t; mutable tenants : string list }
+
+type t = {
+  farms : int;
+  resolve : string -> (resolved, string) result;
+  corpus_sync : bool;
+  obs : Obs.t;
+  campaigns : (int, campaign) Hashtbl.t;
+  mutable order : int list;  (** campaign ids, submission order (reversed) *)
+  mutable next_id : int;
+  fleet_crashes : (string, fleet_entry) Hashtbl.t;
+  mutable fleet_order : string list;  (** dedup keys, discovery order (reversed) *)
+  mutable transplants : int;  (** programs relayed shard-to-shard *)
+}
+
+let create ?obs ?(corpus_sync = true) ~farms ~resolve () =
+  if farms < 1 then invalid_arg "Hub.create: farms must be >= 1";
+  {
+    farms;
+    resolve;
+    corpus_sync;
+    obs = (match obs with Some o -> o | None -> Obs.create ());
+    campaigns = Hashtbl.create 8;
+    order = [];
+    next_id = 1;
+    fleet_crashes = Hashtbl.create 16;
+    fleet_order = [];
+    transplants = 0;
+  }
+
+(* Shard k of any campaign lives on farm [k mod farms] — the inverse of
+   this mapping is what routes per-shard traffic. *)
+let farm_of t shard = shard mod t.farms
+
+let campaign_exn t id =
+  match Hashtbl.find_opt t.campaigns id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Hub: unknown campaign %d" id)
+
+let virtual_now c = Array.fold_left Float.max 0. c.shard_virtual
+
+let message (c : campaign) text = Obs.message c.obs Obs.Level.Info text
+
+let submit t ~client (config : Tenant.config) =
+  match Tenant.validate config with
+  | Error reason -> [ To_client (client, Protocol.Reject { tenant = config.Tenant.tenant; reason }) ]
+  | Ok () ->
+    if
+      Hashtbl.fold
+        (fun _ c acc -> acc || c.config.Tenant.tenant = config.Tenant.tenant)
+        t.campaigns false
+    then
+      [ To_client
+          ( client,
+            Protocol.Reject
+              {
+                tenant = config.Tenant.tenant;
+                reason = "tenant already has a campaign";
+              } );
+      ]
+    else (
+      match t.resolve config.Tenant.os with
+      | Error reason ->
+        [ To_client (client, Protocol.Reject { tenant = config.Tenant.tenant; reason }) ]
+      | Ok resolved ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let seed_rng = Eof_util.Rng.create config.Tenant.seed in
+        let c =
+          {
+            id;
+            config;
+            client;
+            resolved;
+            corpus = Corpus.create ~rng:seed_rng ();
+            seen = Hashtbl.create 64;
+            bitmap = None;
+            shard_exec = Array.make config.Tenant.farms 0;
+            shard_virtual = Array.make config.Tenant.farms 0.;
+            shards_done = 0;
+            iterations_done = 0;
+            crash_events = 0;
+            crashes_rev = [];
+            crash_keys = Hashtbl.create 8;
+            syncs = 0;
+            digest = None;
+            obs = Obs.for_tenant t.obs config.Tenant.tenant;
+          }
+        in
+        Obs.set_clock c.obs (fun () -> virtual_now c);
+        Hashtbl.replace t.campaigns id c;
+        t.order <- id :: t.order;
+        message c
+          (Printf.sprintf "campaign %d accepted: %s" id (Tenant.to_string config));
+        let assigns =
+          List.map
+            (fun (a : Shard.assignment) ->
+              To_farm (farm_of t a.Shard.shard, Protocol.Shard_assign a))
+            (Shard.plan ~campaign:id config)
+        in
+        To_client (client, Protocol.Accept { campaign = id; tenant = config.Tenant.tenant })
+        :: assigns)
+
+(* One pushed program: admit into the hub's merged corpus (decoding
+   through the campaign's own spec/table, so a malformed or
+   wrong-personality program is rejected at the hub boundary), and if
+   it is genuinely new, transplant it to every sibling shard. *)
+let corpus_push t c ~shard progs =
+  let fresh =
+    List.filter
+      (fun p ->
+        if Hashtbl.mem c.seen p then false
+        else begin
+          Hashtbl.replace c.seen p ();
+          match Wire.decode ~endianness:Eof_hw.Arch.Little p with
+          | Error _ -> false
+          | Ok wire ->
+            (match Prog.of_wire ~spec:c.resolved.spec ~table:c.resolved.table wire with
+             | Error _ -> false
+             | Ok prog ->
+               let admitted =
+                 Corpus.add c.corpus ~prog ~new_edges:1 ~crashed:false
+               in
+               if admitted then
+                 Obs.emit c.obs
+                   (Obs.Event.Corpus_admit
+                      { new_edges = 1; size = Corpus.size c.corpus });
+               admitted)
+        end)
+      progs
+  in
+  if fresh = [] || not t.corpus_sync then []
+  else
+    List.filter_map
+      (fun k ->
+        if k = shard then None
+        else begin
+          t.transplants <- t.transplants + List.length fresh;
+          Some
+            (To_farm
+               ( farm_of t k,
+                 Protocol.Corpus_pull { campaign = c.id; shard = k; progs = fresh }
+               ))
+        end)
+      (List.init c.config.Tenant.farms Fun.id)
+
+let crash_report t c crash =
+  let key = Crash.dedup_key crash in
+  (* Fleet-wide set: one entry per distinct bug across every tenant and
+     farm; per-tenant attribution rides on the entry. *)
+  (match Hashtbl.find_opt t.fleet_crashes key with
+  | Some e ->
+    if not (List.mem c.config.Tenant.tenant e.tenants) then
+      e.tenants <- e.tenants @ [ c.config.Tenant.tenant ]
+  | None ->
+    Hashtbl.replace t.fleet_crashes key
+      { crash; tenants = [ c.config.Tenant.tenant ] };
+    t.fleet_order <- key :: t.fleet_order);
+  (* Tenant-local set: same bug from two farms of one campaign is still
+     one crash in the tenant's report. *)
+  if not (Hashtbl.mem c.crash_keys key) then begin
+    Hashtbl.replace c.crash_keys key ();
+    c.crashes_rev <- crash :: c.crashes_rev;
+    Obs.emit c.obs
+      (Obs.Event.Crash_found
+         { kind = Crash.kind_name crash.Crash.kind; operation = crash.Crash.operation })
+  end
+
+let heartbeat t c ~shard ~executed ~coverage ~edge_capacity ~virtual_s ~bitmap =
+  ignore t;
+  c.shard_exec.(shard) <- executed;
+  c.shard_virtual.(shard) <- Float.max c.shard_virtual.(shard) virtual_s;
+  let dst =
+    match c.bitmap with
+    | Some b -> b
+    | None ->
+      let b = Bitset.create edge_capacity in
+      c.bitmap <- Some b;
+      b
+  in
+  ignore (Bitset.union_into ~dst ~src:(Bitset.of_bytes ~capacity:edge_capacity bitmap));
+  c.syncs <- c.syncs + 1;
+  ignore coverage;
+  Obs.emit c.obs
+    (Obs.Event.Epoch_sync
+       {
+         sync = c.syncs;
+         executed = Array.fold_left ( + ) 0 c.shard_exec;
+         coverage = Bitset.count dst;
+       })
+
+let campaign_coverage c = match c.bitmap with Some b -> Bitset.count b | None -> 0
+
+let tenant_digest c =
+  Report.digest_line
+    ~label:(Printf.sprintf "tenant %s" c.config.Tenant.tenant)
+    ~coverage:(campaign_coverage c)
+    ~bitmap:
+      (match c.bitmap with Some b -> b | None -> Bitset.create 8)
+    ~corpus:(Corpus.progs c.corpus)
+    ~crashes:(List.rev c.crashes_rev)
+    ~crash_events:c.crash_events
+    ~executed:(Array.fold_left ( + ) 0 c.shard_exec)
+    ~iterations_done:c.iterations_done
+
+let shard_done t c ~shard ~executed ~iterations ~crash_events ~virtual_s =
+  ignore t;
+  c.shard_exec.(shard) <- executed;
+  c.shard_virtual.(shard) <- Float.max c.shard_virtual.(shard) virtual_s;
+  c.iterations_done <- c.iterations_done + iterations;
+  c.crash_events <- c.crash_events + crash_events;
+  c.shards_done <- c.shards_done + 1;
+  if c.shards_done = c.config.Tenant.farms then begin
+    let digest = tenant_digest c in
+    c.digest <- Some digest;
+    message c (Printf.sprintf "campaign %d done: %s" c.id digest);
+    [ To_client
+        ( c.client,
+          Protocol.Campaign_done
+            { campaign = c.id; tenant = c.config.Tenant.tenant; digest } );
+    ]
+  end
+  else []
+
+let status t =
+  List.rev_map
+    (fun id ->
+      let c = campaign_exn t id in
+      {
+        Protocol.campaign = id;
+        tenant = c.config.Tenant.tenant;
+        os = c.config.Tenant.os;
+        finished = c.digest <> None;
+        shards = c.config.Tenant.farms;
+        shards_done = c.shards_done;
+        executed = Array.fold_left ( + ) 0 c.shard_exec;
+        coverage = campaign_coverage c;
+        crashes = List.length c.crashes_rev;
+      })
+    t.order
+
+let cancel t id =
+  match Hashtbl.find_opt t.campaigns id with
+  | None -> []
+  | Some c ->
+    if c.digest <> None then []
+    else
+      List.filter_map
+        (fun k ->
+          Some (To_farm (farm_of t k, Protocol.Cancel { campaign = id })))
+        (List.init c.config.Tenant.farms Fun.id)
+
+let handle_client t ~client msg =
+  match msg with
+  | Protocol.Submit config -> submit t ~client config
+  | Protocol.Status_req -> [ To_client (client, Protocol.Status (status t)) ]
+  | Protocol.Cancel { campaign } -> cancel t campaign
+  | other ->
+    [ To_client
+        ( client,
+          Protocol.Reject
+            {
+              tenant = "";
+              reason =
+                Printf.sprintf "unexpected client message %s" (Protocol.kind_name other);
+            } );
+    ]
+
+let handle_farm t ~farm msg =
+  ignore farm;
+  match msg with
+  | Protocol.Corpus_push { campaign; shard; progs } ->
+    corpus_push t (campaign_exn t campaign) ~shard progs
+  | Protocol.Crash_report { campaign; shard = _; crash } ->
+    crash_report t (campaign_exn t campaign) crash;
+    []
+  | Protocol.Heartbeat { campaign; shard; executed; coverage; edge_capacity; virtual_s; bitmap } ->
+    heartbeat t (campaign_exn t campaign) ~shard ~executed ~coverage ~edge_capacity
+      ~virtual_s ~bitmap;
+    []
+  | Protocol.Shard_done { campaign; shard; executed; iterations; crash_events; virtual_s } ->
+    shard_done t (campaign_exn t campaign) ~shard ~executed ~iterations ~crash_events
+      ~virtual_s
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Hub: unexpected farm message %s" (Protocol.kind_name other))
+
+let all_done t =
+  t.order <> []
+  && List.for_all (fun id -> (campaign_exn t id).digest <> None) t.order
+
+let tenant_digests t =
+  List.rev
+    (List.filter_map
+       (fun id ->
+         let c = campaign_exn t id in
+         Option.map (fun d -> (c.config.Tenant.tenant, d)) c.digest)
+       t.order)
+
+let fleet_digest t = Report.fleet_digest (tenant_digests t)
+
+let crashes_deduped t = Hashtbl.length t.fleet_crashes
+
+let fleet_crashes t =
+  List.rev_map
+    (fun key ->
+      let e = Hashtbl.find t.fleet_crashes key in
+      (e.crash, e.tenants))
+    t.fleet_order
+
+let transplants t = t.transplants

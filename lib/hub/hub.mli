@@ -1,0 +1,74 @@
+(** The campaign hub: a transport-agnostic state machine coordinating a
+    fleet of worker farms on behalf of multiple tenants.
+
+    The hub owns no sockets and no clock. It consumes one decoded
+    {!Protocol.t} message at a time and returns the messages to send in
+    response; the in-process driver ({!Inproc}) and the socket server
+    ({!Socket}) are thin transports around the same machine, which is
+    what makes the deterministic CI soak argue about the real
+    orchestration logic.
+
+    Responsibilities:
+    - admit per-tenant submissions, shard them across farms
+      ({!Shard.plan}), route each shard to farm [shard mod farms];
+    - merge pushed corpus programs into a hub-side per-tenant
+      {!Eof_core.Corpus} (decoding through the tenant's own personality,
+      so foreign programs are rejected at the boundary) and transplant
+      genuinely new programs to sibling shards;
+    - deduplicate crashes fleet-wide by {!Eof_core.Crash.dedup_key} —
+      one entry per distinct bug across all tenants and farms — while
+      keeping per-tenant attribution and per-tenant crash lists;
+    - stream per-tenant telemetry: every hub event is emitted on an
+      {!Eof_obs.Obs.for_tenant} handle clocked by that campaign's
+      virtual time;
+    - compute deterministic per-tenant campaign digests and the
+      fleet-wide {!Eof_core.Report.fleet_digest}. *)
+
+type resolved = { spec : Eof_spec.Ast.t; table : Eof_rtos.Api.table }
+(** What the hub needs to know about an OS personality: enough to
+    rebind wire-encoded programs ({!Eof_core.Prog.of_wire}). *)
+
+type action =
+  | To_client of int * Protocol.t  (** send to client [id] *)
+  | To_farm of int * Protocol.t  (** send to farm [id] *)
+
+type t
+
+val create :
+  ?obs:Eof_obs.Obs.t ->
+  ?corpus_sync:bool ->
+  farms:int ->
+  resolve:(string -> (resolved, string) result) ->
+  unit ->
+  t
+(** [resolve] maps a submitted OS name to its personality.
+    [corpus_sync] (default true) controls cross-shard seed
+    transplanting — the off switch exists to measure its overhead. *)
+
+val handle_client : t -> client:int -> Protocol.t -> action list
+(** Feed one message from client [client]. Unexpected kinds get a
+    [Reject] rather than an exception: clients are untrusted. *)
+
+val handle_farm : t -> farm:int -> Protocol.t -> action list
+(** Feed one message from a farm. Farms are trusted (the hub spawned
+    them); protocol violations raise [Invalid_argument]. *)
+
+val all_done : t -> bool
+(** At least one campaign submitted and every campaign finished. *)
+
+val status : t -> Protocol.status_row list
+
+val tenant_digests : t -> (string * string) list
+(** [(tenant, digest)] for every finished campaign, submission order. *)
+
+val fleet_digest : t -> string
+
+val crashes_deduped : t -> int
+(** Size of the fleet-wide crash set. *)
+
+val fleet_crashes : t -> (Eof_core.Crash.t * string list) list
+(** The fleet-wide deduplicated crashes in discovery order, each with
+    the tenants that hit it (attribution order preserved). *)
+
+val transplants : t -> int
+(** Programs relayed shard-to-shard by corpus sync. *)

@@ -1,0 +1,160 @@
+module Obs = Eof_obs.Obs
+module Crash = Eof_core.Crash
+
+type tenant_result = {
+  tenant : string;
+  campaign : int;
+  digest : string;
+  executed : int;
+  coverage : int;
+  crashes : int;
+}
+
+type outcome = {
+  tenants : tenant_result list;
+  fleet_digest : string;
+  crashes_deduped : int;
+  fleet_crashes : (Crash.t * string list) list;
+  transplants : int;
+  payloads : int;
+  wall_s : float;
+}
+
+(* Every message round-trips through the frame codec even though both
+   endpoints share an address space: the deterministic soak then
+   exercises exactly the bytes the socket transport would carry. *)
+let codec msg =
+  match Protocol.decode (Protocol.encode msg) with
+  | Ok m -> m
+  | Error e ->
+    invalid_arg
+      (Printf.sprintf "inproc codec round-trip failed on %s: %s"
+         (Protocol.kind_name msg) (Protocol.error_to_string e))
+
+let run ?obs ?corpus_sync ~farms (tenants : Tenant.config list)
+    ~(resolve : string -> (Worker.target, string) result) =
+  if tenants = [] then Error "inproc: no tenants submitted"
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let obs = match obs with Some o -> o | None -> Obs.create () in
+    let hub_resolve os =
+      Result.map
+        (fun (tg : Worker.target) ->
+          { Hub.spec = tg.Worker.spec; table = tg.Worker.table })
+        (resolve os)
+    in
+    let hub = Hub.create ~obs ?corpus_sync ~farms ~resolve:hub_resolve () in
+    let workers =
+      Array.init farms (fun id -> Worker.create ~obs ~id ~resolve ())
+    in
+    let farm_q = Array.init farms (fun _ -> Queue.create ()) in
+    let rejects = ref [] in
+    let dispatch actions =
+      List.iter
+        (function
+          | Hub.To_farm (f, msg) -> Queue.add (codec msg) farm_q.(f)
+          | Hub.To_client (_, Protocol.Reject { tenant; reason }) ->
+            rejects := Printf.sprintf "%s: %s" tenant reason :: !rejects
+          | Hub.To_client (_, _) -> ())
+        actions
+    in
+    (* Drain all pending hub → farm traffic, feeding farm replies back
+       into the hub, until the fleet is quiescent. Farms are visited in
+       id order and queues are FIFO, so the drain order is a pure
+       function of the message history — no clocks, no races. *)
+    let rec drain () =
+      let progressed = ref false in
+      Array.iteri
+        (fun f q ->
+          while not (Queue.is_empty q) do
+            progressed := true;
+            let msg = Queue.take q in
+            let replies = Worker.handle workers.(f) msg in
+            List.iter
+              (fun r -> dispatch (Hub.handle_farm hub ~farm:f (codec r)))
+              replies
+          done)
+        farm_q;
+      if !progressed then drain ()
+    in
+    List.iteri
+      (fun client config -> dispatch (Hub.handle_client hub ~client (Protocol.Submit config)))
+      tenants;
+    drain ();
+    match !rejects with
+    | r :: _ -> Error r
+    | [] ->
+      let stalled = ref false in
+      while not (Hub.all_done hub) && not !stalled do
+        (* Cooperative fleet schedule: the worker whose earliest board
+           is earliest on its virtual clock runs one payload; ties go to
+           the lowest worker id. The same min-CPU rule the farm applies
+           to boards and the worker applies to shards, one level up. *)
+        let best = ref None in
+        Array.iteri
+          (fun i w ->
+            match Worker.next_cpu_s w with
+            | None -> ()
+            | Some v ->
+              (match !best with
+              | Some (_, bv) when bv <= v -> ()
+              | _ -> best := Some (i, v)))
+          workers;
+        match !best with
+        | None -> stalled := true
+        | Some (i, _) ->
+          List.iter
+            (fun r -> dispatch (Hub.handle_farm hub ~farm:i (codec r)))
+            (Worker.step workers.(i));
+          drain ()
+      done;
+      if !stalled then Error "inproc: fleet stalled before completion"
+      else begin
+        let digests = Hub.tenant_digests hub in
+        let status = Hub.status hub in
+        let tenants =
+          List.filter_map
+            (fun (r : Protocol.status_row) ->
+              List.assoc_opt r.Protocol.tenant digests
+              |> Option.map (fun digest ->
+                     {
+                       tenant = r.Protocol.tenant;
+                       campaign = r.Protocol.campaign;
+                       digest;
+                       executed = r.Protocol.executed;
+                       coverage = r.Protocol.coverage;
+                       crashes = r.Protocol.crashes;
+                     }))
+            status
+        in
+        Ok
+          {
+            tenants;
+            fleet_digest = Hub.fleet_digest hub;
+            crashes_deduped = Hub.crashes_deduped hub;
+            fleet_crashes = Hub.fleet_crashes hub;
+            transplants =
+              Array.fold_left (fun acc w -> acc + Worker.transplanted w) 0 workers;
+            payloads =
+              List.fold_left
+                (fun acc (r : Protocol.status_row) -> acc + r.Protocol.executed)
+                0 status;
+            wall_s = Unix.gettimeofday () -. t0;
+          }
+      end
+  end
+
+let summary o =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\n  executed=%d coverage=%d crashes=%d\n" r.digest
+           r.executed r.coverage r.crashes))
+    o.tenants;
+  Buffer.add_string b
+    (Printf.sprintf "%s\n" o.fleet_digest);
+  Buffer.add_string b
+    (Printf.sprintf "fleet: payloads=%d crashes-deduped=%d transplants=%d\n"
+       o.payloads o.crashes_deduped o.transplants);
+  Buffer.contents b

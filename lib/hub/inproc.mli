@@ -1,0 +1,51 @@
+(** Deterministic in-process fleet: the whole hub — every farm, every
+    tenant — in one OS process on one cooperative schedule.
+
+    Determinism argument, layer by layer: each board is deterministic
+    given its seed (virtual clock, seeded RNG); the cooperative farm
+    interleaves boards by virtual time with fixed tie-breaks; the worker
+    interleaves shards the same way; this driver interleaves workers the
+    same way again, and delivers protocol traffic from FIFO queues
+    drained in worker-id order. No wall clock, no thread, no socket
+    enters any decision, so two runs with the same tenant configs
+    produce byte-identical digests and byte-identical per-tenant
+    telemetry — which CI checks with [cmp].
+
+    Every message still round-trips through {!Protocol.encode}/
+    {!Protocol.decode}, so the soak exercises the same bytes the socket
+    transport carries. *)
+
+type tenant_result = {
+  tenant : string;
+  campaign : int;
+  digest : string;  (** deterministic per-tenant campaign digest *)
+  executed : int;
+  coverage : int;
+  crashes : int;  (** tenant-deduplicated *)
+}
+
+type outcome = {
+  tenants : tenant_result list;  (** submission order *)
+  fleet_digest : string;
+  crashes_deduped : int;  (** fleet-wide set size *)
+  fleet_crashes : (Eof_core.Crash.t * string list) list;
+      (** each distinct bug with the tenants that hit it *)
+  transplants : int;  (** cross-shard corpus programs admitted *)
+  payloads : int;
+  wall_s : float;
+}
+
+val run :
+  ?obs:Eof_obs.Obs.t ->
+  ?corpus_sync:bool ->
+  farms:int ->
+  Tenant.config list ->
+  resolve:(string -> (Worker.target, string) result) ->
+  (outcome, string) result
+(** Submit every tenant, then drive the fleet to completion. [Error] on
+    a rejected submission or an (impossible by construction) stall. *)
+
+val summary : outcome -> string
+(** The digest lines plus a fleet headline — what [eof serve --inproc]
+    prints, and what the CI soak [cmp]s. Deterministic: [wall_s] is
+    deliberately not included. *)

@@ -1,0 +1,469 @@
+module Machine = Eof_agent.Machine
+module Crash = Eof_core.Crash
+
+(* "EOFH" read as a big-endian word; the frame itself is little-endian
+   throughout — this is a host-to-host protocol, there is no target
+   byte order to match (contrast {!Eof_agent.Wire}). *)
+let magic = 0x454F4648l
+
+let version = 1
+
+let header_bytes = 12 (* magic u32, version u16, kind u8, reserved u8, payload_len u32 *)
+
+let max_payload = 16 * 1024 * 1024
+
+type status_row = {
+  campaign : int;
+  tenant : string;
+  os : string;
+  finished : bool;
+  shards : int;
+  shards_done : int;
+  executed : int;
+  coverage : int;
+  crashes : int;
+}
+
+type t =
+  | Submit of Tenant.config
+  | Accept of { campaign : int; tenant : string }
+  | Reject of { tenant : string; reason : string }
+  | Shard_assign of Shard.assignment
+  | Corpus_push of { campaign : int; shard : int; progs : string list }
+  | Corpus_pull of { campaign : int; shard : int; progs : string list }
+  | Crash_report of { campaign : int; shard : int; crash : Crash.t }
+  | Heartbeat of {
+      campaign : int;
+      shard : int;
+      executed : int;
+      coverage : int;
+      edge_capacity : int;
+      virtual_s : float;
+      bitmap : string;
+    }
+  | Status_req
+  | Status of status_row list
+  | Cancel of { campaign : int }
+  | Shard_done of {
+      campaign : int;
+      shard : int;
+      executed : int;
+      iterations : int;
+      crash_events : int;
+      virtual_s : float;
+    }
+  | Campaign_done of { campaign : int; tenant : string; digest : string }
+
+let kind_code = function
+  | Submit _ -> 1
+  | Accept _ -> 2
+  | Reject _ -> 3
+  | Shard_assign _ -> 4
+  | Corpus_push _ -> 5
+  | Corpus_pull _ -> 6
+  | Crash_report _ -> 7
+  | Heartbeat _ -> 8
+  | Status_req -> 9
+  | Status _ -> 10
+  | Cancel _ -> 11
+  | Shard_done _ -> 12
+  | Campaign_done _ -> 13
+
+let kind_name = function
+  | Submit _ -> "submit"
+  | Accept _ -> "accept"
+  | Reject _ -> "reject"
+  | Shard_assign _ -> "shard-assign"
+  | Corpus_push _ -> "corpus-push"
+  | Corpus_pull _ -> "corpus-pull"
+  | Crash_report _ -> "crash-report"
+  | Heartbeat _ -> "heartbeat"
+  | Status_req -> "status-req"
+  | Status _ -> "status"
+  | Cancel _ -> "cancel"
+  | Shard_done _ -> "shard-done"
+  | Campaign_done _ -> "campaign-done"
+
+type error =
+  | Truncated  (** shorter than its header claims — wait for more bytes *)
+  | Bad_magic
+  | Bad_version of int
+  | Bad_crc
+  | Malformed of string
+
+let error_to_string = function
+  | Truncated -> "truncated frame"
+  | Bad_magic -> "bad frame magic"
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Bad_crc -> "frame CRC mismatch"
+  | Malformed e -> Printf.sprintf "malformed payload: %s" e
+
+(* --- little-endian primitives ------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u16 b v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Protocol: u16 out of range";
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
+
+let put_u32 b v =
+  if v < 0 then invalid_arg "Protocol: u32 out of range";
+  Buffer.add_int32_le b (Int32.of_int v)
+
+let put_u64 b v = Buffer.add_int64_le b v
+
+let put_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_str b s =
+  if String.length s > 0xFFFF then invalid_arg "Protocol: string too long";
+  put_u16 b (String.length s);
+  Buffer.add_string b s
+
+let put_bytes b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_list b f xs =
+  put_u16 b (List.length xs);
+  List.iter (f b) xs
+
+let put_backend b = function Machine.Link -> put_u8 b 0 | Machine.Native -> put_u8 b 1
+
+let crash_kind_code = function
+  | Crash.Kernel_panic -> 0
+  | Crash.Kernel_assertion -> 1
+  | Crash.Hardware_fault -> 2
+  | Crash.Hang -> 3
+  | Crash.Boot_failure -> 4
+
+let monitor_code = function
+  | Crash.Log_monitor -> 0
+  | Crash.Exception_monitor -> 1
+  | Crash.Liveness_watchdog -> 2
+  | Crash.Timeout_only -> 3
+
+exception Fail of string
+
+type cursor = { s : string; limit : int; mutable pos : int }
+
+let need c n = if c.pos + n > c.limit then raise (Fail "truncated payload")
+
+let u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  let lo = u8 c in
+  let hi = u8 c in
+  lo lor (hi lsl 8)
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_le c.s c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then raise (Fail "u32 out of int range") else v
+
+let u64 c =
+  need c 8;
+  let v = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let f64 c = Int64.float_of_bits (u64 c)
+
+let bool c = match u8 c with 0 -> false | 1 -> true | _ -> raise (Fail "bad bool")
+
+let str c =
+  let n = u16 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let bytes c =
+  let n = u32 c in
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let list c f =
+  let n = u16 c in
+  List.init n (fun _ -> f c)
+
+let backend c =
+  match u8 c with
+  | 0 -> Machine.Link
+  | 1 -> Machine.Native
+  | n -> raise (Fail (Printf.sprintf "bad backend code %d" n))
+
+let crash_kind c =
+  match u8 c with
+  | 0 -> Crash.Kernel_panic
+  | 1 -> Crash.Kernel_assertion
+  | 2 -> Crash.Hardware_fault
+  | 3 -> Crash.Hang
+  | 4 -> Crash.Boot_failure
+  | n -> raise (Fail (Printf.sprintf "bad crash kind %d" n))
+
+let monitor c =
+  match u8 c with
+  | 0 -> Crash.Log_monitor
+  | 1 -> Crash.Exception_monitor
+  | 2 -> Crash.Liveness_watchdog
+  | 3 -> Crash.Timeout_only
+  | n -> raise (Fail (Printf.sprintf "bad monitor code %d" n))
+
+(* --- payload encode/decode ---------------------------------------------- *)
+
+let put_tenant_config b (c : Tenant.config) =
+  put_str b c.Tenant.tenant;
+  put_str b c.Tenant.os;
+  put_u64 b c.Tenant.seed;
+  put_u32 b c.Tenant.iterations;
+  put_u16 b c.Tenant.boards;
+  put_u16 b c.Tenant.farms;
+  put_u32 b c.Tenant.sync_every;
+  put_backend b c.Tenant.backend
+
+let tenant_config c =
+  let tenant = str c in
+  let os = str c in
+  let seed = u64 c in
+  let iterations = u32 c in
+  let boards = u16 c in
+  let farms = u16 c in
+  let sync_every = u32 c in
+  let backend = backend c in
+  { Tenant.tenant; os; seed; iterations; boards; farms; sync_every; backend }
+
+let put_assignment b (a : Shard.assignment) =
+  put_u32 b a.Shard.campaign;
+  put_str b a.Shard.tenant;
+  put_str b a.Shard.os;
+  put_u16 b a.Shard.shard;
+  put_u16 b a.Shard.shards;
+  put_u64 b a.Shard.seed;
+  put_u32 b a.Shard.iterations;
+  put_u16 b a.Shard.boards;
+  put_u32 b a.Shard.sync_every;
+  put_backend b a.Shard.backend
+
+let assignment c =
+  let campaign = u32 c in
+  let tenant = str c in
+  let os = str c in
+  let shard = u16 c in
+  let shards = u16 c in
+  let seed = u64 c in
+  let iterations = u32 c in
+  let boards = u16 c in
+  let sync_every = u32 c in
+  let backend = backend c in
+  { Shard.campaign; tenant; os; shard; shards; seed; iterations; boards;
+    sync_every; backend }
+
+let put_crash b (cr : Crash.t) =
+  put_str b cr.Crash.os;
+  put_u8 b (crash_kind_code cr.Crash.kind);
+  put_str b cr.Crash.operation;
+  put_str b cr.Crash.scope;
+  put_str b cr.Crash.message;
+  put_list b put_str cr.Crash.backtrace;
+  put_u8 b (monitor_code cr.Crash.detected_by);
+  put_bytes b cr.Crash.program;
+  put_u32 b cr.Crash.iteration
+
+let crash c =
+  let os = str c in
+  let kind = crash_kind c in
+  let operation = str c in
+  let scope = str c in
+  let message = str c in
+  let backtrace = list c str in
+  let detected_by = monitor c in
+  let program = bytes c in
+  let iteration = u32 c in
+  { Crash.os; kind; operation; scope; message; backtrace; detected_by; program;
+    iteration }
+
+let put_status_row b r =
+  put_u32 b r.campaign;
+  put_str b r.tenant;
+  put_str b r.os;
+  put_bool b r.finished;
+  put_u16 b r.shards;
+  put_u16 b r.shards_done;
+  put_u32 b r.executed;
+  put_u32 b r.coverage;
+  put_u32 b r.crashes
+
+let status_row c =
+  let campaign = u32 c in
+  let tenant = str c in
+  let os = str c in
+  let finished = bool c in
+  let shards = u16 c in
+  let shards_done = u16 c in
+  let executed = u32 c in
+  let coverage = u32 c in
+  let crashes = u32 c in
+  { campaign; tenant; os; finished; shards; shards_done; executed; coverage; crashes }
+
+let encode_payload b = function
+  | Submit cfg -> put_tenant_config b cfg
+  | Accept { campaign; tenant } ->
+    put_u32 b campaign;
+    put_str b tenant
+  | Reject { tenant; reason } ->
+    put_str b tenant;
+    put_str b reason
+  | Shard_assign a -> put_assignment b a
+  | Corpus_push { campaign; shard; progs } | Corpus_pull { campaign; shard; progs } ->
+    put_u32 b campaign;
+    put_u16 b shard;
+    put_list b put_bytes progs
+  | Crash_report { campaign; shard; crash } ->
+    put_u32 b campaign;
+    put_u16 b shard;
+    put_crash b crash
+  | Heartbeat { campaign; shard; executed; coverage; edge_capacity; virtual_s; bitmap }
+    ->
+    put_u32 b campaign;
+    put_u16 b shard;
+    put_u32 b executed;
+    put_u32 b coverage;
+    put_u32 b edge_capacity;
+    put_f64 b virtual_s;
+    put_bytes b bitmap
+  | Status_req -> ()
+  | Status rows -> put_list b put_status_row rows
+  | Cancel { campaign } -> put_u32 b campaign
+  | Shard_done { campaign; shard; executed; iterations; crash_events; virtual_s } ->
+    put_u32 b campaign;
+    put_u16 b shard;
+    put_u32 b executed;
+    put_u32 b iterations;
+    put_u32 b crash_events;
+    put_f64 b virtual_s
+  | Campaign_done { campaign; tenant; digest } ->
+    put_u32 b campaign;
+    put_str b tenant;
+    put_str b digest
+
+let decode_payload kind c =
+  match kind with
+  | 1 -> Submit (tenant_config c)
+  | 2 ->
+    let campaign = u32 c in
+    let tenant = str c in
+    Accept { campaign; tenant }
+  | 3 ->
+    let tenant = str c in
+    let reason = str c in
+    Reject { tenant; reason }
+  | 4 -> Shard_assign (assignment c)
+  | 5 | 6 ->
+    let campaign = u32 c in
+    let shard = u16 c in
+    let progs = list c bytes in
+    if kind = 5 then Corpus_push { campaign; shard; progs }
+    else Corpus_pull { campaign; shard; progs }
+  | 7 ->
+    let campaign = u32 c in
+    let shard = u16 c in
+    let crash = crash c in
+    Crash_report { campaign; shard; crash }
+  | 8 ->
+    let campaign = u32 c in
+    let shard = u16 c in
+    let executed = u32 c in
+    let coverage = u32 c in
+    let edge_capacity = u32 c in
+    let virtual_s = f64 c in
+    let bitmap = bytes c in
+    Heartbeat { campaign; shard; executed; coverage; edge_capacity; virtual_s; bitmap }
+  | 9 -> Status_req
+  | 10 -> Status (list c status_row)
+  | 11 -> Cancel { campaign = u32 c }
+  | 12 ->
+    let campaign = u32 c in
+    let shard = u16 c in
+    let executed = u32 c in
+    let iterations = u32 c in
+    let crash_events = u32 c in
+    let virtual_s = f64 c in
+    Shard_done { campaign; shard; executed; iterations; crash_events; virtual_s }
+  | 13 ->
+    let campaign = u32 c in
+    let tenant = str c in
+    let digest = str c in
+    Campaign_done { campaign; tenant; digest }
+  | n -> raise (Fail (Printf.sprintf "unknown message kind %d" n))
+
+(* --- framing ------------------------------------------------------------ *)
+
+(* frame := magic u32 | version u16 | kind u8 | reserved u8 |
+            payload_len u32 | payload | crc32 u32
+   The CRC covers version..payload (everything after the magic), so a
+   bit flip anywhere in the negotiated content — including the length
+   field — is caught; the magic itself is the resync sentinel. *)
+let encode msg =
+  let payload = Buffer.create 256 in
+  encode_payload payload msg;
+  let payload = Buffer.contents payload in
+  let b = Buffer.create (header_bytes + String.length payload + 4) in
+  Buffer.add_int32_le b magic;
+  put_u16 b version;
+  put_u8 b (kind_code msg);
+  put_u8 b 0;
+  put_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  let crc =
+    Eof_util.Crc32.digest_string
+      (String.sub (Buffer.contents b) 4 (Buffer.length b - 4))
+  in
+  Buffer.add_int32_le b crc;
+  Buffer.contents b
+
+let frame_size buffered =
+  if String.length buffered < header_bytes then Ok None
+  else if String.get_int32_le buffered 0 <> magic then Error Bad_magic
+  else begin
+    let len = Int32.to_int (String.get_int32_le buffered 8) in
+    if len < 0 || len > max_payload then Error (Malformed "payload length out of range")
+    else Ok (Some (header_bytes + len + 4))
+  end
+
+let decode frame =
+  match frame_size frame with
+  | Error e -> Error e
+  | Ok None -> Error Truncated
+  | Ok (Some size) ->
+    if String.length frame < size then Error Truncated
+    else if String.length frame > size then Error (Malformed "trailing bytes after frame")
+    else begin
+      let stored = String.get_int32_le frame (size - 4) in
+      let crc =
+        Eof_util.Crc32.digest_string (String.sub frame 4 (size - 8))
+      in
+      if not (Int32.equal stored crc) then Error Bad_crc
+      else begin
+        let ver = Char.code frame.[4] lor (Char.code frame.[5] lsl 8) in
+        if ver <> version then Error (Bad_version ver)
+        else begin
+          let kind = Char.code frame.[6] in
+          let c = { s = frame; limit = size - 4; pos = header_bytes } in
+          match decode_payload kind c with
+          | msg ->
+            if c.pos <> c.limit then Error (Malformed "payload has trailing bytes")
+            else Ok msg
+          | exception Fail e -> Error (Malformed e)
+        end
+      end
+    end

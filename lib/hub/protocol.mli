@@ -1,0 +1,93 @@
+(** Framed hub protocol: the typed messages a hub and its worker farms
+    (and submitting clients) exchange.
+
+    Every message travels as one self-delimiting frame:
+
+    {v
+    magic "EOFH" (u32) | version (u16) | kind (u8) | reserved (u8) |
+    payload_len (u32) | payload | crc32 (u32)
+    v}
+
+    all little-endian — this is a host-to-host protocol with no target
+    byte order to match, unlike {!Eof_agent.Wire}. The CRC covers
+    everything after the magic (version through payload), so corruption
+    anywhere in the negotiated content — including the length field —
+    is detected; the magic itself is the stream-resync sentinel.
+    Programs inside [Corpus_push]/[Corpus_pull] and crash reports are
+    carried as {!Eof_agent.Wire}-encoded byte strings: the hub protocol
+    frames them, the agent wire format describes them. *)
+
+type status_row = {
+  campaign : int;
+  tenant : string;
+  os : string;
+  finished : bool;
+  shards : int;
+  shards_done : int;
+  executed : int;
+  coverage : int;
+  crashes : int;  (** per-tenant deduplicated crash count *)
+}
+
+type t =
+  | Submit of Tenant.config  (** client → hub: run this campaign *)
+  | Accept of { campaign : int; tenant : string }  (** hub → client *)
+  | Reject of { tenant : string; reason : string }  (** hub → client *)
+  | Shard_assign of Shard.assignment  (** hub → farm *)
+  | Corpus_push of { campaign : int; shard : int; progs : string list }
+      (** farm → hub: newly admitted exchange-corpus programs,
+          {!Eof_agent.Wire}-encoded *)
+  | Corpus_pull of { campaign : int; shard : int; progs : string list }
+      (** hub → farm: programs transplanted from sibling shards *)
+  | Crash_report of { campaign : int; shard : int; crash : Eof_core.Crash.t }
+      (** farm → hub *)
+  | Heartbeat of {
+      campaign : int;
+      shard : int;
+      executed : int;
+      coverage : int;
+      edge_capacity : int;
+      virtual_s : float;
+      bitmap : string;  (** {!Eof_util.Bitset.to_bytes} coverage snapshot *)
+    }  (** farm → hub, once per farm epoch *)
+  | Status_req  (** client → hub *)
+  | Status of status_row list  (** hub → client *)
+  | Cancel of { campaign : int }  (** client → hub, hub → farm *)
+  | Shard_done of {
+      campaign : int;
+      shard : int;
+      executed : int;
+      iterations : int;
+      crash_events : int;
+      virtual_s : float;
+    }  (** farm → hub *)
+  | Campaign_done of { campaign : int; tenant : string; digest : string }
+      (** hub → client: all shards finished; [digest] is the tenant's
+          deterministic campaign digest *)
+
+type error =
+  | Truncated  (** shorter than its header claims — wait for more bytes *)
+  | Bad_magic
+  | Bad_version of int
+  | Bad_crc
+  | Malformed of string
+
+val error_to_string : error -> string
+
+val kind_name : t -> string
+(** Stable lowercase name for telemetry ("submit", "corpus-push", ...). *)
+
+val encode : t -> string
+(** One complete frame. Raises [Invalid_argument] if a string field
+    exceeds the u16 length limit. *)
+
+val decode : string -> (t, error) result
+(** Decode exactly one frame. [Error Truncated] if the buffer is
+    shorter than the frame; [Error (Malformed _)] if longer. *)
+
+val frame_size : string -> (int option, error) result
+(** Stream framing helper: given a buffer prefix, [Ok None] if the
+    12-byte header is not yet complete, [Ok (Some n)] once the total
+    frame size [n] is known, [Error Bad_magic] on a bad sentinel. *)
+
+val header_bytes : int

@@ -1,0 +1,45 @@
+module Rng = Eof_util.Rng
+
+type assignment = {
+  campaign : int;
+  tenant : string;
+  os : string;
+  shard : int;
+  shards : int;
+  seed : int64;
+  iterations : int;
+  boards : int;
+  sync_every : int;
+  backend : Eof_agent.Machine.backend;
+}
+
+(* Shard 0 keeps the tenant's seed (a one-farm campaign is exactly the
+   plain farm run), the others derive statistically independent streams
+   — the same golden-ratio mixing {!Eof_core.Farm} uses one level down
+   for its boards, with a distinct multiplier so a shard's boards never
+   collide with another shard's seed. *)
+let shard_seed base k =
+  if k = 0 then base
+  else
+    Rng.next64
+      (Rng.create (Int64.add base (Int64.mul (Int64.of_int k) 0xBF58476D1CE4E5B9L)))
+
+(* Round-robin budget split: the first (total mod shards) shards carry
+   the remainder, mirroring the farm's board split. *)
+let shard_iterations ~total ~shards k =
+  (total / shards) + (if k < total mod shards then 1 else 0)
+
+let plan ~campaign (c : Tenant.config) =
+  List.init c.Tenant.farms (fun k ->
+      {
+        campaign;
+        tenant = c.Tenant.tenant;
+        os = c.Tenant.os;
+        shard = k;
+        shards = c.Tenant.farms;
+        seed = shard_seed c.Tenant.seed k;
+        iterations = shard_iterations ~total:c.Tenant.iterations ~shards:c.Tenant.farms k;
+        boards = c.Tenant.boards;
+        sync_every = c.Tenant.sync_every;
+        backend = c.Tenant.backend;
+      })

@@ -1,0 +1,30 @@
+(** Campaign sharding: how the hub splits one tenant submission across
+    farms.
+
+    The same recursive structure the farm applies to boards applies one
+    level up to farms: the total payload budget splits round-robin,
+    shard 0 keeps the tenant's seed (so a one-farm campaign degenerates
+    to the plain farm run) and the other shards derive independent
+    seed streams. *)
+
+type assignment = {
+  campaign : int;  (** hub-assigned campaign id *)
+  tenant : string;
+  os : string;
+  shard : int;  (** 0-based among this campaign's shards *)
+  shards : int;
+  seed : int64;  (** this shard's derived seed *)
+  iterations : int;  (** this shard's slice of the budget *)
+  boards : int;
+  sync_every : int;
+  backend : Eof_agent.Machine.backend;
+}
+
+val shard_seed : int64 -> int -> int64
+(** [shard_seed base k]: [base] for shard 0, an independent derived
+    stream for the rest. *)
+
+val shard_iterations : total:int -> shards:int -> int -> int
+
+val plan : campaign:int -> Tenant.config -> assignment list
+(** One assignment per farm, in shard order. *)

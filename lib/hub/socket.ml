@@ -1,0 +1,249 @@
+module Obs = Eof_obs.Obs
+
+(* Socket mode keeps the farms in-process — the hub owns its workers
+   exactly as in {!Inproc} — and serves only {e clients} over a Unix
+   domain socket: Submit / Status_req / Cancel in, Accept / Reject /
+   Status / Campaign_done out. One select loop multiplexes client I/O
+   with worker stepping, so a fuzzing fleet keeps executing payloads
+   while submissions arrive. *)
+
+type client = {
+  fd : Unix.file_descr;
+  id : int;
+  buf : Buffer.t;
+  mutable closed : bool;
+}
+
+let send_frame cl msg =
+  if not cl.closed then begin
+    let frame = Protocol.encode msg in
+    try
+      let n = Unix.write_substring cl.fd frame 0 (String.length frame) in
+      if n <> String.length frame then cl.closed <- true
+    with Unix.Unix_error _ -> cl.closed <- true
+  end
+
+(* Extract every complete frame from the client's accumulation buffer,
+   leaving any partial tail in place. *)
+let take_frames cl =
+  let rec go acc =
+    let buffered = Buffer.contents cl.buf in
+    match Protocol.frame_size buffered with
+    | Error _ ->
+      cl.closed <- true;
+      List.rev acc
+    | Ok None -> List.rev acc
+    | Ok (Some size) when String.length buffered < size -> List.rev acc
+    | Ok (Some size) ->
+      let frame = String.sub buffered 0 size in
+      Buffer.clear cl.buf;
+      Buffer.add_substring cl.buf buffered size (String.length buffered - size);
+      (match Protocol.decode frame with
+      | Ok msg -> go (msg :: acc)
+      | Error _ ->
+        cl.closed <- true;
+        List.rev acc)
+  in
+  go []
+
+let serve ?obs ?corpus_sync ?max_campaigns ~socket ~farms
+    ~(resolve : string -> (Worker.target, string) result) () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let hub_resolve os =
+    Result.map
+      (fun (tg : Worker.target) ->
+        { Hub.spec = tg.Worker.spec; table = tg.Worker.table })
+      (resolve os)
+  in
+  let hub = Hub.create ~obs ?corpus_sync ~farms ~resolve:hub_resolve () in
+  let workers = Array.init farms (fun id -> Worker.create ~obs ~id ~resolve ()) in
+  let farm_q = Array.init farms (fun _ -> Queue.create ()) in
+  (match Unix.lstat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let clients : (int, client) Hashtbl.t = Hashtbl.create 8 in
+  let next_client = ref 0 in
+  let campaigns_done = ref 0 in
+  let dispatch_ref = ref (fun _ -> ()) in
+  let deliver_farm f msg =
+    Queue.add msg farm_q.(f);
+    while not (Queue.is_empty farm_q.(f)) do
+      let m = Queue.take farm_q.(f) in
+      List.iter
+        (fun r -> !dispatch_ref (Hub.handle_farm hub ~farm:f r))
+        (Worker.handle workers.(f) m)
+    done
+  in
+  let dispatch actions =
+    List.iter
+      (function
+        | Hub.To_farm (f, msg) -> deliver_farm f msg
+        | Hub.To_client (id, msg) ->
+          (match msg with
+          | Protocol.Campaign_done _ -> incr campaigns_done
+          | _ -> ());
+          (match Hashtbl.find_opt clients id with
+          | Some cl -> send_frame cl msg
+          | None -> ()))
+      actions
+  in
+  dispatch_ref := dispatch;
+  let result =
+    try
+      Unix.bind listener (Unix.ADDR_UNIX socket);
+      Unix.listen listener 16;
+      let finished () =
+        match max_campaigns with
+        | Some n -> !campaigns_done >= n
+        | None -> false
+      in
+      while not (finished ()) do
+        let busy =
+          Array.exists (fun w -> not (Worker.idle w)) workers
+        in
+        let fds =
+          listener
+          :: Hashtbl.fold (fun _ cl acc -> if cl.closed then acc else cl.fd :: acc)
+               clients []
+        in
+        let readable, _, _ =
+          (* Block only when the fleet is idle; otherwise poll so the
+             workers keep executing payloads between client bytes. *)
+          Unix.select fds [] [] (if busy then 0. else 0.05)
+        in
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              let cfd, _ = Unix.accept listener in
+              let id = !next_client in
+              incr next_client;
+              Hashtbl.replace clients id
+                { fd = cfd; id; buf = Buffer.create 256; closed = false }
+            end
+            else
+              Hashtbl.iter
+                (fun _ cl ->
+                  if cl.fd = fd && not cl.closed then begin
+                    let chunk = Bytes.create 65536 in
+                    let n =
+                      try Unix.read cl.fd chunk 0 65536
+                      with Unix.Unix_error _ -> 0
+                    in
+                    if n = 0 then cl.closed <- true
+                    else begin
+                      Buffer.add_subbytes cl.buf chunk 0 n;
+                      List.iter
+                        (fun msg ->
+                          dispatch (Hub.handle_client hub ~client:cl.id msg))
+                        (take_frames cl)
+                    end
+                  end)
+                clients)
+          readable;
+        Hashtbl.iter
+          (fun id cl ->
+            if cl.closed then begin
+              (try Unix.close cl.fd with Unix.Unix_error _ -> ());
+              Hashtbl.remove clients id
+            end)
+          clients;
+        (* One payload on the globally earliest worker per loop turn —
+           short enough to stay responsive to the socket. *)
+        let best = ref None in
+        Array.iteri
+          (fun i w ->
+            match Worker.next_cpu_s w with
+            | None -> ()
+            | Some v ->
+              (match !best with
+              | Some (_, bv) when bv <= v -> ()
+              | _ -> best := Some (i, v)))
+          workers;
+        match !best with
+        | None -> ()
+        | Some (i, _) ->
+          List.iter
+            (fun r -> dispatch (Hub.handle_farm hub ~farm:i r))
+            (Worker.step workers.(i))
+      done;
+      Ok ()
+    with
+    | Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "serve: %s: %s" fn (Unix.error_message err))
+  in
+  Hashtbl.iter (fun _ cl -> try Unix.close cl.fd with Unix.Unix_error _ -> ()) clients;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  result
+
+(* --- client side -------------------------------------------------------- *)
+
+let with_connection socket f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> f fd
+      | exception Unix.Unix_error (err, _, _) ->
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message err)))
+
+let write_frame fd msg =
+  let frame = Protocol.encode msg in
+  let n = Unix.write_substring fd frame 0 (String.length frame) in
+  if n <> String.length frame then Error "short write" else Ok ()
+
+let read_frame fd buf =
+  let rec go () =
+    let buffered = Buffer.contents buf in
+    match Protocol.frame_size buffered with
+    | Error e -> Error (Protocol.error_to_string e)
+    | Ok (Some size) when String.length buffered >= size ->
+      let frame = String.sub buffered 0 size in
+      Buffer.clear buf;
+      Buffer.add_substring buf buffered size (String.length buffered - size);
+      Result.map_error Protocol.error_to_string (Protocol.decode frame)
+    | Ok _ ->
+      let chunk = Bytes.create 65536 in
+      let n = Unix.read fd chunk 0 65536 in
+      if n = 0 then Error "connection closed by hub"
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      end
+  in
+  try go () with Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let submit ~socket config =
+  with_connection socket (fun fd ->
+      match write_frame fd (Protocol.Submit config) with
+      | Error e -> Error e
+      | Ok () ->
+        let buf = Buffer.create 256 in
+        let rec wait () =
+          match read_frame fd buf with
+          | Error e -> Error e
+          | Ok (Protocol.Reject { reason; _ }) -> Error reason
+          | Ok (Protocol.Accept _) -> wait ()
+          | Ok (Protocol.Campaign_done { digest; _ }) -> Ok digest
+          | Ok other ->
+            Error
+              (Printf.sprintf "unexpected reply %s" (Protocol.kind_name other))
+        in
+        wait ())
+
+let status ~socket =
+  with_connection socket (fun fd ->
+      match write_frame fd Protocol.Status_req with
+      | Error e -> Error e
+      | Ok () ->
+        let buf = Buffer.create 256 in
+        (match read_frame fd buf with
+        | Error e -> Error e
+        | Ok (Protocol.Status rows) -> Ok rows
+        | Ok other ->
+          Error (Printf.sprintf "unexpected reply %s" (Protocol.kind_name other))))

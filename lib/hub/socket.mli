@@ -1,0 +1,28 @@
+(** Socket transport for the hub: a Unix-domain-socket server for
+    clients, with the farms kept in-process.
+
+    The hub state machine and the workers are exactly {!Hub} and
+    {!Worker}; only client traffic crosses the socket (framed
+    {!Protocol} messages). One select loop multiplexes accepting
+    connections and reading submissions with stepping the fleet, one
+    payload on the globally earliest worker per turn, so campaigns keep
+    executing while clients come and go. *)
+
+val serve :
+  ?obs:Eof_obs.Obs.t ->
+  ?corpus_sync:bool ->
+  ?max_campaigns:int ->
+  socket:string ->
+  farms:int ->
+  resolve:(string -> (Worker.target, string) result) ->
+  unit ->
+  (unit, string) result
+(** Bind [socket] (an existing stale socket file is replaced), serve
+    until [max_campaigns] campaigns have completed ([None] = forever),
+    then clean up the socket file. *)
+
+val submit : socket:string -> Tenant.config -> (string, string) result
+(** Connect, submit, block until the campaign finishes; returns the
+    tenant's campaign digest, or the rejection/transport error. *)
+
+val status : socket:string -> (Protocol.status_row list, string) result

@@ -1,0 +1,31 @@
+(** Per-tenant campaign submissions.
+
+    A tenant is one user of the fleet: their submission names the OS
+    personality to fuzz, the seed, the budget, how many farms to shard
+    across and how many boards each farm runs — everything the hub needs
+    to plan the campaign (see {!Shard.plan}). *)
+
+type config = {
+  tenant : string;  (** 1-64 chars of [A-Za-z0-9_-] *)
+  os : string;  (** OS personality name, resolved by the hub *)
+  seed : int64;
+  iterations : int;  (** total payload budget across all farms *)
+  boards : int;  (** boards per farm *)
+  farms : int;  (** shard count: how many farms share the budget *)
+  sync_every : int;  (** farm epoch period (payloads) *)
+  backend : Eof_agent.Machine.backend;  (** execution backend per board *)
+}
+
+val default : config
+(** [default]: Zephyr, seed 1, 200 iterations, 1 farm of 1 board,
+    native backend. *)
+
+val validate : config -> (unit, string) result
+
+val to_string : config -> string
+
+val of_spec : string -> (config, string) result
+(** Parse the CLI's [key=value,key=value] submission syntax over
+    {!default} — keys: [name]/[tenant], [os], [seed], [iterations]/[n],
+    [boards], [farms], [sync]/[sync_every], [backend]. The result is
+    {!validate}d. *)

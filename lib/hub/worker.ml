@@ -1,0 +1,241 @@
+module Obs = Eof_obs.Obs
+module Bitset = Eof_util.Bitset
+module Wire = Eof_agent.Wire
+module Farm = Eof_core.Farm
+module Campaign = Eof_core.Campaign
+module Corpus = Eof_core.Corpus
+module Prog = Eof_core.Prog
+module Osbuild = Eof_os.Osbuild
+
+type target = {
+  mk_build : int -> Osbuild.t;
+  spec : Eof_spec.Ast.t;
+  table : Eof_rtos.Api.table;
+}
+
+type shard_state = {
+  assign : Shard.assignment;
+  target : target;
+  farm : Farm.t;
+  pushed : (string, unit) Hashtbl.t;
+      (** wire encodings already sent (or received) — push each program
+          at most once, never echo a transplant back *)
+  mutable crashes_seen : int;
+  mutable transplanted : int;
+  mutable finished : bool;
+}
+
+type t = {
+  id : int;
+  resolve : string -> (target, string) result;
+  obs : Obs.t;
+  mutable shards : shard_state list;  (** assignment order *)
+}
+
+let create ?obs ~id ~resolve () =
+  {
+    id;
+    resolve;
+    obs = (match obs with Some o -> o | None -> Obs.create ());
+    shards = [];
+  }
+
+let id t = t.id
+
+(* Programs cross the hub protocol in canonical little-endian wire form
+   regardless of the target's byte order — the hub is a host, not a
+   board. *)
+let wire_of_prog prog =
+  match Wire.encode ~endianness:Eof_hw.Arch.Little (Prog.to_wire prog) with
+  | Ok s -> Some s
+  | Error _ -> None
+
+let prog_of_wire target s =
+  match Wire.decode ~endianness:Eof_hw.Arch.Little s with
+  | Error _ -> None
+  | Ok wire ->
+    (match Prog.of_wire ~spec:target.spec ~table:target.table wire with
+     | Error _ -> None
+     | Ok prog -> Some prog)
+
+let assign t (a : Shard.assignment) =
+  let target =
+    match t.resolve a.Shard.os with
+    | Ok target -> target
+    | Error e ->
+      invalid_arg
+        (Printf.sprintf "worker %d: cannot resolve os %s: %s" t.id a.Shard.os e)
+  in
+  let base =
+    {
+      Campaign.default_config with
+      Campaign.seed = a.Shard.seed;
+      iterations = a.Shard.iterations;
+      backend = a.Shard.backend;
+    }
+  in
+  let config =
+    {
+      Farm.boards = a.Shard.boards;
+      sync_every = a.Shard.sync_every;
+      backend = Farm.Cooperative;
+      base;
+    }
+  in
+  let farm =
+    match Farm.init ~obs:(Obs.for_tenant t.obs a.Shard.tenant) config target.mk_build with
+    | Ok farm -> farm
+    | Error e ->
+      invalid_arg
+        (Printf.sprintf "worker %d: farm init failed: %s" t.id
+           (Eof_util.Eof_error.to_string e))
+  in
+  t.shards <-
+    t.shards
+    @ [ {
+          assign = a;
+          target;
+          farm;
+          pushed = Hashtbl.create 64;
+          crashes_seen = 0;
+          transplanted = 0;
+          finished = false;
+        };
+      ]
+
+(* Everything new since the last farm epoch, in a fixed order: corpus
+   programs, then crashes, then the heartbeat that timestamps them. *)
+let flush st =
+  let a = st.assign in
+  let campaign = a.Shard.campaign and shard = a.Shard.shard in
+  let fresh_progs =
+    List.filter_map
+      (fun prog ->
+        match wire_of_prog prog with
+        | None -> None
+        | Some s ->
+          if Hashtbl.mem st.pushed s then None
+          else begin
+            Hashtbl.replace st.pushed s ();
+            Some s
+          end)
+      (Corpus.progs (Farm.exchange_corpus st.farm))
+  in
+  let pushes =
+    if fresh_progs = [] then []
+    else [ Protocol.Corpus_push { campaign; shard; progs = fresh_progs } ]
+  in
+  let crashes = Farm.crashes_so_far st.farm in
+  let reports =
+    List.filteri (fun i _ -> i >= st.crashes_seen) crashes
+    |> List.map (fun crash -> Protocol.Crash_report { campaign; shard; crash })
+  in
+  st.crashes_seen <- List.length crashes;
+  let bitmap = Farm.coverage_bitmap st.farm in
+  let heartbeat =
+    Protocol.Heartbeat
+      {
+        campaign;
+        shard;
+        executed = Farm.executed_so_far st.farm;
+        coverage = Bitset.count bitmap;
+        edge_capacity = Bitset.capacity bitmap;
+        virtual_s = Farm.virtual_now st.farm;
+        bitmap = Bitset.to_bytes bitmap;
+      }
+  in
+  pushes @ reports @ [ heartbeat ]
+
+let shard_done st =
+  let a = st.assign in
+  let outcome = Farm.finish st.farm in
+  st.finished <- true;
+  flush st
+  @ [ Protocol.Shard_done
+        {
+          campaign = a.Shard.campaign;
+          shard = a.Shard.shard;
+          executed = outcome.Farm.executed_programs;
+          iterations = outcome.Farm.iterations_done;
+          crash_events = outcome.Farm.crash_events;
+          virtual_s = outcome.Farm.virtual_s;
+        };
+    ]
+
+let handle t msg =
+  match msg with
+  | Protocol.Shard_assign a ->
+    assign t a;
+    []
+  | Protocol.Corpus_pull { campaign; shard; progs } ->
+    (match
+       List.find_opt
+         (fun st ->
+           st.assign.Shard.campaign = campaign && st.assign.Shard.shard = shard)
+         t.shards
+     with
+    | None -> []
+    | Some st ->
+      if st.finished then []
+      else begin
+        let typed =
+          List.filter_map
+            (fun s ->
+              (* The hub now knows this encoding either way; never push
+                 a transplant straight back. *)
+              Hashtbl.replace st.pushed s ();
+              prog_of_wire st.target s)
+            progs
+        in
+        st.transplanted <- st.transplanted + Farm.adopt st.farm typed;
+        []
+      end)
+  | Protocol.Cancel { campaign } ->
+    List.concat_map
+      (fun st ->
+        if st.finished || st.assign.Shard.campaign <> campaign then []
+        else shard_done st)
+      t.shards
+  | other ->
+    invalid_arg
+      (Printf.sprintf "worker %d: unexpected message %s" t.id
+         (Protocol.kind_name other))
+
+let next_cpu_s t =
+  List.fold_left
+    (fun acc st ->
+      if st.finished then acc
+      else
+        match (Farm.next_cpu_s st.farm, acc) with
+        | None, _ -> acc
+        | Some v, None -> Some v
+        | Some v, Some a -> Some (Float.min v a))
+    None t.shards
+
+let idle t = List.for_all (fun st -> st.finished) t.shards
+
+let step t =
+  (* Advance the shard whose next board is earliest on its own clock —
+     the same min-CPU pick the farm applies one level down. *)
+  let best =
+    List.fold_left
+      (fun acc st ->
+        if st.finished then acc
+        else
+          match (Farm.next_cpu_s st.farm, acc) with
+          | None, _ -> acc
+          | Some v, Some (_, bv) when bv <= v -> acc
+          | Some v, _ -> Some (st, v))
+      None t.shards
+  in
+  match best with
+  | None -> []
+  | Some (st, _) ->
+    let syncs_before = Farm.syncs_so_far st.farm in
+    Farm.step st.farm;
+    if Farm.finished st.farm then shard_done st
+    else if Farm.syncs_so_far st.farm <> syncs_before then flush st
+    else []
+
+let transplanted t =
+  List.fold_left (fun acc st -> acc + st.transplanted) 0 t.shards

@@ -1,0 +1,52 @@
+(** A worker farm endpoint: drives the {!Eof_core.Farm}s assigned to one
+    farm slot and speaks {!Protocol} back to the hub.
+
+    Like the hub it is transport-agnostic and clock-free: {!handle}
+    consumes one decoded message, {!step} advances the earliest board of
+    the earliest shard by one payload, and both return the messages the
+    worker wants delivered to the hub. At every farm epoch boundary the
+    worker flushes what is new — freshly admitted exchange-corpus
+    programs ({!Protocol.t.Corpus_push}), newly deduplicated crashes
+    ({!Protocol.t.Crash_report}), and a coverage-bitmap heartbeat — and
+    on shard completion it finalises the farm and reports
+    {!Protocol.t.Shard_done}. *)
+
+type target = {
+  mk_build : int -> Eof_os.Osbuild.t;  (** per-board build, as {!Eof_core.Farm.init} *)
+  spec : Eof_spec.Ast.t;
+  table : Eof_rtos.Api.table;
+      (** personality surface, for rebinding transplanted wire programs *)
+}
+
+type t
+
+val create :
+  ?obs:Eof_obs.Obs.t ->
+  id:int ->
+  resolve:(string -> (target, string) result) ->
+  unit ->
+  t
+(** Farm telemetry is emitted on [Obs.for_tenant obs tenant] handles, so
+    every event the worker's farms produce carries its tenant. *)
+
+val id : t -> int
+
+val handle : t -> Protocol.t -> Protocol.t list
+(** Feed one hub → farm message ([Shard_assign], [Corpus_pull],
+    [Cancel]); other kinds raise [Invalid_argument]. Transplanted
+    programs are rebound through the shard's own personality and
+    admitted via {!Eof_core.Farm.adopt}. *)
+
+val step : t -> Protocol.t list
+(** Execute one payload on the shard whose next board is earliest on
+    its virtual clock; returns the epoch flush (or the final flush plus
+    [Shard_done]) when the step crossed a boundary, [[]] otherwise. *)
+
+val next_cpu_s : t -> float option
+(** Virtual time of this worker's earliest runnable board; [None] when
+    idle — the in-process driver's scheduling key. *)
+
+val idle : t -> bool
+
+val transplanted : t -> int
+(** Programs received by pull and actually admitted into shard corpora. *)

@@ -47,15 +47,36 @@ let synthesize ~table ~seed ?(payloads = []) () =
    the partition size with erased (0xFF) bytes, matching what a verify
    pass reads back from flash. *)
 let padded_blob (e : Partition.entry) blob =
-  if String.length blob >= e.size then String.sub blob 0 e.size
+  if String.length blob = e.size then blob
+  else if String.length blob > e.size then String.sub blob 0 e.size
   else blob ^ String.make (e.size - String.length blob) '\xFF'
 
-let manifest t =
+let compute_manifest t =
   List.map
     (fun (e : Partition.entry) ->
       let blob = List.assoc e.name t.blobs in
       (e.name, Eof_util.Crc32.digest_string (padded_blob e blob)))
     t.table
+
+(* Manifest CRCs walk every partition byte; with builds sharing one
+   synthesized image across a whole fleet (see Osbuild), cache them per
+   image identity so N boards pay the walk once. Keyed by physical
+   equality — the blobs are immutable strings, so an [==]-equal image
+   always has the same manifest. The mutex covers recovery-ladder
+   verifies racing from farm domains. *)
+let manifest_lock = Mutex.create ()
+
+let manifest_memo : (t * (string * int32) list) list ref = ref []
+
+let manifest t =
+  Mutex.protect manifest_lock (fun () ->
+      match List.assq_opt t !manifest_memo with
+      | Some m -> m
+      | None ->
+        let m = compute_manifest t in
+        if List.length !manifest_memo >= 16 then manifest_memo := [];
+        manifest_memo := (t, m) :: !manifest_memo;
+        m)
 
 let flash_all t flash =
   List.iter

@@ -117,7 +117,7 @@ end
 
 type sink = {
   min_level : Level.t;
-  write : t:float -> board:int option -> Event.t -> unit;
+  write : t:float -> board:int option -> tenant:string option -> Event.t -> unit;
 }
 
 (* The shared half of a bus: every handle derived with {!for_board}
@@ -131,18 +131,28 @@ type core = {
   lock : Mutex.t;
 }
 
-type t = { core : core; board : int option; mutable now : unit -> float }
+type t = {
+  core : core;
+  board : int option;
+  tenant : string option;
+  mutable now : unit -> float;
+}
 
 let create () =
   {
     core = { sinks = []; active = false; counters = Hashtbl.create 32; lock = Mutex.create () };
     board = None;
+    tenant = None;
     now = (fun () -> 0.);
   }
 
-let for_board t board = { core = t.core; board = Some board; now = t.now }
+let for_board t board = { t with board = Some board }
+
+let for_tenant t tenant = { t with tenant = Some tenant }
 
 let board t = t.board
+
+let tenant t = t.tenant
 
 let set_clock t now = t.now <- now
 
@@ -164,7 +174,7 @@ let emit t ev =
         List.iter
           (fun sink ->
             if Level.at_least ~min:sink.min_level (Event.level ev) then
-              sink.write ~t:time ~board:t.board ev)
+              sink.write ~t:time ~board:t.board ~tenant:t.tenant ev)
           t.core.sinks)
   end
 
@@ -236,9 +246,12 @@ let value_to_json = function
   | V_str s -> "\"" ^ json_escape s ^ "\""
   | V_bool b -> if b then "true" else "false"
 
-let event_to_json ~t ~board ev =
+let event_to_json ~t ~board ~tenant ev =
   let b = Buffer.create 128 in
   Buffer.add_string b (Printf.sprintf "{\"t\":%.6f" t);
+  (match tenant with
+   | Some name -> Buffer.add_string b (Printf.sprintf ",\"tenant\":\"%s\"" (json_escape name))
+   | None -> ());
   (match board with
    | Some i -> Buffer.add_string b (Printf.sprintf ",\"board\":%d" i)
    | None -> ());
@@ -254,8 +267,8 @@ let jsonl_sink ?(min_level = Level.Trace) oc =
   {
     min_level;
     write =
-      (fun ~t ~board ev ->
-        output_string oc (event_to_json ~t ~board ev);
+      (fun ~t ~board ~tenant ev ->
+        output_string oc (event_to_json ~t ~board ~tenant ev);
         output_char oc '\n');
   }
 
@@ -265,10 +278,13 @@ let value_to_text = function
   | V_str s -> s
   | V_bool b -> if b then "true" else "false"
 
-let render_console ~t ~board ev =
+let render_console ~t ~board ~tenant ev =
   let b = Buffer.create 96 in
   Buffer.add_string b
     (Printf.sprintf "eof[%-5s] %12.6f " (Level.to_string (Event.level ev)) t);
+  (match tenant with
+   | Some name -> Buffer.add_string b (name ^ " ")
+   | None -> ());
   (match board with
    | Some i -> Buffer.add_string b (Printf.sprintf "b%d " i)
    | None -> ());
@@ -289,15 +305,15 @@ let console_sink ?(min_level = Level.Info) ?(oc = stderr) () =
   {
     min_level;
     write =
-      (fun ~t ~board ev ->
-        output_string oc (render_console ~t ~board ev);
+      (fun ~t ~board ~tenant ev ->
+        output_string oc (render_console ~t ~board ~tenant ev);
         output_char oc '\n';
         flush oc);
   }
 
 let memory_sink ?(min_level = Level.Trace) () =
   let events = ref [] in
-  ( { min_level; write = (fun ~t ~board ev -> events := (t, board, ev) :: !events) },
+  ( { min_level; write = (fun ~t ~board ~tenant:_ ev -> events := (t, board, ev) :: !events) },
     fun () -> List.rev !events )
 
 let sink ?(min_level = Level.Trace) write = { min_level; write }

@@ -94,7 +94,15 @@ val for_board : t -> int -> t
     and counters with the parent but carries its own clock, so each
     board's events are timestamped by that board's virtual time. *)
 
+val for_tenant : t -> string -> t
+(** A handle that stamps every event with a tenant id — the hub derives
+    one per campaign so a shared fleet bus can be demultiplexed into
+    per-tenant traces. Shares sinks and counters with the parent;
+    composes with {!for_board} (tenant first, then board). *)
+
 val board : t -> int option
+
+val tenant : t -> string option
 
 val set_clock : t -> (unit -> float) -> unit
 (** Bind this handle's timestamp source (virtual seconds). The machine
@@ -165,8 +173,11 @@ val memory_sink :
   ?min_level:Level.t -> unit -> sink * (unit -> (float * int option * Event.t) list)
 (** For tests: the closure returns every event seen so far in order. *)
 
-val sink : ?min_level:Level.t -> (t:float -> board:int option -> Event.t -> unit) -> sink
+val sink :
+  ?min_level:Level.t ->
+  (t:float -> board:int option -> tenant:string option -> Event.t -> unit) ->
+  sink
 (** A custom sink from a bare function. *)
 
-val event_to_json : t:float -> board:int option -> Event.t -> string
+val event_to_json : t:float -> board:int option -> tenant:string option -> Event.t -> string
 (** The exact line {!jsonl_sink} writes (without the newline). *)

@@ -2,7 +2,13 @@
    exact flat-object grammar the jsonl sink writes (numbers, strings,
    booleans — no nesting), so the obs library needs no JSON dependency. *)
 
-type line = { t : float; board : int option; ev : string; fields : (string * Obs.value) list }
+type line = {
+  t : float;
+  board : int option;
+  tenant : string option;
+  ev : string;
+  fields : (string * Obs.value) list;
+}
 
 (* --- flat JSON object parsing ------------------------------------------ *)
 
@@ -135,6 +141,11 @@ let parse_line s =
       | Some (Obs.V_int i) -> Some i
       | _ -> None
     in
+    let tenant =
+      match List.assoc_opt "tenant" fields with
+      | Some (Obs.V_str s) -> Some s
+      | _ -> None
+    in
     let ev =
       match List.assoc_opt "ev" fields with Some (Obs.V_str s) -> s | _ -> ""
     in
@@ -144,9 +155,12 @@ let parse_line s =
         {
           t;
           board;
+          tenant;
           ev;
           fields =
-            List.filter (fun (k, _) -> k <> "t" && k <> "board" && k <> "ev") fields;
+            List.filter
+              (fun (k, _) -> k <> "t" && k <> "board" && k <> "tenant" && k <> "ev")
+              fields;
         }
 
 let parse_line s =

@@ -9,6 +9,7 @@
 type line = {
   t : float;  (** virtual timestamp (seconds) *)
   board : int option;
+  tenant : string option;  (** hub campaigns tag events per tenant *)
   ev : string;  (** event tag, e.g. ["exchange"], ["payload"] *)
   fields : (string * Obs.value) list;  (** remaining payload, in file order *)
 }

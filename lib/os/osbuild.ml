@@ -78,6 +78,53 @@ let heap_offset = 0x7000
 
 let round_up n quantum = (n + quantum - 1) / quantum * quantum
 
+(* The kernel blob and flash image are pure functions of the personality
+   identity, the instrumentation-inflated kernel size, the patch list and
+   the partition geometry — a farm building N identical boards should pay
+   the (hundreds-of-KB pseudo-random) synthesis once, not once per board.
+   [Image.t] is immutable and [Board.install] copies it into per-board
+   flash, so sharing one value across boards is sound; the mutex covers
+   fleet builds racing from multiple domains. *)
+let image_memo_lock = Stdlib.Mutex.create ()
+
+let image_memo : (string * string * int * int * int, Image.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let synthesize_image spec ~table ~kernel_bytes =
+  let key =
+    ( spec.os_name,
+      spec.version,
+      kernel_bytes,
+      Hashtbl.hash spec.kernel_patches,
+      Hashtbl.hash table )
+  in
+  Stdlib.Mutex.protect image_memo_lock (fun () ->
+      match Hashtbl.find_opt image_memo key with
+      | Some image -> image
+      | None ->
+        if Hashtbl.length image_memo >= 32 then Hashtbl.reset image_memo;
+        let kernel_seed =
+          Int64.of_int (Hashtbl.hash (spec.os_name, spec.version, kernel_bytes))
+        in
+        let kernel_blob =
+          let blob = Eof_util.Rng.bytes (Eof_util.Rng.create kernel_seed) kernel_bytes in
+          List.iter
+            (fun (off, data) ->
+              if off < 0 || off + String.length data > Bytes.length blob then
+                invalid_arg "Osbuild.make: kernel patch outside blob";
+              Bytes.blit_string data 0 blob off (String.length data))
+            spec.kernel_patches;
+          Bytes.unsafe_to_string blob
+        in
+        let image =
+          Image.synthesize ~table
+            ~seed:(Int64.of_int (Hashtbl.hash (spec.os_name, spec.version)))
+            ~payloads:[ ("kernel", kernel_blob) ]
+            ()
+        in
+        Hashtbl.replace image_memo key image;
+        image)
+
 let make ?(instrument = Instrument_full) ~board_profile spec =
   let board = Board.create board_profile in
   let profile = Board.profile board in
@@ -151,23 +198,7 @@ let make ?(instrument = Instrument_full) ~board_profile spec =
      invalid_arg
        (Printf.sprintf "Osbuild.make: %s image does not fit %s flash: %s" spec.os_name
           profile.Board.name e));
-  let kernel_seed = Int64.of_int (Hashtbl.hash (spec.os_name, spec.version, kernel_bytes)) in
-  let kernel_blob =
-    let blob = Eof_util.Rng.bytes (Eof_util.Rng.create kernel_seed) kernel_bytes in
-    List.iter
-      (fun (off, data) ->
-        if off < 0 || off + String.length data > Bytes.length blob then
-          invalid_arg "Osbuild.make: kernel patch outside blob";
-        Bytes.blit_string data 0 blob off (String.length data))
-      spec.kernel_patches;
-    Bytes.unsafe_to_string blob
-  in
-  let image =
-    Image.synthesize ~table
-      ~seed:(Int64.of_int (Hashtbl.hash (spec.os_name, spec.version)))
-      ~payloads:[ ("kernel", kernel_blob) ]
-      ()
-  in
+  let image = synthesize_image spec ~table ~kernel_bytes in
   Board.install board image;
   {
     spec;

@@ -84,6 +84,23 @@ let diff_new ~base ~candidate =
   iter (fun i -> if not (mem base i) then acc := i :: !acc) candidate;
   List.rev !acc
 
+let to_bytes t = Bytes.to_string t.bits
+
+let of_bytes ~capacity s =
+  if capacity < 0 then invalid_arg "Bitset.of_bytes";
+  if String.length s <> (capacity + 7) / 8 then
+    invalid_arg "Bitset.of_bytes: length does not match capacity";
+  let bits = Bytes.of_string s in
+  (* Mask stray bits past [capacity] in the last byte so [count] stays
+     consistent with what [mem]/[iter] can observe. *)
+  (if capacity land 7 <> 0 && Bytes.length bits > 0 then
+     let last = Bytes.length bits - 1 in
+     let mask = (1 lsl (capacity land 7)) - 1 in
+     Bytes.set bits last (Char.chr (Char.code (Bytes.get bits last) land mask)));
+  let count = ref 0 in
+  Bytes.iter (fun c -> count := !count + popcount_byte c) bits;
+  { bits; capacity; count = !count }
+
 let to_list t =
   let acc = ref [] in
   iter (fun i -> acc := i :: !acc) t;

@@ -39,4 +39,14 @@ val diff_new : base:t -> candidate:t -> int list
 val iter : (int -> unit) -> t -> unit
 (** Iterate set bits in ascending order. *)
 
+val to_bytes : t -> string
+(** The raw backing bytes ([(capacity + 7) / 8] of them), for wire
+    transfer. Little-endian bit order within each byte (bit [i] lives at
+    byte [i / 8], mask [1 lsl (i mod 7)]). *)
+
+val of_bytes : capacity:int -> string -> t
+(** Rebuild a set from {!to_bytes} output. Raises [Invalid_argument] if
+    the string length does not match the capacity; stray bits past
+    [capacity] in the final byte are masked off. *)
+
 val to_list : t -> int list

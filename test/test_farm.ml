@@ -190,8 +190,8 @@ let test_cooperative_trace_deterministic () =
     let buf = Buffer.create 4096 in
     let bus = Obs.create () in
     Obs.add_sink bus
-      (Obs.sink (fun ~t ~board ev ->
-           Buffer.add_string buf (Obs.event_to_json ~t ~board ev);
+      (Obs.sink (fun ~t ~board ~tenant ev ->
+           Buffer.add_string buf (Obs.event_to_json ~t ~board ~tenant ev);
            Buffer.add_char buf '\n'));
     let config =
       {

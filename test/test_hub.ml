@@ -1,0 +1,346 @@
+module Protocol = Eof_hub.Protocol
+module Tenant = Eof_hub.Tenant
+module Shard = Eof_hub.Shard
+module Hub = Eof_hub.Hub
+module Worker = Eof_hub.Worker
+module Inproc = Eof_hub.Inproc
+module Crash = Eof_core.Crash
+module Targets = Eof_expt.Targets
+module Crc32 = Eof_util.Crc32
+
+let resolve os =
+  match Targets.find os with
+  | None -> Error (Printf.sprintf "unknown OS %s" os)
+  | Some target ->
+    let build = Targets.build_hw target in
+    let table = Eof_os.Osbuild.api_signatures build in
+    (match Eof_spec.Synth.validated_of_api table with
+    | Error e -> Error e
+    | Ok spec ->
+      Ok { Worker.mk_build = (fun _ -> Targets.build_hw target); spec; table })
+
+let hub_resolve os =
+  Result.map
+    (fun (t : Worker.target) -> { Hub.spec = t.Worker.spec; table = t.Worker.table })
+    (resolve os)
+
+let sample_crash ?(operation = "k_sem_take") ?(os = "Zephyr") () =
+  {
+    Crash.os;
+    kind = Crash.Kernel_panic;
+    operation;
+    scope = "kernel/sync";
+    message = "boom at 0xdeadbeef";
+    backtrace = [ "k_sem_take"; "z_impl_k_sem_take"; "arch_irq_unlock" ];
+    detected_by = Crash.Log_monitor;
+    program = "0: k_sem_take(r0, 100)";
+    iteration = 42;
+  }
+
+let sample_tenant =
+  {
+    Tenant.default with
+    Tenant.tenant = "alice";
+    os = "Zephyr";
+    seed = 7L;
+    iterations = 40;
+    farms = 2;
+  }
+
+(* --- codec: every message kind round-trips ------------------------------ *)
+
+let every_kind =
+  [
+    Protocol.Submit sample_tenant;
+    Protocol.Accept { campaign = 3; tenant = "alice" };
+    Protocol.Reject { tenant = "bob"; reason = "tenant already has a campaign" };
+    Protocol.Shard_assign
+      {
+        Shard.campaign = 3;
+        tenant = "alice";
+        os = "Zephyr";
+        shard = 1;
+        shards = 2;
+        seed = 0x1234_5678_9ABC_DEF0L;
+        iterations = 21;
+        boards = 2;
+        sync_every = 25;
+        backend = Eof_agent.Machine.Native;
+      };
+    Protocol.Corpus_push
+      { campaign = 3; shard = 0; progs = [ "\x00\x01\xffwire"; "" ] };
+    Protocol.Corpus_pull { campaign = 3; shard = 1; progs = [ "seed\x00binary" ] };
+    Protocol.Crash_report { campaign = 3; shard = 1; crash = sample_crash () };
+    Protocol.Heartbeat
+      {
+        campaign = 3;
+        shard = 0;
+        executed = 120;
+        coverage = 77;
+        edge_capacity = 512;
+        virtual_s = 1.625;
+        bitmap = "\x00\xff\x80\x01";
+      };
+    Protocol.Status_req;
+    Protocol.Status
+      [
+        {
+          Protocol.campaign = 3;
+          tenant = "alice";
+          os = "Zephyr";
+          finished = false;
+          shards = 2;
+          shards_done = 1;
+          executed = 120;
+          coverage = 77;
+          crashes = 2;
+        };
+      ];
+    Protocol.Cancel { campaign = 3 };
+    Protocol.Shard_done
+      {
+        campaign = 3;
+        shard = 1;
+        executed = 21;
+        iterations = 21;
+        crash_events = 4;
+        virtual_s = 2.5;
+      };
+    Protocol.Campaign_done
+      { campaign = 3; tenant = "alice"; digest = "digest tenant alice crc=0" };
+  ]
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun msg ->
+      match Protocol.decode (Protocol.encode msg) with
+      | Ok decoded ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s round-trips" (Protocol.kind_name msg))
+          true (decoded = msg)
+      | Error e ->
+        Alcotest.fail
+          (Printf.sprintf "%s: %s" (Protocol.kind_name msg)
+             (Protocol.error_to_string e)))
+    every_kind
+
+let check_error name expected = function
+  | Error e when e = expected -> ()
+  | Error e ->
+    Alcotest.fail (Printf.sprintf "%s: got %s" name (Protocol.error_to_string e))
+  | Ok _ -> Alcotest.fail (Printf.sprintf "%s: decoded a corrupt frame" name)
+
+let test_codec_rejections () =
+  let frame = Protocol.encode (Protocol.Accept { campaign = 9; tenant = "alice" }) in
+  (* every strict prefix is Truncated, never a parse *)
+  for n = 0 to String.length frame - 1 do
+    check_error
+      (Printf.sprintf "prefix of %d bytes" n)
+      Protocol.Truncated
+      (Protocol.decode (String.sub frame 0 n))
+  done;
+  (* flip one payload byte: CRC catches it *)
+  let corrupt = Bytes.of_string frame in
+  Bytes.set corrupt Protocol.header_bytes
+    (Char.chr (Char.code (Bytes.get corrupt Protocol.header_bytes) lxor 0x40));
+  check_error "payload bit flip" Protocol.Bad_crc
+    (Protocol.decode (Bytes.to_string corrupt));
+  (* wrong magic *)
+  let bad_magic = Bytes.of_string frame in
+  Bytes.set bad_magic 0 'X';
+  check_error "bad magic" Protocol.Bad_magic
+    (Protocol.decode (Bytes.to_string bad_magic));
+  (* trailing bytes are an error, not ignored *)
+  (match Protocol.decode (frame ^ "\x00") with
+  | Error (Protocol.Malformed _) -> ()
+  | _ -> Alcotest.fail "trailing byte accepted");
+  (* future version: patch the version field and re-sign the frame, so
+     only the version check can object *)
+  let future = Bytes.of_string frame in
+  Bytes.set future 4 '\x02';
+  let crc =
+    Crc32.digest_string (Bytes.sub_string future 4 (Bytes.length future - 8))
+  in
+  Bytes.set_int32_le future (Bytes.length future - 4) crc;
+  check_error "future version" (Protocol.Bad_version 2)
+    (Protocol.decode (Bytes.to_string future))
+
+let test_frame_size () =
+  let frame = Protocol.encode Protocol.Status_req in
+  Alcotest.(check bool) "short prefix: unknown" true
+    (Protocol.frame_size (String.sub frame 0 4) = Ok None);
+  Alcotest.(check bool) "full header: size known" true
+    (Protocol.frame_size frame = Ok (Some (String.length frame)))
+
+(* --- tenant spec parsing ------------------------------------------------ *)
+
+let test_tenant_spec () =
+  (match Tenant.of_spec "name=alice,os=Zephyr,seed=7,iterations=400,farms=2" with
+  | Ok c ->
+    Alcotest.(check string) "name" "alice" c.Tenant.tenant;
+    Alcotest.(check int) "farms" 2 c.Tenant.farms;
+    Alcotest.(check int) "iterations" 400 c.Tenant.iterations
+  | Error e -> Alcotest.fail e);
+  (match Tenant.of_spec "name=bad name" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "space in tenant name accepted");
+  (match Tenant.of_spec "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non key=value accepted")
+
+(* --- sharding ----------------------------------------------------------- *)
+
+let test_shard_plan () =
+  let plan =
+    Shard.plan ~campaign:5 { sample_tenant with Tenant.iterations = 41; farms = 3 }
+  in
+  Alcotest.(check int) "one assignment per farm" 3 (List.length plan);
+  Alcotest.(check int) "budget preserved" 41
+    (List.fold_left (fun acc (a : Shard.assignment) -> acc + a.Shard.iterations) 0 plan);
+  let a0 = List.nth plan 0 in
+  Alcotest.(check bool) "shard 0 keeps the tenant seed" true
+    (a0.Shard.seed = sample_tenant.Tenant.seed);
+  let seeds = List.map (fun (a : Shard.assignment) -> a.Shard.seed) plan in
+  Alcotest.(check int) "derived seeds distinct" 3
+    (List.length (List.sort_uniq compare seeds))
+
+(* --- global crash dedup ------------------------------------------------- *)
+
+let submit_ok hub ~client config =
+  let actions = Hub.handle_client hub ~client (Protocol.Submit config) in
+  match
+    List.find_map
+      (function
+        | Hub.To_client (_, Protocol.Accept { campaign; _ }) -> Some campaign
+        | Hub.To_client (_, Protocol.Reject { reason; _ }) -> Alcotest.fail reason
+        | _ -> None)
+      actions
+  with
+  | Some id -> id
+  | None -> Alcotest.fail "no Accept for submission"
+
+let test_global_crash_dedup () =
+  let hub = Hub.create ~farms:2 ~resolve:hub_resolve () in
+  let alice = submit_ok hub ~client:0 { sample_tenant with Tenant.farms = 2 } in
+  let crash = sample_crash () in
+  (* the same bug reported by both farms of alice's campaign *)
+  ignore
+    (Hub.handle_farm hub ~farm:0
+       (Protocol.Crash_report { campaign = alice; shard = 0; crash }));
+  ignore
+    (Hub.handle_farm hub ~farm:1
+       (Protocol.Crash_report { campaign = alice; shard = 1; crash }));
+  Alcotest.(check int) "two farms, one fleet entry" 1 (Hub.crashes_deduped hub);
+  (* a different bug is a different entry *)
+  ignore
+    (Hub.handle_farm hub ~farm:0
+       (Protocol.Crash_report
+          { campaign = alice; shard = 0; crash = sample_crash ~operation:"k_mutex_lock" () }));
+  Alcotest.(check int) "distinct bug counted" 2 (Hub.crashes_deduped hub);
+  (* a second tenant hitting the first bug: still one entry, both
+     tenants attributed, and each tenant's own crash list keeps it *)
+  let bob =
+    submit_ok hub ~client:1
+      { sample_tenant with Tenant.tenant = "bob"; farms = 1; seed = 11L }
+  in
+  ignore
+    (Hub.handle_farm hub ~farm:0
+       (Protocol.Crash_report { campaign = bob; shard = 0; crash }));
+  Alcotest.(check int) "second tenant, same bug, same entry" 2
+    (Hub.crashes_deduped hub);
+  (match Hub.fleet_crashes hub with
+  | (first, tenants) :: _ ->
+    Alcotest.(check string) "entry keeps the first record" crash.Crash.operation
+      first.Crash.operation;
+    Alcotest.(check (list string)) "attribution order" [ "alice"; "bob" ] tenants
+  | [] -> Alcotest.fail "fleet crash set empty");
+  let crashes_of name =
+    List.find_map
+      (fun (r : Protocol.status_row) ->
+        if r.Protocol.tenant = name then Some r.Protocol.crashes else None)
+      (Hub.status hub)
+  in
+  Alcotest.(check (option int)) "alice sees both bugs" (Some 2) (crashes_of "alice");
+  Alcotest.(check (option int)) "bob sees his one" (Some 1) (crashes_of "bob")
+
+(* --- the deterministic fleet soak --------------------------------------- *)
+
+let fleet_tenants =
+  [
+    { sample_tenant with Tenant.iterations = 120; farms = 2 };
+    {
+      sample_tenant with
+      Tenant.tenant = "bob";
+      os = "FreeRTOS";
+      seed = 11L;
+      iterations = 120;
+      farms = 2;
+    };
+  ]
+
+let run_fleet () =
+  match Inproc.run ~farms:2 fleet_tenants ~resolve with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+let test_inproc_deterministic () =
+  let a = run_fleet () and b = run_fleet () in
+  Alcotest.(check string) "fleet digest byte-identical" a.Inproc.fleet_digest
+    b.Inproc.fleet_digest;
+  Alcotest.(check string) "summaries byte-identical" (Inproc.summary a)
+    (Inproc.summary b);
+  List.iter2
+    (fun (x : Inproc.tenant_result) (y : Inproc.tenant_result) ->
+      Alcotest.(check string)
+        (Printf.sprintf "tenant %s digest" x.Inproc.tenant)
+        x.Inproc.digest y.Inproc.digest)
+    a.Inproc.tenants b.Inproc.tenants
+
+let test_inproc_fleet_results () =
+  let o = run_fleet () in
+  Alcotest.(check int) "both tenants finished" 2 (List.length o.Inproc.tenants);
+  Alcotest.(check int) "full budget executed" 240 o.Inproc.payloads;
+  Alcotest.(check bool) "corpus sync transplanted at least one seed" true
+    (o.Inproc.transplants >= 1);
+  List.iter
+    (fun (r : Inproc.tenant_result) ->
+      Alcotest.(check int)
+        (Printf.sprintf "tenant %s executed its slice" r.Inproc.tenant)
+        120 r.Inproc.executed;
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %s found coverage" r.Inproc.tenant)
+        true
+        (r.Inproc.coverage > 0))
+    o.Inproc.tenants;
+  (* the fleet set can never exceed the sum of per-tenant sets, and
+     with sync on, sibling shards of one tenant overlap heavily *)
+  let tenant_sum =
+    List.fold_left (fun acc (r : Inproc.tenant_result) -> acc + r.Inproc.crashes) 0
+      o.Inproc.tenants
+  in
+  Alcotest.(check bool) "fleet dedup is global" true
+    (o.Inproc.crashes_deduped <= tenant_sum)
+
+let test_corpus_sync_off () =
+  match
+    Inproc.run ~farms:2 ~corpus_sync:false fleet_tenants ~resolve
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check int) "no transplants without sync" 0 o.Inproc.transplants;
+    Alcotest.(check int) "budget still executed" 240 o.Inproc.payloads
+
+let suite =
+  [
+    Alcotest.test_case "codec round-trips every kind" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec rejects corrupt frames" `Quick test_codec_rejections;
+    Alcotest.test_case "frame size detection" `Quick test_frame_size;
+    Alcotest.test_case "tenant spec parsing" `Quick test_tenant_spec;
+    Alcotest.test_case "shard planning" `Quick test_shard_plan;
+    Alcotest.test_case "global crash dedup with attribution" `Quick
+      test_global_crash_dedup;
+    Alcotest.test_case "inproc fleet is deterministic" `Quick
+      test_inproc_deterministic;
+    Alcotest.test_case "inproc fleet results" `Quick test_inproc_fleet_results;
+    Alcotest.test_case "corpus sync off" `Quick test_corpus_sync_off;
+  ]

@@ -16,5 +16,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("baselines", Test_baselines.suite);
       ("expt", Test_expt.suite);
+      ("hub", Test_hub.suite);
       ("bugs", Test_bugs.suite);
     ]

@@ -26,14 +26,15 @@ let test_levels () =
 
 (* --- json writer <-> trace parser roundtrip ------------------------------ *)
 
-let roundtrip ?board ev =
-  let line = Obs.event_to_json ~t:1.25 ~board ev in
+let roundtrip ?board ?tenant ev =
+  let line = Obs.event_to_json ~t:1.25 ~board ~tenant ev in
   match Trace.parse_line line with
   | Error e -> Alcotest.fail (Printf.sprintf "unparseable %S: %s" line e)
   | Ok parsed ->
     Alcotest.(check string) "tag" (Obs.Event.name ev) parsed.Trace.ev;
     Alcotest.(check (float 1e-9)) "timestamp" 1.25 parsed.Trace.t;
     Alcotest.(check bool) "board" true (parsed.Trace.board = board);
+    Alcotest.(check bool) "tenant" true (parsed.Trace.tenant = tenant);
     parsed
 
 let test_json_roundtrip () =
@@ -112,7 +113,7 @@ let test_sinks_and_boards () =
   Alcotest.(check bool) "active" true (Obs.active bus);
   let warn_only = ref 0 in
   Obs.add_sink bus
-    (Obs.sink ~min_level:Obs.Level.Warn (fun ~t:_ ~board:_ _ -> incr warn_only));
+    (Obs.sink ~min_level:Obs.Level.Warn (fun ~t:_ ~board:_ ~tenant:_ _ -> incr warn_only));
   let b1 = Obs.for_board bus 1 in
   Obs.emit bus (Obs.Event.Batch { ops = 4 });  (* Trace level *)
   Obs.emit b1 (Obs.Event.Crash_found { kind = "Hang"; operation = "op" });  (* Warn *)
