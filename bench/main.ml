@@ -496,6 +496,138 @@ let run_native_comparison () =
     digest_identical;
   }
 
+(* --- copy-on-write snapshots --------------------------------------------- *)
+
+type snapshot_stats = {
+  snap_total_pages : int;
+  snap_reflash_virtual_s : float;
+  snap_points : (float * int * float) list;
+      (** dirty fraction of RAM, pages actually copied, restore virtual s *)
+  snap_speedup_at_10pct : float;
+  snap_ladder_pps : float;
+  snap_fresh_pps : float;
+  snap_fresh_overhead : float;
+  snap_digest_identical : bool;  (** ladder vs snapshot policy, fault-free *)
+}
+
+(* Restore cost must scale with pages written since the save, not with
+   partition size: the full reflash pays O(image) link traffic every
+   time, the snapshot restore pays one QSnapshot exchange plus
+   O(dirty pages) of copy-back cycles. *)
+let run_snapshot () =
+  section "Copy-on-write snapshots: O(dirty pages) restore vs full reflash";
+  let build =
+    Eof_os.Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Eof_os.Zephyr.spec
+  in
+  let machine =
+    match Eof_agent.Machine.create build with
+    | Ok m -> m
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+  in
+  let profile = Eof_hw.Board.profile (Eof_os.Osbuild.board build) in
+  let image = Eof_os.Osbuild.image build in
+  let virtual_s () = Eof_agent.Machine.virtual_elapsed_s machine in
+  (* Baseline: the partition-by-partition reflash, measured before any
+     snapshot exists so nothing can shortcut it. *)
+  let t0 = virtual_s () in
+  (match
+     Eof_core.Liveness.restore_partitions machine
+       ~flash_base:profile.Eof_hw.Board.flash_base ~image
+       ~table:image.Eof_hw.Image.table
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Eof_util.Eof_error.to_string e));
+  let reflash_virtual_s = virtual_s () -. t0 in
+  let total_pages =
+    match Eof_agent.Machine.snapshot_save machine with
+    | Ok pages -> pages
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+  in
+  let ram_pages = profile.Eof_hw.Board.ram_size / Eof_hw.Memory.page_size in
+  let point fraction =
+    let k = max 1 (int_of_float (fraction *. float_of_int ram_pages)) in
+    for p = 0 to k - 1 do
+      match
+        Eof_agent.Machine.write_u32 machine
+          ~addr:(profile.Eof_hw.Board.ram_base + (p * Eof_hw.Memory.page_size))
+          0xD1D1D1D1l
+      with
+      | Ok () -> ()
+      | Error e -> failwith (Eof_util.Eof_error.to_string e)
+    done;
+    let t0 = virtual_s () in
+    match Eof_agent.Machine.snapshot_restore machine with
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+    | Ok dirty -> (fraction, dirty, virtual_s () -. t0)
+  in
+  let points = List.map point [ 0.01; 0.05; 0.10; 0.25; 0.50 ] in
+  print_endline
+    (Text_table.render
+       ~align:Text_table.[ Right; Right; Right; Right ]
+       ~header:[ "dirty frac"; "pages copied"; "restore virtual us"; "vs reflash" ]
+       (List.map
+          (fun (f, dirty, s) ->
+            [ Printf.sprintf "%.0f%%" (100. *. f);
+              string_of_int dirty;
+              Printf.sprintf "%.1f" (1e6 *. s);
+              Printf.sprintf "%.0fx" (reflash_virtual_s /. Float.max 1e-9 s) ])
+          points));
+  let restore_at_10pct =
+    match List.find_opt (fun (f, _, _) -> f = 0.10) points with
+    | Some (_, _, s) -> s
+    | None -> infinity
+  in
+  let speedup_at_10pct = reflash_virtual_s /. Float.max 1e-9 restore_at_10pct in
+  Printf.printf
+    "[full reflash %.1f virtual us; snapshot restore at 10%% dirty: %.1fx cheaper%s]\n"
+    (1e6 *. reflash_virtual_s) speedup_at_10pct
+    (if speedup_at_10pct >= 5. then "" else " — BELOW the 5x target");
+  (* Fresh-state-per-program costs one restore + reboot per payload;
+     what it buys is no cross-payload state leakage. And on a fault-free
+     link the snapshot policy must change nothing observable. *)
+  let iterations = Runner.scaled 400 in
+  Printf.printf "[Zephyr campaign, seed 11, %d payloads, ladder vs fresh-per-program...]\n%!"
+    iterations;
+  let mk_build () =
+    Eof_os.Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Eof_os.Zephyr.spec
+  in
+  let campaign reset_policy =
+    match
+      Eof_core.Campaign.run
+        { Eof_core.Campaign.default_config with iterations; seed = 11L; reset_policy }
+        (mk_build ())
+    with
+    | Ok o -> o
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+  in
+  let ladder_o = campaign Eof_core.Campaign.Ladder in
+  let snapshot_o = campaign Eof_core.Campaign.Snapshot in
+  let fresh_o = campaign Eof_core.Campaign.Fresh_per_program in
+  let digest_identical =
+    String.equal
+      (Eof_core.Report.campaign_digest ladder_o)
+      (Eof_core.Report.campaign_digest snapshot_o)
+  in
+  let pps (o : Eof_core.Campaign.outcome) =
+    float_of_int o.Eof_core.Campaign.executed_programs
+    /. Float.max 1e-9 o.Eof_core.Campaign.virtual_s
+  in
+  let ladder_pps = pps ladder_o and fresh_pps = pps fresh_o in
+  Printf.printf
+    "[ladder %.0f payloads/virtual-s, fresh-per-program %.0f (%.2fx the virtual cost); ladder/snapshot digests %s]\n"
+    ladder_pps fresh_pps (ladder_pps /. Float.max 1e-9 fresh_pps)
+    (if digest_identical then "identical" else "DIVERGED (bug!)");
+  {
+    snap_total_pages = total_pages;
+    snap_reflash_virtual_s = reflash_virtual_s;
+    snap_points = points;
+    snap_speedup_at_10pct = speedup_at_10pct;
+    snap_ladder_pps = ladder_pps;
+    snap_fresh_pps = fresh_pps;
+    snap_fresh_overhead = ladder_pps /. Float.max 1e-9 fresh_pps;
+    snap_digest_identical = digest_identical;
+  }
+
 (* --- fleet hub ----------------------------------------------------------- *)
 
 type hub_stats = {
@@ -596,7 +728,7 @@ let json_escape s =
 
 (* Every section is optional: a failed stage becomes a JSON null, never
    a missing BENCH.json. *)
-let write_bench_json ~micro ~link ~scaling ~resilience ~native ~hub path =
+let write_bench_json ~micro ~link ~scaling ~resilience ~native ~snapshot ~hub path =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n  \"micro_ns_per_run\": ";
   (match micro with
@@ -742,6 +874,36 @@ let write_bench_json ~micro ~link ~scaling ~resilience ~native ~hub path =
          (r.inert_wall_s /. Float.max 1e-9 r.clean_wall_s)
          r.rate0_identical);
     Buffer.add_string b "  }");
+  Buffer.add_string b ",\n  \"snapshot\": ";
+  (match snapshot with
+  | None -> Buffer.add_string b "null"
+  | Some s ->
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"total_pages\": %d,\n    \"full_reflash_virtual_s\": %.6f,\n"
+         s.snap_total_pages s.snap_reflash_virtual_s);
+    Buffer.add_string b "    \"restore\": [\n";
+    let n = List.length s.snap_points in
+    List.iteri
+      (fun i (fraction, dirty, virtual_s) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "      { \"dirty_fraction\": %.2f, \"pages_copied\": %d, \"virtual_s\": %.6f }%s\n"
+             fraction dirty virtual_s
+             (if i < n - 1 then "," else "")))
+      s.snap_points;
+    Buffer.add_string b "    ],\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"speedup_at_10pct_dirty\": %.1f,\n"
+         s.snap_speedup_at_10pct);
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"fresh_per_program\": { \"ladder_pps\": %.1f, \"fresh_pps\": %.1f, \"overhead_ratio\": %.2f },\n"
+         s.snap_ladder_pps s.snap_fresh_pps s.snap_fresh_overhead);
+    Buffer.add_string b
+      (Printf.sprintf "    \"digest_identical\": %b\n" s.snap_digest_identical);
+    Buffer.add_string b "  }");
   Buffer.add_string b ",\n  \"hub\": ";
   (match hub with
   | None -> Buffer.add_string b "null"
@@ -787,6 +949,8 @@ let () =
   let link = guarded "debug-link" run_link_comparison in
   let resilience = guarded "resilience" run_resilience in
   let native = guarded "native-backend" run_native_comparison in
+  let snapshot = guarded "snapshot" run_snapshot in
   let hub = guarded "hub-fleet" run_hub_fleet in
   let micro = guarded "micro-benchmark" run_micro in
-  write_bench_json ~micro ~link ~scaling ~resilience ~native ~hub "BENCH.json"
+  write_bench_json ~micro ~link ~scaling ~resilience ~native ~snapshot ~hub
+    "BENCH.json"

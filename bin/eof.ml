@@ -56,18 +56,23 @@ let console_level_of_string s =
 
 let fuzz os seed iterations boards sync_every exec_backend farm_backend digest
     no_feedback no_dep no_watchdog irq verbose crash_dir save_corpus load_corpus
-    log_level trace_file fault_rate fault_seed =
+    log_level trace_file fault_rate fault_seed reset_policy =
   match
     (target_of os, Eof_core.Farm.backend_of_name farm_backend,
-     console_level_of_string log_level, exec_mode_of_name exec_backend)
+     console_level_of_string log_level, exec_mode_of_name exec_backend,
+     Campaign.reset_policy_of_name reset_policy)
   with
-  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+  | Error e, _, _, _, _
+  | _, Error e, _, _, _
+  | _, _, Error e, _, _
+  | _, _, _, Error e, _
+  | _, _, _, _, Error e ->
     prerr_endline e;
     1
   | _ when not (fault_rate >= 0. && fault_rate <= 1.) ->
     prerr_endline "eof fuzz: --fault-rate must be within [0, 1]";
     1
-  | Ok target, Ok backend, Ok console_level, Ok exec_mode ->
+  | Ok target, Ok backend, Ok console_level, Ok exec_mode, Ok reset_policy ->
     let obs = Obs.create () in
     (match console_level with
      | Some min_level -> Obs.add_sink obs (Obs.console_sink ~min_level ())
@@ -136,6 +141,7 @@ let fuzz os seed iterations boards sync_every exec_backend farm_backend digest
         initial_seeds;
         fault_rate;
         fault_seed = Int64.of_int fault_seed;
+        reset_policy;
       }
     in
     if fault_rate > 0. then
@@ -321,13 +327,24 @@ let fuzz_cmd =
          & info [ "fault-seed" ] ~docv:"SEED"
              ~doc:"Seed for the fault injector's private RNG. Same seed, same rate, same command: same faults, same recoveries, same digest and trace. Each farm board derives its own independent schedule from $(docv).")
   in
+  let reset_policy =
+    Arg.(value & opt string "ladder"
+         & info [ "reset-policy" ] ~docv:"POLICY"
+             ~doc:"How the target gets back to pristine state: $(b,ladder) reflashes \
+                   every partition from the golden image (the original escalation \
+                   ladder), $(b,snapshot) arms a copy-on-write snapshot at install so \
+                   the reflash rung restores only dirty pages, \
+                   $(b,fresh-per-program) additionally rewinds to the pristine \
+                   snapshot before every payload. Campaign outcomes are identical \
+                   between $(b,ladder) and $(b,snapshot) on a fault-free link.")
+  in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run an EOF campaign against a simulated board")
     Term.(
       const fuzz $ os_arg $ seed_arg $ iterations_arg $ boards $ sync_every
       $ exec_backend $ farm_backend $ digest $ no_feedback $ no_dep $ no_watchdog
       $ irq $ verbose $ crash_dir $ save_corpus $ load_corpus $ log_level $ trace
-      $ fault_rate $ fault_seed)
+      $ fault_rate $ fault_seed $ reset_policy)
 
 (* --- eof trace ---------------------------------------------------------- *)
 
@@ -564,7 +581,8 @@ let serve_cmd =
          & info [ "tenant" ] ~docv:"SPEC"
              ~doc:"Submit a tenant campaign (repeatable, --inproc mode): comma-separated \
                    $(b,key=value) pairs over defaults — keys $(b,name), $(b,os), $(b,seed), \
-                   $(b,iterations), $(b,boards), $(b,farms), $(b,sync), $(b,backend). \
+                   $(b,iterations), $(b,boards), $(b,farms), $(b,sync), $(b,backend), \
+                   $(b,reset). \
                    Example: $(b,name=alice,os=Zephyr,seed=7,iterations=400,farms=2).")
   in
   let trace_dir =

@@ -37,6 +37,8 @@ type link_state = {
 
 type native_state = {
   continue_quantum : int;
+  (* In-process twin of the stub's board-side snapshot slot. *)
+  mutable n_snapshot : Snapshot.t option;
   n_obs : Obs.t;
   c_stops : Obs.Counter.t;
   c_drains : Obs.Counter.t;
@@ -52,6 +54,10 @@ type t = {
   board : Board.t;
   engine : Eof_exec.Engine.t;
   impl : impl;
+  (* Host-side knowledge that a pristine snapshot is in place (stub-side
+     on the link backend, in-process on native): gates the O(dirty pages)
+     fast path in Liveness.restore. *)
+  mutable snapshot_armed : bool;
 }
 
 let make_engine build =
@@ -77,7 +83,9 @@ let create ?obs ?(continue_quantum = 200_000) ?transport ?inject build =
    | None -> ());
   match Eof_debug.Session.connect ?obs ~transport ~server () with
   | Ok session ->
-    let t = { build; board; engine; impl = L { server; transport; session } } in
+    let t =
+      { build; board; engine; impl = L { server; transport; session }; snapshot_armed = false }
+    in
     (* Timestamps on this machine's bus handle come from its own virtual
        clock, never the host wall clock — the trace-determinism
        guarantee hangs on this binding. *)
@@ -105,10 +113,12 @@ let create_native ?obs ?(continue_quantum = 200_000) build =
       build;
       board;
       engine;
+      snapshot_armed = false;
       impl =
         N
           {
             continue_quantum;
+            n_snapshot = None;
             n_obs;
             c_stops = Obs.Counter.make n_obs "native.stops";
             c_drains = Obs.Counter.make n_obs "native.drains";
@@ -405,3 +415,50 @@ let flash_done t =
   | N n ->
     observe_flash n ~op:"done" ~addr:0 ~len:0;
     Ok ()
+
+(* --- copy-on-write snapshots ------------------------------------------- *)
+
+(* Both backends charge the save/restore cost model to the board clock
+   (see Snapshot), so CPU-time digests stay backend-invariant; the link
+   backend additionally pays one small exchange of transport time. *)
+
+let has_snapshot t = t.snapshot_armed
+
+let snapshot_save t =
+  let result =
+    match t.impl with
+    | L l -> Session.snapshot_save l.session
+    | N n ->
+      let snap = Board.snapshot t.board in
+      n.n_snapshot <- Some snap;
+      Ok (Snapshot.pages snap)
+  in
+  match result with
+  | Ok pages ->
+    t.snapshot_armed <- true;
+    let bus = obs t in
+    Obs.Counter.incr (Obs.Counter.make bus "snapshot.saves");
+    if Obs.active bus then Obs.emit bus (Obs.Event.Snapshot_save { pages });
+    Ok pages
+  | Error _ as e -> e
+
+let snapshot_restore t =
+  let result =
+    match t.impl with
+    | L l -> Session.snapshot_restore l.session
+    | N n ->
+      (match n.n_snapshot with
+       | None ->
+         Error
+           (Eof_error.with_context "snapshot restore"
+              (Eof_error.config "no snapshot saved on this machine"))
+       | Some snap -> Ok (Board.restore_snapshot t.board snap))
+  in
+  match result with
+  | Ok dirty ->
+    let bus = obs t in
+    Obs.Counter.incr (Obs.Counter.make bus "snapshot.restores");
+    Obs.Counter.add (Obs.Counter.make bus "snapshot.pages_copied") dirty;
+    if Obs.active bus then Obs.emit bus (Obs.Event.Snapshot_restore { dirty });
+    Ok dirty
+  | Error _ as e -> e

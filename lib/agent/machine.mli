@@ -204,3 +204,26 @@ val flash_erase : t -> addr:int -> len:int -> (unit, Eof_util.Eof_error.t) resul
 val flash_write : t -> addr:int -> string -> (unit, Eof_util.Eof_error.t) result
 
 val flash_done : t -> (unit, Eof_util.Eof_error.t) result
+
+(** {2 Copy-on-write snapshots}
+
+    The O(dirty pages) alternative to partition reflash. Link: the
+    [QSnapshot] RSP extension, with the saved pages held stub-side.
+    Native: a {!Eof_hw.Snapshot} held in-process. Both charge the same
+    save/restore cost model to the board clock, so CPU-time digests
+    stay backend-invariant. *)
+
+val has_snapshot : t -> bool
+(** A successful {!snapshot_save} happened on this machine — the signal
+    {!Eof_core.Liveness.restore} uses to take the snapshot fast path. *)
+
+val snapshot_save : t -> (int, Eof_util.Eof_error.t) result
+(** Capture a pristine snapshot of RAM + flash; returns the device
+    pages covered. Emits [Snapshot_save] and bumps [snapshot.saves].
+    Take it right after install, before the target runs. *)
+
+val snapshot_restore : t -> (int, Eof_util.Eof_error.t) result
+(** Copy back only pages written since the save (or previous restore);
+    returns the pages copied. Emits [Snapshot_restore] and bumps
+    [snapshot.restores] / [snapshot.pages_copied]. Callers follow with
+    {!reset_target}, exactly like the reflash path. *)

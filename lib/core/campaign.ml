@@ -10,6 +10,33 @@ module Sancov = Eof_cov.Sancov
 module Obs = Eof_obs.Obs
 module Eof_error = Eof_util.Eof_error
 
+(* How the campaign gets the target back to a known-good state.
+   [Ladder]: the original escalation ladder only — no snapshot is ever
+   armed, so the reflash rung rewrites every partition from the golden
+   image. [Snapshot]: arm a pristine copy-on-write snapshot right after
+   install; the ladder's reflash rung then restores O(dirty pages)
+   instead of O(image). [Fresh_per_program]: additionally rewind to the
+   pristine snapshot before {e every} payload, so no target-side state
+   leaks between programs (host-side feedback and corpus persist — that
+   is the point of the host keeping them). *)
+type reset_policy = Ladder | Snapshot | Fresh_per_program
+
+let reset_policy_name = function
+  | Ladder -> "ladder"
+  | Snapshot -> "snapshot"
+  | Fresh_per_program -> "fresh-per-program"
+
+let reset_policy_of_name s =
+  match String.lowercase_ascii s with
+  | "ladder" -> Ok Ladder
+  | "snapshot" -> Ok Snapshot
+  | "fresh-per-program" | "fresh" -> Ok Fresh_per_program
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown reset policy %S (expected ladder|snapshot|fresh-per-program)"
+         other)
+
 type config = {
   seed : int64;
   iterations : int;
@@ -28,6 +55,7 @@ type config = {
   fault_rate : float;
   fault_seed : int64;
   backend : Machine.backend;
+  reset_policy : reset_policy;
 }
 
 let default_config =
@@ -49,6 +77,7 @@ let default_config =
     fault_rate = 0.;
     fault_seed = 0xFA0175EEDL;
     backend = Machine.Link;
+    reset_policy = Ladder;
   }
 
 type sample = { iteration : int; virtual_s : float; coverage : int }
@@ -956,6 +985,18 @@ let init ?machine ?obs config build =
        let* () = arm st.syms.Osbuild.sym_loop_back in
        let* () = arm st.syms.Osbuild.sym_buf_full in
        let* () = arm st.syms.Osbuild.sym_handle_exception in
+       (* Snapshot policies capture the pristine state now — after
+          install and breakpoint arming, before the target ever runs —
+          so every later restore (ladder rung 3, or each payload under
+          fresh-per-program) rewinds to exactly this point. *)
+       let* () =
+         match config.reset_policy with
+         | Ladder -> Ok ()
+         | Snapshot | Fresh_per_program ->
+           Result.map_error
+             (Eof_error.with_context "arm pristine snapshot")
+             (Result.map ignore (Machine.snapshot_save machine))
+       in
        (* Replay loaded seeds so they re-enter the corpus with their
           coverage credited. *)
        List.iter
@@ -983,8 +1024,21 @@ let step st =
     let config = st.config in
     try
       st.iteration <- st.iteration + 1;
-      if config.reboot_every > 0 && st.iteration mod config.reboot_every = 0 then
-        ignore (reboot st : (unit, Eof_error.t) result);
+      (match config.reset_policy with
+       | Fresh_per_program ->
+         (* Every payload starts from the pristine snapshot: rewind the
+            dirty pages, then reboot (which also discards the host's
+            pending accumulators, exactly as a ladder reboot does). A
+            failed restore is a failed iteration, not a crash — the
+            ladder still guards actual link trouble. *)
+         (match Machine.snapshot_restore st.machine with
+          | Ok (_dirty : int) ->
+            ignore (reboot st : (unit, Eof_error.t) result)
+          | Error e ->
+            note_failure st (Eof_error.with_context "fresh-per-program restore" e))
+       | Ladder | Snapshot ->
+         if config.reboot_every > 0 && st.iteration mod config.reboot_every = 0
+         then ignore (reboot st : (unit, Eof_error.t) result));
       (match goto_ready st ~budget:50 with
        | Error e -> note_failure st e
        | Ok () ->

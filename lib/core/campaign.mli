@@ -13,6 +13,28 @@ open Eof_os
     resource-dependency-aware generation (ablation A2),
     [stall_watchdog:false] disables the PC-stall watchdog (A1). *)
 
+(** How the campaign returns the target to a known-good state. *)
+type reset_policy =
+  | Ladder
+      (** the original escalation ladder only; the reflash rung rewrites
+          every partition from the golden image (no snapshot is armed) *)
+  | Snapshot
+      (** arm a pristine copy-on-write snapshot right after install; the
+          ladder's reflash rung then restores O(dirty pages) instead of
+          O(image size). Identical campaign outcomes to [Ladder] on a
+          fault-free link — only recovery cost changes. *)
+  | Fresh_per_program
+      (** additionally rewind to the pristine snapshot before {e every}
+          payload: no target-side state (heap, kernel tables, leaked
+          objects) survives between programs. Host-side feedback and
+          corpus persist. *)
+
+val reset_policy_name : reset_policy -> string
+
+val reset_policy_of_name : string -> (reset_policy, string) result
+(** ["ladder"], ["snapshot"], ["fresh-per-program"] (or ["fresh"]),
+    case-insensitive. *)
+
 type config = {
   seed : int64;
   iterations : int;  (** payload budget *)
@@ -74,6 +96,11 @@ type config = {
           since link faults cannot exist without a link. Only used when
           {!init} creates the machine; a supplied machine's own backend
           wins. *)
+  reset_policy : reset_policy;
+      (** how the target gets back to pristine state (default
+          [Ladder]). The snapshot policies capture the pristine image
+          during {!init}, right after install — before the target ever
+          runs. *)
 }
 
 val default_config : config

@@ -128,7 +128,22 @@ let restore ?obs machine ~build =
   let image = Osbuild.image build in
   let flash_base = (Board.profile (Osbuild.board build)).Board.flash_base in
   let obs = match obs with Some o -> o | None -> Machine.obs machine in
-  match restore_partitions ~obs machine ~flash_base ~image ~table:image.Image.table with
+  let restored =
+    if Machine.has_snapshot machine then
+      (* O(dirty pages) fast path: a pristine snapshot is armed (see
+         Campaign's snapshot reset policies), so one QSnapshot restore
+         replaces the whole partition rewrite. Reported partition count
+         stays the table length — the same state is made pristine. *)
+      Result.map_error
+        (Eof_error.with_context
+           (Printf.sprintf "snapshot restore of %d partition(s)"
+              (List.length image.Image.table)))
+        (Result.map
+           (fun (_dirty : int) -> List.length image.Image.table)
+           (Machine.snapshot_restore machine))
+    else restore_partitions ~obs machine ~flash_base ~image ~table:image.Image.table
+  in
+  match restored with
   | Error _ as e -> e
   | Ok count ->
     let* () =

@@ -73,11 +73,15 @@ val restore_partitions :
 val restore :
   ?obs:Eof_obs.Obs.t ->
   Eof_agent.Machine.t -> build:Osbuild.t -> (int, error) result
-(** StateRestoration(): reflash each partition and reboot; returns the
-    number of partitions written. The post-reboot settling delay is
-    charged to the link (link backend only — native pays nothing).
-    Emits [Reflash_partition] events and a final [Restore_done]. When
-    [obs] is omitted the machine's own bus is used. *)
+(** StateRestoration(): make every partition pristine and reboot;
+    returns the number of partitions restored. When the machine has an
+    armed snapshot ({!Eof_agent.Machine.has_snapshot}), one
+    O(dirty pages) snapshot restore replaces the partition-by-partition
+    reflash — same end state, a fraction of the link traffic; otherwise
+    each partition is rewritten from the golden image. Emits
+    [Reflash_partition] events (full path) or a [Snapshot_restore]
+    (fast path) and a final [Restore_done]. When [obs] is omitted the
+    machine's own bus is used. *)
 
 val reboot_only : Eof_agent.Machine.t -> (unit, error) result
 (** A plain reset, for degraded states with an intact image. *)

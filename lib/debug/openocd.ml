@@ -10,6 +10,9 @@ type t = {
   reg_dump_words : int;
   mutable last_stop : Rsp.reply;
   mutable packets_served : int;
+  (* Board-side snapshot served by the QSnapshot extension; the host only
+     ever holds a handle, the saved pages stay on this side of the link. *)
+  mutable snapshot : Snapshot.t option;
 }
 
 let create ?(continue_quantum = 200_000) ~board ~engine () =
@@ -23,6 +26,7 @@ let create ?(continue_quantum = 200_000) ~board ~engine () =
     reg_dump_words = max arch.Arch.register_count (arch.Arch.pc_register + 1);
     last_stop = Rsp.Stop { signal = 5; pc = Engine.pc engine; detail = "initial" };
     packets_served = 0;
+    snapshot = None;
   }
 
 let board t = t.board
@@ -137,7 +141,7 @@ let execute_batch_op t (op : Rsp.batch_op) : Rsp.batch_reply =
 let execute t (cmd : Rsp.command) : Rsp.reply =
   match cmd with
   | Rsp.Q_supported _ ->
-    Rsp.Supported "PacketSize=4000;swbreak+;vFlashErase+;qRcmd+;vBatch+;X+"
+    Rsp.Supported "PacketSize=4000;swbreak+;vFlashErase+;qRcmd+;vBatch+;X+;QSnapshot+"
   | Rsp.Read_mem { addr; len } ->
     (match Board.read_mem t.board ~addr ~len with
      | Ok data -> Rsp.Hex_data data
@@ -179,6 +183,16 @@ let execute t (cmd : Rsp.command) : Rsp.reply =
        and execution continues, so the client always gets positionally
        matched sub-replies. *)
     Rsp.Raw ("b" ^ Rsp.render_batch_replies (List.map (execute_batch_op t) ops))
+  | Rsp.Snapshot_save ->
+    let snap = Board.snapshot t.board in
+    t.snapshot <- Some snap;
+    Rsp.Raw (Printf.sprintf "S%x" (Snapshot.pages snap))
+  | Rsp.Snapshot_restore ->
+    (match t.snapshot with
+     | None -> Rsp.Error_reply 0x23 (* restore before save *)
+     | Some snap ->
+       let dirty = Board.restore_snapshot t.board snap in
+       Rsp.Raw (Printf.sprintf "S%x" dirty))
   | Rsp.Kill ->
     do_reset t;
     Rsp.Ok_reply

@@ -144,6 +144,8 @@ type command =
   | Monitor of string
   | Kill
   | Batch of batch_op list
+  | Snapshot_save
+  | Snapshot_restore
 
 let parse_hex_int s =
   if s = "" then Error "empty hex number"
@@ -371,6 +373,14 @@ let parse_command payload =
     | 'z' ->
       let* addr = parse_breakpoint rest in
       Ok (Remove_breakpoint addr)
+    | 'Q' ->
+      (* QSnapshot extension: the stub holds one board-side snapshot.
+         "save" captures it; "restore" copies dirty pages back. Replies
+         are "S<hex>" — pages covered for save, pages copied for
+         restore — so the host can account restore cost. *)
+      if payload = "QSnapshot:save" then Ok Snapshot_save
+      else if payload = "QSnapshot:restore" then Ok Snapshot_restore
+      else Error (Printf.sprintf "unsupported set packet %S" payload)
     | 'c' when payload = "c" -> Ok Continue
     | 's' when payload = "s" -> Ok Step
     | 'g' when payload = "g" -> Ok Read_registers
@@ -417,6 +427,8 @@ let render_command = function
   | Flash_done -> "vFlashDone"
   | Monitor cmd -> "qRcmd," ^ Hex.encode cmd
   | Batch ops -> "vBatch:" ^ render_batch_ops ops
+  | Snapshot_save -> "QSnapshot:save"
+  | Snapshot_restore -> "QSnapshot:restore"
 
 type stop_info = { signal : int; pc : int; detail : string }
 

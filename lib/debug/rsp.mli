@@ -99,6 +99,12 @@ type command =
   | Monitor of string  (** qRcmd, decoded from hex *)
   | Kill
   | Batch of batch_op list  (** [vBatch:] multi-operation exchange *)
+  | Snapshot_save
+      (** [QSnapshot:save] — capture a board-side copy-on-write
+          snapshot; reply is [S<hex pages covered>] *)
+  | Snapshot_restore
+      (** [QSnapshot:restore] — copy dirty pages back from the saved
+          snapshot; reply is [S<hex pages copied>] *)
 
 val parse_command : string -> (command, Eof_util.Eof_error.t) result
 (** Parse an unescaped packet payload. *)

@@ -248,6 +248,36 @@ let flash_done t =
   observe_flash t ~op:"done" ~addr:0 ~len:0;
   expect_ok t (Rsp.render_command Rsp.Flash_done)
 
+(* QSnapshot replies are "S<hex>" — the page count the stub acted on.
+   Distinct from plain hex data so a desynced reply can't be mistaken
+   for a count. *)
+let parse_snapshot_reply reply =
+  match reply with
+  | Rsp.Raw s when String.length s >= 2 && s.[0] = 'S' ->
+    (match int_of_string_opt ("0x" ^ String.sub s 1 (String.length s - 1)) with
+     | Some n when n >= 0 -> Ok n
+     | _ -> Error (Eof_error.protocol (Printf.sprintf "bad QSnapshot reply %S" s)))
+  | Rsp.Raw "" -> Error (Eof_error.protocol "stub does not support QSnapshot")
+  | Rsp.Error_reply n -> Error (Eof_error.remote n)
+  | _ -> Error (Eof_error.protocol "unexpected QSnapshot reply")
+
+let supports_snapshot t = has_feature t "QSnapshot+"
+
+let snapshot_save t =
+  if not (supports_snapshot t) then
+    Error (Eof_error.with_context "snapshot save" (Eof_error.protocol "QSnapshot not negotiated"))
+  else
+    let* reply = request t (Rsp.render_command Rsp.Snapshot_save) in
+    Result.map_error (Eof_error.with_context "snapshot save") (parse_snapshot_reply reply)
+
+let snapshot_restore t =
+  if not (supports_snapshot t) then
+    Error
+      (Eof_error.with_context "snapshot restore" (Eof_error.protocol "QSnapshot not negotiated"))
+  else
+    let* reply = request t (Rsp.render_command Rsp.Snapshot_restore) in
+    Result.map_error (Eof_error.with_context "snapshot restore") (parse_snapshot_reply reply)
+
 let monitor t cmd =
   let* reply = request t (Rsp.render_command (Rsp.Monitor cmd)) in
   match reply with

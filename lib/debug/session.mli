@@ -91,6 +91,20 @@ val flash_write : t -> addr:int -> string -> (unit, error) result
 
 val flash_done : t -> (unit, error) result
 
+val supports_snapshot : t -> bool
+(** Whether the connected stub advertised [QSnapshot+]. *)
+
+val snapshot_save : t -> (int, error) result
+(** Ask the stub to capture a board-side copy-on-write snapshot; returns
+    the number of device pages it covers. The saved pages never cross
+    the link — the host keeps only the right to ask for a restore. *)
+
+val snapshot_restore : t -> (int, error) result
+(** Copy pages written since the save (or the previous restore) back
+    from the stub-side snapshot; returns the number of pages copied —
+    the O(dirty pages) alternative to a full partition reflash. Fails
+    with [Remote 0x23] if no snapshot was saved. *)
+
 val monitor : t -> string -> (string, error) result
 (** [qRcmd]; returns the decoded text reply. *)
 

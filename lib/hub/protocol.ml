@@ -1,12 +1,14 @@
 module Machine = Eof_agent.Machine
 module Crash = Eof_core.Crash
+module Campaign = Eof_core.Campaign
 
 (* "EOFH" read as a big-endian word; the frame itself is little-endian
    throughout — this is a host-to-host protocol, there is no target
    byte order to match (contrast {!Eof_agent.Wire}). *)
 let magic = 0x454F4648l
 
-let version = 1
+(* v2: tenant configs and shard assignments carry a reset-policy byte. *)
+let version = 2
 
 let header_bytes = 12 (* magic u32, version u16, kind u8, reserved u8, payload_len u32 *)
 
@@ -132,6 +134,11 @@ let put_list b f xs =
 
 let put_backend b = function Machine.Link -> put_u8 b 0 | Machine.Native -> put_u8 b 1
 
+let put_reset_policy b = function
+  | Campaign.Ladder -> put_u8 b 0
+  | Campaign.Snapshot -> put_u8 b 1
+  | Campaign.Fresh_per_program -> put_u8 b 2
+
 let crash_kind_code = function
   | Crash.Kernel_panic -> 0
   | Crash.Kernel_assertion -> 1
@@ -202,6 +209,13 @@ let backend c =
   | 1 -> Machine.Native
   | n -> raise (Fail (Printf.sprintf "bad backend code %d" n))
 
+let reset_policy c =
+  match u8 c with
+  | 0 -> Campaign.Ladder
+  | 1 -> Campaign.Snapshot
+  | 2 -> Campaign.Fresh_per_program
+  | n -> raise (Fail (Printf.sprintf "bad reset policy code %d" n))
+
 let crash_kind c =
   match u8 c with
   | 0 -> Crash.Kernel_panic
@@ -229,7 +243,8 @@ let put_tenant_config b (c : Tenant.config) =
   put_u16 b c.Tenant.boards;
   put_u16 b c.Tenant.farms;
   put_u32 b c.Tenant.sync_every;
-  put_backend b c.Tenant.backend
+  put_backend b c.Tenant.backend;
+  put_reset_policy b c.Tenant.reset_policy
 
 let tenant_config c =
   let tenant = str c in
@@ -240,7 +255,9 @@ let tenant_config c =
   let farms = u16 c in
   let sync_every = u32 c in
   let backend = backend c in
-  { Tenant.tenant; os; seed; iterations; boards; farms; sync_every; backend }
+  let reset_policy = reset_policy c in
+  { Tenant.tenant; os; seed; iterations; boards; farms; sync_every; backend;
+    reset_policy }
 
 let put_assignment b (a : Shard.assignment) =
   put_u32 b a.Shard.campaign;
@@ -252,7 +269,8 @@ let put_assignment b (a : Shard.assignment) =
   put_u32 b a.Shard.iterations;
   put_u16 b a.Shard.boards;
   put_u32 b a.Shard.sync_every;
-  put_backend b a.Shard.backend
+  put_backend b a.Shard.backend;
+  put_reset_policy b a.Shard.reset_policy
 
 let assignment c =
   let campaign = u32 c in
@@ -265,8 +283,9 @@ let assignment c =
   let boards = u16 c in
   let sync_every = u32 c in
   let backend = backend c in
+  let reset_policy = reset_policy c in
   { Shard.campaign; tenant; os; shard; shards; seed; iterations; boards;
-    sync_every; backend }
+    sync_every; backend; reset_policy }
 
 let put_crash b (cr : Crash.t) =
   put_str b cr.Crash.os;

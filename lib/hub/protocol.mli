@@ -91,3 +91,8 @@ val frame_size : string -> (int option, error) result
     frame size [n] is known, [Error Bad_magic] on a bad sentinel. *)
 
 val header_bytes : int
+
+val version : int
+(** Current wire version (v2 added the reset-policy byte to tenant
+    configs and shard assignments). Decoding any other version is
+    [Bad_version]. *)

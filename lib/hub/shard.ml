@@ -11,6 +11,7 @@ type assignment = {
   boards : int;
   sync_every : int;
   backend : Eof_agent.Machine.backend;
+  reset_policy : Eof_core.Campaign.reset_policy;
 }
 
 (* Shard 0 keeps the tenant's seed (a one-farm campaign is exactly the
@@ -42,4 +43,5 @@ let plan ~campaign (c : Tenant.config) =
         boards = c.Tenant.boards;
         sync_every = c.Tenant.sync_every;
         backend = c.Tenant.backend;
+        reset_policy = c.Tenant.reset_policy;
       })

@@ -18,6 +18,7 @@ type assignment = {
   boards : int;
   sync_every : int;
   backend : Eof_agent.Machine.backend;
+  reset_policy : Eof_core.Campaign.reset_policy;
 }
 
 val shard_seed : int64 -> int -> int64

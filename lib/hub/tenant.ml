@@ -7,6 +7,7 @@ type config = {
   farms : int;
   sync_every : int;
   backend : Eof_agent.Machine.backend;
+  reset_policy : Eof_core.Campaign.reset_policy;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     farms = 1;
     sync_every = 25;
     backend = Eof_agent.Machine.Native;
+    reset_policy = Eof_core.Campaign.Ladder;
   }
 
 let tenant_ok name =
@@ -44,9 +46,11 @@ let validate c =
   else Ok ()
 
 let to_string c =
-  Printf.sprintf "%s: os=%s seed=%Ld iterations=%d farms=%d boards=%d backend=%s"
+  Printf.sprintf
+    "%s: os=%s seed=%Ld iterations=%d farms=%d boards=%d backend=%s reset=%s"
     c.tenant c.os c.seed c.iterations c.farms c.boards
     (Eof_agent.Machine.backend_name c.backend)
+    (Eof_core.Campaign.reset_policy_name c.reset_policy)
 
 (* key=value[,key=value...] — the CLI's compact one-flag-per-tenant
    submission syntax. *)
@@ -82,6 +86,10 @@ let of_spec s =
             Result.map
               (fun backend -> { c with backend })
               (Eof_agent.Machine.backend_of_name v)
+          | "reset" | "reset_policy" ->
+            Result.map
+              (fun reset_policy -> { c with reset_policy })
+              (Eof_core.Campaign.reset_policy_of_name v)
           | k -> Error (Printf.sprintf "tenant spec: unknown key %S" k)))
   in
   match List.fold_left parse_kv (Ok default) (String.split_on_char ',' s) with

@@ -14,6 +14,8 @@ type config = {
   farms : int;  (** shard count: how many farms share the budget *)
   sync_every : int;  (** farm epoch period (payloads) *)
   backend : Eof_agent.Machine.backend;  (** execution backend per board *)
+  reset_policy : Eof_core.Campaign.reset_policy;
+      (** board reset policy for every farm in this campaign *)
 }
 
 val default : config
@@ -27,5 +29,5 @@ val to_string : config -> string
 val of_spec : string -> (config, string) result
 (** Parse the CLI's [key=value,key=value] submission syntax over
     {!default} — keys: [name]/[tenant], [os], [seed], [iterations]/[n],
-    [boards], [farms], [sync]/[sync_every], [backend]. The result is
-    {!validate}d. *)
+    [boards], [farms], [sync]/[sync_every], [backend],
+    [reset]/[reset_policy]. The result is {!validate}d. *)

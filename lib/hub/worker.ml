@@ -72,6 +72,7 @@ let assign t (a : Shard.assignment) =
       Campaign.seed = a.Shard.seed;
       iterations = a.Shard.iterations;
       backend = a.Shard.backend;
+      reset_policy = a.Shard.reset_policy;
     }
   in
   let config =

@@ -84,6 +84,10 @@ let reflash_partition t image name =
        t.manifest <- (name, crc) :: List.remove_assoc name t.manifest;
        Ok ())
 
+let snapshot t = Snapshot.capture ~ram:t.ram ~flash:t.flash ~clock:t.clock
+
+let restore_snapshot t s = Snapshot.restore s ~clock:t.clock
+
 let reset t =
   Memory.clear t.ram;
   Uart.reset t.uart;

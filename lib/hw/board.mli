@@ -59,6 +59,17 @@ val reflash_partition : t -> Image.t -> string -> (unit, string) result
 (** Rewrite one partition from a (golden) image and refresh its manifest
     entry. *)
 
+val snapshot : t -> Snapshot.t
+(** Capture a copy-on-write snapshot of RAM and flash, charging the
+    board clock the save cost. Take it right after {!install} so the
+    saved state is the pristine image; the partition table and manifest
+    are not part of the snapshot. *)
+
+val restore_snapshot : t -> Snapshot.t -> int
+(** Copy back only the pages written since the capture (or the previous
+    restore) and charge the clock per dirty page; returns the pages
+    copied. Callers follow with {!reset}, exactly like a reflash. *)
+
 val reset : t -> unit
 (** Power-cycle: clear RAM and the UART. Flash persists, and the clock
     keeps counting (it is the simulation's monotonic time base). *)

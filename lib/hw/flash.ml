@@ -38,10 +38,17 @@ let program t ~addr data =
   let len = String.length data in
   if not (Memory.in_range t.mem ~addr ~len) then
     Fault.bus ~address:addr "flash program outside device";
-  for i = 0 to len - 1 do
-    let old = Memory.read_u8 t.mem (addr + i) in
-    Memory.write_u8 t.mem (addr + i) (old land Char.code data.[i])
-  done
+  if len > 0 then begin
+    (* Bulk path: one read, the AND-combine on a local buffer, one write —
+       the bus sees two block transactions instead of 2*len byte ones, and
+       dirty pages are stamped once per block. *)
+    let cur = Memory.read_bytes t.mem ~addr ~len in
+    for i = 0 to len - 1 do
+      Bytes.unsafe_set cur i
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get cur i) land Char.code (String.unsafe_get data i)))
+    done;
+    Memory.write_bytes t.mem ~addr cur
+  end
 
 let write_image t ~addr data =
   erase_range t ~addr ~len:(String.length data);

@@ -1,15 +1,60 @@
-type t = { base : int; data : Bytes.t; endianness : Arch.endianness }
+(* Pages are the dirty-tracking granule for copy-on-write snapshots: every
+   mutator stamps the touched pages with the region's current generation,
+   and snapshot restore copies back only pages stamped after the capture
+   generation. 256 bytes keeps the stamp arrays small while still giving
+   16 granules per 4 KiB flash sector. *)
+let page_size = 256
+
+let page_shift = 8
+
+type t = {
+  base : int;
+  data : Bytes.t;
+  endianness : Arch.endianness;
+  stamps : int array;
+  (* Per-page "may hold a nonzero byte" map. Lets [clear] zero only pages
+     that were actually written since the last clear, making power-on RAM
+     resets O(dirty pages) instead of O(region size). *)
+  nz : Bytes.t;
+  mutable generation : int;
+}
+
+let pages_of_size size = (size + page_size - 1) / page_size
 
 let create ~base ~size ~endianness =
   if size <= 0 then invalid_arg "Memory.create: size";
   if base < 0 then invalid_arg "Memory.create: base";
-  { base; data = Bytes.make size '\000'; endianness }
+  let n_pages = pages_of_size size in
+  {
+    base;
+    data = Bytes.make size '\000';
+    endianness;
+    stamps = Array.make n_pages 0;
+    nz = Bytes.make n_pages '\000';
+    generation = 1;
+  }
 
 let base t = t.base
 
 let size t = Bytes.length t.data
 
 let endianness t = t.endianness
+
+let page_count t = Array.length t.stamps
+
+let generation t = t.generation
+
+let touch t off =
+  let p = off lsr page_shift in
+  Array.unsafe_set t.stamps p t.generation;
+  Bytes.unsafe_set t.nz p '\001'
+
+let touch_range t off len =
+  if len > 0 then
+    for p = off lsr page_shift to (off + len - 1) lsr page_shift do
+      Array.unsafe_set t.stamps p t.generation;
+      Bytes.unsafe_set t.nz p '\001'
+    done
 
 let in_range t ~addr ~len =
   len >= 0 && addr >= t.base && addr + len <= t.base + Bytes.length t.data
@@ -26,7 +71,9 @@ let read_u8 t addr =
 
 let write_u8 t addr v =
   check t addr 1;
-  Bytes.unsafe_set t.data (addr - t.base) (Char.unsafe_chr (v land 0xFF))
+  let off = addr - t.base in
+  touch t off;
+  Bytes.unsafe_set t.data off (Char.unsafe_chr (v land 0xFF))
 
 let read_u16 t addr =
   check t addr 2;
@@ -40,6 +87,7 @@ let read_u16 t addr =
 let write_u16 t addr v =
   check t addr 2;
   let off = addr - t.base in
+  touch_range t off 2;
   let lo = v land 0xFF and hi = (v lsr 8) land 0xFF in
   match t.endianness with
   | Arch.Little ->
@@ -59,6 +107,7 @@ let read_u32 t addr =
 let write_u32 t addr v =
   check t addr 4;
   let off = addr - t.base in
+  touch_range t off 4;
   match t.endianness with
   | Arch.Little -> Bytes.set_int32_le t.data off v
   | Arch.Big -> Bytes.set_int32_be t.data off v
@@ -69,7 +118,9 @@ let read_bytes t ~addr ~len =
 
 let write_bytes t ~addr b =
   check t addr (Bytes.length b);
-  Bytes.blit b 0 t.data (addr - t.base) (Bytes.length b)
+  let off = addr - t.base in
+  touch_range t off (Bytes.length b);
+  Bytes.blit b 0 t.data off (Bytes.length b)
 
 let blit_to t ~addr ~dst ~dst_pos ~len =
   check t addr len;
@@ -77,8 +128,54 @@ let blit_to t ~addr ~dst ~dst_pos ~len =
 
 let fill t ~addr ~len c =
   check t addr len;
-  Bytes.fill t.data (addr - t.base) len c
+  let off = addr - t.base in
+  touch_range t off len;
+  Bytes.fill t.data off len c
 
-let clear t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
+let page_len t p =
+  let off = p lsl page_shift in
+  min page_size (Bytes.length t.data - off)
+
+let clear t =
+  let n = Array.length t.stamps in
+  for p = 0 to n - 1 do
+    if Bytes.unsafe_get t.nz p <> '\000' then begin
+      Bytes.fill t.data (p lsl page_shift) (page_len t p) '\000';
+      (* Content changed, so the page is dirty relative to any snapshot. *)
+      Array.unsafe_set t.stamps p t.generation;
+      Bytes.unsafe_set t.nz p '\000'
+    end
+  done
+
+let mark_generation t =
+  let g = t.generation in
+  t.generation <- g + 1;
+  g
+
+let baseline t = Bytes.copy t.data
+
+let dirty_page_count t ~since =
+  let n = ref 0 in
+  Array.iter (fun s -> if s > since then incr n) t.stamps;
+  !n
+
+let restore_pages t ~baseline ~since =
+  if Bytes.length baseline <> Bytes.length t.data then
+    invalid_arg "Memory.restore_pages: baseline size mismatch";
+  let copied = ref 0 in
+  for p = 0 to Array.length t.stamps - 1 do
+    if Array.unsafe_get t.stamps p > since then begin
+      let off = p lsl page_shift in
+      let len = page_len t p in
+      Bytes.blit baseline off t.data off len;
+      (* The page now provably matches the capture, so it is clean with
+         respect to this snapshot; conservatively flag it nonzero so a
+         later [clear] rewrites it. *)
+      Array.unsafe_set t.stamps p since;
+      Bytes.unsafe_set t.nz p '\001';
+      incr copied
+    end
+  done;
+  !copied
 
 let unsafe_backing t = t.data

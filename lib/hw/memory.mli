@@ -3,9 +3,17 @@
 
     Accesses outside the region raise a {!Fault.Trap} bus fault, matching
     how a microcontroller bus matrix reacts to unmapped addresses. Wide
-    accesses honour the region's endianness. *)
+    accesses honour the region's endianness.
+
+    Every mutator records the touched pages against the region's current
+    {e generation}, the bookkeeping behind copy-on-write snapshots
+    ({!Snapshot}): capturing a snapshot bumps the generation, and
+    restoring copies back only pages written since the capture. *)
 
 type t
+
+val page_size : int
+(** Dirty-tracking granule in bytes (256). *)
 
 val create : base:int -> size:int -> endianness:Arch.endianness -> t
 (** Zero-filled region of [size] bytes mapped at [base]. *)
@@ -40,7 +48,36 @@ val blit_to : t -> addr:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
 val fill : t -> addr:int -> len:int -> char -> unit
 
 val clear : t -> unit
-(** Zero the whole region (power-on reset of RAM). *)
+(** Zero the whole region (power-on reset of RAM). Only pages written
+    since the previous clear are actually rewritten, so a reset costs
+    O(dirty pages) while observable contents stay all-zero. *)
+
+val page_count : t -> int
+(** Number of {!page_size} pages covering the region (last page may be
+    partial). *)
+
+val generation : t -> int
+(** Current write generation. Monotonic; bumped by {!mark_generation}. *)
+
+val mark_generation : t -> int
+(** Return the current generation and advance to the next one. Pages
+    written afterwards stamp strictly greater than the returned value —
+    this is the capture point of a snapshot. *)
+
+val baseline : t -> Bytes.t
+(** Full copy of the current contents, to pair with {!mark_generation}
+    as a snapshot's saved state. *)
+
+val dirty_page_count : t -> since:int -> int
+(** Pages written strictly after generation [since]. *)
+
+val restore_pages : t -> baseline:Bytes.t -> since:int -> int
+(** Copy every page written after generation [since] back from
+    [baseline] (a buffer from {!baseline}, same size) with one bulk blit
+    per page, and mark it clean with respect to [since]. Returns the
+    number of pages copied — the cost of the restore. Restoring an older
+    snapshot invalidates dirty accounting of snapshots captured later;
+    keep one live snapshot per region. *)
 
 val unsafe_backing : t -> Bytes.t
 (** Direct access to the backing store for target-side code that would,

@@ -39,6 +39,8 @@ module Event = struct
     | Liveness_verdict of { verdict : string; pc : int }
     | Reflash_partition of { partition : string; bytes : int }
     | Restore_done of { partitions : int }
+    | Snapshot_save of { pages : int }
+    | Snapshot_restore of { dirty : int }
     | Reset_board
     | Payload of { iteration : int; status : string; new_edges : int }
     | Crash_found of { kind : string; operation : string }
@@ -58,6 +60,8 @@ module Event = struct
     | Liveness_verdict _ -> "liveness"
     | Reflash_partition _ -> "reflash"
     | Restore_done _ -> "restore"
+    | Snapshot_save _ -> "snapshot-save"
+    | Snapshot_restore _ -> "snapshot-restore"
     | Reset_board -> "reset"
     | Payload _ -> "payload"
     | Crash_found _ -> "crash"
@@ -76,6 +80,8 @@ module Event = struct
        | "pc-stalled" | "connection-lost" -> Level.Warn
        | _ -> Level.Trace)
     | Reflash_partition _ | Corpus_admit _ | Epoch_sync _ -> Level.Info
+    | Snapshot_save _ -> Level.Info
+    | Snapshot_restore _ -> Level.Debug
     | Link_fault _ -> Level.Debug
     | Recovery _ -> Level.Warn
     | Restore_done _ | Crash_found _ -> Level.Warn
@@ -96,6 +102,8 @@ module Event = struct
     | Reflash_partition { partition; bytes } ->
       [ ("partition", V_str partition); ("bytes", V_int bytes) ]
     | Restore_done { partitions } -> [ ("partitions", V_int partitions) ]
+    | Snapshot_save { pages } -> [ ("pages", V_int pages) ]
+    | Snapshot_restore { dirty } -> [ ("dirty", V_int dirty) ]
     | Reset_board -> []
     | Payload { iteration; status; new_edges } ->
       [ ("iteration", V_int iteration); ("status", V_str status);

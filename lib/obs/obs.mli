@@ -54,6 +54,10 @@ module Event : sig
         (** watchdog outcome; [pc] is -1 when not applicable *)
     | Reflash_partition of { partition : string; bytes : int }
     | Restore_done of { partitions : int }  (** Algorithm 1 completed *)
+    | Snapshot_save of { pages : int }
+        (** copy-on-write snapshot captured; [pages] = device pages covered *)
+    | Snapshot_restore of { dirty : int }
+        (** snapshot restored; [dirty] = pages actually copied back *)
     | Reset_board
     | Payload of { iteration : int; status : string; new_edges : int }
         (** one campaign payload: ["completed"] / ["crashed"] /

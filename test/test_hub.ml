@@ -66,6 +66,7 @@ let every_kind =
         boards = 2;
         sync_every = 25;
         backend = Eof_agent.Machine.Native;
+        reset_policy = Eof_core.Campaign.Snapshot;
       };
     Protocol.Corpus_push
       { campaign = 3; shard = 0; progs = [ "\x00\x01\xffwire"; "" ] };
@@ -157,12 +158,13 @@ let test_codec_rejections () =
   (* future version: patch the version field and re-sign the frame, so
      only the version check can object *)
   let future = Bytes.of_string frame in
-  Bytes.set future 4 '\x02';
+  Bytes.set future 4 (Char.chr (Protocol.version + 1));
   let crc =
     Crc32.digest_string (Bytes.sub_string future 4 (Bytes.length future - 8))
   in
   Bytes.set_int32_le future (Bytes.length future - 4) crc;
-  check_error "future version" (Protocol.Bad_version 2)
+  check_error "future version"
+    (Protocol.Bad_version (Protocol.version + 1))
     (Protocol.decode (Bytes.to_string future))
 
 let test_frame_size () =

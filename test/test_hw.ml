@@ -243,3 +243,88 @@ let prop_partition_roundtrip =
       | Error _ -> table = [])
 
 let suite = suite @ [ QCheck_alcotest.to_alcotest prop_partition_roundtrip ]
+
+(* --- copy-on-write snapshots -------------------------------------------- *)
+
+let test_memory_dirty_pages () =
+  let m = mem_le () in
+  (* 4096 bytes = 16 device pages of 256 *)
+  Memory.write_u8 m 0x2000_0000 0x11;
+  (* pre-capture write: part of the baseline, not of the dirty set *)
+  let baseline = Memory.baseline m in
+  let since = Memory.mark_generation m in
+  Alcotest.(check int) "clean after capture" 0 (Memory.dirty_page_count m ~since);
+  Memory.write_u8 m 0x2000_0100 0xAA;
+  Memory.write_u8 m 0x2000_0300 0xBB;
+  Memory.write_u32 m 0x2000_0F00 0xDEADBEEFl;
+  Alcotest.(check int) "three distinct pages dirty" 3
+    (Memory.dirty_page_count m ~since);
+  Memory.write_u8 m 0x2000_0101 0xCC;
+  Alcotest.(check int) "same page counted once" 3
+    (Memory.dirty_page_count m ~since);
+  Alcotest.(check int) "restore copies exactly the dirty pages" 3
+    (Memory.restore_pages m ~baseline ~since);
+  Alcotest.(check int) "dirty content rewound" 0 (Memory.read_u8 m 0x2000_0100);
+  Alcotest.(check int) "pre-capture write survives" 0x11
+    (Memory.read_u8 m 0x2000_0000);
+  Alcotest.(check int) "second restore copies nothing" 0
+    (Memory.restore_pages m ~baseline ~since)
+
+let test_memory_clear_dirty () =
+  let m = mem_le () in
+  Memory.write_u8 m 0x2000_0200 0x55;
+  let baseline = Memory.baseline m in
+  let since = Memory.mark_generation m in
+  Memory.write_u8 m 0x2000_0500 0x66;
+  Memory.clear m;
+  (* clear zeroes only maybe-nonzero pages and stamps just those dirty —
+     the pre-capture page 2 (whose baseline content clear destroyed) and
+     the post-capture page 5, never the other 14. *)
+  Alcotest.(check int) "clear dirties only written pages" 2
+    (Memory.dirty_page_count m ~since);
+  Alcotest.(check int) "restore copies them back" 2
+    (Memory.restore_pages m ~baseline ~since);
+  Alcotest.(check int) "pre-capture content back" 0x55
+    (Memory.read_u8 m 0x2000_0200);
+  Alcotest.(check int) "post-capture page pristine" 0
+    (Memory.read_u8 m 0x2000_0500)
+
+let test_board_snapshot_roundtrip () =
+  let profile = Profiles.stm32f4_disco in
+  let board = Board.create profile in
+  let table = [ { Partition.name = "kernel"; offset = 0; size = 0x4000 } ] in
+  let image = Image.synthesize ~table ~seed:7L () in
+  Board.install board image;
+  let before = Clock.cycles (Board.clock board) in
+  let snap = Board.snapshot board in
+  Alcotest.(check int64) "save cost covers every device page"
+    (Int64.of_int (Snapshot.pages snap * Snapshot.save_cycles_per_page))
+    (Int64.sub (Clock.cycles (Board.clock board)) before);
+  (* Scribble over RAM and flash, breaking the installed image. *)
+  (match Board.write_ram board ~addr:profile.Board.ram_base "scribble" with
+   | Ok () -> ()
+   | Error f -> Alcotest.fail (Fault.to_string f));
+  Flash.corrupt (Board.flash board) ~addr:(profile.Board.flash_base + 0x100) "junk";
+  Alcotest.(check bool) "image broken" false (Board.boot_ok board);
+  let before = Clock.cycles (Board.clock board) in
+  let dirty = Board.restore_snapshot board snap in
+  Alcotest.(check bool) "some pages dirty" true (dirty > 0);
+  Alcotest.(check bool) "far fewer than the board total" true
+    (dirty < Snapshot.pages snap / 4);
+  Alcotest.(check int64) "restore cost is O(dirty pages)"
+    (Int64.of_int
+       (Snapshot.restore_base_cycles + (dirty * Snapshot.restore_cycles_per_page)))
+    (Int64.sub (Clock.cycles (Board.clock board)) before);
+  Alcotest.(check bool) "image pristine again" true (Board.boot_ok board);
+  match Board.read_mem board ~addr:profile.Board.ram_base ~len:8 with
+  | Ok s -> Alcotest.(check string) "ram rewound" (String.make 8 '\000') s
+  | Error f -> Alcotest.fail (Fault.to_string f)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "memory dirty-page accounting" `Quick test_memory_dirty_pages;
+      Alcotest.test_case "memory clear keeps dirty set small" `Quick
+        test_memory_clear_dirty;
+      Alcotest.test_case "board snapshot roundtrip" `Quick test_board_snapshot_roundtrip;
+    ]

@@ -168,6 +168,77 @@ let test_farm_fault_soak () =
         Alcotest.(check int) "board spent its budget" 150 b.Campaign.iterations_done)
       o.Farm.per_board
 
+(* --- snapshot restores on a flaky link ---------------------------------- *)
+
+let test_snapshot_restore_mid_fault () =
+  let build = mk_build 0 in
+  let machine =
+    ok_or_fail (Machine.create ~inject:{ Inject.default_config with rate = 0. } build)
+  in
+  let session = Machine.session machine in
+  Session.set_retry session { Err.Retry.default with attempts = 6 };
+  let inj =
+    match Transport.injector (Machine.transport machine) with
+    | Some i -> i
+    | None -> Alcotest.fail "injector not attached"
+  in
+  (* Restore before any save is a typed remote error, not a crash. *)
+  (match Machine.snapshot_restore machine with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "restore before save accepted");
+  ignore (ok_or_fail (Machine.snapshot_save machine) : int);
+  Alcotest.(check bool) "snapshot armed" true (Machine.has_snapshot machine);
+  let mailbox = Osbuild.mailbox_base build in
+  List.iter
+    (fun fault ->
+      let name = Inject.fault_name fault in
+      ok_or_fail (Session.write_mem_bin session ~addr:mailbox "\xAA\xBB\xCC\xDD");
+      (* The fault lands on the QSnapshot restore exchange itself: the
+         session's retry rung must carry the restore through. Restore is
+         idempotent, so a retry after a lost {e reply} (the stub already
+         restored) legitimately reports 0 pages — only the end state is
+         asserted. *)
+      Inject.force_next inj fault;
+      (match Machine.snapshot_restore machine with
+       | Ok (_dirty : int) -> ()
+       | Error e ->
+         Alcotest.fail (name ^ ": restore failed: " ^ Err.to_string e));
+      let back = ok_or_fail (Session.read_mem session ~addr:mailbox ~len:4) in
+      Alcotest.(check string) (name ^ ": page rewound") "\x00\x00\x00\x00" back)
+    [ Inject.Drop; Inject.Timeout; Inject.Truncate; Inject.Nak_storm; Inject.Garbage ];
+  Alcotest.(check bool) "retries recorded" true (Session.retries session > 0)
+
+(* The ladder still recovers a bursty link when its reflash rung is the
+   snapshot fast path, and stays deterministic. *)
+let test_snapshot_policy_under_faults () =
+  let run () =
+    let bus = Obs.create () in
+    let config =
+      { Campaign.default_config with
+        iterations = 200;
+        seed = 7L;
+        fault_rate = 0.03;
+        fault_seed = 99L;
+        reset_policy = Campaign.Snapshot
+      }
+    in
+    match Campaign.run ~obs:bus config (mk_build 0) with
+    | Error e -> Alcotest.fail (Err.to_string e)
+    | Ok o -> (o, Obs.counters bus)
+  in
+  let o, counters = run () in
+  let v name = try List.assoc name counters with Not_found -> 0 in
+  Alcotest.(check bool) "campaign made progress" true (o.Campaign.coverage > 0);
+  Alcotest.(check bool) "ladder climbed" true
+    (v "recover.resync" + v "recover.reset" + v "recover.reflash" > 0);
+  (* Any reflash rung that fired went through the armed snapshot. *)
+  Alcotest.(check int) "reflash rung = snapshot restores" (v "recover.reflash")
+    (v "snapshot.restores");
+  let o2, counters2 = run () in
+  Alcotest.(check bool) "faulted snapshot campaign deterministic" true
+    (campaign_digest o = campaign_digest o2);
+  Alcotest.(check bool) "counters deterministic" true (counters = counters2)
+
 (* --- a dead board does not kill the farm -------------------------------- *)
 
 let test_dead_board_farm () =
@@ -201,6 +272,10 @@ let suite =
       test_fault_kinds_cured_by_retry;
     Alcotest.test_case "escalation ladder exercised" `Quick test_ladder_exercised;
     Alcotest.test_case "2-board 1%-fault soak" `Quick test_farm_fault_soak;
+    Alcotest.test_case "snapshot restore rides the retry rung" `Quick
+      test_snapshot_restore_mid_fault;
+    Alcotest.test_case "snapshot policy under faults" `Quick
+      test_snapshot_policy_under_faults;
     Alcotest.test_case "dead board does not kill the farm" `Quick
       test_dead_board_farm;
   ]
