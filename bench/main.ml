@@ -711,6 +711,185 @@ let run_hub_fleet () =
     hub_deterministic = deterministic;
   }
 
+(* --- corpus scheduling and compiled generators --------------------------- *)
+
+type schedule_stats = {
+  sched_iterations : int;  (** per OS per schedule *)
+  sched_oses : string list;
+  sched_catalog : int;
+  sched_uniform_found : (int * float) list;  (** bug id, virtual s to first hit *)
+  sched_energy_found : (int * float) list;
+  sched_uniform_median_ttb : float option;  (** over bugs both schedules found *)
+  sched_energy_median_ttb : float option;
+  sched_interp_ns : float;
+  sched_compiled_ns : float;
+  sched_divergence : int;  (** byte-differing programs, compiled vs interp *)
+}
+
+(* Step one native-backend campaign to its budget, stamping the virtual
+   clock the first time each Table-2 bug shows up in the dedup'd crash
+   list. *)
+let time_to_bugs ~schedule ~iterations (target : Targets.hw_target) =
+  let config =
+    {
+      Eof_core.Campaign.default_config with
+      iterations;
+      seed = 11L;
+      backend = Eof_agent.Machine.Native;
+      schedule;
+    }
+  in
+  let st =
+    match Eof_core.Campaign.init config (Targets.build_hw target) with
+    | Ok st -> st
+    | Error e -> failwith (Eof_util.Eof_error.to_string e)
+  in
+  let found = ref [] in
+  let seen = ref 0 in
+  while not (Eof_core.Campaign.finished st) do
+    Eof_core.Campaign.step st;
+    let crashes = Eof_core.Campaign.crashes_so_far st in
+    let n = List.length crashes in
+    if n > !seen then begin
+      let now = Eof_core.Campaign.virtual_s st in
+      List.iteri
+        (fun i crash ->
+          if i >= !seen then
+            match Targets.match_bug crash with
+            | Some bug when not (List.mem_assoc bug.Targets.id !found) ->
+              found := (bug.Targets.id, now) :: !found
+            | _ -> ())
+        crashes;
+      seen := n
+    end
+  done;
+  ignore (Eof_core.Campaign.finish st : Eof_core.Campaign.outcome);
+  List.rev !found
+
+let median = function
+  | [] -> None
+  | l ->
+    let sorted = List.sort compare l in
+    let n = List.length sorted in
+    let a = List.nth sorted ((n - 1) / 2) and b = List.nth sorted (n / 2) in
+    Some ((a +. b) /. 2.)
+
+(* Generator cost: ns per generated program, spec walking vs compiled
+   candidate sets, plus the divergence gate — the two modes must emit
+   byte-identical streams per seed. *)
+let generator_comparison () =
+  let build =
+    Eof_os.Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Eof_os.Zephyr.spec
+  in
+  let table = Eof_os.Osbuild.api_signatures build in
+  let spec =
+    match Eof_spec.Synth.validated_of_api table with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let mk mode seed =
+    Eof_core.Gen.create ~dep_aware:true ~mode ~rng:(Eof_util.Rng.create seed) ~spec
+      ~table ()
+  in
+  let time mode =
+    let n = Runner.scaled 30_000 in
+    let gen = mk mode 1L in
+    (* warm the memoized compile before the clock starts *)
+    ignore (Eof_core.Gen.generate gen ~max_len:12 : Eof_core.Prog.t);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Eof_core.Gen.generate gen ~max_len:12 : Eof_core.Prog.t)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (max 1 n)
+  in
+  let interp_ns = time Eof_core.Gen.Interp in
+  let compiled_ns = time Eof_core.Gen.Compiled in
+  let divergence = ref 0 in
+  let encode p =
+    match Eof_agent.Wire.encode ~endianness:Eof_hw.Arch.Little (Eof_core.Prog.to_wire p) with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  List.iter
+    (fun seed ->
+      let gi = mk Eof_core.Gen.Interp seed and gc = mk Eof_core.Gen.Compiled seed in
+      for i = 1 to 200 do
+        let pi = Eof_core.Gen.generate gi ~max_len:(2 + (i mod 12)) in
+        let pc = Eof_core.Gen.generate gc ~max_len:(2 + (i mod 12)) in
+        if not (String.equal (encode pi) (encode pc)) then incr divergence;
+        let mi = Eof_core.Gen.mutate gi pi ~max_len:16 in
+        let mc = Eof_core.Gen.mutate gc pc ~max_len:16 in
+        if not (String.equal (encode mi) (encode mc)) then incr divergence
+      done)
+    [ 1L; 7L; 11L; 42L; 1337L ];
+  (interp_ns, compiled_ns, !divergence)
+
+let run_schedule () =
+  section "Corpus scheduling: time-to-bug, uniform vs energy, and compiled generators";
+  let iterations = Runner.scaled 4000 in
+  Printf.printf
+    "[%d native payloads per OS per schedule, seed 11, %d-bug catalog...]\n%!"
+    iterations (List.length Targets.catalog);
+  let oses =
+    List.map (fun (t : Targets.hw_target) -> t.Targets.spec.Eof_os.Osbuild.os_name)
+      Targets.all
+  in
+  let sweep schedule =
+    List.concat_map
+      (fun (t : Targets.hw_target) -> time_to_bugs ~schedule ~iterations t)
+      Targets.all
+  in
+  let uniform = sweep Eof_core.Corpus.Uniform in
+  let energy = sweep Eof_core.Corpus.Energy in
+  let common = List.filter (fun (id, _) -> List.mem_assoc id energy) uniform in
+  let u_median = median (List.map snd common) in
+  let e_median =
+    median (List.map (fun (id, _) -> List.assoc id energy) common)
+  in
+  let bug_row (id, ttb) other =
+    [
+      string_of_int id;
+      Printf.sprintf "%.3f" ttb;
+      (match List.assoc_opt id other with
+       | Some t -> Printf.sprintf "%.3f" t
+       | None -> "-");
+    ]
+  in
+  print_endline
+    (Text_table.render
+       ~align:Text_table.[ Right; Right; Right ]
+       ~header:[ "bug id"; "uniform ttb (virt s)"; "energy ttb (virt s)" ]
+       (List.map (fun b -> bug_row b energy) uniform
+       @ List.filter_map
+           (fun (id, ttb) ->
+             if List.mem_assoc id uniform then None
+             else Some [ string_of_int id; "-"; Printf.sprintf "%.3f" ttb ])
+           energy));
+  Printf.printf
+    "[uniform found %d bugs, energy %d; median ttb on the %d common bugs: uniform %s, energy %s]\n"
+    (List.length uniform) (List.length energy) (List.length common)
+    (match u_median with Some m -> Printf.sprintf "%.3fs" m | None -> "n/a")
+    (match e_median with Some m -> Printf.sprintf "%.3fs" m | None -> "n/a");
+  let interp_ns, compiled_ns, divergence = generator_comparison () in
+  Printf.printf
+    "[generator: interp %.0f ns/prog, compiled %.0f ns/prog (%.2fx); %d divergent programs%s]\n"
+    interp_ns compiled_ns
+    (interp_ns /. Float.max 1e-9 compiled_ns)
+    divergence
+    (if divergence = 0 then "" else " — BUG, modes must be byte-identical");
+  {
+    sched_iterations = iterations;
+    sched_oses = oses;
+    sched_catalog = List.length Targets.catalog;
+    sched_uniform_found = uniform;
+    sched_energy_found = energy;
+    sched_uniform_median_ttb = u_median;
+    sched_energy_median_ttb = e_median;
+    sched_interp_ns = interp_ns;
+    sched_compiled_ns = compiled_ns;
+    sched_divergence = divergence;
+  }
+
 (* --- machine-readable results ------------------------------------------ *)
 
 let json_escape s =
@@ -728,7 +907,8 @@ let json_escape s =
 
 (* Every section is optional: a failed stage becomes a JSON null, never
    a missing BENCH.json. *)
-let write_bench_json ~micro ~link ~scaling ~resilience ~native ~snapshot ~hub path =
+let write_bench_json ~micro ~link ~scaling ~resilience ~native ~snapshot ~hub
+    ~schedule path =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n  \"micro_ns_per_run\": ";
   (match micro with
@@ -930,6 +1110,58 @@ let write_bench_json ~micro ~link ~scaling ~resilience ~native ~snapshot ~hub pa
     Buffer.add_string b
       (Printf.sprintf "    \"deterministic\": %b\n" h.hub_deterministic);
     Buffer.add_string b "  }");
+  Buffer.add_string b ",\n  \"schedule\": ";
+  (match schedule with
+  | None -> Buffer.add_string b "null"
+  | Some s ->
+    let found_json found other =
+      let n = List.length found in
+      String.concat ""
+        (List.mapi
+           (fun i (id, ttb) ->
+             Printf.sprintf
+               "      { \"id\": %d, \"ttb_virtual_s\": %.4f, \"other_ttb_virtual_s\": %s }%s\n"
+               id ttb
+               (match List.assoc_opt id other with
+                | Some t -> Printf.sprintf "%.4f" t
+                | None -> "null")
+               (if i < n - 1 then "," else ""))
+           found)
+    in
+    let med = function
+      | Some m -> Printf.sprintf "%.4f" m
+      | None -> "null"
+    in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"iterations_per_os\": %d,\n    \"oses\": [%s],\n    \"catalog_bugs\": %d,\n"
+         s.sched_iterations
+         (String.concat ", "
+            (List.map (fun os -> Printf.sprintf "\"%s\"" (json_escape os)) s.sched_oses))
+         s.sched_catalog);
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"uniform\": { \"bugs_found\": %d, \"median_ttb_virtual_s\": %s },\n"
+         (List.length s.sched_uniform_found)
+         (med s.sched_uniform_median_ttb));
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"energy\": { \"bugs_found\": %d, \"median_ttb_virtual_s\": %s },\n"
+         (List.length s.sched_energy_found)
+         (med s.sched_energy_median_ttb));
+    Buffer.add_string b "    \"uniform_bugs\": [\n";
+    Buffer.add_string b (found_json s.sched_uniform_found s.sched_energy_found);
+    Buffer.add_string b "    ],\n    \"energy_bugs\": [\n";
+    Buffer.add_string b (found_json s.sched_energy_found s.sched_uniform_found);
+    Buffer.add_string b "    ],\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"generator\": { \"interp_ns_per_prog\": %.1f, \"compiled_ns_per_prog\": %.1f, \"speedup\": %.3f, \"divergence\": %d }\n"
+         s.sched_interp_ns s.sched_compiled_ns
+         (s.sched_interp_ns /. Float.max 1e-9 s.sched_compiled_ns)
+         s.sched_divergence);
+    Buffer.add_string b "  }");
   Buffer.add_string b "\n}\n";
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents b));
@@ -951,6 +1183,7 @@ let () =
   let native = guarded "native-backend" run_native_comparison in
   let snapshot = guarded "snapshot" run_snapshot in
   let hub = guarded "hub-fleet" run_hub_fleet in
+  let schedule = guarded "schedule" run_schedule in
   let micro = guarded "micro-benchmark" run_micro in
   write_bench_json ~micro ~link ~scaling ~resilience ~native ~snapshot ~hub
-    "BENCH.json"
+    ~schedule "BENCH.json"

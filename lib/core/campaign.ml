@@ -56,6 +56,8 @@ type config = {
   fault_seed : int64;
   backend : Machine.backend;
   reset_policy : reset_policy;
+  schedule : Corpus.schedule;
+  gen_mode : Gen.mode;
 }
 
 let default_config =
@@ -78,6 +80,8 @@ let default_config =
     fault_seed = 0xFA0175EEDL;
     backend = Machine.Link;
     reset_policy = Ladder;
+    schedule = Corpus.Uniform;
+    gen_mode = Gen.Interp;
   }
 
 type sample = { iteration : int; virtual_s : float; coverage : int }
@@ -126,6 +130,13 @@ type state = {
   rng : Rng.t;
   fb : Feedback.t;
   corpus : Corpus.t;
+  target : Corpus.target;
+      (* this campaign's personality x API-surface identity, the key its
+         seeds' frontier entries live under *)
+  mutable sched : (Prog.t * int) option;
+      (* active energy grant: the scheduled seed and its remaining
+         mutation budget before the next corpus draw (always [None]
+         under the uniform schedule) *)
   crash_table : (string, Crash.t) Hashtbl.t;
   mutable crash_order : Crash.t list;  (* reverse discovery order *)
   mutable crash_events : int;
@@ -183,6 +194,7 @@ type state = {
   c_payloads : Obs.Counter.t;
   c_crash_events : Obs.Counter.t;
   c_corpus_admits : Obs.Counter.t;
+  c_sched_grants : Obs.Counter.t;
   c_resyncs : Obs.Counter.t;
   c_rung_resets : Obs.Counter.t;
   c_rung_reflashes : Obs.Counter.t;
@@ -803,12 +815,36 @@ let choose_program st =
          iteration budget, unlike a wall-clock ramp. *)
       let bias = st.config.mutation_bias *. (1. -. st.fresh_yield) in
       st.last_was_fresh <- false;
-      if (not (Corpus.is_empty st.corpus)) && Rng.chance st.rng bias then
-        match Corpus.pick st.corpus with
-        | Some seed -> mutate_seed st seed
-        | None ->
-          st.last_was_fresh <- true;
-          Gen.generate st.gen ~max_len:st.config.max_prog_len
+      if (not (Corpus.is_empty st.corpus)) && Rng.chance st.rng bias then begin
+        (* An active energy grant spends its remaining budget on the
+           same seed before the next corpus draw (always [None] under
+           the uniform schedule, where every draw earns energy 1 and
+           this path is RNG-identical to the original single pick). *)
+        match st.sched with
+        | Some (seed, remaining) when remaining > 0 ->
+          st.sched <- Some (seed, remaining - 1);
+          mutate_seed st seed
+        | _ ->
+          st.sched <- None;
+          (match Corpus.next st.corpus ~target:st.target with
+           | Some (seed, energy) ->
+             if energy > 1 then begin
+               st.sched <- Some (seed, energy - 1);
+               Obs.Counter.incr st.c_sched_grants;
+               if Obs.active st.obs then
+                 Obs.emit st.obs
+                   (Obs.Event.Seed_scheduled
+                      {
+                        energy;
+                        frontier =
+                          Corpus.on_frontier st.corpus ~target:st.target seed;
+                      })
+             end;
+             mutate_seed st seed
+           | None ->
+             st.last_was_fresh <- true;
+             Gen.generate st.gen ~max_len:st.config.max_prog_len)
+      end
       else begin
         st.last_was_fresh <- true;
         Gen.generate st.gen ~max_len:st.config.max_prog_len
@@ -908,7 +944,30 @@ let init ?machine ?obs config build =
        let obs = match obs with Some o -> o | None -> Machine.obs machine in
        let rng = Rng.create config.seed in
        let gen =
-         Gen.create ~dep_aware:config.dep_aware ~rng:(Rng.split rng) ~spec ~table ()
+         Gen.create ~dep_aware:config.dep_aware ~mode:config.gen_mode
+           ~rng:(Rng.split rng) ~spec ~table ()
+       in
+       (* The scheduling target is the fuzzed API surface, not the full
+          table: an api_filter'd campaign is a different target, so its
+          frontier does not pollute the unfiltered one's. *)
+       let target =
+         let table_for_target =
+           match config.api_filter with
+           | None -> table
+           | Some _ ->
+             {
+               table with
+               Eof_rtos.Api.entries =
+                 List.filter
+                   (fun (e : Eof_rtos.Api.entry) ->
+                     List.exists
+                       (fun (c : Eof_spec.Ast.call) ->
+                         String.equal c.Eof_spec.Ast.name e.Eof_rtos.Api.name)
+                       spec.Eof_spec.Ast.calls)
+                   table.Eof_rtos.Api.entries;
+             }
+         in
+         Corpus.target_of ~os:(Osbuild.os_name build) ~table:table_for_target
        in
        let mode =
          match Machine.backend machine with
@@ -931,7 +990,10 @@ let init ?machine ?obs config build =
            gen;
            rng;
            fb = Feedback.create ~edge_capacity:(Osbuild.edge_capacity build);
-           corpus = Corpus.create ~rng:(Rng.split rng) ();
+           corpus =
+             Corpus.create ~rng:(Rng.split rng) ~schedule:config.schedule ~target ();
+           target;
+           sched = None;
            crash_table = Hashtbl.create 32;
            crash_order = [];
            crash_events = 0;
@@ -969,6 +1031,7 @@ let init ?machine ?obs config build =
            c_payloads = Obs.Counter.make obs "campaign.payloads";
            c_crash_events = Obs.Counter.make obs "campaign.crash_events";
            c_corpus_admits = Obs.Counter.make obs "campaign.corpus_admits";
+           c_sched_grants = Obs.Counter.make obs "campaign.sched_grants";
            c_resyncs = Obs.Counter.make obs "recover.resync";
            c_rung_resets = Obs.Counter.make obs "recover.reset";
            c_rung_reflashes = Obs.Counter.make obs "recover.reflash";

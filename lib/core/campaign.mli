@@ -101,6 +101,15 @@ type config = {
           [Ladder]). The snapshot policies capture the pristine image
           during {!init}, right after install — before the target ever
           runs. *)
+  schedule : Corpus.schedule;
+      (** seed scheduling (default [Uniform], which is RNG-identical to
+          the pre-scheduler corpus: one pick, one mutation). [Energy]
+          grants power-schedule mutation budgets judged against the
+          campaign target's rare-edge frontier. *)
+  gen_mode : Gen.mode;
+      (** generator engine (default [Interp]). [Compiled] emits
+          byte-identical programs through pre-resolved candidate sets —
+          a pure speedup. *)
 }
 
 val default_config : config

@@ -5,6 +5,7 @@ module Corpus = Eof_core.Corpus
 module Crash = Eof_core.Crash
 module Prog = Eof_core.Prog
 module Report = Eof_core.Report
+module Transplant = Eof_core.Transplant
 
 type resolved = { spec : Eof_spec.Ast.t; table : Eof_rtos.Api.table }
 
@@ -28,9 +29,20 @@ type campaign = {
   mutable crashes_rev : Crash.t list;  (** tenant-deduped, discovery order *)
   crash_keys : (string, unit) Hashtbl.t;
   mutable syncs : int;
+  mutable cross_in : int;
+      (** retyped seeds adopted from other personalities; capped, see
+          {!cross_cap} *)
   mutable digest : string option;
   obs : Obs.t;  (** tenant-scoped handle, clocked by the campaign *)
 }
+
+(* Same-personality shards exchange everything — their coverage maps
+   are directly comparable. A cross-personality transplant is
+   speculative: the destination has never judged it against its own
+   coverage, so an unbounded relay drowns the destination's selection
+   lottery in foreign seeds. Each campaign therefore adopts at most
+   this many retyped seeds — a bootstrap set, not a firehose. *)
+let cross_cap = 32
 
 type fleet_entry = { crash : Crash.t; mutable tenants : string list }
 
@@ -117,6 +129,7 @@ let submit t ~client (config : Tenant.config) =
             crashes_rev = [];
             crash_keys = Hashtbl.create 8;
             syncs = 0;
+            cross_in = 0;
             digest = None;
             obs = Obs.for_tenant t.obs config.Tenant.tenant;
           }
@@ -138,45 +151,122 @@ let submit t ~client (config : Tenant.config) =
 (* One pushed program: admit into the hub's merged corpus (decoding
    through the campaign's own spec/table, so a malformed or
    wrong-personality program is rejected at the hub boundary), and if
-   it is genuinely new, transplant it to every sibling shard. *)
+   it is genuinely new, transplant it to every sibling shard — then
+   retype it against every other running personality and relay the
+   survivors to their shards too (cross-personality transplantation). *)
 let corpus_push t c ~shard progs =
   let fresh =
-    List.filter
+    List.filter_map
       (fun p ->
-        if Hashtbl.mem c.seen p then false
+        if Hashtbl.mem c.seen p then None
         else begin
           Hashtbl.replace c.seen p ();
           match Wire.decode ~endianness:Eof_hw.Arch.Little p with
-          | Error _ -> false
+          | Error _ -> None
           | Ok wire ->
             (match Prog.of_wire ~spec:c.resolved.spec ~table:c.resolved.table wire with
-             | Error _ -> false
+             | Error _ -> None
              | Ok prog ->
                let admitted =
                  Corpus.add c.corpus ~prog ~new_edges:1 ~crashed:false
                in
-               if admitted then
+               if admitted then begin
                  Obs.emit c.obs
                    (Obs.Event.Corpus_admit
                       { new_edges = 1; size = Corpus.size c.corpus });
-               admitted)
+                 Some (p, prog)
+               end
+               else None)
         end)
       progs
   in
   if fresh = [] || not t.corpus_sync then []
-  else
-    List.filter_map
-      (fun k ->
-        if k = shard then None
-        else begin
-          t.transplants <- t.transplants + List.length fresh;
-          Some
-            (To_farm
-               ( farm_of t k,
-                 Protocol.Corpus_pull { campaign = c.id; shard = k; progs = fresh }
-               ))
-        end)
-      (List.init c.config.Tenant.farms Fun.id)
+  else begin
+    let wires = List.map fst fresh in
+    let same_personality =
+      List.filter_map
+        (fun k ->
+          if k = shard then None
+          else begin
+            t.transplants <- t.transplants + List.length wires;
+            Some
+              (To_farm
+                 ( farm_of t k,
+                   Protocol.Corpus_pull { campaign = c.id; shard = k; progs = wires }
+                 ))
+          end)
+        (List.init c.config.Tenant.farms Fun.id)
+    in
+    (* Cross-personality: retype each fresh program against every other
+       running campaign's API surface. Only validate-clean survivors are
+       admitted (into that campaign's hub corpus, deduped by their
+       destination encoding) and relayed to all of its shards — there is
+       no originating shard to exclude over there. Campaigns are visited
+       in submission order, so relaying is deterministic. *)
+    let cross_personality =
+      List.concat_map
+        (fun id ->
+          let d = campaign_exn t id in
+          if
+            d.id = c.id || d.digest <> None
+            || String.equal d.config.Tenant.os c.config.Tenant.os
+            || d.cross_in >= cross_cap
+          then []
+          else begin
+            let retyped =
+              List.filter_map
+                (fun (_, prog) ->
+                  if d.cross_in >= cross_cap then None
+                  else
+                  match
+                    Transplant.retype ~dst_spec:d.resolved.spec
+                      ~dst_table:d.resolved.table prog
+                  with
+                  | None -> None
+                  | Some o ->
+                    (match
+                       Wire.encode ~endianness:Eof_hw.Arch.Little
+                         (Prog.to_wire o.Transplant.prog)
+                     with
+                     | Error _ -> None
+                     | Ok w ->
+                       if Hashtbl.mem d.seen w then None
+                       else begin
+                         Hashtbl.replace d.seen w ();
+                         if
+                           Corpus.add d.corpus ~prog:o.Transplant.prog
+                             ~new_edges:1 ~crashed:false
+                         then begin
+                           d.cross_in <- d.cross_in + 1;
+                           Obs.emit d.obs
+                             (Obs.Event.Transplant_retyped
+                                {
+                                  from_os = c.config.Tenant.os;
+                                  to_os = d.config.Tenant.os;
+                                  kept = o.Transplant.kept;
+                                  dropped = o.Transplant.dropped;
+                                });
+                           Some w
+                         end
+                         else None
+                       end))
+                fresh
+            in
+            if retyped = [] then []
+            else
+              List.map
+                (fun k ->
+                  t.transplants <- t.transplants + List.length retyped;
+                  To_farm
+                    ( farm_of t k,
+                      Protocol.Corpus_pull
+                        { campaign = d.id; shard = k; progs = retyped } ))
+                (List.init d.config.Tenant.farms Fun.id)
+          end)
+        (List.rev t.order)
+    in
+    same_personality @ cross_personality
+  end
 
 let crash_report t c crash =
   let key = Crash.dedup_key crash in

@@ -7,8 +7,10 @@ module Campaign = Eof_core.Campaign
    byte order to match (contrast {!Eof_agent.Wire}). *)
 let magic = 0x454F4648l
 
-(* v2: tenant configs and shard assignments carry a reset-policy byte. *)
-let version = 2
+(* v2: tenant configs and shard assignments carry a reset-policy byte.
+   v3: they additionally carry a schedule byte and a gen-mode byte, so
+   the hub can dial per-tenant seed scheduling and generator engines. *)
+let version = 3
 
 let header_bytes = 12 (* magic u32, version u16, kind u8, reserved u8, payload_len u32 *)
 
@@ -139,6 +141,14 @@ let put_reset_policy b = function
   | Campaign.Snapshot -> put_u8 b 1
   | Campaign.Fresh_per_program -> put_u8 b 2
 
+let put_schedule b = function
+  | Eof_core.Corpus.Uniform -> put_u8 b 0
+  | Eof_core.Corpus.Energy -> put_u8 b 1
+
+let put_gen_mode b = function
+  | Eof_core.Gen.Interp -> put_u8 b 0
+  | Eof_core.Gen.Compiled -> put_u8 b 1
+
 let crash_kind_code = function
   | Crash.Kernel_panic -> 0
   | Crash.Kernel_assertion -> 1
@@ -216,6 +226,18 @@ let reset_policy c =
   | 2 -> Campaign.Fresh_per_program
   | n -> raise (Fail (Printf.sprintf "bad reset policy code %d" n))
 
+let schedule c =
+  match u8 c with
+  | 0 -> Eof_core.Corpus.Uniform
+  | 1 -> Eof_core.Corpus.Energy
+  | n -> raise (Fail (Printf.sprintf "bad schedule code %d" n))
+
+let gen_mode c =
+  match u8 c with
+  | 0 -> Eof_core.Gen.Interp
+  | 1 -> Eof_core.Gen.Compiled
+  | n -> raise (Fail (Printf.sprintf "bad gen mode code %d" n))
+
 let crash_kind c =
   match u8 c with
   | 0 -> Crash.Kernel_panic
@@ -244,7 +266,9 @@ let put_tenant_config b (c : Tenant.config) =
   put_u16 b c.Tenant.farms;
   put_u32 b c.Tenant.sync_every;
   put_backend b c.Tenant.backend;
-  put_reset_policy b c.Tenant.reset_policy
+  put_reset_policy b c.Tenant.reset_policy;
+  put_schedule b c.Tenant.schedule;
+  put_gen_mode b c.Tenant.gen_mode
 
 let tenant_config c =
   let tenant = str c in
@@ -256,8 +280,10 @@ let tenant_config c =
   let sync_every = u32 c in
   let backend = backend c in
   let reset_policy = reset_policy c in
+  let schedule = schedule c in
+  let gen_mode = gen_mode c in
   { Tenant.tenant; os; seed; iterations; boards; farms; sync_every; backend;
-    reset_policy }
+    reset_policy; schedule; gen_mode }
 
 let put_assignment b (a : Shard.assignment) =
   put_u32 b a.Shard.campaign;
@@ -270,7 +296,9 @@ let put_assignment b (a : Shard.assignment) =
   put_u16 b a.Shard.boards;
   put_u32 b a.Shard.sync_every;
   put_backend b a.Shard.backend;
-  put_reset_policy b a.Shard.reset_policy
+  put_reset_policy b a.Shard.reset_policy;
+  put_schedule b a.Shard.schedule;
+  put_gen_mode b a.Shard.gen_mode
 
 let assignment c =
   let campaign = u32 c in
@@ -284,8 +312,10 @@ let assignment c =
   let sync_every = u32 c in
   let backend = backend c in
   let reset_policy = reset_policy c in
+  let schedule = schedule c in
+  let gen_mode = gen_mode c in
   { Shard.campaign; tenant; os; shard; shards; seed; iterations; boards;
-    sync_every; backend; reset_policy }
+    sync_every; backend; reset_policy; schedule; gen_mode }
 
 let put_crash b (cr : Crash.t) =
   put_str b cr.Crash.os;

@@ -12,6 +12,8 @@ type assignment = {
   sync_every : int;
   backend : Eof_agent.Machine.backend;
   reset_policy : Eof_core.Campaign.reset_policy;
+  schedule : Eof_core.Corpus.schedule;
+  gen_mode : Eof_core.Gen.mode;
 }
 
 (* Shard 0 keeps the tenant's seed (a one-farm campaign is exactly the
@@ -44,4 +46,6 @@ let plan ~campaign (c : Tenant.config) =
         sync_every = c.Tenant.sync_every;
         backend = c.Tenant.backend;
         reset_policy = c.Tenant.reset_policy;
+        schedule = c.Tenant.schedule;
+        gen_mode = c.Tenant.gen_mode;
       })

@@ -8,6 +8,8 @@ type config = {
   sync_every : int;
   backend : Eof_agent.Machine.backend;
   reset_policy : Eof_core.Campaign.reset_policy;
+  schedule : Eof_core.Corpus.schedule;
+  gen_mode : Eof_core.Gen.mode;
 }
 
 let default =
@@ -21,6 +23,8 @@ let default =
     sync_every = 25;
     backend = Eof_agent.Machine.Native;
     reset_policy = Eof_core.Campaign.Ladder;
+    schedule = Eof_core.Corpus.Uniform;
+    gen_mode = Eof_core.Gen.Interp;
   }
 
 let tenant_ok name =
@@ -47,10 +51,13 @@ let validate c =
 
 let to_string c =
   Printf.sprintf
-    "%s: os=%s seed=%Ld iterations=%d farms=%d boards=%d backend=%s reset=%s"
+    "%s: os=%s seed=%Ld iterations=%d farms=%d boards=%d backend=%s reset=%s \
+     schedule=%s gen=%s"
     c.tenant c.os c.seed c.iterations c.farms c.boards
     (Eof_agent.Machine.backend_name c.backend)
     (Eof_core.Campaign.reset_policy_name c.reset_policy)
+    (Eof_core.Corpus.schedule_name c.schedule)
+    (Eof_core.Gen.mode_name c.gen_mode)
 
 (* key=value[,key=value...] — the CLI's compact one-flag-per-tenant
    submission syntax. *)
@@ -90,6 +97,14 @@ let of_spec s =
             Result.map
               (fun reset_policy -> { c with reset_policy })
               (Eof_core.Campaign.reset_policy_of_name v)
+          | "schedule" ->
+            Result.map
+              (fun schedule -> { c with schedule })
+              (Eof_core.Corpus.schedule_of_name v)
+          | "gen" | "gen_mode" ->
+            Result.map
+              (fun gen_mode -> { c with gen_mode })
+              (Eof_core.Gen.mode_of_name v)
           | k -> Error (Printf.sprintf "tenant spec: unknown key %S" k)))
   in
   match List.fold_left parse_kv (Ok default) (String.split_on_char ',' s) with

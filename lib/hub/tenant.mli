@@ -16,6 +16,10 @@ type config = {
   backend : Eof_agent.Machine.backend;  (** execution backend per board *)
   reset_policy : Eof_core.Campaign.reset_policy;
       (** board reset policy for every farm in this campaign *)
+  schedule : Eof_core.Corpus.schedule;
+      (** seed scheduling for every board (default uniform) *)
+  gen_mode : Eof_core.Gen.mode;
+      (** generator engine for every board (default interp) *)
 }
 
 val default : config
@@ -30,4 +34,5 @@ val of_spec : string -> (config, string) result
 (** Parse the CLI's [key=value,key=value] submission syntax over
     {!default} — keys: [name]/[tenant], [os], [seed], [iterations]/[n],
     [boards], [farms], [sync]/[sync_every], [backend],
-    [reset]/[reset_policy]. The result is {!validate}d. *)
+    [reset]/[reset_policy], [schedule], [gen]/[gen_mode]. The result is
+    {!validate}d. *)

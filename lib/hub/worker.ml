@@ -73,6 +73,8 @@ let assign t (a : Shard.assignment) =
       iterations = a.Shard.iterations;
       backend = a.Shard.backend;
       reset_policy = a.Shard.reset_policy;
+      schedule = a.Shard.schedule;
+      gen_mode = a.Shard.gen_mode;
     }
   in
   let config =

@@ -45,6 +45,8 @@ module Event = struct
     | Payload of { iteration : int; status : string; new_edges : int }
     | Crash_found of { kind : string; operation : string }
     | Corpus_admit of { new_edges : int; size : int }
+    | Seed_scheduled of { energy : int; frontier : bool }
+    | Transplant_retyped of { from_os : string; to_os : string; kept : int; dropped : int }
     | Epoch_sync of { sync : int; executed : int; coverage : int }
     | Link_fault of { fault : string; exchange : int }
     | Recovery of { rung : string; attempt : int }
@@ -66,6 +68,8 @@ module Event = struct
     | Payload _ -> "payload"
     | Crash_found _ -> "crash"
     | Corpus_admit _ -> "corpus-admit"
+    | Seed_scheduled _ -> "seed-scheduled"
+    | Transplant_retyped _ -> "transplant-retyped"
     | Epoch_sync _ -> "epoch-sync"
     | Link_fault _ -> "link-fault"
     | Recovery _ -> "recovery"
@@ -80,6 +84,8 @@ module Event = struct
        | "pc-stalled" | "connection-lost" -> Level.Warn
        | _ -> Level.Trace)
     | Reflash_partition _ | Corpus_admit _ | Epoch_sync _ -> Level.Info
+    | Seed_scheduled _ -> Level.Debug
+    | Transplant_retyped _ -> Level.Info
     | Snapshot_save _ -> Level.Info
     | Snapshot_restore _ -> Level.Debug
     | Link_fault _ -> Level.Debug
@@ -112,6 +118,11 @@ module Event = struct
       [ ("kind", V_str kind); ("operation", V_str operation) ]
     | Corpus_admit { new_edges; size } ->
       [ ("new_edges", V_int new_edges); ("size", V_int size) ]
+    | Seed_scheduled { energy; frontier } ->
+      [ ("energy", V_int energy); ("frontier", V_bool frontier) ]
+    | Transplant_retyped { from_os; to_os; kept; dropped } ->
+      [ ("from_os", V_str from_os); ("to_os", V_str to_os);
+        ("kept", V_int kept); ("dropped", V_int dropped) ]
     | Epoch_sync { sync; executed; coverage } ->
       [ ("sync", V_int sync); ("executed", V_int executed); ("coverage", V_int coverage) ]
     | Link_fault { fault; exchange } ->

@@ -64,6 +64,16 @@ module Event : sig
             ["rejected"] / ["aborted"] *)
     | Crash_found of { kind : string; operation : string }
     | Corpus_admit of { new_edges : int; size : int }
+    | Seed_scheduled of { energy : int; frontier : bool }
+        (** the energy schedule granted a seed a multi-mutation budget
+            (emitted only under [--schedule energy]) *)
+    | Transplant_retyped of {
+        from_os : string;
+        to_os : string;
+        kept : int;
+        dropped : int;
+      }
+        (** the hub retyped a seed across personalities before adoption *)
     | Epoch_sync of { sync : int; executed : int; coverage : int }
         (** farm epoch merge *)
     | Link_fault of { fault : string; exchange : int }

@@ -58,6 +58,29 @@ let to_syzlang t =
     t.calls;
   Buffer.contents buf
 
+(* Structural shape of a type with every parameter erased — ranges,
+   lengths, pointer windows and resource kinds all dropped. Two calls
+   whose argument shapes and return-resource-ness agree are candidates
+   for cross-personality transplantation: the shape says the argument
+   vector can be re-fitted, the (erased) parameters say how. *)
+let shape_of_ty = function
+  | Ty_int _ -> "int"
+  | Ty_flags _ -> "flags"
+  | Ty_str _ -> "str"
+  | Ty_buf _ -> "buf"
+  | Ty_ptr _ -> "ptr"
+  | Ty_res _ -> "res"
+
+let same_shape a b = String.equal (shape_of_ty a) (shape_of_ty b)
+
+(* The resource signature "match calls by" during transplantation:
+   argument shapes in order, plus whether the call produces a
+   resource. *)
+let call_shape c =
+  Printf.sprintf "(%s)%s"
+    (String.concat "," (List.map (fun (_, ty) -> shape_of_ty ty) c.args))
+    (match c.ret with Some _ -> "->res" | None -> "")
+
 let equal_ty a b =
   match (a, b) with
   | Ty_int x, Ty_int y -> x.min = y.min && x.max = y.max

@@ -39,6 +39,15 @@ val to_syzlang : t -> string
 
 val pp_ty : Format.formatter -> ty -> unit
 
+val same_shape : ty -> ty -> bool
+(** Structural shape equality with every parameter erased (ranges,
+    lengths, pointer windows, resource kinds). *)
+
+val call_shape : call -> string
+(** The call's resource signature: argument shapes in order plus
+    whether it produces a resource — the matching key for
+    cross-personality transplantation. *)
+
 val equal_ty : ty -> ty -> bool
 
 val equal : t -> t -> bool

@@ -1100,3 +1100,290 @@ let suite =
       Alcotest.test_case "obs does not perturb campaign" `Quick
         test_campaign_obs_does_not_perturb;
     ]
+
+(* --- corpus scheduling, transplantation, compiled generators --------- *)
+
+let freertos_env =
+  lazy
+    (let build =
+       Osbuild.make ~board_profile:Eof_hw.Profiles.stm32f4_disco Freertos.spec
+     in
+     let table = Osbuild.api_signatures build in
+     let spec =
+       match Eof_spec.Synth.validated_of_api table with
+       | Ok s -> s
+       | Error e -> failwith e
+     in
+     (build, table, spec))
+
+let zephyr_target () =
+  let build, table, _ = Lazy.force zephyr_env in
+  Corpus.target_of ~os:(Osbuild.os_name build) ~table
+
+let seed_progs n seed =
+  let gen = make_gen seed in
+  List.init n (fun _ -> Gen.generate gen ~max_len:8)
+
+let test_energy_schedule_budgets () =
+  let target = zephyr_target () in
+  let corpus =
+    Corpus.create ~rng:(Eof_util.Rng.create 41L) ~schedule:Corpus.Energy ~target ()
+  in
+  (* A rare find (1-4 new edges) lands on the frontier; a broad find
+     does not. *)
+  let rare, broad =
+    match seed_progs 2 41L with
+    | [ a; b ] -> (a, b)
+    | _ -> Alcotest.fail "expected two seeds"
+  in
+  Alcotest.(check bool) "rare admitted" true
+    (Corpus.add corpus ~target ~prog:rare ~new_edges:2 ~crashed:false);
+  Alcotest.(check bool) "broad admitted" true
+    (Corpus.add corpus ~target ~prog:broad ~new_edges:32 ~crashed:false);
+  Alcotest.(check bool) "rare find on frontier" true
+    (Corpus.on_frontier corpus ~target rare);
+  Alcotest.(check bool) "broad find off frontier" true
+    (not (Corpus.on_frontier corpus ~target broad));
+  Alcotest.(check int) "frontier holds one" 1 (Corpus.frontier_size corpus ~target);
+  (* First pick of a frontier seed maxes the bonus: frontier(2) +
+     first-pick(1) + broad-or-crash(1 for the broad seed only). Energy
+     is always a power of two in [1;16]. *)
+  for _ = 1 to 50 do
+    match Corpus.next corpus ~target with
+    | None -> Alcotest.fail "non-empty corpus must schedule"
+    | Some (p, energy) ->
+      Alcotest.(check bool) "energy is a power of two in [1;16]" true
+        (List.mem energy [ 1; 2; 4; 8; 16 ]);
+      if Corpus.on_frontier corpus ~target p then
+        Alcotest.(check bool) "frontier seed earns >= 4x" true (energy >= 4)
+  done
+
+let test_uniform_schedule_is_flat () =
+  let target = zephyr_target () in
+  let corpus = Corpus.create ~rng:(Eof_util.Rng.create 42L) ~target () in
+  List.iter
+    (fun p -> ignore (Corpus.add corpus ~target ~prog:p ~new_edges:2 ~crashed:true))
+    (seed_progs 6 42L);
+  for _ = 1 to 40 do
+    match Corpus.next corpus ~target with
+    | Some (_, 1) -> ()
+    | Some (_, e) -> Alcotest.fail (Printf.sprintf "uniform energy %d, want 1" e)
+    | None -> Alcotest.fail "non-empty corpus must schedule"
+  done
+
+let test_merge_preserves_schedule_state () =
+  let target = zephyr_target () in
+  let mk seed =
+    Corpus.create ~rng:(Eof_util.Rng.create seed) ~schedule:Corpus.Energy ~target ()
+  in
+  let src = mk 7L and dst = mk 8L in
+  let progs = seed_progs 5 7L in
+  List.iteri
+    (fun i p ->
+      ignore (Corpus.add src ~target ~prog:p ~new_edges:(if i < 2 then 3 else 40) ~crashed:false))
+    progs;
+  (* Age one seed so its pick count is part of the transferred state. *)
+  ignore (Corpus.next src ~target);
+  let imported = Corpus.merge dst src in
+  Alcotest.(check int) "all seeds imported" 5 imported;
+  Alcotest.(check int) "frontier travels with the seeds"
+    (Corpus.frontier_size src ~target)
+    (Corpus.frontier_size dst ~target);
+  List.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d frontier membership preserved" i)
+        (Corpus.on_frontier src ~target p)
+        (Corpus.on_frontier dst ~target p))
+    progs;
+  (* Re-merge is a no-op: content hashes dedup. *)
+  Alcotest.(check int) "re-merge imports nothing" 0 (Corpus.merge dst src)
+
+let retype_to_freertos prog =
+  let _, ftable, fspec = Lazy.force freertos_env in
+  Eof_core.Transplant.retype ~dst_spec:fspec ~dst_table:ftable prog
+
+let retype_to_zephyr prog =
+  let _, ztable, zspec = Lazy.force zephyr_env in
+  Eof_core.Transplant.retype ~dst_spec:zspec ~dst_table:ztable prog
+
+let test_transplant_validate_clean () =
+  (* Every successful retype must produce a validate-clean program whose
+     kept+dropped accounts for every source call. *)
+  let progs = seed_progs 60 11L in
+  let succeeded = ref 0 in
+  List.iter
+    (fun p ->
+      match retype_to_freertos p with
+      | None -> ()
+      | Some o ->
+        incr succeeded;
+        Alcotest.(check int) "kept + dropped = source length" (Prog.length p)
+          (o.Eof_core.Transplant.kept + o.Eof_core.Transplant.dropped);
+        Alcotest.(check int) "kept = result length" o.Eof_core.Transplant.kept
+          (Prog.length o.Eof_core.Transplant.prog);
+        (match Prog.validate o.Eof_core.Transplant.prog with
+         | Ok () -> ()
+         | Error e ->
+           Alcotest.fail
+             ("transplant not validate-clean: " ^ e ^ "\n"
+             ^ Prog.to_string o.Eof_core.Transplant.prog)))
+    progs;
+  Alcotest.(check bool) "transplantation finds mappings" true (!succeeded > 0)
+
+let test_transplant_drops_unmappable () =
+  (* Against an empty destination table nothing can map. *)
+  let _, ztable, zspec = Lazy.force zephyr_env in
+  let empty_spec = { zspec with Eof_spec.Ast.calls = [] } in
+  let empty_table = { ztable with Eof_rtos.Api.entries = [] } in
+  List.iter
+    (fun p ->
+      match
+        Eof_core.Transplant.retype ~dst_spec:empty_spec ~dst_table:empty_table p
+      with
+      | None -> ()
+      | Some _ -> Alcotest.fail "empty destination table must reject everything")
+    (seed_progs 10 12L)
+
+let test_transplant_roundtrip_stable () =
+  (* FreeRTOS -> Zephyr -> FreeRTOS: after the first crossing the
+     program lives in the shared signature subspace, so round-trips
+     drop nothing and keep the call structure; scalars may narrow once
+     (into the intersection of the two ranges), after which a second
+     full round-trip is byte-identical. *)
+  let structure prog =
+    List.map
+      (fun (c : Prog.call) ->
+        ( c.Prog.api_index,
+          List.map (function Prog.Res r -> Some r | _ -> None) c.Prog.args ))
+      prog
+  in
+  let progs = seed_progs 40 13L in
+  let crossed = ref 0 in
+  List.iter
+    (fun p ->
+      match retype_to_freertos p with
+      | None -> ()
+      | Some o1 ->
+        (match retype_to_zephyr o1.Eof_core.Transplant.prog with
+         | None -> Alcotest.fail "mapped program must map back"
+         | Some o2 ->
+           Alcotest.(check int) "no drops on the way back" 0
+             o2.Eof_core.Transplant.dropped;
+           (match retype_to_freertos o2.Eof_core.Transplant.prog with
+            | None -> Alcotest.fail "round-trip must keep mapping"
+            | Some o3 ->
+              incr crossed;
+              Alcotest.(check int) "round-trip drops nothing" 0
+                o3.Eof_core.Transplant.dropped;
+              Alcotest.(check bool) "call structure stable after first crossing"
+                true
+                (structure o3.Eof_core.Transplant.prog
+                = structure o1.Eof_core.Transplant.prog);
+              (* Second full round trip: scalars have settled. *)
+              (match retype_to_zephyr o3.Eof_core.Transplant.prog with
+               | None -> Alcotest.fail "second round-trip must keep mapping"
+               | Some o4 ->
+                 (match retype_to_freertos o4.Eof_core.Transplant.prog with
+                  | None -> Alcotest.fail "second round-trip must keep mapping"
+                  | Some o5 ->
+                    Alcotest.(check int) "second round-trip drops nothing" 0
+                      (o4.Eof_core.Transplant.dropped
+                      + o5.Eof_core.Transplant.dropped);
+                    Alcotest.(check bool) "second round-trip is byte-stable" true
+                      (Prog.hash o5.Eof_core.Transplant.prog
+                      = Prog.hash o3.Eof_core.Transplant.prog))))))
+    progs;
+  Alcotest.(check bool) "round trips exercised" true (!crossed > 0)
+
+let test_transplant_deterministic () =
+  (* retype takes no RNG; byte-for-byte equal outcomes across calls. *)
+  List.iter
+    (fun p ->
+      let enc o =
+        match
+          Eof_agent.Wire.encode ~endianness:Eof_hw.Arch.Little
+            (Prog.to_wire o.Eof_core.Transplant.prog)
+        with
+        | Ok s -> (s, o.Eof_core.Transplant.kept, o.Eof_core.Transplant.dropped)
+        | Error e -> Alcotest.fail ("wire: " ^ e)
+      in
+      match (retype_to_freertos p, retype_to_freertos p) with
+      | None, None -> ()
+      | Some a, Some b ->
+        Alcotest.(check bool) "identical outcome" true (enc a = enc b)
+      | _ -> Alcotest.fail "retype nondeterministic accept/reject")
+    (seed_progs 30 14L)
+
+let test_compiled_equals_interp () =
+  (* The compiled generator pre-resolves candidate sets but must draw
+     from the RNG identically: same seed, byte-identical program
+     streams, generation and mutation both. *)
+  let _, table, spec = Lazy.force zephyr_env in
+  let stream mode seed =
+    let gen =
+      Gen.create ~dep_aware:true ~mode ~rng:(Eof_util.Rng.create seed) ~spec ~table ()
+    in
+    let progs = List.init 40 (fun i -> Gen.generate gen ~max_len:(2 + (i mod 10))) in
+    let mutated =
+      List.map (fun p -> Gen.mutate gen p ~max_len:12) progs
+    in
+    List.map
+      (fun p ->
+        match Eof_agent.Wire.encode ~endianness:Eof_hw.Arch.Little (Prog.to_wire p) with
+        | Ok s -> s
+        | Error e -> Alcotest.fail ("wire: " ^ e))
+      (progs @ mutated)
+  in
+  List.iter
+    (fun seed ->
+      let i = stream Gen.Interp seed and c = stream Gen.Compiled seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld streams byte-identical" seed)
+        true (i = c))
+    [ 1L; 2L; 3L; 17L; 99L; 12345L ]
+
+let test_energy_campaign_deterministic () =
+  let build, _, _ = Lazy.force zephyr_env in
+  let run () =
+    let config =
+      {
+        Campaign.default_config with
+        iterations = 150;
+        seed = 21L;
+        schedule = Corpus.Energy;
+        gen_mode = Gen.Compiled;
+      }
+    in
+    match Campaign.run config build with
+    | Error e -> Alcotest.fail (Eof_util.Eof_error.to_string e)
+    | Ok o ->
+      ( o.Campaign.coverage,
+        o.Campaign.crash_events,
+        o.Campaign.executed_programs,
+        o.Campaign.corpus_size,
+        Eof_util.Bitset.to_list o.Campaign.coverage_bitmap )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "energy+compiled campaign deterministic" true (a = b);
+  let cov, _, ex, _, _ = a in
+  Alcotest.(check int) "ran the full budget" 150 ex;
+  Alcotest.(check bool) "found coverage" true (cov > 0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "energy schedule budgets" `Quick test_energy_schedule_budgets;
+      Alcotest.test_case "uniform schedule is flat" `Quick test_uniform_schedule_is_flat;
+      Alcotest.test_case "merge preserves schedule state" `Quick
+        test_merge_preserves_schedule_state;
+      Alcotest.test_case "transplant validate-clean" `Quick test_transplant_validate_clean;
+      Alcotest.test_case "transplant drops unmappable" `Quick
+        test_transplant_drops_unmappable;
+      Alcotest.test_case "transplant round-trip stable" `Quick
+        test_transplant_roundtrip_stable;
+      Alcotest.test_case "transplant deterministic" `Quick test_transplant_deterministic;
+      Alcotest.test_case "compiled equals interp" `Quick test_compiled_equals_interp;
+      Alcotest.test_case "energy campaign deterministic" `Quick
+        test_energy_campaign_deterministic;
+    ]

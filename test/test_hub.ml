@@ -67,6 +67,8 @@ let every_kind =
         sync_every = 25;
         backend = Eof_agent.Machine.Native;
         reset_policy = Eof_core.Campaign.Snapshot;
+        schedule = Eof_core.Corpus.Energy;
+        gen_mode = Eof_core.Gen.Compiled;
       };
     Protocol.Corpus_push
       { campaign = 3; shard = 0; progs = [ "\x00\x01\xffwire"; "" ] };
@@ -323,6 +325,29 @@ let test_inproc_fleet_results () =
   Alcotest.(check bool) "fleet dedup is global" true
     (o.Inproc.crashes_deduped <= tenant_sum)
 
+let test_cross_personality_transplants () =
+  (* A tenant alone only gets same-personality relay between its own
+     shards. Two personalities side by side add retyped seeds on top,
+     so the joint fleet must out-transplant the sum of the solo runs —
+     and stay deterministic while doing it. *)
+  let solo t =
+    match Inproc.run ~farms:2 [ t ] ~resolve with
+    | Ok o -> o.Inproc.transplants
+    | Error e -> Alcotest.fail e
+  in
+  let same_personality = List.fold_left (fun acc t -> acc + solo t) 0 fleet_tenants in
+  let joint = run_fleet () in
+  Alcotest.(check bool)
+    (Printf.sprintf "retyped seeds cross personalities (%d joint vs %d solo)"
+       joint.Inproc.transplants same_personality)
+    true
+    (joint.Inproc.transplants > same_personality);
+  let again = run_fleet () in
+  Alcotest.(check int) "cross-personality relay is deterministic"
+    joint.Inproc.transplants again.Inproc.transplants;
+  Alcotest.(check string) "fleet digest unmoved by rerun" joint.Inproc.fleet_digest
+    again.Inproc.fleet_digest
+
 let test_corpus_sync_off () =
   match
     Inproc.run ~farms:2 ~corpus_sync:false fleet_tenants ~resolve
@@ -344,5 +369,7 @@ let suite =
     Alcotest.test_case "inproc fleet is deterministic" `Quick
       test_inproc_deterministic;
     Alcotest.test_case "inproc fleet results" `Quick test_inproc_fleet_results;
+    Alcotest.test_case "cross-personality transplants" `Quick
+      test_cross_personality_transplants;
     Alcotest.test_case "corpus sync off" `Quick test_corpus_sync_off;
   ]
