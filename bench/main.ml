@@ -641,6 +641,14 @@ type hub_stats = {
   hub_crashes_deduped : int;
   hub_crash_sum : int;  (** per-tenant crash counts, before fleet dedup *)
   hub_deterministic : bool;
+  hub_reassigned : int;  (** shard leases moved off the scripted-dead worker *)
+  hub_payloads_lost : int;  (** reported work written off at the revoke *)
+  hub_recovery_lag_s : float;  (** virtual shard progress discarded *)
+  hub_kill_deterministic : bool;  (** scripted-death rerun byte-identical *)
+  hub_replay_frames : int;  (** journal frames replayed at the resume *)
+  hub_replay_wall_s : float;  (** wall cost of replaying the finished journal *)
+  hub_resume_digest_identical : bool;
+      (** halt + journal resume reaches the uninterrupted fleet digest *)
 }
 
 let run_hub_fleet () =
@@ -676,8 +684,10 @@ let run_hub_fleet () =
         iterations; farms = 2 };
     ]
   in
-  let run ?corpus_sync () =
-    match Inproc.run ?corpus_sync ~farms:2 tenants ~resolve with
+  let run ?corpus_sync ?journal ?kill ?halt_after () =
+    match
+      Inproc.run ?corpus_sync ?journal ?kill ?halt_after ~farms:2 tenants ~resolve
+    with
     | Ok o -> o
     | Error e -> failwith e
   in
@@ -685,6 +695,37 @@ let run_hub_fleet () =
   let b = run () in
   let nosync = run ~corpus_sync:false () in
   let deterministic = String.equal (Inproc.summary a) (Inproc.summary b) in
+  (* Recovery drill: silence worker 1 a quarter of the way into its
+     share of the budget; its shards are revoked on the heartbeat
+     deadline and restarted on worker 0. *)
+  let kill_at = max 10 (iterations / 4) in
+  Printf.printf "[worker-death drill: silencing worker 1 after %d payloads...]\n%!"
+    kill_at;
+  let killed = run ~kill:(1, kill_at) () in
+  let killed2 = run ~kill:(1, kill_at) () in
+  let kill_deterministic =
+    String.equal (Inproc.summary killed) (Inproc.summary killed2)
+  in
+  (* Crash-safety drill: journal, halt mid-campaign, resume; then replay
+     the finished journal once more to price the replay itself. *)
+  Printf.printf "[journal drill: halting mid-campaign and resuming...]\n%!";
+  let journal = Filename.temp_file "eof-bench" ".journal" in
+  Sys.remove journal;
+  let resumed, replay_only_wall_s =
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists journal then Sys.remove journal)
+      (fun () ->
+        ignore (run ~journal ~halt_after:iterations () : Inproc.outcome);
+        let resumed = run ~journal () in
+        (* every campaign in the journal is now finished: a third run
+           replays it and completes without executing a payload *)
+        let t0 = Unix.gettimeofday () in
+        ignore (run ~journal () : Inproc.outcome);
+        (resumed, Unix.gettimeofday () -. t0))
+  in
+  let resume_identical =
+    String.equal (Inproc.summary a) (Inproc.summary resumed)
+  in
   let wall_s = Float.min a.Inproc.wall_s b.Inproc.wall_s in
   let crash_sum =
     List.fold_left
@@ -698,6 +739,13 @@ let run_hub_fleet () =
     (wall_s /. Float.max 1e-9 nosync.Inproc.wall_s)
     a.Inproc.transplants a.Inproc.crashes_deduped crash_sum
     (if deterministic then "byte-identical" else "DIVERGED (bug!)");
+  Printf.printf
+    "[recovery: %d shards reassigned, %d payloads written off, %.2f virtual s lag, rerun %s; journal: %d frames replayed in %.3fs, resume %s]\n"
+    killed.Inproc.reassignments killed.Inproc.payloads_lost
+    killed.Inproc.recovery_lag
+    (if kill_deterministic then "byte-identical" else "DIVERGED (bug!)")
+    resumed.Inproc.replayed_frames replay_only_wall_s
+    (if resume_identical then "= uninterrupted digest" else "DIVERGED (bug!)");
   {
     hub_tenants = List.length tenants;
     hub_farms = 2;
@@ -709,6 +757,13 @@ let run_hub_fleet () =
     hub_crashes_deduped = a.Inproc.crashes_deduped;
     hub_crash_sum = crash_sum;
     hub_deterministic = deterministic;
+    hub_reassigned = killed.Inproc.reassignments;
+    hub_payloads_lost = killed.Inproc.payloads_lost;
+    hub_recovery_lag_s = killed.Inproc.recovery_lag;
+    hub_kill_deterministic = kill_deterministic;
+    hub_replay_frames = resumed.Inproc.replayed_frames;
+    hub_replay_wall_s = replay_only_wall_s;
+    hub_resume_digest_identical = resume_identical;
   }
 
 (* --- corpus scheduling and compiled generators --------------------------- *)
@@ -1107,6 +1162,12 @@ let write_bench_json ~micro ~link ~scaling ~resilience ~native ~snapshot ~hub
       (Printf.sprintf
          "    \"crashes\": { \"deduped\": %d, \"tenant_sum\": %d },\n"
          h.hub_crashes_deduped h.hub_crash_sum);
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"reassignment\": { \"shards_reassigned\": %d, \"payloads_lost\": %d, \"recovery_lag_virtual_s\": %.4f, \"kill_deterministic\": %b, \"replay_frames\": %d, \"replay_wall_s\": %.4f, \"resume_digest_identical\": %b },\n"
+         h.hub_reassigned h.hub_payloads_lost h.hub_recovery_lag_s
+         h.hub_kill_deterministic h.hub_replay_frames h.hub_replay_wall_s
+         h.hub_resume_digest_identical);
     Buffer.add_string b
       (Printf.sprintf "    \"deterministic\": %b\n" h.hub_deterministic);
     Buffer.add_string b "  }");

@@ -532,17 +532,33 @@ let tenant_trace_sinks obs dir tenants =
       oc)
     tenants
 
+(* "--kill-worker 1@40": silence worker 1 after its 40th payload. *)
+let parse_kill = function
+  | None -> Ok None
+  | Some s ->
+    (match String.index_opt s '@' with
+    | Some at ->
+      let w = String.sub s 0 at
+      and n = String.sub s (at + 1) (String.length s - at - 1) in
+      (match (int_of_string_opt w, int_of_string_opt n) with
+      | Some w, Some n when w >= 0 && n >= 1 -> Ok (Some (w, n))
+      | _, _ -> Error (Printf.sprintf "eof serve: bad --kill-worker %S (want W@N)" s))
+    | None -> Error (Printf.sprintf "eof serve: bad --kill-worker %S (want W@N)" s))
+
 let serve inproc socket_path farms tenant_specs trace_dir no_corpus_sync
-    max_campaigns =
+    max_campaigns journal heartbeat_timeout kill_spec halt_after =
   let corpus_sync = not no_corpus_sync in
-  match (inproc, socket_path) with
-  | false, None ->
+  match (inproc, socket_path, parse_kill kill_spec) with
+  | _, _, Error e ->
+    prerr_endline e;
+    2
+  | false, None, _ ->
     prerr_endline "eof serve: choose --inproc or --socket PATH";
     2
-  | true, Some _ ->
+  | true, Some _, _ ->
     prerr_endline "eof serve: --inproc and --socket are mutually exclusive";
     2
-  | true, None ->
+  | true, None, Ok kill ->
     (match parse_tenants tenant_specs with
     | Error e ->
       prerr_endline e;
@@ -558,27 +574,42 @@ let serve inproc socket_path farms tenant_specs trace_dir no_corpus_sync
         | Some dir -> tenant_trace_sinks obs dir tenants
       in
       let result =
-        Hub_inproc.run ~obs ~corpus_sync ~farms tenants ~resolve:hub_target
+        Hub_inproc.run ~obs ~corpus_sync ?journal ?heartbeat_timeout ?kill
+          ?halt_after ~farms tenants ~resolve:hub_target
       in
       List.iter close_out traces;
       (match result with
       | Error e ->
         prerr_endline e;
         1
+      | Ok o when o.Hub_inproc.halted ->
+        (* Nothing on stdout: the halted run is an interrupted hub, and
+           its resumed successor must print the complete summary alone
+           for CI's cmp against an uninterrupted run. *)
+        Printf.eprintf "halted after %d payloads (journal holds the rest)\n"
+          o.Hub_inproc.payloads;
+        0
       | Ok o ->
         (* Summary on stdout is deterministic (cmp-able by CI); the
            wall clock goes to stderr. *)
         print_string (Hub_inproc.summary o);
         Printf.eprintf "wall %.3fs\n" o.Hub_inproc.wall_s;
         0))
-  | false, Some socket ->
-    (match Hub_socket.serve ~corpus_sync ?max_campaigns ~socket ~farms
-             ~resolve:hub_target ()
-     with
-    | Ok () -> 0
-    | Error e ->
-      prerr_endline e;
-      1)
+  | false, Some socket, Ok kill ->
+    if kill <> None || halt_after <> None then begin
+      prerr_endline
+        "eof serve: --kill-worker/--halt-after are --inproc fault drills \
+         (kill the actual processes in socket mode)";
+      2
+    end
+    else (
+      match Hub_socket.serve ~corpus_sync ?max_campaigns ?journal
+              ?heartbeat_timeout ~socket ~resolve:hub_target ()
+      with
+      | Ok () -> 0
+      | Error e ->
+        prerr_endline e;
+        1)
 
 let serve_cmd =
   let inproc =
@@ -592,12 +623,14 @@ let serve_cmd =
   let socket =
     Arg.(value & opt (some string) None
          & info [ "socket" ] ~docv:"PATH"
-             ~doc:"Serve clients on a Unix domain socket at $(docv); farms stay in-process. \
-                   Submit campaigns with $(b,eof submit --socket) $(docv).")
+             ~doc:"Serve clients and workers on a Unix domain socket at $(docv). The hub \
+                   hosts no farms: start $(b,eof worker --connect) $(docv) processes to \
+                   execute shards, then $(b,eof submit --socket) $(docv) campaigns.")
   in
   let farms =
     Arg.(value & opt int 2
-         & info [ "farms" ] ~docv:"N" ~doc:"Worker farm slots in the fleet.")
+         & info [ "farms" ] ~docv:"N"
+             ~doc:"Worker count (--inproc mode; socket-mode workers are external processes).")
   in
   let tenant =
     Arg.(value & opt_all string []
@@ -624,12 +657,40 @@ let serve_cmd =
          & info [ "max-campaigns" ] ~docv:"N"
              ~doc:"Socket mode: exit after $(docv) campaigns complete (default: serve forever).")
   in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Append every state-changing frame to $(docv) before applying it. A hub \
+                   restarted on the same journal replays it and resumes: finished \
+                   campaigns keep their digests, unfinished ones restart from their seeds.")
+  in
+  let heartbeat_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "heartbeat-timeout" ] ~docv:"S"
+             ~doc:"Declare a worker dead after $(docv) seconds of silence while it holds \
+                   leases; its shards are revoked and reassigned to survivors. Wall-clock \
+                   seconds in socket mode, virtual seconds with --inproc (default 30).")
+  in
+  let kill_worker =
+    Arg.(value & opt (some string) None
+         & info [ "kill-worker" ] ~docv:"W@N"
+             ~doc:"Fault drill (--inproc): silence worker $(i,W) after its $(i,N)-th \
+                   payload — no EOF, only the heartbeat deadline notices. Deterministic: \
+                   reruns print byte-identical summaries.")
+  in
+  let halt_after =
+    Arg.(value & opt (some int) None
+         & info [ "halt-after" ] ~docv:"N"
+             ~doc:"Fault drill (--inproc): abandon the drive after $(docv) total payloads, \
+                   simulating a hub crash. Prints nothing on stdout; rerun with the same \
+                   --journal to resume and print the full summary.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the fleet hub: shard tenant campaigns across farms, sync corpora, dedup crashes fleet-wide")
     Term.(
       const serve $ inproc $ socket $ farms $ tenant $ trace_dir $ no_corpus_sync
-      $ max_campaigns)
+      $ max_campaigns $ journal $ heartbeat_timeout $ kill_worker $ halt_after)
 
 let submit socket spec =
   match Hub_tenant.of_spec spec with
@@ -661,10 +722,97 @@ let submit_cmd =
        ~doc:"Submit a tenant campaign to a running hub and wait for its digest")
     Term.(const submit $ socket $ spec)
 
+(* --- eof worker / eof status -------------------------------------------- *)
+
+let worker connect name log_level =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "w%d" (Unix.getpid ())
+  in
+  match console_level_of_string log_level with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok console_level ->
+    let obs = Obs.create () in
+    (match console_level with
+    | Some min_level -> Obs.add_sink obs (Obs.console_sink ~min_level ())
+    | None -> ());
+    (match Hub_socket.worker ~obs ~socket:connect ~name ~resolve:hub_target () with
+    | Ok () -> 0
+    | Error e ->
+      prerr_endline (Printf.sprintf "eof worker %s: %s" name e);
+      1)
+
+let worker_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"PATH"
+             ~doc:"The hub's Unix domain socket (retries while the hub comes up).")
+  in
+  let wname =
+    Arg.(value & opt (some string) None
+         & info [ "name" ] ~docv:"NAME"
+             ~doc:"Worker name shown in $(b,eof status) (default: w$(i,PID)).")
+  in
+  let log_level =
+    Arg.(value & opt string "info"
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Console telemetry on stderr at $(docv): $(b,trace), $(b,debug), \
+                   $(b,info), $(b,warn), $(b,error), or $(b,off).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Run a farm worker process: connect to a hub, execute leased shards until \
+             the hub shuts down")
+    Term.(const worker $ connect $ wname $ log_level)
+
+let status connect =
+  match Hub_socket.status ~socket:connect with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok (rows, workers) ->
+    if rows = [] then print_endline "no campaigns"
+    else
+      List.iter
+        (fun (r : Eof_hub.Protocol.status_row) ->
+          Printf.printf
+            "%-16s #%d %-10s %-8s shards %d/%d | executed %d | coverage %d | crashes %d\n"
+            r.Eof_hub.Protocol.tenant r.Eof_hub.Protocol.campaign
+            r.Eof_hub.Protocol.os
+            (if r.Eof_hub.Protocol.finished then "done" else "running")
+            r.Eof_hub.Protocol.shards_done r.Eof_hub.Protocol.shards
+            r.Eof_hub.Protocol.executed r.Eof_hub.Protocol.coverage
+            r.Eof_hub.Protocol.crashes)
+        rows;
+    if workers = [] then print_endline "no workers"
+    else
+      List.iter
+        (fun (w : Eof_hub.Protocol.worker_row) ->
+          Printf.printf "worker %d %-16s %-5s leases %d\n" w.Eof_hub.Protocol.worker
+            w.Eof_hub.Protocol.name
+            (if w.Eof_hub.Protocol.alive then "alive" else "dead")
+            w.Eof_hub.Protocol.leases)
+        workers;
+    0
+
+let status_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"PATH" ~doc:"The hub's Unix domain socket.")
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Query a running hub: per-tenant shard progress, worker liveness, crash counts")
+    Term.(const status $ connect)
+
 let main_cmd =
   let doc = "feedback-guided fuzzing of embedded OSs over a (simulated) debug port" in
   Cmd.group
     (Cmd.info "eof" ~version:"1.0.0" ~doc)
-    [ fuzz_cmd; trace_cmd; spec_cmd; targets_cmd; artifact_cmd; serve_cmd; submit_cmd ]
+    [ fuzz_cmd; trace_cmd; spec_cmd; targets_cmd; artifact_cmd; serve_cmd;
+      submit_cmd; worker_cmd; status_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

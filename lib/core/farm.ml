@@ -193,6 +193,7 @@ type t = {
   cursors : cursor array;
   mutable since : int;  (* payloads executed since the last epoch *)
   mutable finalized : bool;  (* the final epoch merge has run *)
+  mutable paused : bool;  (* lease revoked: the scheduler skips this farm *)
   mutable result : outcome option;
   t0 : float;
 }
@@ -220,6 +221,8 @@ let finished t = Array.for_all Campaign.finished t.states
    would make the interleaving backend-dependent and break the
    differential oracle's farm equality. *)
 let next_board t =
+  if t.paused then None
+  else
   let n = Array.length t.states in
   let best = ref (-1) and best_t = ref infinity in
   for i = n - 1 downto 0 do
@@ -410,6 +413,7 @@ let init ?obs ?inject_for (config : config) mk_build =
               cursors = Array.init (Array.length states) (fun _ -> make_cursor ());
               since = 0;
               finalized = false;
+              paused = false;
               result = None;
               t0;
             }
@@ -431,6 +435,20 @@ let executed_so_far t = t.shared.executed_synced
 let virtual_now t = t.shared.virtual_max
 
 let syncs_so_far t = t.shared.syncs
+
+(* A revoked lease must stop contributing immediately: run one
+   off-cycle epoch so the shared structures reflect everything executed
+   so far (the worker's final flush reads them), then freeze the
+   scheduler. Pausing is terminal for this farm instance — the hub
+   reassigns the shard to another worker, which rebuilds it fresh. *)
+let pause t =
+  if not t.paused then begin
+    epoch t;
+    t.since <- 0;
+    t.paused <- true
+  end
+
+let paused t = t.paused
 
 let adopt t progs =
   List.fold_left

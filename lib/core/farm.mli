@@ -156,6 +156,15 @@ val adopt : t -> Prog.t list -> int
     its next epoch pull. Returns how many were new (content-hash dedup
     applies). *)
 
+val pause : t -> unit
+(** Freeze a cooperative farm whose shard lease was revoked: run one
+    off-cycle epoch merge (so the mid-run observers reflect everything
+    executed) and stop the scheduler — {!step} becomes a no-op and
+    {!next_cpu_s} returns [None]. Terminal for this instance; the hub
+    rebuilds the shard elsewhere. Idempotent. *)
+
+val paused : t -> bool
+
 val run :
   ?obs:Eof_obs.Obs.t ->
   ?inject_for:(int -> Eof_debug.Inject.config option) ->

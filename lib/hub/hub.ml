@@ -9,18 +9,33 @@ module Transplant = Eof_core.Transplant
 
 type resolved = { spec : Eof_spec.Ast.t; table : Eof_rtos.Api.table }
 
-type action = To_client of int * Protocol.t | To_farm of int * Protocol.t
+type action = To_client of int * Protocol.t | To_worker of int * Protocol.t
+
+(* One shard of one campaign, as the hub tracks it: the planned
+   assignment plus the lease state machine layered on top. The epoch is
+   the fencing token — bumped on every revocation, echoed by the owning
+   worker on everything it sends back, so traffic from a worker whose
+   lease was withdrawn (a zombie that missed its heartbeat deadline but
+   is still flushing) is recognisably stale and dropped. *)
+type lease = {
+  assign : Shard.assignment;  (** as planned: epoch field is the birth epoch *)
+  mutable epoch : int;
+  mutable owner : int option;  (** worker id currently holding the lease *)
+  mutable completed : bool;
+  mutable last_owner : int;  (** previous owner, -1 if none (for telemetry) *)
+}
 
 type campaign = {
   id : int;
   config : Tenant.config;
   client : int;
   resolved : resolved;
-  corpus : Corpus.t;  (** hub-side merged view of the tenant's corpus *)
+  mutable corpus : Corpus.t;  (** hub-side merged view of the tenant's corpus *)
   seen : (string, unit) Hashtbl.t;
       (** wire encodings already known, so a pushed program is
           broadcast at most once and pulls never echo back *)
   mutable bitmap : Bitset.t option;  (** allocated at the first heartbeat *)
+  leases : lease array;  (** one per shard *)
   shard_exec : int array;
   shard_virtual : float array;
   mutable shards_done : int;
@@ -46,37 +61,38 @@ let cross_cap = 32
 
 type fleet_entry = { crash : Crash.t; mutable tenants : string list }
 
+type worker_state = {
+  wid : int;
+  wname : string;
+  mutable last_seen : float;
+  mutable alive : bool;
+}
+
 type t = {
-  farms : int;
   resolve : string -> (resolved, string) result;
   corpus_sync : bool;
+  heartbeat_timeout : float;
   obs : Obs.t;
   campaigns : (int, campaign) Hashtbl.t;
   mutable order : int list;  (** campaign ids, submission order (reversed) *)
   mutable next_id : int;
+  workers : (int, worker_state) Hashtbl.t;
+  mutable worker_order : int list;  (** worker ids, join order (reversed) *)
+  mutable next_wid : int;
   fleet_crashes : (string, fleet_entry) Hashtbl.t;
   mutable fleet_order : string list;  (** dedup keys, discovery order (reversed) *)
   mutable transplants : int;  (** programs relayed shard-to-shard *)
+  mutable journal : Journal.t option;
+  mutable replaying : bool;  (** journal replay in progress: no fencing, no re-journaling *)
+  mutable reassignments : int;
+  mutable fenced : int;
+  mutable payloads_lost : int;
+  mutable recovery_lag : float;
+  mutable replayed_frames : int;
+  cnt_reassigned : Obs.Counter.t;
+  cnt_fenced : Obs.Counter.t;
+  cnt_lost : Obs.Counter.t;
 }
-
-let create ?obs ?(corpus_sync = true) ~farms ~resolve () =
-  if farms < 1 then invalid_arg "Hub.create: farms must be >= 1";
-  {
-    farms;
-    resolve;
-    corpus_sync;
-    obs = (match obs with Some o -> o | None -> Obs.create ());
-    campaigns = Hashtbl.create 8;
-    order = [];
-    next_id = 1;
-    fleet_crashes = Hashtbl.create 16;
-    fleet_order = [];
-    transplants = 0;
-  }
-
-(* Shard k of any campaign lives on farm [k mod farms] — the inverse of
-   this mapping is what routes per-shard traffic. *)
-let farm_of t shard = shard mod t.farms
 
 let campaign_exn t id =
   match Hashtbl.find_opt t.campaigns id with
@@ -86,6 +102,187 @@ let campaign_exn t id =
 let virtual_now c = Array.fold_left Float.max 0. c.shard_virtual
 
 let message (c : campaign) text = Obs.message c.obs Obs.Level.Info text
+
+let journal_append t msg =
+  if not t.replaying then
+    match t.journal with Some j -> Journal.append j msg | None -> ()
+
+(* --- worker registry ---------------------------------------------------- *)
+
+let worker_load t wid =
+  List.fold_left
+    (fun acc id ->
+      let c = campaign_exn t id in
+      Array.fold_left
+        (fun acc l -> if l.owner = Some wid && not l.completed then acc + 1 else acc)
+        acc c.leases)
+    0 (List.rev t.order)
+
+(* Least-loaded alive worker, ties to the lowest id — with equal loads
+   and workers joined in index order this reproduces the historical
+   [shard mod farms] placement, which keeps fault-free fleet digests
+   stable across the registry refactor. *)
+let pick_worker t =
+  List.fold_left
+    (fun best wid ->
+      let w = Hashtbl.find t.workers wid in
+      if not w.alive then best
+      else
+        let load = worker_load t wid in
+        match best with Some (_, bl) when bl <= load -> best | _ -> Some (wid, load))
+    None
+    (List.rev t.worker_order)
+
+let encode_corpus c =
+  List.filter_map
+    (fun prog ->
+      match Wire.encode ~endianness:Eof_hw.Arch.Little (Prog.to_wire prog) with
+      | Ok w -> Some w
+      | Error _ -> None)
+    (Corpus.progs c.corpus)
+
+(* Hand every unowned, uncompleted lease to a surviving worker. Walks
+   campaigns in submission order and shards in shard order, so the
+   assignment stream is deterministic. A lease past its birth epoch is a
+   reassignment (or a post-restart restart): the fresh farm starts from
+   the tenant seed, so the hub replays its merged corpus as a bootstrap
+   pull — re-executed discovery is deduplicated on arrival, but the
+   seeds themselves must not be lost with the dead worker. *)
+let assign_pending t =
+  List.concat_map
+    (fun id ->
+      let c = campaign_exn t id in
+      List.concat
+        (Array.to_list
+           (Array.mapi
+              (fun k l ->
+                if l.owner <> None || l.completed then []
+                else
+                  match pick_worker t with
+                  | None -> []
+                  | Some (wid, _) ->
+                    l.owner <- Some wid;
+                    if l.last_owner >= 0 then begin
+                      t.reassignments <- t.reassignments + 1;
+                      Obs.Counter.incr t.cnt_reassigned;
+                      Obs.emit c.obs
+                        (Obs.Event.Shard_reassigned
+                           {
+                             campaign = c.id;
+                             shard = k;
+                             epoch = l.epoch;
+                             from_worker = l.last_owner;
+                             to_worker = wid;
+                           })
+                    end;
+                    let a = { l.assign with Shard.epoch = l.epoch } in
+                    let bootstrap =
+                      if l.epoch > l.assign.Shard.epoch && Corpus.size c.corpus > 0
+                      then
+                        [ To_worker
+                            ( wid,
+                              Protocol.Corpus_pull
+                                { campaign = c.id; shard = k; progs = encode_corpus c }
+                            );
+                        ]
+                      else []
+                    in
+                    To_worker (wid, Protocol.Shard_assign a) :: bootstrap)
+              c.leases)))
+    (List.rev t.order)
+
+let hello t ~now ~name =
+  if not (Tenant.name_ok name) then
+    Error
+      (Printf.sprintf
+         "invalid worker name %S (1-64 chars, [A-Za-z0-9_-])" name)
+  else begin
+    let wid = t.next_wid in
+    t.next_wid <- wid + 1;
+    Hashtbl.replace t.workers wid { wid; wname = name; last_seen = now; alive = true };
+    t.worker_order <- wid :: t.worker_order;
+    Obs.emit t.obs (Obs.Event.Worker_joined { worker = wid; name });
+    Ok
+      ( wid,
+        To_worker
+          ( wid,
+            Protocol.Worker_welcome
+              { worker = wid; heartbeat_timeout_s = t.heartbeat_timeout } )
+        :: assign_pending t )
+  end
+
+(* Declare a worker dead: revoke every active lease it holds (bumping
+   the epoch first, so anything the zombie still flushes is fenced),
+   notify it best-effort, and hand the shards to survivors. The work the
+   dead worker had reported is discarded — shards restart from scratch
+   on their new owner, which is what keeps the outcome independent of
+   *when* the death was detected. *)
+let worker_lost t ~now ~worker =
+  ignore now;
+  match Hashtbl.find_opt t.workers worker with
+  | None -> []
+  | Some w when not w.alive -> []
+  | Some w ->
+    w.alive <- false;
+    let revokes = ref [] and nleases = ref 0 in
+    List.iter
+      (fun id ->
+        let c = campaign_exn t id in
+        Array.iteri
+          (fun k l ->
+            if l.owner = Some worker && not l.completed then begin
+              incr nleases;
+              t.payloads_lost <- t.payloads_lost + c.shard_exec.(k);
+              Obs.Counter.add t.cnt_lost c.shard_exec.(k);
+              t.recovery_lag <- Float.max t.recovery_lag c.shard_virtual.(k);
+              c.shard_exec.(k) <- 0;
+              c.shard_virtual.(k) <- 0.;
+              l.owner <- None;
+              l.last_owner <- worker;
+              revokes :=
+                To_worker
+                  ( worker,
+                    Protocol.Shard_revoke
+                      { campaign = c.id; shard = k; epoch = l.epoch } )
+                :: !revokes;
+              l.epoch <- l.epoch + 1
+            end)
+          c.leases)
+      (List.rev t.order);
+    Obs.emit t.obs (Obs.Event.Worker_lost { worker; leases = !nleases });
+    List.rev !revokes @ assign_pending t
+
+(* Heartbeat-deadline scan plus a retry of any still-pending leases
+   (shards orphaned while no survivor was available). Only workers
+   holding at least one active lease are subject to the deadline: an
+   idle worker has nothing the fleet is waiting on, and exempting it
+   keeps the deterministic in-process driver free of spurious deaths. *)
+let tick t ~now =
+  let lost =
+    List.filter
+      (fun wid ->
+        let w = Hashtbl.find t.workers wid in
+        w.alive
+        && now -. w.last_seen > t.heartbeat_timeout
+        && worker_load t wid > 0)
+      (List.rev t.worker_order)
+  in
+  List.concat_map (fun wid -> worker_lost t ~now ~worker:wid) lost
+  @ assign_pending t
+
+let worker_rows t =
+  List.rev_map
+    (fun wid ->
+      let w = Hashtbl.find t.workers wid in
+      {
+        Protocol.worker = wid;
+        name = w.wname;
+        alive = w.alive;
+        leases = worker_load t wid;
+      })
+    t.worker_order
+
+(* --- campaign lifecycle ------------------------------------------------- *)
 
 let submit t ~client (config : Tenant.config) =
   match Tenant.validate config with
@@ -112,6 +309,19 @@ let submit t ~client (config : Tenant.config) =
         let id = t.next_id in
         t.next_id <- id + 1;
         let seed_rng = Eof_util.Rng.create config.Tenant.seed in
+        let leases =
+          Array.of_list
+            (List.map
+               (fun a ->
+                 {
+                   assign = a;
+                   epoch = a.Shard.epoch;
+                   owner = None;
+                   completed = false;
+                   last_owner = -1;
+                 })
+               (Shard.plan ~campaign:id config))
+        in
         let c =
           {
             id;
@@ -121,6 +331,7 @@ let submit t ~client (config : Tenant.config) =
             corpus = Corpus.create ~rng:seed_rng ();
             seen = Hashtbl.create 64;
             bitmap = None;
+            leases;
             shard_exec = Array.make config.Tenant.farms 0;
             shard_virtual = Array.make config.Tenant.farms 0.;
             shards_done = 0;
@@ -137,16 +348,49 @@ let submit t ~client (config : Tenant.config) =
         Obs.set_clock c.obs (fun () -> virtual_now c);
         Hashtbl.replace t.campaigns id c;
         t.order <- id :: t.order;
+        journal_append t (Protocol.Submit config);
         message c
           (Printf.sprintf "campaign %d accepted: %s" id (Tenant.to_string config));
-        let assigns =
-          List.map
-            (fun (a : Shard.assignment) ->
-              To_farm (farm_of t a.Shard.shard, Protocol.Shard_assign a))
-            (Shard.plan ~campaign:id config)
-        in
         To_client (client, Protocol.Accept { campaign = id; tenant = config.Tenant.tenant })
-        :: assigns)
+        :: assign_pending t)
+
+(* Wind a campaign back to the moment of acceptance: fresh corpus from
+   the tenant seed, empty coverage and crash state, every lease
+   unowned at a bumped epoch. Used when a journal replay finds the
+   campaign unfinished — the deterministic re-run of the whole campaign
+   reaches the same digest the uninterrupted run would have, because
+   hub-side accounting (seen-set dedup, bitmap union, absolute executed
+   counters, crash dedup keys) is idempotent under re-delivery. The
+   fleet-wide crash set is deliberately *not* wound back: re-reported
+   crashes dedup into it. *)
+let reset_campaign t c =
+  if not t.replaying then begin
+    let lost = Array.fold_left ( + ) 0 c.shard_exec in
+    t.payloads_lost <- t.payloads_lost + lost;
+    Obs.Counter.add t.cnt_lost lost;
+    t.recovery_lag <-
+      Array.fold_left Float.max t.recovery_lag c.shard_virtual
+  end;
+  c.corpus <- Corpus.create ~rng:(Eof_util.Rng.create c.config.Tenant.seed) ();
+  Hashtbl.reset c.seen;
+  c.bitmap <- None;
+  Array.fill c.shard_exec 0 (Array.length c.shard_exec) 0;
+  Array.fill c.shard_virtual 0 (Array.length c.shard_virtual) 0.;
+  c.shards_done <- 0;
+  c.iterations_done <- 0;
+  c.crash_events <- 0;
+  c.crashes_rev <- [];
+  Hashtbl.reset c.crash_keys;
+  c.syncs <- 0;
+  c.cross_in <- 0;
+  c.digest <- None;
+  Array.iter
+    (fun l ->
+      l.epoch <- l.epoch + 1;
+      l.owner <- None;
+      l.completed <- false;
+      l.last_owner <- -1)
+    c.leases
 
 (* One pushed program: admit into the hub's merged corpus (decoding
    through the campaign's own spec/table, so a malformed or
@@ -180,21 +424,24 @@ let corpus_push t c ~shard progs =
         end)
       progs
   in
+  (* A pull is only routed to a shard whose lease has a live owner; a
+     pending (dead-owner) shard catches up through the bootstrap pull
+     replayed at reassignment — the hub corpus already holds these
+     programs. *)
+  let route (d : campaign) k progs =
+    match d.leases.(k).owner with
+    | Some w when not d.leases.(k).completed ->
+      t.transplants <- t.transplants + List.length progs;
+      Some
+        (To_worker (w, Protocol.Corpus_pull { campaign = d.id; shard = k; progs }))
+    | _ -> None
+  in
   if fresh = [] || not t.corpus_sync then []
   else begin
     let wires = List.map fst fresh in
     let same_personality =
       List.filter_map
-        (fun k ->
-          if k = shard then None
-          else begin
-            t.transplants <- t.transplants + List.length wires;
-            Some
-              (To_farm
-                 ( farm_of t k,
-                   Protocol.Corpus_pull { campaign = c.id; shard = k; progs = wires }
-                 ))
-          end)
+        (fun k -> if k = shard then None else route c k wires)
         (List.init c.config.Tenant.farms Fun.id)
     in
     (* Cross-personality: retype each fresh program against every other
@@ -254,13 +501,8 @@ let corpus_push t c ~shard progs =
             in
             if retyped = [] then []
             else
-              List.map
-                (fun k ->
-                  t.transplants <- t.transplants + List.length retyped;
-                  To_farm
-                    ( farm_of t k,
-                      Protocol.Corpus_pull
-                        { campaign = d.id; shard = k; progs = retyped } ))
+              List.filter_map
+                (fun k -> route d k retyped)
                 (List.init d.config.Tenant.farms Fun.id)
           end)
         (List.rev t.order)
@@ -290,8 +532,7 @@ let crash_report t c crash =
          { kind = Crash.kind_name crash.Crash.kind; operation = crash.Crash.operation })
   end
 
-let heartbeat t c ~shard ~executed ~coverage ~edge_capacity ~virtual_s ~bitmap =
-  ignore t;
+let heartbeat c ~shard ~executed ~coverage ~edge_capacity ~virtual_s ~bitmap =
   c.shard_exec.(shard) <- executed;
   c.shard_virtual.(shard) <- Float.max c.shard_virtual.(shard) virtual_s;
   let dst =
@@ -327,8 +568,7 @@ let tenant_digest c =
     ~executed:(Array.fold_left ( + ) 0 c.shard_exec)
     ~iterations_done:c.iterations_done
 
-let shard_done t c ~shard ~executed ~iterations ~crash_events ~virtual_s =
-  ignore t;
+let shard_done c ~shard ~executed ~iterations ~crash_events ~virtual_s =
   c.shard_exec.(shard) <- executed;
   c.shard_virtual.(shard) <- Float.max c.shard_virtual.(shard) virtual_s;
   c.iterations_done <- c.iterations_done + iterations;
@@ -370,14 +610,20 @@ let cancel t id =
     if c.digest <> None then []
     else
       List.filter_map
-        (fun k ->
-          Some (To_farm (farm_of t k, Protocol.Cancel { campaign = id })))
-        (List.init c.config.Tenant.farms Fun.id)
+        (fun l ->
+          match l.owner with
+          | Some w when not l.completed ->
+            Some (To_worker (w, Protocol.Cancel { campaign = id }))
+          | _ -> None)
+        (Array.to_list c.leases)
 
 let handle_client t ~client msg =
   match msg with
   | Protocol.Submit config -> submit t ~client config
-  | Protocol.Status_req -> [ To_client (client, Protocol.Status (status t)) ]
+  | Protocol.Status_req ->
+    [ To_client
+        (client, Protocol.Status { rows = status t; workers = worker_rows t });
+    ]
   | Protocol.Cancel { campaign } -> cancel t campaign
   | other ->
     [ To_client
@@ -390,28 +636,222 @@ let handle_client t ~client msg =
             } );
     ]
 
-let handle_farm t ~farm msg =
-  ignore farm;
+(* The fence: traffic for a shard is only admitted when it names the
+   current lease epoch and comes from the current owner. Everything
+   else — a zombie flushing after its deadline fired, a frame for a
+   campaign the hub never heard of (restarted hub, stale worker) — is
+   dropped and counted, never raised on: remote workers are processes
+   outside this one's fate-sharing domain. *)
+let fence t ~worker ~campaign ~shard ~epoch ~kind =
+  match Hashtbl.find_opt t.campaigns campaign with
+  | Some c
+    when shard >= 0
+         && shard < Array.length c.leases
+         && c.leases.(shard).epoch = epoch
+         && c.leases.(shard).owner = Some worker ->
+    Some c
+  | maybe ->
+    t.fenced <- t.fenced + 1;
+    Obs.Counter.incr t.cnt_fenced;
+    let bus = match maybe with Some c -> c.obs | None -> t.obs in
+    Obs.emit bus (Obs.Event.Lease_fenced { campaign; shard; epoch; kind });
+    None
+
+let handle_worker t ~now ~worker msg =
+  let alive =
+    match Hashtbl.find_opt t.workers worker with
+    | Some w when w.alive ->
+      w.last_seen <- now;
+      true
+    | _ -> false
+  in
+  let ack = [ To_worker (worker, Protocol.Heartbeat_ack { worker }) ] in
   match msg with
-  | Protocol.Corpus_push { campaign; shard; progs } ->
-    corpus_push t (campaign_exn t campaign) ~shard progs
-  | Protocol.Crash_report { campaign; shard = _; crash } ->
-    crash_report t (campaign_exn t campaign) crash;
-    []
-  | Protocol.Heartbeat { campaign; shard; executed; coverage; edge_capacity; virtual_s; bitmap } ->
-    heartbeat t (campaign_exn t campaign) ~shard ~executed ~coverage ~edge_capacity
-      ~virtual_s ~bitmap;
-    []
-  | Protocol.Shard_done { campaign; shard; executed; iterations; crash_events; virtual_s } ->
-    shard_done t (campaign_exn t campaign) ~shard ~executed ~iterations ~crash_events
-      ~virtual_s
+  | Protocol.Worker_ping _ -> if alive then ack else []
+  | Protocol.Corpus_push { campaign; shard; epoch; progs } -> (
+    match fence t ~worker ~campaign ~shard ~epoch ~kind:(Protocol.kind_name msg) with
+    | None -> []
+    | Some c ->
+      journal_append t msg;
+      corpus_push t c ~shard progs)
+  | Protocol.Crash_report { campaign; shard; epoch; crash } -> (
+    match fence t ~worker ~campaign ~shard ~epoch ~kind:(Protocol.kind_name msg) with
+    | None -> []
+    | Some c ->
+      journal_append t msg;
+      crash_report t c crash;
+      [])
+  | Protocol.Heartbeat
+      { campaign; shard; epoch; executed; coverage; edge_capacity; virtual_s; bitmap }
+    -> (
+    match fence t ~worker ~campaign ~shard ~epoch ~kind:(Protocol.kind_name msg) with
+    | None -> []
+    | Some c ->
+      journal_append t msg;
+      heartbeat c ~shard ~executed ~coverage ~edge_capacity ~virtual_s ~bitmap;
+      ack)
+  | Protocol.Shard_done { campaign; shard; epoch; executed; iterations; crash_events; virtual_s }
+    -> (
+    match fence t ~worker ~campaign ~shard ~epoch ~kind:(Protocol.kind_name msg) with
+    | None -> []
+    | Some c ->
+      let l = c.leases.(shard) in
+      if l.completed then []
+      else begin
+        journal_append t msg;
+        l.completed <- true;
+        l.owner <- None;
+        shard_done c ~shard ~executed ~iterations ~crash_events ~virtual_s
+      end)
   | other ->
-    invalid_arg
-      (Printf.sprintf "Hub: unexpected farm message %s" (Protocol.kind_name other))
+    Obs.message t.obs Obs.Level.Warn
+      (Printf.sprintf "hub: dropping unexpected worker message %s"
+         (Protocol.kind_name other));
+    []
+
+(* --- journal replay ----------------------------------------------------- *)
+
+(* Re-apply one journaled farm frame. No fencing (the frame was fenced
+   when it was first accepted) and no owners exist yet; the lease epoch
+   is tracked as a high-water mark so post-replay epochs always exceed
+   anything a pre-restart zombie could still name. *)
+let replay_frame t msg =
+  let lease_of campaign shard =
+    match Hashtbl.find_opt t.campaigns campaign with
+    | Some c when shard >= 0 && shard < Array.length c.leases ->
+      let l = c.leases.(shard) in
+      Some (c, l)
+    | _ -> None
+  in
+  match msg with
+  | Protocol.Submit config -> ignore (submit t ~client:0 config : action list)
+  | Protocol.Accept { campaign; _ } -> (
+    (* the restart marker: this campaign was reset by a previous
+       replay — wind it back exactly as the live hub did *)
+    match Hashtbl.find_opt t.campaigns campaign with
+    | Some c -> reset_campaign t c
+    | None -> ())
+  | Protocol.Corpus_push { campaign; shard; epoch; progs } -> (
+    match lease_of campaign shard with
+    | None -> ()
+    | Some (c, l) ->
+      if epoch > l.epoch then l.epoch <- epoch;
+      ignore (corpus_push t c ~shard progs : action list))
+  | Protocol.Crash_report { campaign; shard; epoch; crash } -> (
+    match lease_of campaign shard with
+    | None -> ()
+    | Some (c, l) ->
+      if epoch > l.epoch then l.epoch <- epoch;
+      crash_report t c crash)
+  | Protocol.Heartbeat
+      { campaign; shard; epoch; executed; coverage; edge_capacity; virtual_s; bitmap }
+    -> (
+    match lease_of campaign shard with
+    | None -> ()
+    | Some (c, l) ->
+      if epoch > l.epoch then l.epoch <- epoch;
+      heartbeat c ~shard ~executed ~coverage ~edge_capacity ~virtual_s ~bitmap)
+  | Protocol.Shard_done { campaign; shard; epoch; executed; iterations; crash_events; virtual_s }
+    -> (
+    match lease_of campaign shard with
+    | None -> ()
+    | Some (c, l) ->
+      if epoch > l.epoch then l.epoch <- epoch;
+      if not l.completed then begin
+        l.completed <- true;
+        ignore
+          (shard_done c ~shard ~executed ~iterations ~crash_events ~virtual_s
+            : action list)
+      end)
+  | _ -> ()
+
+let create ?obs ?(corpus_sync = true) ?journal ?(heartbeat_timeout = 30.) ~resolve ()
+    =
+  if heartbeat_timeout <= 0. then
+    invalid_arg "Hub.create: heartbeat_timeout must be positive";
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let t =
+    {
+      resolve;
+      corpus_sync;
+      heartbeat_timeout;
+      obs;
+      campaigns = Hashtbl.create 8;
+      order = [];
+      next_id = 1;
+      workers = Hashtbl.create 8;
+      worker_order = [];
+      next_wid = 0;
+      fleet_crashes = Hashtbl.create 16;
+      fleet_order = [];
+      transplants = 0;
+      journal = None;
+      replaying = false;
+      reassignments = 0;
+      fenced = 0;
+      payloads_lost = 0;
+      recovery_lag = 0.;
+      replayed_frames = 0;
+      cnt_reassigned = Obs.Counter.make obs "hub.reassignments";
+      cnt_fenced = Obs.Counter.make obs "hub.fenced";
+      cnt_lost = Obs.Counter.make obs "hub.payloads-lost";
+    }
+  in
+  (match journal with
+  | None -> ()
+  | Some path ->
+    if Sys.file_exists path then begin
+      match Journal.replay path with
+      | Error msg -> invalid_arg (Printf.sprintf "Hub.create: journal %s: %s" path msg)
+      | Ok frames ->
+        t.replaying <- true;
+        List.iter (replay_frame t) frames;
+        t.replaying <- false;
+        t.replayed_frames <- List.length frames
+    end;
+    (match Journal.open_ path with
+    | Error msg -> invalid_arg (Printf.sprintf "Hub.create: journal %s: %s" path msg)
+    | Ok j -> t.journal <- Some j);
+    (* Campaigns the replay left unfinished cannot be resumed mid-shard —
+       the workers' in-memory farm state died with the old process.
+       Reset them for a deterministic re-run, and append the restart
+       marker so a *second* replay winds them back at the same point in
+       the frame stream. *)
+    let reset =
+      List.fold_left
+        (fun n id ->
+          let c = campaign_exn t id in
+          if c.digest = None then begin
+            reset_campaign t c;
+            journal_append t
+              (Protocol.Accept { campaign = c.id; tenant = c.config.Tenant.tenant });
+            n + 1
+          end
+          else n)
+        0 (List.rev t.order)
+    in
+    if t.replayed_frames > 0 then
+      Obs.emit t.obs
+        (Obs.Event.Journal_replay
+           {
+             frames = t.replayed_frames;
+             campaigns = List.length t.order;
+             reset;
+           }));
+  t
+
+let close t =
+  (match t.journal with Some j -> Journal.close j | None -> ());
+  t.journal <- None
+
+(* --- read-side ---------------------------------------------------------- *)
 
 let all_done t =
   t.order <> []
   && List.for_all (fun id -> (campaign_exn t id).digest <> None) t.order
+
+let tenants t =
+  List.rev_map (fun id -> (campaign_exn t id).config.Tenant.tenant) t.order
 
 let tenant_digests t =
   List.rev
@@ -433,3 +873,15 @@ let fleet_crashes t =
     t.fleet_order
 
 let transplants t = t.transplants
+
+let heartbeat_timeout t = t.heartbeat_timeout
+
+let reassignments t = t.reassignments
+
+let fenced t = t.fenced
+
+let payloads_lost t = t.payloads_lost
+
+let recovery_lag t = t.recovery_lag
+
+let replayed_frames t = t.replayed_frames

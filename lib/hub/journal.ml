@@ -1,0 +1,41 @@
+type t = { oc : out_channel }
+
+let open_ path =
+  match open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path with
+  | oc -> Ok { oc }
+  | exception Sys_error msg -> Error msg
+
+let append t msg =
+  output_string t.oc (Protocol.encode msg);
+  flush t.oc
+
+let close t = close_out t.oc
+
+(* Walk the file frame by frame. Anything short or corrupt at the tail
+   is the torn write of a killed hub — stop there and keep the prefix.
+   A bad frame *followed by more data* would indicate real corruption,
+   but distinguishing it buys nothing: replay semantics only promise a
+   prefix of history, and the CRC already localises the damage. *)
+let replay path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let buf = really_input_string ic len in
+        let rec go off acc =
+          if off >= len then List.rev acc
+          else
+            let rest = String.sub buf off (len - off) in
+            match Protocol.frame_size rest with
+            | Ok (Some n) when off + n <= len -> (
+              match Protocol.decode (String.sub buf off n) with
+              | Ok msg -> go (off + n) (msg :: acc)
+              | Error _ -> List.rev acc)
+            | Ok _ | Error _ -> List.rev acc
+        in
+        go 0 [])
+  with
+  | msgs -> Ok msgs
+  | exception Sys_error msg -> Error msg

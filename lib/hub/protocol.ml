@@ -9,8 +9,13 @@ let magic = 0x454F4648l
 
 (* v2: tenant configs and shard assignments carry a reset-policy byte.
    v3: they additionally carry a schedule byte and a gen-mode byte, so
-   the hub can dial per-tenant seed scheduling and generator engines. *)
-let version = 3
+   the hub can dial per-tenant seed scheduling and generator engines.
+   v4: workers are remote endpoints — Worker_hello/Worker_welcome
+   register a farm process, Shard_revoke retracts a lease, Worker_ping/
+   Heartbeat_ack carry liveness both ways, Shard_assign and all
+   farm-to-hub traffic carry a lease epoch (the fencing token), and
+   Status reports worker liveness next to the tenant rows. *)
+let version = 4
 
 let header_bytes = 12 (* magic u32, version u16, kind u8, reserved u8, payload_len u32 *)
 
@@ -28,17 +33,20 @@ type status_row = {
   crashes : int;
 }
 
+type worker_row = { worker : int; name : string; alive : bool; leases : int }
+
 type t =
   | Submit of Tenant.config
   | Accept of { campaign : int; tenant : string }
   | Reject of { tenant : string; reason : string }
   | Shard_assign of Shard.assignment
-  | Corpus_push of { campaign : int; shard : int; progs : string list }
+  | Corpus_push of { campaign : int; shard : int; epoch : int; progs : string list }
   | Corpus_pull of { campaign : int; shard : int; progs : string list }
-  | Crash_report of { campaign : int; shard : int; crash : Crash.t }
+  | Crash_report of { campaign : int; shard : int; epoch : int; crash : Crash.t }
   | Heartbeat of {
       campaign : int;
       shard : int;
+      epoch : int;
       executed : int;
       coverage : int;
       edge_capacity : int;
@@ -46,17 +54,23 @@ type t =
       bitmap : string;
     }
   | Status_req
-  | Status of status_row list
+  | Status of { rows : status_row list; workers : worker_row list }
   | Cancel of { campaign : int }
   | Shard_done of {
       campaign : int;
       shard : int;
+      epoch : int;
       executed : int;
       iterations : int;
       crash_events : int;
       virtual_s : float;
     }
   | Campaign_done of { campaign : int; tenant : string; digest : string }
+  | Worker_hello of { name : string }
+  | Worker_welcome of { worker : int; heartbeat_timeout_s : float }
+  | Shard_revoke of { campaign : int; shard : int; epoch : int }
+  | Worker_ping of { worker : int }
+  | Heartbeat_ack of { worker : int }
 
 let kind_code = function
   | Submit _ -> 1
@@ -72,6 +86,11 @@ let kind_code = function
   | Cancel _ -> 11
   | Shard_done _ -> 12
   | Campaign_done _ -> 13
+  | Worker_hello _ -> 14
+  | Worker_welcome _ -> 15
+  | Shard_revoke _ -> 16
+  | Worker_ping _ -> 17
+  | Heartbeat_ack _ -> 18
 
 let kind_name = function
   | Submit _ -> "submit"
@@ -87,6 +106,11 @@ let kind_name = function
   | Cancel _ -> "cancel"
   | Shard_done _ -> "shard-done"
   | Campaign_done _ -> "campaign-done"
+  | Worker_hello _ -> "worker-hello"
+  | Worker_welcome _ -> "worker-welcome"
+  | Shard_revoke _ -> "shard-revoke"
+  | Worker_ping _ -> "worker-ping"
+  | Heartbeat_ack _ -> "heartbeat-ack"
 
 type error =
   | Truncated  (** shorter than its header claims — wait for more bytes *)
@@ -291,6 +315,7 @@ let put_assignment b (a : Shard.assignment) =
   put_str b a.Shard.os;
   put_u16 b a.Shard.shard;
   put_u16 b a.Shard.shards;
+  put_u32 b a.Shard.epoch;
   put_u64 b a.Shard.seed;
   put_u32 b a.Shard.iterations;
   put_u16 b a.Shard.boards;
@@ -306,6 +331,7 @@ let assignment c =
   let os = str c in
   let shard = u16 c in
   let shards = u16 c in
+  let epoch = u32 c in
   let seed = u64 c in
   let iterations = u32 c in
   let boards = u16 c in
@@ -314,7 +340,7 @@ let assignment c =
   let reset_policy = reset_policy c in
   let schedule = schedule c in
   let gen_mode = gen_mode c in
-  { Shard.campaign; tenant; os; shard; shards; seed; iterations; boards;
+  { Shard.campaign; tenant; os; shard; shards; epoch; seed; iterations; boards;
     sync_every; backend; reset_policy; schedule; gen_mode }
 
 let put_crash b (cr : Crash.t) =
@@ -364,6 +390,19 @@ let status_row c =
   let crashes = u32 c in
   { campaign; tenant; os; finished; shards; shards_done; executed; coverage; crashes }
 
+let put_worker_row b (r : worker_row) =
+  put_u32 b r.worker;
+  put_str b r.name;
+  put_bool b r.alive;
+  put_u16 b r.leases
+
+let worker_row c =
+  let worker = u32 c in
+  let name = str c in
+  let alive = bool c in
+  let leases = u16 c in
+  { worker; name; alive; leases }
+
 let encode_payload b = function
   | Submit cfg -> put_tenant_config b cfg
   | Accept { campaign; tenant } ->
@@ -373,29 +412,41 @@ let encode_payload b = function
     put_str b tenant;
     put_str b reason
   | Shard_assign a -> put_assignment b a
-  | Corpus_push { campaign; shard; progs } | Corpus_pull { campaign; shard; progs } ->
+  | Corpus_push { campaign; shard; epoch; progs } ->
+    put_u32 b campaign;
+    put_u16 b shard;
+    put_u32 b epoch;
+    put_list b put_bytes progs
+  | Corpus_pull { campaign; shard; progs } ->
     put_u32 b campaign;
     put_u16 b shard;
     put_list b put_bytes progs
-  | Crash_report { campaign; shard; crash } ->
+  | Crash_report { campaign; shard; epoch; crash } ->
     put_u32 b campaign;
     put_u16 b shard;
+    put_u32 b epoch;
     put_crash b crash
-  | Heartbeat { campaign; shard; executed; coverage; edge_capacity; virtual_s; bitmap }
+  | Heartbeat
+      { campaign; shard; epoch; executed; coverage; edge_capacity; virtual_s; bitmap }
     ->
     put_u32 b campaign;
     put_u16 b shard;
+    put_u32 b epoch;
     put_u32 b executed;
     put_u32 b coverage;
     put_u32 b edge_capacity;
     put_f64 b virtual_s;
     put_bytes b bitmap
   | Status_req -> ()
-  | Status rows -> put_list b put_status_row rows
+  | Status { rows; workers } ->
+    put_list b put_status_row rows;
+    put_list b put_worker_row workers
   | Cancel { campaign } -> put_u32 b campaign
-  | Shard_done { campaign; shard; executed; iterations; crash_events; virtual_s } ->
+  | Shard_done { campaign; shard; epoch; executed; iterations; crash_events; virtual_s }
+    ->
     put_u32 b campaign;
     put_u16 b shard;
+    put_u32 b epoch;
     put_u32 b executed;
     put_u32 b iterations;
     put_u32 b crash_events;
@@ -404,6 +455,16 @@ let encode_payload b = function
     put_u32 b campaign;
     put_str b tenant;
     put_str b digest
+  | Worker_hello { name } -> put_str b name
+  | Worker_welcome { worker; heartbeat_timeout_s } ->
+    put_u32 b worker;
+    put_f64 b heartbeat_timeout_s
+  | Shard_revoke { campaign; shard; epoch } ->
+    put_u32 b campaign;
+    put_u16 b shard;
+    put_u32 b epoch
+  | Worker_ping { worker } -> put_u32 b worker
+  | Heartbeat_ack { worker } -> put_u32 b worker
 
 let decode_payload kind c =
   match kind with
@@ -417,42 +478,66 @@ let decode_payload kind c =
     let reason = str c in
     Reject { tenant; reason }
   | 4 -> Shard_assign (assignment c)
-  | 5 | 6 ->
+  | 5 ->
+    let campaign = u32 c in
+    let shard = u16 c in
+    let epoch = u32 c in
+    let progs = list c bytes in
+    Corpus_push { campaign; shard; epoch; progs }
+  | 6 ->
     let campaign = u32 c in
     let shard = u16 c in
     let progs = list c bytes in
-    if kind = 5 then Corpus_push { campaign; shard; progs }
-    else Corpus_pull { campaign; shard; progs }
+    Corpus_pull { campaign; shard; progs }
   | 7 ->
     let campaign = u32 c in
     let shard = u16 c in
+    let epoch = u32 c in
     let crash = crash c in
-    Crash_report { campaign; shard; crash }
+    Crash_report { campaign; shard; epoch; crash }
   | 8 ->
     let campaign = u32 c in
     let shard = u16 c in
+    let epoch = u32 c in
     let executed = u32 c in
     let coverage = u32 c in
     let edge_capacity = u32 c in
     let virtual_s = f64 c in
     let bitmap = bytes c in
-    Heartbeat { campaign; shard; executed; coverage; edge_capacity; virtual_s; bitmap }
+    Heartbeat
+      { campaign; shard; epoch; executed; coverage; edge_capacity; virtual_s; bitmap }
   | 9 -> Status_req
-  | 10 -> Status (list c status_row)
+  | 10 ->
+    let rows = list c status_row in
+    let workers = list c worker_row in
+    Status { rows; workers }
   | 11 -> Cancel { campaign = u32 c }
   | 12 ->
     let campaign = u32 c in
     let shard = u16 c in
+    let epoch = u32 c in
     let executed = u32 c in
     let iterations = u32 c in
     let crash_events = u32 c in
     let virtual_s = f64 c in
-    Shard_done { campaign; shard; executed; iterations; crash_events; virtual_s }
+    Shard_done { campaign; shard; epoch; executed; iterations; crash_events; virtual_s }
   | 13 ->
     let campaign = u32 c in
     let tenant = str c in
     let digest = str c in
     Campaign_done { campaign; tenant; digest }
+  | 14 -> Worker_hello { name = str c }
+  | 15 ->
+    let worker = u32 c in
+    let heartbeat_timeout_s = f64 c in
+    Worker_welcome { worker; heartbeat_timeout_s }
+  | 16 ->
+    let campaign = u32 c in
+    let shard = u16 c in
+    let epoch = u32 c in
+    Shard_revoke { campaign; shard; epoch }
+  | 17 -> Worker_ping { worker = u32 c }
+  | 18 -> Heartbeat_ack { worker = u32 c }
   | n -> raise (Fail (Printf.sprintf "unknown message kind %d" n))
 
 (* --- framing ------------------------------------------------------------ *)

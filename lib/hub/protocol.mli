@@ -29,41 +29,68 @@ type status_row = {
   crashes : int;  (** per-tenant deduplicated crash count *)
 }
 
+type worker_row = {
+  worker : int;  (** hub-assigned worker id *)
+  name : string;
+  alive : bool;
+  leases : int;  (** active (assigned, unfinished) shard leases *)
+}
+
 type t =
   | Submit of Tenant.config  (** client → hub: run this campaign *)
   | Accept of { campaign : int; tenant : string }  (** hub → client *)
   | Reject of { tenant : string; reason : string }  (** hub → client *)
-  | Shard_assign of Shard.assignment  (** hub → farm *)
-  | Corpus_push of { campaign : int; shard : int; progs : string list }
-      (** farm → hub: newly admitted exchange-corpus programs,
+  | Shard_assign of Shard.assignment
+      (** hub → worker; [assignment.epoch] is the lease epoch the worker
+          must echo on everything it sends back for this shard *)
+  | Corpus_push of { campaign : int; shard : int; epoch : int; progs : string list }
+      (** worker → hub: newly admitted exchange-corpus programs,
           {!Eof_agent.Wire}-encoded *)
   | Corpus_pull of { campaign : int; shard : int; progs : string list }
-      (** hub → farm: programs transplanted from sibling shards *)
-  | Crash_report of { campaign : int; shard : int; crash : Eof_core.Crash.t }
-      (** farm → hub *)
+      (** hub → worker: programs transplanted from sibling shards (or
+          the bootstrap corpus replayed at reassignment) *)
+  | Crash_report of { campaign : int; shard : int; epoch : int; crash : Eof_core.Crash.t }
+      (** worker → hub *)
   | Heartbeat of {
       campaign : int;
       shard : int;
+      epoch : int;
       executed : int;
       coverage : int;
       edge_capacity : int;
       virtual_s : float;
       bitmap : string;  (** {!Eof_util.Bitset.to_bytes} coverage snapshot *)
-    }  (** farm → hub, once per farm epoch *)
+    }  (** worker → hub, once per farm epoch *)
   | Status_req  (** client → hub *)
-  | Status of status_row list  (** hub → client *)
-  | Cancel of { campaign : int }  (** client → hub, hub → farm *)
+  | Status of { rows : status_row list; workers : worker_row list }
+      (** hub → client *)
+  | Cancel of { campaign : int }  (** client → hub, hub → worker *)
   | Shard_done of {
       campaign : int;
       shard : int;
+      epoch : int;
       executed : int;
       iterations : int;
       crash_events : int;
       virtual_s : float;
-    }  (** farm → hub *)
+    }  (** worker → hub *)
   | Campaign_done of { campaign : int; tenant : string; digest : string }
       (** hub → client: all shards finished; [digest] is the tenant's
           deterministic campaign digest *)
+  | Worker_hello of { name : string }
+      (** worker → hub: first message on a worker connection *)
+  | Worker_welcome of { worker : int; heartbeat_timeout_s : float }
+      (** hub → worker: registration reply — the worker must be heard
+          from at least every [heartbeat_timeout_s] or its leases are
+          revoked *)
+  | Shard_revoke of { campaign : int; shard : int; epoch : int }
+      (** hub → worker: the lease at [epoch] is withdrawn; stop working
+          the shard and send nothing more for it *)
+  | Worker_ping of { worker : int }
+      (** worker → hub: liveness when there is nothing else to say *)
+  | Heartbeat_ack of { worker : int }
+      (** hub → worker: ack of a [Heartbeat] or [Worker_ping] — silence
+          here tells the worker the hub is gone *)
 
 type error =
   | Truncated  (** shorter than its header claims — wait for more bytes *)
@@ -93,6 +120,5 @@ val frame_size : string -> (int option, error) result
 val header_bytes : int
 
 val version : int
-(** Current wire version (v2 added the reset-policy byte to tenant
-    configs and shard assignments). Decoding any other version is
-    [Bad_version]. *)
+(** Current wire version (v4 added the worker lifecycle messages and
+    lease epochs). Decoding any other version is [Bad_version]. *)

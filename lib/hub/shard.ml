@@ -6,6 +6,7 @@ type assignment = {
   os : string;
   shard : int;
   shards : int;
+  epoch : int;
   seed : int64;
   iterations : int;
   boards : int;
@@ -40,6 +41,7 @@ let plan ~campaign (c : Tenant.config) =
         os = c.Tenant.os;
         shard = k;
         shards = c.Tenant.farms;
+        epoch = 1;
         seed = shard_seed c.Tenant.seed k;
         iterations = shard_iterations ~total:c.Tenant.iterations ~shards:c.Tenant.farms k;
         boards = c.Tenant.boards;

@@ -13,6 +13,11 @@ type assignment = {
   os : string;
   shard : int;  (** 0-based among this campaign's shards *)
   shards : int;
+  epoch : int;
+      (** lease epoch: 1 on first assignment, bumped by the hub every
+          time the shard is revoked and reassigned — farm-to-hub traffic
+          carries it back, which is how stale (zombie) workers are
+          fenced *)
   seed : int64;  (** this shard's derived seed *)
   iterations : int;  (** this shard's slice of the budget *)
   boards : int;
@@ -30,4 +35,4 @@ val shard_seed : int64 -> int -> int64
 val shard_iterations : total:int -> shards:int -> int -> int
 
 val plan : campaign:int -> Tenant.config -> assignment list
-(** One assignment per farm, in shard order. *)
+(** One assignment per farm, in shard order, every lease at epoch 1. *)

@@ -1,52 +1,113 @@
 module Obs = Eof_obs.Obs
 
-(* Socket mode keeps the farms in-process — the hub owns its workers
-   exactly as in {!Inproc} — and serves only {e clients} over a Unix
-   domain socket: Submit / Status_req / Cancel in, Accept / Reject /
-   Status / Campaign_done out. One select loop multiplexes client I/O
-   with worker stepping, so a fuzzing fleet keeps executing payloads
-   while submissions arrive. *)
+(* Socket mode is the detached deployment: the hub process owns no
+   farms at all. Workers are separate [eof worker] processes that
+   connect to the same Unix domain socket as clients; the first frame
+   on a connection classifies it ([Worker_hello] makes it a worker,
+   anything else a client). The hub's liveness machinery runs on the
+   wall clock here — a worker that disappears (EOF) or goes silent past
+   the heartbeat deadline has its shard leases revoked and reassigned
+   to surviving workers. *)
 
-type client = {
+(* --- robust framed IO ---------------------------------------------------
+   Shared by the server loop, the worker process and the one-shot
+   clients. [Unix.read]/[write] on a socket may move fewer bytes than
+   asked and may be interrupted: every primitive here retries EINTR,
+   waits out EAGAIN (in case a caller handed us a non-blocking fd), and
+   loops until the frame boundary — never assuming one syscall moves
+   one frame. *)
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ignore (Unix.select [] [ fd ] [] (-1.));
+      write_all fd s off len
+
+(* One chunk of input: [Some 0] is EOF, [None] a connection error. *)
+let rec read_chunk fd bytes =
+  match Unix.read fd bytes 0 (Bytes.length bytes) with
+  | n -> Some n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk fd bytes
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    ignore (Unix.select [ fd ] [] [] (-1.));
+    read_chunk fd bytes
+  | exception Unix.Unix_error _ -> None
+
+let rec select_intr r w e t =
+  match Unix.select r w e t with
+  | res -> res
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_intr r w e t
+
+let write_frame fd msg =
+  let frame = Protocol.encode msg in
+  match write_all fd frame 0 (String.length frame) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+(* Extract every complete frame from an accumulation buffer, leaving
+   any partial tail in place for the next read. *)
+let take_frames buf =
+  let rec go acc =
+    let buffered = Buffer.contents buf in
+    match Protocol.frame_size buffered with
+    | Error e -> Error (Protocol.error_to_string e)
+    | Ok None -> Ok (List.rev acc)
+    | Ok (Some size) when String.length buffered < size -> Ok (List.rev acc)
+    | Ok (Some size) ->
+      let frame = String.sub buffered 0 size in
+      Buffer.clear buf;
+      Buffer.add_substring buf buffered size (String.length buffered - size);
+      (match Protocol.decode frame with
+      | Ok msg -> go (msg :: acc)
+      | Error e -> Error (Protocol.error_to_string e))
+  in
+  go []
+
+(* Read until at least one complete frame is buffered, then decode it. *)
+let read_frame fd buf =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let buffered = Buffer.contents buf in
+    match Protocol.frame_size buffered with
+    | Error e -> Error (Protocol.error_to_string e)
+    | Ok (Some size) when String.length buffered >= size ->
+      let frame = String.sub buffered 0 size in
+      Buffer.clear buf;
+      Buffer.add_substring buf buffered size (String.length buffered - size);
+      Result.map_error Protocol.error_to_string (Protocol.decode frame)
+    | Ok _ ->
+      (match read_chunk fd chunk with
+      | None -> Error "connection error"
+      | Some 0 -> Error "connection closed by hub"
+      | Some n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ())
+  in
+  go ()
+
+(* --- hub server --------------------------------------------------------- *)
+
+type role = Pending | Client | Worker_conn of int
+
+type conn = {
   fd : Unix.file_descr;
-  id : int;
+  id : int;  (** connection id; doubles as the hub client id *)
+  mutable role : role;
   buf : Buffer.t;
   mutable closed : bool;
 }
 
-let send_frame cl msg =
-  if not cl.closed then begin
+let send_frame cn msg =
+  if not cn.closed then begin
     let frame = Protocol.encode msg in
-    try
-      let n = Unix.write_substring cl.fd frame 0 (String.length frame) in
-      if n <> String.length frame then cl.closed <- true
-    with Unix.Unix_error _ -> cl.closed <- true
+    try write_all cn.fd frame 0 (String.length frame)
+    with Unix.Unix_error _ -> cn.closed <- true
   end
 
-(* Extract every complete frame from the client's accumulation buffer,
-   leaving any partial tail in place. *)
-let take_frames cl =
-  let rec go acc =
-    let buffered = Buffer.contents cl.buf in
-    match Protocol.frame_size buffered with
-    | Error _ ->
-      cl.closed <- true;
-      List.rev acc
-    | Ok None -> List.rev acc
-    | Ok (Some size) when String.length buffered < size -> List.rev acc
-    | Ok (Some size) ->
-      let frame = String.sub buffered 0 size in
-      Buffer.clear cl.buf;
-      Buffer.add_substring cl.buf buffered size (String.length buffered - size);
-      (match Protocol.decode frame with
-      | Ok msg -> go (msg :: acc)
-      | Error _ ->
-        cl.closed <- true;
-        List.rev acc)
-  in
-  go []
-
-let serve ?obs ?corpus_sync ?max_campaigns ~socket ~farms
+let serve ?obs ?corpus_sync ?max_campaigns ?journal ?heartbeat_timeout ~socket
     ~(resolve : string -> (Worker.target, string) result) () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let hub_resolve os =
@@ -55,41 +116,56 @@ let serve ?obs ?corpus_sync ?max_campaigns ~socket ~farms
         { Hub.spec = tg.Worker.spec; table = tg.Worker.table })
       (resolve os)
   in
-  let hub = Hub.create ~obs ?corpus_sync ~farms ~resolve:hub_resolve () in
-  let workers = Array.init farms (fun id -> Worker.create ~obs ~id ~resolve ()) in
-  let farm_q = Array.init farms (fun _ -> Queue.create ()) in
+  let hub =
+    Hub.create ~obs ?corpus_sync ?journal ?heartbeat_timeout
+      ~resolve:hub_resolve ()
+  in
   (match Unix.lstat socket with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket
   | _ -> ()
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let clients : (int, client) Hashtbl.t = Hashtbl.create 8 in
-  let next_client = ref 0 in
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
+  let worker_conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
+  let next_conn = ref 0 in
   let campaigns_done = ref 0 in
-  let dispatch_ref = ref (fun _ -> ()) in
-  let deliver_farm f msg =
-    Queue.add msg farm_q.(f);
-    while not (Queue.is_empty farm_q.(f)) do
-      let m = Queue.take farm_q.(f) in
-      List.iter
-        (fun r -> !dispatch_ref (Hub.handle_farm hub ~farm:f r))
-        (Worker.handle workers.(f) m)
-    done
-  in
   let dispatch actions =
     List.iter
       (function
-        | Hub.To_farm (f, msg) -> deliver_farm f msg
+        | Hub.To_worker (wid, msg) -> (
+          match Hashtbl.find_opt worker_conns wid with
+          | Some cn -> send_frame cn msg
+          | None -> () (* dead worker: best-effort drop, as documented *))
         | Hub.To_client (id, msg) ->
           (match msg with
           | Protocol.Campaign_done _ -> incr campaigns_done
           | _ -> ());
-          (match Hashtbl.find_opt clients id with
-          | Some cl -> send_frame cl msg
+          (match Hashtbl.find_opt conns id with
+          | Some cn -> send_frame cn msg
           | None -> ()))
       actions
   in
-  dispatch_ref := dispatch;
+  let route cn msg =
+    let now = Unix.gettimeofday () in
+    match cn.role with
+    | Worker_conn wid -> dispatch (Hub.handle_worker hub ~now ~worker:wid msg)
+    | Client -> dispatch (Hub.handle_client hub ~client:cn.id msg)
+    | Pending -> (
+      (* First frame classifies the connection. *)
+      match msg with
+      | Protocol.Worker_hello { name } -> (
+        match Hub.hello hub ~now ~name with
+        | Ok (wid, actions) ->
+          cn.role <- Worker_conn wid;
+          Hashtbl.replace worker_conns wid cn;
+          dispatch actions
+        | Error reason ->
+          send_frame cn (Protocol.Reject { tenant = ""; reason });
+          cn.closed <- true)
+      | m ->
+        cn.role <- Client;
+        dispatch (Hub.handle_client hub ~client:cn.id m))
+  in
   let result =
     try
       Unix.bind listener (Unix.ADDR_UNIX socket);
@@ -99,86 +175,147 @@ let serve ?obs ?corpus_sync ?max_campaigns ~socket ~farms
         | Some n -> !campaigns_done >= n
         | None -> false
       in
+      let chunk = Bytes.create 65536 in
       while not (finished ()) do
-        let busy =
-          Array.exists (fun w -> not (Worker.idle w)) workers
-        in
+        dispatch (Hub.tick hub ~now:(Unix.gettimeofday ()));
         let fds =
           listener
-          :: Hashtbl.fold (fun _ cl acc -> if cl.closed then acc else cl.fd :: acc)
-               clients []
+          :: Hashtbl.fold
+               (fun _ cn acc -> if cn.closed then acc else cn.fd :: acc)
+               conns []
         in
-        let readable, _, _ =
-          (* Block only when the fleet is idle; otherwise poll so the
-             workers keep executing payloads between client bytes. *)
-          Unix.select fds [] [] (if busy then 0. else 0.05)
-        in
+        let readable, _, _ = select_intr fds [] [] 0.05 in
         List.iter
           (fun fd ->
             if fd = listener then begin
               let cfd, _ = Unix.accept listener in
-              let id = !next_client in
-              incr next_client;
-              Hashtbl.replace clients id
-                { fd = cfd; id; buf = Buffer.create 256; closed = false }
+              let id = !next_conn in
+              incr next_conn;
+              Hashtbl.replace conns id
+                { fd = cfd; id; role = Pending; buf = Buffer.create 256; closed = false }
             end
             else
               Hashtbl.iter
-                (fun _ cl ->
-                  if cl.fd = fd && not cl.closed then begin
-                    let chunk = Bytes.create 65536 in
-                    let n =
-                      try Unix.read cl.fd chunk 0 65536
-                      with Unix.Unix_error _ -> 0
-                    in
-                    if n = 0 then cl.closed <- true
-                    else begin
-                      Buffer.add_subbytes cl.buf chunk 0 n;
-                      List.iter
-                        (fun msg ->
-                          dispatch (Hub.handle_client hub ~client:cl.id msg))
-                        (take_frames cl)
-                    end
+                (fun _ cn ->
+                  if cn.fd = fd && not cn.closed then begin
+                    match read_chunk cn.fd chunk with
+                    | None | Some 0 -> cn.closed <- true
+                    | Some n -> (
+                      Buffer.add_subbytes cn.buf chunk 0 n;
+                      match take_frames cn.buf with
+                      | Error _ -> cn.closed <- true
+                      | Ok msgs -> List.iter (route cn) msgs)
                   end)
-                clients)
+                conns)
           readable;
+        (* Sweep closed connections: a worker's EOF is its death
+           certificate — revoke and reassign its leases right away
+           rather than waiting out the heartbeat deadline. *)
         Hashtbl.iter
-          (fun id cl ->
-            if cl.closed then begin
-              (try Unix.close cl.fd with Unix.Unix_error _ -> ());
-              Hashtbl.remove clients id
+          (fun id cn ->
+            if cn.closed then begin
+              (try Unix.close cn.fd with Unix.Unix_error _ -> ());
+              Hashtbl.remove conns id;
+              match cn.role with
+              | Worker_conn wid ->
+                Hashtbl.remove worker_conns wid;
+                dispatch
+                  (Hub.worker_lost hub ~now:(Unix.gettimeofday ()) ~worker:wid)
+              | _ -> ()
             end)
-          clients;
-        (* One payload on the globally earliest worker per loop turn —
-           short enough to stay responsive to the socket. *)
-        let best = ref None in
-        Array.iteri
-          (fun i w ->
-            match Worker.next_cpu_s w with
-            | None -> ()
-            | Some v ->
-              (match !best with
-              | Some (_, bv) when bv <= v -> ()
-              | _ -> best := Some (i, v)))
-          workers;
-        match !best with
-        | None -> ()
-        | Some (i, _) ->
-          List.iter
-            (fun r -> dispatch (Hub.handle_farm hub ~farm:i r))
-            (Worker.step workers.(i))
+          conns
       done;
       Ok ()
     with
     | Unix.Unix_error (err, fn, _) ->
       Error (Printf.sprintf "serve: %s: %s" fn (Unix.error_message err))
   in
-  Hashtbl.iter (fun _ cl -> try Unix.close cl.fd with Unix.Unix_error _ -> ()) clients;
+  Hub.close hub;
+  Hashtbl.iter (fun _ cn -> try Unix.close cn.fd with Unix.Unix_error _ -> ()) conns;
   (try Unix.close listener with Unix.Unix_error _ -> ());
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   result
 
-(* --- client side -------------------------------------------------------- *)
+(* --- worker process ----------------------------------------------------- *)
+
+let connect_retry socket ~tries =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if n <= 1 then
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message err))
+      else begin
+        Unix.sleepf 0.2;
+        go (n - 1)
+      end
+  in
+  go tries
+
+(* The [eof worker] main loop: register, then interleave stepping the
+   leased farms with the socket. The worker pings at a third of the
+   negotiated heartbeat deadline whenever it has sent nothing else, so
+   an idle worker stays registered; hub EOF is a normal shutdown. *)
+let worker ?obs ~socket ~name
+    ~(resolve : string -> (Worker.target, string) result) () =
+  match connect_retry socket ~tries:50 with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let w = Worker.create ?obs ~name ~resolve () in
+        match write_frame fd (Worker.hello w) with
+        | Error e -> Error (Printf.sprintf "hello: %s" e)
+        | Ok () ->
+          let buf = Buffer.create 4096 in
+          let chunk = Bytes.create 65536 in
+          let last_sent = ref (Unix.gettimeofday ()) in
+          let send msgs =
+            List.iter
+              (fun m ->
+                let frame = Protocol.encode m in
+                write_all fd frame 0 (String.length frame);
+                last_sent := Unix.gettimeofday ())
+              msgs
+          in
+          let result = ref None in
+          (try
+             while !result = None do
+               let busy = Worker.next_cpu_s w <> None in
+               let readable, _, _ =
+                 select_intr [ fd ] [] [] (if busy then 0. else 0.05)
+               in
+               (if readable <> [] then
+                  match read_chunk fd chunk with
+                  | None -> result := Some (Error "hub connection error")
+                  | Some 0 ->
+                    (* hub closed the connection: normal shutdown *)
+                    result := Some (Ok ())
+                  | Some n -> (
+                    Buffer.add_subbytes buf chunk 0 n;
+                    match take_frames buf with
+                    | Error e ->
+                      result := Some (Error (Printf.sprintf "bad frame: %s" e))
+                    | Ok msgs -> List.iter (fun m -> send (Worker.handle w m)) msgs));
+               if !result = None then begin
+                 if busy then send (Worker.step w);
+                 (match Worker.heartbeat_timeout_s w with
+                 | Some t when Unix.gettimeofday () -. !last_sent > t /. 3. ->
+                   send [ Protocol.Worker_ping { worker = Worker.id w } ]
+                 | _ -> ())
+               end
+             done
+           with Unix.Unix_error (err, fn, _) ->
+             result :=
+               Some (Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))));
+          Option.value !result ~default:(Ok ()))
+
+(* --- one-shot clients --------------------------------------------------- *)
 
 let with_connection socket f =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -191,32 +328,6 @@ let with_connection socket f =
         Error
           (Printf.sprintf "cannot connect to %s: %s" socket
              (Unix.error_message err)))
-
-let write_frame fd msg =
-  let frame = Protocol.encode msg in
-  let n = Unix.write_substring fd frame 0 (String.length frame) in
-  if n <> String.length frame then Error "short write" else Ok ()
-
-let read_frame fd buf =
-  let rec go () =
-    let buffered = Buffer.contents buf in
-    match Protocol.frame_size buffered with
-    | Error e -> Error (Protocol.error_to_string e)
-    | Ok (Some size) when String.length buffered >= size ->
-      let frame = String.sub buffered 0 size in
-      Buffer.clear buf;
-      Buffer.add_substring buf buffered size (String.length buffered - size);
-      Result.map_error Protocol.error_to_string (Protocol.decode frame)
-    | Ok _ ->
-      let chunk = Bytes.create 65536 in
-      let n = Unix.read fd chunk 0 65536 in
-      if n = 0 then Error "connection closed by hub"
-      else begin
-        Buffer.add_subbytes buf chunk 0 n;
-        go ()
-      end
-  in
-  try go () with Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
 
 let submit ~socket config =
   with_connection socket (fun fd ->
@@ -244,6 +355,6 @@ let status ~socket =
         let buf = Buffer.create 256 in
         (match read_frame fd buf with
         | Error e -> Error e
-        | Ok (Protocol.Status rows) -> Ok rows
+        | Ok (Protocol.Status { rows; workers }) -> Ok (rows, workers)
         | Ok other ->
           Error (Printf.sprintf "unexpected reply %s" (Protocol.kind_name other))))

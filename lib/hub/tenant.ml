@@ -27,7 +27,7 @@ let default =
     gen_mode = Eof_core.Gen.Interp;
   }
 
-let tenant_ok name =
+let name_ok name =
   name <> ""
   && String.length name <= 64
   && String.for_all
@@ -39,7 +39,7 @@ let tenant_ok name =
        name
 
 let validate c =
-  if not (tenant_ok c.tenant) then
+  if not (name_ok c.tenant) then
     Error
       (Printf.sprintf "tenant %S: must be 1-64 chars of [A-Za-z0-9_-]" c.tenant)
   else if c.os = "" then Error "os must not be empty"

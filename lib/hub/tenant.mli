@@ -26,6 +26,10 @@ val default : config
 (** [default]: Zephyr, seed 1, 200 iterations, 1 farm of 1 board,
     native backend. *)
 
+val name_ok : string -> bool
+(** 1-64 chars of [A-Za-z0-9_-] — the identifier rule shared by tenant
+    names and worker names. *)
+
 val validate : config -> (unit, string) result
 
 val to_string : config -> string

@@ -26,21 +26,31 @@ type shard_state = {
 }
 
 type t = {
-  id : int;
+  name : string;
+  mutable id : int;  (** hub-assigned at welcome; -1 until then *)
+  mutable heartbeat_timeout_s : float option;  (** as negotiated at welcome *)
   resolve : string -> (target, string) result;
   obs : Obs.t;
   mutable shards : shard_state list;  (** assignment order *)
 }
 
-let create ?obs ~id ~resolve () =
+let create ?obs ~name ~resolve () =
   {
-    id;
+    name;
+    id = -1;
+    heartbeat_timeout_s = None;
     resolve;
     obs = (match obs with Some o -> o | None -> Obs.create ());
     shards = [];
   }
 
 let id t = t.id
+
+let name t = t.name
+
+let heartbeat_timeout_s t = t.heartbeat_timeout_s
+
+let hello t = Protocol.Worker_hello { name = t.name }
 
 (* Programs cross the hub protocol in canonical little-endian wire form
    regardless of the target's byte order — the hub is a host, not a
@@ -93,8 +103,14 @@ let assign t (a : Shard.assignment) =
         (Printf.sprintf "worker %d: farm init failed: %s" t.id
            (Eof_util.Eof_error.to_string e))
   in
+  (* A re-lease of a shard this worker held at a lower epoch replaces
+     the dead entry — the fresh farm restarts the shard from scratch. *)
   t.shards <-
-    t.shards
+    List.filter
+      (fun st ->
+        st.assign.Shard.campaign <> a.Shard.campaign
+        || st.assign.Shard.shard <> a.Shard.shard)
+      t.shards
     @ [ {
           assign = a;
           target;
@@ -110,7 +126,9 @@ let assign t (a : Shard.assignment) =
    programs, then crashes, then the heartbeat that timestamps them. *)
 let flush st =
   let a = st.assign in
-  let campaign = a.Shard.campaign and shard = a.Shard.shard in
+  let campaign = a.Shard.campaign
+  and shard = a.Shard.shard
+  and epoch = a.Shard.epoch in
   let fresh_progs =
     List.filter_map
       (fun prog ->
@@ -126,12 +144,12 @@ let flush st =
   in
   let pushes =
     if fresh_progs = [] then []
-    else [ Protocol.Corpus_push { campaign; shard; progs = fresh_progs } ]
+    else [ Protocol.Corpus_push { campaign; shard; epoch; progs = fresh_progs } ]
   in
   let crashes = Farm.crashes_so_far st.farm in
   let reports =
     List.filteri (fun i _ -> i >= st.crashes_seen) crashes
-    |> List.map (fun crash -> Protocol.Crash_report { campaign; shard; crash })
+    |> List.map (fun crash -> Protocol.Crash_report { campaign; shard; epoch; crash })
   in
   st.crashes_seen <- List.length crashes;
   let bitmap = Farm.coverage_bitmap st.farm in
@@ -140,6 +158,7 @@ let flush st =
       {
         campaign;
         shard;
+        epoch;
         executed = Farm.executed_so_far st.farm;
         coverage = Bitset.count bitmap;
         edge_capacity = Bitset.capacity bitmap;
@@ -158,6 +177,7 @@ let shard_done st =
         {
           campaign = a.Shard.campaign;
           shard = a.Shard.shard;
+          epoch = a.Shard.epoch;
           executed = outcome.Farm.executed_programs;
           iterations = outcome.Farm.iterations_done;
           crash_events = outcome.Farm.crash_events;
@@ -167,8 +187,30 @@ let shard_done st =
 
 let handle t msg =
   match msg with
+  | Protocol.Worker_welcome { worker; heartbeat_timeout_s } ->
+    t.id <- worker;
+    t.heartbeat_timeout_s <- Some heartbeat_timeout_s;
+    []
+  | Protocol.Heartbeat_ack _ -> []
   | Protocol.Shard_assign a ->
     assign t a;
+    []
+  | Protocol.Shard_revoke { campaign; shard; epoch } ->
+    (* The lease is gone: freeze the farm (one off-cycle merge so its
+       observers settle, nothing sent — the hub has already fenced this
+       epoch) and never step it again. *)
+    List.iter
+      (fun st ->
+        if
+          st.assign.Shard.campaign = campaign
+          && st.assign.Shard.shard = shard
+          && st.assign.Shard.epoch = epoch
+          && not st.finished
+        then begin
+          Farm.pause st.farm;
+          st.finished <- true
+        end)
+      t.shards;
     []
   | Protocol.Corpus_pull { campaign; shard; progs } ->
     (match

@@ -50,6 +50,17 @@ module Event = struct
     | Epoch_sync of { sync : int; executed : int; coverage : int }
     | Link_fault of { fault : string; exchange : int }
     | Recovery of { rung : string; attempt : int }
+    | Worker_joined of { worker : int; name : string }
+    | Worker_lost of { worker : int; leases : int }
+    | Shard_reassigned of {
+        campaign : int;
+        shard : int;
+        epoch : int;
+        from_worker : int;
+        to_worker : int;
+      }
+    | Lease_fenced of { campaign : int; shard : int; epoch : int; kind : string }
+    | Journal_replay of { frames : int; campaigns : int; reset : int }
     | Span of { name : string; dur_us : float }
     | Message of { level : Level.t; text : string }
 
@@ -73,6 +84,11 @@ module Event = struct
     | Epoch_sync _ -> "epoch-sync"
     | Link_fault _ -> "link-fault"
     | Recovery _ -> "recovery"
+    | Worker_joined _ -> "worker-joined"
+    | Worker_lost _ -> "worker-lost"
+    | Shard_reassigned _ -> "shard-reassigned"
+    | Lease_fenced _ -> "lease-fenced"
+    | Journal_replay _ -> "journal-replay"
     | Span _ -> "span"
     | Message _ -> "message"
 
@@ -90,6 +106,9 @@ module Event = struct
     | Snapshot_restore _ -> Level.Debug
     | Link_fault _ -> Level.Debug
     | Recovery _ -> Level.Warn
+    | Worker_joined _ -> Level.Info
+    | Worker_lost _ | Shard_reassigned _ | Lease_fenced _ -> Level.Warn
+    | Journal_replay _ -> Level.Info
     | Restore_done _ | Crash_found _ -> Level.Warn
     | Message { level; _ } -> level
 
@@ -129,6 +148,20 @@ module Event = struct
       [ ("fault", V_str fault); ("exchange", V_int exchange) ]
     | Recovery { rung; attempt } ->
       [ ("rung", V_str rung); ("attempt", V_int attempt) ]
+    | Worker_joined { worker; name } ->
+      [ ("worker", V_int worker); ("name", V_str name) ]
+    | Worker_lost { worker; leases } ->
+      [ ("worker", V_int worker); ("leases", V_int leases) ]
+    | Shard_reassigned { campaign; shard; epoch; from_worker; to_worker } ->
+      [ ("campaign", V_int campaign); ("shard", V_int shard);
+        ("epoch", V_int epoch); ("from_worker", V_int from_worker);
+        ("to_worker", V_int to_worker) ]
+    | Lease_fenced { campaign; shard; epoch; kind } ->
+      [ ("campaign", V_int campaign); ("shard", V_int shard);
+        ("epoch", V_int epoch); ("kind", V_str kind) ]
+    | Journal_replay { frames; campaigns; reset } ->
+      [ ("frames", V_int frames); ("campaigns", V_int campaigns);
+        ("reset", V_int reset) ]
     | Span { name; dur_us } -> [ ("name", V_str name); ("dur_us", V_float dur_us) ]
     | Message { level; text } ->
       [ ("level", V_str (Level.to_string level)); ("text", V_str text) ]

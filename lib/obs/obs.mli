@@ -82,6 +82,24 @@ module Event : sig
     | Recovery of { rung : string; attempt : int }
         (** one step of the link-recovery escalation ladder: ["retry"],
             ["resync"], ["reset"], ["reflash"], ["dead"] *)
+    | Worker_joined of { worker : int; name : string }
+        (** a worker endpoint registered with the hub *)
+    | Worker_lost of { worker : int; leases : int }
+        (** the hub declared a worker dead (EOF or heartbeat deadline);
+            [leases] shards were revoked for reassignment *)
+    | Shard_reassigned of {
+        campaign : int;
+        shard : int;
+        epoch : int;  (** the new lease epoch *)
+        from_worker : int;
+        to_worker : int;
+      }  (** a revoked shard lease moved to a surviving worker *)
+    | Lease_fenced of { campaign : int; shard : int; epoch : int; kind : string }
+        (** a message carrying a stale lease epoch was dropped;
+            [kind] is the message kind name *)
+    | Journal_replay of { frames : int; campaigns : int; reset : int }
+        (** a restarted hub replayed its journal: [campaigns] restored,
+            of which [reset] were unfinished and restarted from scratch *)
     | Span of { name : string; dur_us : float }
     | Message of { level : Level.t; text : string }
 

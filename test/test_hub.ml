@@ -7,6 +7,7 @@ module Inproc = Eof_hub.Inproc
 module Crash = Eof_core.Crash
 module Targets = Eof_expt.Targets
 module Crc32 = Eof_util.Crc32
+module Rng = Eof_util.Rng
 
 let resolve os =
   match Targets.find os with
@@ -61,6 +62,7 @@ let every_kind =
         os = "Zephyr";
         shard = 1;
         shards = 2;
+        epoch = 4;
         seed = 0x1234_5678_9ABC_DEF0L;
         iterations = 21;
         boards = 2;
@@ -71,13 +73,15 @@ let every_kind =
         gen_mode = Eof_core.Gen.Compiled;
       };
     Protocol.Corpus_push
-      { campaign = 3; shard = 0; progs = [ "\x00\x01\xffwire"; "" ] };
+      { campaign = 3; shard = 0; epoch = 1; progs = [ "\x00\x01\xffwire"; "" ] };
     Protocol.Corpus_pull { campaign = 3; shard = 1; progs = [ "seed\x00binary" ] };
-    Protocol.Crash_report { campaign = 3; shard = 1; crash = sample_crash () };
+    Protocol.Crash_report
+      { campaign = 3; shard = 1; epoch = 2; crash = sample_crash () };
     Protocol.Heartbeat
       {
         campaign = 3;
         shard = 0;
+        epoch = 1;
         executed = 120;
         coverage = 77;
         edge_capacity = 512;
@@ -86,24 +90,33 @@ let every_kind =
       };
     Protocol.Status_req;
     Protocol.Status
-      [
-        {
-          Protocol.campaign = 3;
-          tenant = "alice";
-          os = "Zephyr";
-          finished = false;
-          shards = 2;
-          shards_done = 1;
-          executed = 120;
-          coverage = 77;
-          crashes = 2;
-        };
-      ];
+      {
+        rows =
+          [
+            {
+              Protocol.campaign = 3;
+              tenant = "alice";
+              os = "Zephyr";
+              finished = false;
+              shards = 2;
+              shards_done = 1;
+              executed = 120;
+              coverage = 77;
+              crashes = 2;
+            };
+          ];
+        workers =
+          [
+            { Protocol.worker = 0; name = "pit-4"; alive = true; leases = 2 };
+            { Protocol.worker = 1; name = "pit-9"; alive = false; leases = 0 };
+          ];
+      };
     Protocol.Cancel { campaign = 3 };
     Protocol.Shard_done
       {
         campaign = 3;
         shard = 1;
+        epoch = 3;
         executed = 21;
         iterations = 21;
         crash_events = 4;
@@ -111,6 +124,11 @@ let every_kind =
       };
     Protocol.Campaign_done
       { campaign = 3; tenant = "alice"; digest = "digest tenant alice crc=0" };
+    Protocol.Worker_hello { name = "pit-4" };
+    Protocol.Worker_welcome { worker = 7; heartbeat_timeout_s = 30. };
+    Protocol.Shard_revoke { campaign = 3; shard = 1; epoch = 2 };
+    Protocol.Worker_ping { worker = 7 };
+    Protocol.Heartbeat_ack { worker = 7 };
   ]
 
 let test_codec_roundtrip () =
@@ -134,14 +152,19 @@ let check_error name expected = function
   | Ok _ -> Alcotest.fail (Printf.sprintf "%s: decoded a corrupt frame" name)
 
 let test_codec_rejections () =
+  (* every strict prefix of every message kind is Truncated, never a
+     parse and never a crash *)
+  List.iter
+    (fun msg ->
+      let frame = Protocol.encode msg in
+      for n = 0 to String.length frame - 1 do
+        check_error
+          (Printf.sprintf "%s prefix of %d bytes" (Protocol.kind_name msg) n)
+          Protocol.Truncated
+          (Protocol.decode (String.sub frame 0 n))
+      done)
+    every_kind;
   let frame = Protocol.encode (Protocol.Accept { campaign = 9; tenant = "alice" }) in
-  (* every strict prefix is Truncated, never a parse *)
-  for n = 0 to String.length frame - 1 do
-    check_error
-      (Printf.sprintf "prefix of %d bytes" n)
-      Protocol.Truncated
-      (Protocol.decode (String.sub frame 0 n))
-  done;
   (* flip one payload byte: CRC catches it *)
   let corrupt = Bytes.of_string frame in
   Bytes.set corrupt Protocol.header_bytes
@@ -168,6 +191,46 @@ let test_codec_rejections () =
   check_error "future version"
     (Protocol.Bad_version (Protocol.version + 1))
     (Protocol.decode (Bytes.to_string future))
+
+(* Adversarial input sweep: seeded random bytes through [frame_size] and
+   [decode] — pure noise, noise behind a genuine magic, and re-signed
+   corruptions whose CRC is valid so the payload parsers themselves take
+   the hit. Anything but a typed result is a test failure (an exception
+   escapes the match and kills the test case). *)
+let test_codec_random_sweep () =
+  let rng = Rng.create 0xC0FFEE_5EEDL in
+  let random_string n = String.init n (fun _ -> Char.chr (Rng.int rng 256)) in
+  let feed s =
+    (match Protocol.frame_size s with Ok _ | Error _ -> ());
+    match Protocol.decode s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "random noise decoded as a frame"
+  in
+  for _ = 1 to 300 do
+    feed (random_string (Rng.int rng 80))
+  done;
+  for _ = 1 to 300 do
+    feed ("EOFH" ^ random_string (Rng.int rng 80))
+  done;
+  List.iter
+    (fun msg ->
+      let frame = Protocol.encode msg in
+      for _ = 1 to 25 do
+        let b = Bytes.of_string frame in
+        for _ = 1 to 1 + Rng.int rng 3 do
+          let i = 4 + Rng.int rng (Bytes.length b - 8) in
+          Bytes.set b i (Char.chr (Rng.int rng 256))
+        done;
+        (* re-sign so the corruption reaches past the CRC check *)
+        let crc =
+          Crc32.digest_string (Bytes.sub_string b 4 (Bytes.length b - 8))
+        in
+        Bytes.set_int32_le b (Bytes.length b - 4) crc;
+        let s = Bytes.to_string b in
+        (match Protocol.frame_size s with Ok _ | Error _ -> ());
+        match Protocol.decode s with Ok _ | Error _ -> ()
+      done)
+    every_kind
 
 let test_frame_size () =
   let frame = Protocol.encode Protocol.Status_req in
@@ -204,11 +267,18 @@ let test_shard_plan () =
   let a0 = List.nth plan 0 in
   Alcotest.(check bool) "shard 0 keeps the tenant seed" true
     (a0.Shard.seed = sample_tenant.Tenant.seed);
+  Alcotest.(check bool) "leases born at epoch 1" true
+    (List.for_all (fun (a : Shard.assignment) -> a.Shard.epoch = 1) plan);
   let seeds = List.map (fun (a : Shard.assignment) -> a.Shard.seed) plan in
   Alcotest.(check int) "derived seeds distinct" 3
     (List.length (List.sort_uniq compare seeds))
 
-(* --- global crash dedup ------------------------------------------------- *)
+(* --- hub unit tests: registry, dedup, fencing --------------------------- *)
+
+let hello_ok hub name =
+  match Hub.hello hub ~now:0. ~name with
+  | Ok (wid, _actions) -> wid
+  | Error e -> Alcotest.fail e
 
 let submit_ok hub ~client config =
   let actions = Hub.handle_client hub ~client (Protocol.Submit config) in
@@ -224,22 +294,23 @@ let submit_ok hub ~client config =
   | None -> Alcotest.fail "no Accept for submission"
 
 let test_global_crash_dedup () =
-  let hub = Hub.create ~farms:2 ~resolve:hub_resolve () in
+  let hub = Hub.create ~resolve:hub_resolve () in
+  let w0 = hello_ok hub "w0" in
+  let w1 = hello_ok hub "w1" in
   let alice = submit_ok hub ~client:0 { sample_tenant with Tenant.farms = 2 } in
   let crash = sample_crash () in
-  (* the same bug reported by both farms of alice's campaign *)
-  ignore
-    (Hub.handle_farm hub ~farm:0
-       (Protocol.Crash_report { campaign = alice; shard = 0; crash }));
-  ignore
-    (Hub.handle_farm hub ~farm:1
-       (Protocol.Crash_report { campaign = alice; shard = 1; crash }));
-  Alcotest.(check int) "two farms, one fleet entry" 1 (Hub.crashes_deduped hub);
+  let report ~worker ~shard crash =
+    ignore
+      (Hub.handle_worker hub ~now:1. ~worker
+         (Protocol.Crash_report { campaign = alice; shard; epoch = 1; crash })
+        : Hub.action list)
+  in
+  (* the same bug reported by both workers of alice's campaign *)
+  report ~worker:w0 ~shard:0 crash;
+  report ~worker:w1 ~shard:1 crash;
+  Alcotest.(check int) "two workers, one fleet entry" 1 (Hub.crashes_deduped hub);
   (* a different bug is a different entry *)
-  ignore
-    (Hub.handle_farm hub ~farm:0
-       (Protocol.Crash_report
-          { campaign = alice; shard = 0; crash = sample_crash ~operation:"k_mutex_lock" () }));
+  report ~worker:w0 ~shard:0 (sample_crash ~operation:"k_mutex_lock" ());
   Alcotest.(check int) "distinct bug counted" 2 (Hub.crashes_deduped hub);
   (* a second tenant hitting the first bug: still one entry, both
      tenants attributed, and each tenant's own crash list keeps it *)
@@ -247,9 +318,12 @@ let test_global_crash_dedup () =
     submit_ok hub ~client:1
       { sample_tenant with Tenant.tenant = "bob"; farms = 1; seed = 11L }
   in
+  (* bob's one shard went to the least-loaded worker: both hold one of
+     alice's leases, so the tie falls to the lowest id *)
   ignore
-    (Hub.handle_farm hub ~farm:0
-       (Protocol.Crash_report { campaign = bob; shard = 0; crash }));
+    (Hub.handle_worker hub ~now:1. ~worker:w0
+       (Protocol.Crash_report { campaign = bob; shard = 0; epoch = 1; crash })
+      : Hub.action list);
   Alcotest.(check int) "second tenant, same bug, same entry" 2
     (Hub.crashes_deduped hub);
   (match Hub.fleet_crashes hub with
@@ -266,6 +340,51 @@ let test_global_crash_dedup () =
   in
   Alcotest.(check (option int)) "alice sees both bugs" (Some 2) (crashes_of "alice");
   Alcotest.(check (option int)) "bob sees his one" (Some 1) (crashes_of "bob")
+
+let test_lease_fencing () =
+  let hub = Hub.create ~resolve:hub_resolve () in
+  let w0 = hello_ok hub "w0" in
+  let w1 = hello_ok hub "w1" in
+  (* one shard, owned by w0 (both workers idle, lowest id wins) *)
+  let id = submit_ok hub ~client:0 { sample_tenant with Tenant.farms = 1 } in
+  let crash = sample_crash () in
+  let report ~worker ~epoch =
+    ignore
+      (Hub.handle_worker hub ~now:1. ~worker
+         (Protocol.Crash_report { campaign = id; shard = 0; epoch; crash })
+        : Hub.action list)
+  in
+  report ~worker:w0 ~epoch:99;
+  Alcotest.(check int) "stale epoch fenced" 1 (Hub.fenced hub);
+  Alcotest.(check int) "fenced crash not recorded" 0 (Hub.crashes_deduped hub);
+  report ~worker:w1 ~epoch:1;
+  Alcotest.(check int) "non-owner fenced" 2 (Hub.fenced hub);
+  report ~worker:w0 ~epoch:1;
+  Alcotest.(check int) "owner at current epoch admitted" 1 (Hub.crashes_deduped hub);
+  Alcotest.(check int) "admission is not a fence" 2 (Hub.fenced hub);
+  (* death: the lease is revoked at its old epoch and reassigned to the
+     survivor at a bumped one; the zombie's flushes are fenced *)
+  let actions = Hub.worker_lost hub ~now:2. ~worker:w0 in
+  Alcotest.(check bool) "revoke names the old epoch" true
+    (List.exists
+       (function
+         | Hub.To_worker (w, Protocol.Shard_revoke { epoch = 1; _ }) -> w = w0
+         | _ -> false)
+       actions);
+  Alcotest.(check bool) "reassigned to the survivor at a bumped epoch" true
+    (List.exists
+       (function
+         | Hub.To_worker (w, Protocol.Shard_assign a) ->
+           w = w1 && a.Shard.epoch = 2
+         | _ -> false)
+       actions);
+  Alcotest.(check int) "one reassignment counted" 1 (Hub.reassignments hub);
+  report ~worker:w0 ~epoch:1;
+  Alcotest.(check int) "zombie flush fenced" 3 (Hub.fenced hub);
+  (* dead is dead: a late ping from the zombie earns no ack *)
+  Alcotest.(check int) "zombie ping unanswered" 0
+    (List.length
+       (Hub.handle_worker hub ~now:3. ~worker:w0 (Protocol.Worker_ping { worker = w0 })))
 
 (* --- the deterministic fleet soak --------------------------------------- *)
 
@@ -306,6 +425,8 @@ let test_inproc_fleet_results () =
   Alcotest.(check int) "full budget executed" 240 o.Inproc.payloads;
   Alcotest.(check bool) "corpus sync transplanted at least one seed" true
     (o.Inproc.transplants >= 1);
+  Alcotest.(check int) "no deaths, no reassignments" 0 o.Inproc.reassignments;
+  Alcotest.(check int) "no stale traffic on a healthy fleet" 0 o.Inproc.fenced;
   List.iter
     (fun (r : Inproc.tenant_result) ->
       Alcotest.(check int)
@@ -357,19 +478,119 @@ let test_corpus_sync_off () =
     Alcotest.(check int) "no transplants without sync" 0 o.Inproc.transplants;
     Alcotest.(check int) "budget still executed" 240 o.Inproc.payloads
 
+(* --- fault drills: scripted death, journal resume ----------------------- *)
+
+let run_fleet_kill kill =
+  match Inproc.run ~farms:2 ~kill fleet_tenants ~resolve with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+let test_worker_death_recovery () =
+  (* killed after 60 steps: past the first epoch flush on each of its
+     shards, so the hub has heartbeat state to write off at the revoke *)
+  let o = run_fleet_kill (1, 60) in
+  (* the fleet loses a worker, not a tenant *)
+  Alcotest.(check int) "both tenants still finish" 2 (List.length o.Inproc.tenants);
+  Alcotest.(check int) "full budget still executed" 240 o.Inproc.payloads;
+  List.iter
+    (fun (r : Inproc.tenant_result) ->
+      Alcotest.(check int)
+        (Printf.sprintf "tenant %s executed its slice" r.Inproc.tenant)
+        120 r.Inproc.executed)
+    o.Inproc.tenants;
+  Alcotest.(check bool) "dead worker's leases were reassigned" true
+    (o.Inproc.reassignments >= 1);
+  Alcotest.(check bool) "the dead worker's progress was written off" true
+    (o.Inproc.payloads_lost >= 1);
+  Alcotest.(check bool) "recovery lag measured on the virtual clock" true
+    (o.Inproc.recovery_lag > 0.)
+
+let test_worker_death_deterministic () =
+  let a = run_fleet_kill (1, 60) and b = run_fleet_kill (1, 60) in
+  Alcotest.(check string) "scripted-death summaries byte-identical"
+    (Inproc.summary a) (Inproc.summary b);
+  Alcotest.(check string) "scripted-death fleet digest byte-identical"
+    a.Inproc.fleet_digest b.Inproc.fleet_digest;
+  Alcotest.(check int) "same recovery, same reassignment count"
+    a.Inproc.reassignments b.Inproc.reassignments;
+  Alcotest.(check int) "same recovery, same payloads lost" a.Inproc.payloads_lost
+    b.Inproc.payloads_lost
+
+let with_temp_journal f =
+  let path = Filename.temp_file "eof-hub" ".journal" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_journal_resume () =
+  with_temp_journal @@ fun path ->
+  let base = run_fleet () in
+  (match
+     Inproc.run ~farms:2 ~journal:path ~halt_after:60 fleet_tenants ~resolve
+   with
+  | Error e -> Alcotest.fail e
+  | Ok h ->
+    Alcotest.(check bool) "halted mid-campaign" true h.Inproc.halted;
+    Alcotest.(check bool) "halted before any tenant finished" true
+      (List.length h.Inproc.tenants < 2));
+  match Inproc.run ~farms:2 ~journal:path fleet_tenants ~resolve with
+  | Error e -> Alcotest.fail e
+  | Ok resumed ->
+    Alcotest.(check bool) "journal frames replayed" true
+      (resumed.Inproc.replayed_frames > 0);
+    Alcotest.(check bool) "resume completed" false resumed.Inproc.halted;
+    Alcotest.(check string) "resumed fleet digest = uninterrupted fleet digest"
+      base.Inproc.fleet_digest resumed.Inproc.fleet_digest;
+    Alcotest.(check string) "resumed summary = uninterrupted summary"
+      (Inproc.summary base) (Inproc.summary resumed)
+
+let test_journal_double_restart () =
+  with_temp_journal @@ fun path ->
+  let base = run_fleet () in
+  let halt n =
+    match
+      Inproc.run ~farms:2 ~journal:path ~halt_after:n fleet_tenants ~resolve
+    with
+    | Error e -> Alcotest.fail e
+    | Ok h -> Alcotest.(check bool) "halted" true h.Inproc.halted
+  in
+  (* two successive crashes: the second replay must wind unfinished
+     campaigns back at the same point in the frame stream the first
+     restart did, or the digests drift *)
+  halt 45;
+  halt 120;
+  match Inproc.run ~farms:2 ~journal:path fleet_tenants ~resolve with
+  | Error e -> Alcotest.fail e
+  | Ok resumed ->
+    Alcotest.(check string) "fleet digest survives two restarts"
+      base.Inproc.fleet_digest resumed.Inproc.fleet_digest;
+    Alcotest.(check string) "summary survives two restarts"
+      (Inproc.summary base) (Inproc.summary resumed)
+
 let suite =
   [
     Alcotest.test_case "codec round-trips every kind" `Quick test_codec_roundtrip;
     Alcotest.test_case "codec rejects corrupt frames" `Quick test_codec_rejections;
+    Alcotest.test_case "codec survives random bytes" `Quick test_codec_random_sweep;
     Alcotest.test_case "frame size detection" `Quick test_frame_size;
     Alcotest.test_case "tenant spec parsing" `Quick test_tenant_spec;
     Alcotest.test_case "shard planning" `Quick test_shard_plan;
     Alcotest.test_case "global crash dedup with attribution" `Quick
       test_global_crash_dedup;
+    Alcotest.test_case "lease epochs fence stale traffic" `Quick test_lease_fencing;
     Alcotest.test_case "inproc fleet is deterministic" `Quick
       test_inproc_deterministic;
     Alcotest.test_case "inproc fleet results" `Quick test_inproc_fleet_results;
     Alcotest.test_case "cross-personality transplants" `Quick
       test_cross_personality_transplants;
     Alcotest.test_case "corpus sync off" `Quick test_corpus_sync_off;
+    Alcotest.test_case "worker death: shards reassigned, no tenant lost" `Quick
+      test_worker_death_recovery;
+    Alcotest.test_case "worker death: recovery is deterministic" `Quick
+      test_worker_death_deterministic;
+    Alcotest.test_case "journal: halt and resume reaches the same digest" `Quick
+      test_journal_resume;
+    Alcotest.test_case "journal: survives a double restart" `Quick
+      test_journal_double_restart;
   ]
